@@ -1,0 +1,175 @@
+(* orca_cli: an interactive front door to the whole system.
+
+     dune exec bin/orca_cli.exe -- run "SELECT ..." [--sf 0.2] [--segs 8]
+     dune exec bin/orca_cli.exe -- explain "SELECT ..."
+     dune exec bin/orca_cli.exe -- compare "SELECT ..."     (Orca vs Planner)
+     dune exec bin/orca_cli.exe -- memo "SELECT ..."        (dump the Memo)
+     dune exec bin/orca_cli.exe -- dxl "SELECT ..."         (query+plan DXL)
+     dune exec bin/orca_cli.exe -- queries                  (list the workload)
+
+   Queries run against the mini-TPC-DS warehouse (generated in-process). *)
+
+open Ir
+open Cmdliner
+
+type env = {
+  cluster : Exec.Cluster.t;
+  provider : Catalog.Provider.t;
+  cache : Catalog.Md_cache.t;
+  nsegs : int;
+}
+
+let make_env sf nsegs =
+  let db = Tpcds.Datagen.generate ~sf () in
+  let e = Engines.Engine.create_env ~nsegs db in
+  {
+    cluster =
+      Engines.Engine.cluster_for e ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0);
+    provider = e.Engines.Engine.provider;
+    cache = e.Engines.Engine.cache;
+    nsegs;
+  }
+
+let optimize env sql =
+  let accessor =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs
+  in
+  (query, Orca.Optimizer.optimize ~config accessor query)
+
+let print_rows rows =
+  List.iter
+    (fun row ->
+      print_endline
+        (String.concat " | " (List.map Datum.to_string (Array.to_list row))))
+    rows;
+  Printf.printf "(%d rows)\n" (List.length rows)
+
+(* --- subcommands --- *)
+
+let run_cmd env sql =
+  let _, report = optimize env sql in
+  let rows, metrics = Exec.Executor.run env.cluster report.Orca.Optimizer.plan in
+  print_rows rows;
+  Printf.printf "\n%s\noptimization: %.1f ms, %d groups, %d group expressions\n"
+    (Exec.Metrics.to_string metrics)
+    report.Orca.Optimizer.opt_time_ms report.Orca.Optimizer.groups
+    report.Orca.Optimizer.gexprs
+
+let explain_cmd env sql =
+  let _, report = optimize env sql in
+  print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
+  Printf.printf
+    "\nstage=%s  groups=%d  gexprs=%d  contexts=%d  xforms=%d  jobs=%d  \
+     opt=%.1fms\n"
+    report.Orca.Optimizer.stage_name report.Orca.Optimizer.groups
+    report.Orca.Optimizer.gexprs report.Orca.Optimizer.contexts
+    report.Orca.Optimizer.xforms report.Orca.Optimizer.jobs_created
+    report.Orca.Optimizer.opt_time_ms
+
+let compare_cmd env sql =
+  let _, report = optimize env sql in
+  let orows, om = Exec.Executor.run env.cluster report.Orca.Optimizer.plan in
+  print_endline "=== Orca ===";
+  print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
+  let accessor =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let pplan =
+    Planner.Legacy_planner.plan_sql
+      ~config:
+        { Planner.Legacy_planner.segments = env.nsegs; dp_limit = 5;
+          broadcast_inner = false }
+      accessor query
+  in
+  let prows, pm = Exec.Executor.run env.cluster pplan in
+  print_endline "\n=== legacy Planner ===";
+  print_string (Plan_ops.to_string pplan);
+  let agree = List.length orows = List.length prows in
+  Printf.printf
+    "\nOrca %.5fs vs Planner %.5fs  =>  %.1fx speed-up  (row counts agree: %b)\n"
+    om.Exec.Metrics.sim_seconds pm.Exec.Metrics.sim_seconds
+    (pm.Exec.Metrics.sim_seconds /. Float.max 1e-9 om.Exec.Metrics.sim_seconds)
+    agree
+
+let memo_cmd dot env sql =
+  let _, report = optimize env sql in
+  if dot then print_string (Memolib.Memo.to_dot report.Orca.Optimizer.memo)
+  else begin
+    print_string (Memolib.Memo.to_string report.Orca.Optimizer.memo);
+    Printf.printf "\nplans encoded for the root request: %.0f\n"
+      (Memolib.Extract.count_plans report.Orca.Optimizer.memo
+         (Memolib.Memo.root report.Orca.Optimizer.memo)
+         report.Orca.Optimizer.root_req)
+  end
+
+let dxl_cmd env sql =
+  let query, report = optimize env sql in
+  print_endline "<!-- DXL query message -->";
+  print_string (Dxl.Dxl_query.to_string query);
+  print_endline "\n<!-- DXL plan message -->";
+  print_string (Dxl.Dxl_plan.to_string report.Orca.Optimizer.plan)
+
+let queries_cmd () =
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      Printf.printf "q%-4d %-18s %s\n" q.Tpcds.Queries.qid
+        q.Tpcds.Queries.family
+        (String.concat ","
+           (List.map Tpcds.Features.to_string q.Tpcds.Queries.features)))
+    (Lazy.force Tpcds.Queries.all)
+
+(* --- cmdliner wiring --- *)
+
+let sf_arg =
+  Arg.(value & opt float 0.1 & info [ "sf" ] ~docv:"SF" ~doc:"Scale factor.")
+
+let segs_arg =
+  Arg.(value & opt int 8 & info [ "segs" ] ~docv:"N" ~doc:"Cluster segments.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let with_env f =
+  Term.(
+    const (fun sf segs sql -> f (make_env sf segs) sql)
+    $ sf_arg $ segs_arg $ sql_arg)
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) (with_env f)
+
+let () =
+  let info =
+    Cmd.info "orca_cli" ~version:"1.0"
+      ~doc:"Query the simulated MPP warehouse through the Orca optimizer"
+  in
+  let cmds =
+    [
+      cmd "run" "Optimize and execute a query; print results." run_cmd;
+      cmd "explain" "Print the optimized plan and search statistics." explain_cmd;
+      cmd "compare" "Orca vs the legacy Planner: plans and simulated times."
+        compare_cmd;
+      (let dot_arg =
+         Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+       in
+       Cmd.v
+         (Cmd.info "memo" ~doc:"Dump the Memo after optimization.")
+         Term.(
+           const (fun dot sf segs sql -> memo_cmd dot (make_env sf segs) sql)
+           $ dot_arg $ sf_arg $ segs_arg $ sql_arg));
+      cmd "dxl" "Print the DXL query and plan messages." dxl_cmd;
+      Cmd.v
+        (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
+        Term.(const queries_cmd $ const ());
+    ]
+  in
+  try exit (Cmd.eval ~catch:false (Cmd.group info cmds)) with
+  | Gpos.Gpos_error.Error (_, msg) ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+  | Orca.Optimizer.Unsupported_query msg ->
+      prerr_endline ("unsupported query: " ^ msg);
+      exit 1

@@ -1,0 +1,127 @@
+(* Scratch driver: end-to-end SQL -> Orca -> distributed execution, checked
+   against the naive reference evaluator. *)
+
+open Ir
+
+let nsegs = 8
+
+let () =
+  let rng = Gpos.Prng.create 42 in
+  (* generate data *)
+  let t1_rows =
+    List.init 2000 (fun i ->
+        [| Datum.Int (i mod 400); Datum.Int (Gpos.Prng.int rng 1000) |])
+  in
+  let t2_rows =
+    List.init 5000 (fun _ ->
+        [| Datum.Int (Gpos.Prng.int rng 1000); Datum.Int (Gpos.Prng.int rng 400) |])
+  in
+  let hist_of rows pos =
+    Stats.Histogram.build (List.map (fun r -> r.(pos)) rows)
+  in
+  let rel name oid =
+    Catalog.Metadata.rel_make
+      ~dist:(Catalog.Metadata.Hash_cols [ 0 ])
+      ~mdid:(Catalog.Md_id.make oid) ~name
+      [
+        { Catalog.Metadata.col_name = "a"; col_type = Dtype.Int };
+        { Catalog.Metadata.col_name = "b"; col_type = Dtype.Int };
+      ]
+  in
+  let stats oid rows =
+    {
+      Catalog.Metadata.st_mdid = Catalog.Md_id.make oid;
+      st_rows = float_of_int (List.length rows);
+      st_col_hists = [ (0, hist_of rows 0); (1, hist_of rows 1) ];
+    }
+  in
+  let provider =
+    Catalog.Provider.of_objects ~name:"test"
+      [
+        Catalog.Metadata.Rel (rel "t1" 100);
+        Catalog.Metadata.Rel (rel "t2" 200);
+        Catalog.Metadata.Rel_stats (stats 100 t1_rows);
+        Catalog.Metadata.Rel_stats (stats 200 t2_rows);
+      ]
+  in
+  let cache = Catalog.Md_cache.create () in
+  let cluster = Exec.Cluster.create ~nsegs () in
+  Exec.Cluster.load_table cluster ~name:"t1" ~dist:(Exec.Cluster.By_hash [ 0 ]) t1_rows;
+  Exec.Cluster.load_table cluster ~name:"t2" ~dist:(Exec.Cluster.By_hash [ 0 ]) t2_rows;
+
+  let run_sql sql =
+    Printf.printf "=== %s\n" sql;
+    let accessor = Catalog.Accessor.create ~provider ~cache () in
+    let query = Sqlfront.Binder.bind_sql accessor sql in
+    let config = Orca.Orca_config.with_segments Orca.Orca_config.default nsegs in
+    let report = Orca.Optimizer.optimize ~config accessor query in
+    Printf.printf "%s" (Plan_ops.to_string report.Orca.Optimizer.plan);
+    ignore (Plan_ops.validate report.Orca.Optimizer.plan);
+    let rows, metrics = Exec.Executor.run cluster report.Orca.Optimizer.plan in
+    let expected = Exec.Naive.run cluster query in
+    let norm rows =
+      List.map
+        (fun r -> String.concat "," (List.map Datum.to_string (Array.to_list r)))
+        rows
+    in
+    let got = norm rows and want = norm expected in
+    let sorted_eq = List.sort compare got = List.sort compare want in
+    Printf.printf "rows=%d expected=%d match=%b  %s\n\n" (List.length got)
+      (List.length want) sorted_eq
+      (Exec.Metrics.to_string metrics);
+    if not sorted_eq then begin
+      let show l = String.concat "\n  " l in
+      Printf.printf "GOT:\n  %s\nWANT:\n  %s\n"
+        (show (List.filteri (fun i _ -> i < 10) got))
+        (show (List.filteri (fun i _ -> i < 10) want));
+      exit 1
+    end;
+    (* legacy Planner path: same results expected, different plan/speed *)
+    let accessor2 = Catalog.Accessor.create ~provider ~cache () in
+    let query2 = Sqlfront.Binder.bind_sql accessor2 sql in
+    let pplan =
+      Planner.Legacy_planner.plan_sql
+        ~config:{ Planner.Legacy_planner.segments = nsegs; dp_limit = 5; broadcast_inner = false }
+        accessor2 query2
+    in
+    ignore (Plan_ops.validate pplan);
+    let prows, pmetrics = Exec.Executor.run cluster pplan in
+    let pexpected = Exec.Naive.run cluster query2 in
+    let pg = List.sort compare (norm prows)
+    and pw = List.sort compare (norm pexpected) in
+    Printf.printf "planner: rows=%d match=%b sim=%.4fs subplans=%d+%d\n\n"
+      (List.length prows) (pg = pw) pmetrics.Exec.Metrics.sim_seconds
+      pmetrics.Exec.Metrics.subplan_executions
+      pmetrics.Exec.Metrics.subplan_cache_hits;
+    if pg <> pw then begin
+      Printf.printf "PLANNER MISMATCH\n%s" (Plan_ops.to_string pplan);
+      let show l = String.concat "\n  " l in
+      Printf.printf "GOT:\n  %s\nWANT:\n  %s\n"
+        (show (List.filteri (fun i _ -> i < 10) pg))
+        (show (List.filteri (fun i _ -> i < 10) pw));
+      exit 1
+    end
+  in
+  run_sql "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a LIMIT 5";
+  run_sql
+    "SELECT t1.a, count(*) AS cnt, sum(t2.a) AS s FROM t1, t2 WHERE t1.a = \
+     t2.b AND t2.a < 500 GROUP BY t1.a ORDER BY t1.a DESC LIMIT 10";
+  run_sql
+    "SELECT a, b FROM t1 WHERE a > 350 AND b BETWEEN 10 AND 700 ORDER BY b, a";
+  run_sql
+    "SELECT t1.a, (SELECT max(t2.a) FROM t2 WHERE t2.b = t1.a) AS m FROM t1 \
+     WHERE t1.b < 50 ORDER BY t1.a LIMIT 20";
+  run_sql
+    "SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a AND \
+     t2.a > 900) ORDER BY a LIMIT 10";
+  run_sql
+    "WITH big AS (SELECT a, count(*) AS c FROM t2 GROUP BY a) SELECT b1.a, \
+     b1.c FROM big b1, big b2 WHERE b1.a = b2.a AND b1.c > 3 ORDER BY b1.a \
+     LIMIT 10";
+  run_sql
+    "SELECT a FROM t1 WHERE a < 50 UNION SELECT b FROM t2 WHERE b < 50 ORDER \
+     BY a LIMIT 30";
+  run_sql
+    "SELECT avg(b) AS ab, min(a) AS mn, max(a) AS mx, count(distinct a) AS cd \
+     FROM t1 WHERE b < 900";
+  print_endline "ALL SMOKE TESTS PASSED"

@@ -1,0 +1,97 @@
+(* Workload shakeout driver: run all 111 queries through Orca and the legacy
+   Planner, execute both plans, and differential-test results against the
+   naive reference evaluator. *)
+
+open Ir
+
+let () =
+  let sf = try float_of_string Sys.argv.(1) with _ -> 0.2 in
+  let upto = try int_of_string Sys.argv.(2) with _ -> max_int in
+  let nsegs = 8 in
+  Printf.printf "generating data (sf=%.2f)...\n%!" sf;
+  let db = Tpcds.Datagen.generate ~sf () in
+  let env = Engines.Engine.create_env ~nsegs db in
+  let cluster =
+    Engines.Engine.cluster_for env ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0)
+  in
+  let provider = env.Engines.Engine.provider in
+  let cache = env.Engines.Engine.cache in
+  let failures = ref 0 in
+  let norm rows =
+    List.sort compare
+      (List.map
+         (fun r ->
+           String.concat ","
+             (List.map
+                (fun d ->
+                  (* normalize float noise for comparison *)
+                  match d with
+                  | Datum.Float f -> Printf.sprintf "%.4f" f
+                  | d -> Datum.to_string d)
+                (Array.to_list r)))
+         rows)
+  in
+  let t_start = Gpos.Clock.now () in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      if q.Tpcds.Queries.qid <= upto then begin
+        let qid = q.Tpcds.Queries.qid in
+        try
+          let accessor = Catalog.Accessor.create ~provider ~cache () in
+          let query = Sqlfront.Binder.bind_sql accessor q.Tpcds.Queries.sql in
+          let expected = norm (Exec.Naive.run cluster query) in
+          (* Orca *)
+          let config =
+            Orca.Orca_config.with_segments Orca.Orca_config.default nsegs
+          in
+          let t0 = Gpos.Clock.now () in
+          let report = Orca.Optimizer.optimize ~config accessor query in
+          let opt_ms = Gpos.Clock.ms_since t0 in
+          ignore (Plan_ops.validate report.Orca.Optimizer.plan);
+          let orows, ometrics =
+            Exec.Executor.run cluster report.Orca.Optimizer.plan
+          in
+          let ores = norm orows in
+          (* Planner *)
+          let accessor2 = Catalog.Accessor.create ~provider ~cache () in
+          let query2 = Sqlfront.Binder.bind_sql accessor2 q.Tpcds.Queries.sql in
+          let pplan =
+            Planner.Legacy_planner.plan_sql
+              ~config:{ Planner.Legacy_planner.segments = nsegs; dp_limit = 5; broadcast_inner = false }
+              accessor2 query2
+          in
+          ignore (Plan_ops.validate pplan);
+          let prows, pmetrics = Exec.Executor.run cluster pplan in
+          let pres = norm prows in
+          let ok_o = ores = expected and ok_p = pres = expected in
+          if ok_o && ok_p then
+            Printf.printf
+              "q%-3d %-16s OK   orca=%.4fs planner=%.4fs speedup=%6.1fx opt=%.0fms groups=%d\n%!"
+              qid q.Tpcds.Queries.family
+              ometrics.Exec.Metrics.sim_seconds
+              pmetrics.Exec.Metrics.sim_seconds
+              (pmetrics.Exec.Metrics.sim_seconds
+              /. Float.max 1e-9 ometrics.Exec.Metrics.sim_seconds)
+              opt_ms report.Orca.Optimizer.groups
+          else begin
+            incr failures;
+            Printf.printf "q%-3d %-16s MISMATCH orca=%b planner=%b (%d/%d/%d rows)\n%!"
+              qid q.Tpcds.Queries.family ok_o ok_p (List.length ores)
+              (List.length pres) (List.length expected);
+            if not ok_o then begin
+              Printf.printf "%s\n" (Plan_ops.to_string report.Orca.Optimizer.plan);
+              List.iteri
+                (fun i (g, w) -> if i < 5 then Printf.printf "  got %s | want %s\n" g w)
+                (List.combine
+                   (List.filteri (fun i _ -> i < 5) (ores @ [ "-"; "-"; "-"; "-"; "-" ]))
+                   (List.filteri (fun i _ -> i < 5) (expected @ [ "-"; "-"; "-"; "-"; "-" ])))
+            end
+          end
+        with e ->
+          incr failures;
+          Printf.printf "q%-3d %-16s EXCEPTION %s\n%!" q.Tpcds.Queries.qid
+            q.Tpcds.Queries.family (Gpos.Gpos_error.to_string e)
+      end)
+    (Lazy.force Tpcds.Queries.all);
+  Printf.printf "done in %.1fs: %d failures\n" (Gpos.Clock.now () -. t_start) !failures;
+  if !failures > 0 then exit 1

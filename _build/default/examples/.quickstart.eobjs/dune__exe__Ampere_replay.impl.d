@@ -1,0 +1,1 @@
+examples/ampere_replay.ml: Catalog Cost Filename Ir List Orca Printf Sqlfront String Sys Tpcds

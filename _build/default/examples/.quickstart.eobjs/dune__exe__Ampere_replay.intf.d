@@ -1,0 +1,1 @@
+examples/ampere_replay.mli:

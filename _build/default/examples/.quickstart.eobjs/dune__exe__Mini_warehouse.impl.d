@@ -1,0 +1,1 @@
+examples/mini_warehouse.ml: Array Catalog Datum Engines Exec Float Ir List Orca Plan_ops Planner Printf Sqlfront String Sys Tpcds

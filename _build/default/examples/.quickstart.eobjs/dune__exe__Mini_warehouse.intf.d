@@ -1,0 +1,1 @@
+examples/mini_warehouse.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catalog Datum Dtype Exec Gpos Ir List Orca Plan_ops Printf Sqlfront Stats String

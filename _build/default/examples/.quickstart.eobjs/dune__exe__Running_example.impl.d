@@ -1,0 +1,1 @@
+examples/running_example.ml: Catalog Cost Datum Dtype Dxl Expr Ir List Ltree Memolib Plan_ops Printf Props Search Sqlfront Stats String Xform

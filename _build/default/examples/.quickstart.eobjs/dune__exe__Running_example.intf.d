@@ -1,0 +1,1 @@
+examples/running_example.mli:

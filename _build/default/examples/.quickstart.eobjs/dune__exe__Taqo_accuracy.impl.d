@@ -1,0 +1,1 @@
+examples/taqo_accuracy.ml: Catalog Engines Exec Float List Memolib Orca Printf Sqlfront Tpcds

@@ -1,0 +1,1 @@
+examples/taqo_accuracy.mli:

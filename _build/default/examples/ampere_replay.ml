@@ -1,0 +1,75 @@
+(* AMPERe (paper §6.1): capture a minimal, portable, executable repro of an
+   optimization session, serialize it to a DXL dump file, and replay it with
+   NO connection to the original "database" — the dump's embedded metadata
+   serves as the MD provider (paper Figure 10).
+
+     dune exec examples/ampere_replay.exe
+*)
+
+let () =
+  (* an optimization session against the mini warehouse, with a recording
+     provider harvesting exactly the metadata the optimizer touches *)
+  let db = Tpcds.Datagen.generate ~sf:0.05 () in
+  let backend = Tpcds.Datagen.provider db in
+  let recording, _ = Catalog.Provider.recording backend in
+  let accessor =
+    Catalog.Accessor.create ~provider:recording
+      ~cache:(Catalog.Md_cache.create ()) ()
+  in
+  let sql =
+    "SELECT i_brand, sum(ss_ext_sales_price) AS revenue FROM store_sales, \
+     date_dim, item WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = \
+     i_item_sk AND d_year = 2000 GROUP BY i_brand ORDER BY revenue DESC LIMIT 3"
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config = Orca.Orca_config.with_segments Orca.Orca_config.default 8 in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  Printf.printf "original plan (cost %.1f):\n%s\n"
+    report.Orca.Optimizer.plan.Ir.Expr.pcost
+    (Ir.Plan_ops.to_string report.Orca.Optimizer.plan);
+
+  (* capture: query + configuration + the MD cache working set + expected plan *)
+  let dump =
+    Orca.Ampere.capture
+      ~traceflags:[ ("segments", "8") ]
+      ~expected_plan:report.Orca.Optimizer.plan accessor query
+  in
+  let path = Filename.temp_file "ampere" ".xml" in
+  Orca.Ampere.save dump path;
+  Printf.printf "dump written to %s (%d metadata objects, %d bytes)\n\n" path
+    (List.length dump.Orca.Ampere.metadata)
+    (String.length (Orca.Ampere.to_string dump));
+
+  (* ... ship the file to another machine; no backend required there ... *)
+
+  let loaded = Orca.Ampere.load path in
+  Printf.printf "replaying the dump offline (paper Figure 10)...\n";
+  let replayed = Orca.Ampere.replay ~config loaded in
+  Printf.printf "replayed plan (cost %.1f):\n%s\n"
+    replayed.Orca.Optimizer.plan.Ir.Expr.pcost
+    (Ir.Plan_ops.to_string replayed.Orca.Optimizer.plan);
+
+  (* dumps double as regression tests: compare against the embedded plan *)
+  (match Orca.Ampere.verify ~config loaded with
+  | Orca.Ampere.Replay_match -> print_endline "verify: plans match (test case passes)"
+  | Orca.Ampere.Replay_plan_diff d -> Printf.printf "verify: PLAN DIFF - %s\n" d
+  | Orca.Ampere.Replay_failed m -> Printf.printf "verify: FAILED - %s\n" m);
+
+  (* a cost-model change would flip the verdict, flagging the regression *)
+  let tweaked =
+    {
+      config with
+      Orca.Orca_config.model =
+        {
+          (Cost.Cost_model.with_segments Cost.Cost_model.default 8) with
+          Cost.Cost_model.net_tuple_cost = 2000.0;
+        };
+    }
+  in
+  (match Orca.Ampere.verify ~config:tweaked loaded with
+  | Orca.Ampere.Replay_match ->
+      print_endline "verify (tweaked cost model): still matches"
+  | Orca.Ampere.Replay_plan_diff d ->
+      Printf.printf "verify (tweaked cost model): plan changed - %s\n" d
+  | Orca.Ampere.Replay_failed m -> Printf.printf "verify: FAILED - %s\n" m);
+  Sys.remove path

@@ -1,0 +1,40 @@
+(* SQL-on-Hadoop shootout (paper §7.3): run a handful of workload queries
+   through HAWQ(Orca) and the Impala/Presto/Stinger simulations, showing
+   unsupported features, out-of-memory failures and speed-ups.
+
+     dune exec examples/engine_shootout.exe
+*)
+
+let () =
+  let db = Tpcds.Datagen.generate ~sf:0.1 () in
+  let env = Engines.Engine.create_env ~nsegs:8 db in
+  let specs =
+    [
+      Engines.Engine.hawq ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0);
+      Engines.Engine.impala ~mem_per_seg:60_000.0;
+      Engines.Engine.presto ~mem_per_seg:100.0;
+      Engines.Engine.stinger ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0);
+    ]
+  in
+  let picks = [ 1; 13; 31; 39; 64; 71; 98 ] in
+  List.iter
+    (fun qid ->
+      let q = Tpcds.Queries.get qid in
+      Printf.printf "\n=== q%d (%s)\n%s\n" qid q.Tpcds.Queries.family
+        q.Tpcds.Queries.sql;
+      List.iter
+        (fun spec ->
+          let r = Engines.Engine.run spec env q in
+          let status =
+            match r.Engines.Engine.status with
+            | Engines.Engine.S_ok ->
+                Printf.sprintf "ok     %.5fs  (%d rows)"
+                  (Option.get r.Engines.Engine.sim_seconds)
+                  (Option.get r.Engines.Engine.rows)
+            | s -> Engines.Engine.status_to_string s
+          in
+          Printf.printf "  %-8s %s\n"
+            (Engines.Engine.name_to_string spec.Engines.Engine.ename)
+            status)
+        specs)
+    picks

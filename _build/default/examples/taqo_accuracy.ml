@@ -1,0 +1,56 @@
+(* TAQO (paper §6.2, Figure 11): sample plans uniformly from the Memo,
+   execute each one, and score how well the cost model orders them.
+
+     dune exec examples/taqo_accuracy.exe
+*)
+
+let () =
+  let db = Tpcds.Datagen.generate ~sf:0.1 () in
+  let env = Engines.Engine.create_env ~nsegs:8 db in
+  let cluster =
+    Engines.Engine.cluster_for env ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0)
+  in
+  let sql =
+    "SELECT i_category, count(*) AS cnt, sum(ss_ext_sales_price) AS revenue \
+     FROM store_sales, item, date_dim WHERE ss_item_sk = i_item_sk AND \
+     ss_sold_date_sk = d_date_sk AND d_year = 2001 GROUP BY i_category ORDER \
+     BY revenue DESC LIMIT 10"
+  in
+  let accessor =
+    Catalog.Accessor.create ~provider:env.Engines.Engine.provider
+      ~cache:env.Engines.Engine.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config = Orca.Orca_config.with_segments Orca.Orca_config.default 8 in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+
+  Printf.printf "query: %s\n\n" sql;
+  Printf.printf "plan space encoded in the Memo: %.0f plans\n\n"
+    (Memolib.Extract.count_plans report.Orca.Optimizer.memo
+       (Memolib.Memo.root report.Orca.Optimizer.memo)
+       report.Orca.Optimizer.root_req);
+
+  let outcome =
+    Orca.Taqo.run ~n:16 report ~execute:(fun plan ->
+        let _, m = Exec.Executor.run cluster plan in
+        m.Exec.Metrics.sim_seconds)
+  in
+  Printf.printf "%-14s %-14s\n" "estimated" "actual (s)";
+  List.iter
+    (fun (p : Orca.Taqo.point) ->
+      let marker =
+        if p.Orca.Taqo.plan == (List.hd outcome.Orca.Taqo.points).Orca.Taqo.plan
+        then "  <- optimizer's choice"
+        else ""
+      in
+      Printf.printf "%14.1f %14.6f%s\n" p.Orca.Taqo.estimated p.Orca.Taqo.actual
+        marker)
+    (List.sort
+       (fun (a : Orca.Taqo.point) b ->
+         Float.compare a.Orca.Taqo.estimated b.Orca.Taqo.estimated)
+       outcome.Orca.Taqo.points);
+  Printf.printf
+    "\nTAQO correlation score: %+.3f (1.0 = cost model orders plans \
+     perfectly)\nactual-runtime rank of the chosen plan: %d of %d\n"
+    outcome.Orca.Taqo.score outcome.Orca.Taqo.best_rank
+    (List.length outcome.Orca.Taqo.points)

@@ -1,0 +1,1 @@
+lib/catalog/accessor.ml: Array Colref Ir List Md_cache Md_id Metadata Option Provider Stats Table_desc

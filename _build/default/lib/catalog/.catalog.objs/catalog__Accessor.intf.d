@@ -1,0 +1,1 @@
+lib/catalog/accessor.mli: Colref Ir Md_cache Md_id Metadata Provider Stats Table_desc

@@ -1,0 +1,1 @@
+lib/catalog/md_cache.ml: Fun Hashtbl List Md_id Metadata Mutex Provider

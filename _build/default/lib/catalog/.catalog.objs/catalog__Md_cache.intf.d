@@ -1,0 +1,1 @@
+lib/catalog/md_cache.mli: Md_id Metadata Provider

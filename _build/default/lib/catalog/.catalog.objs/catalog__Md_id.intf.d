@@ -1,0 +1,1 @@
+lib/catalog/md_id.mli:

@@ -1,0 +1,1 @@
+lib/catalog/metadata.ml: Datum Dtype Ir Md_id Printf Stats

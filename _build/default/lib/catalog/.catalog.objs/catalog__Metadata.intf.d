@@ -1,0 +1,1 @@
+lib/catalog/metadata.mli: Datum Dtype Ir Md_id Stats

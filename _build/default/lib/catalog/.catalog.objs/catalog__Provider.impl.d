@@ -1,0 +1,1 @@
+lib/catalog/provider.ml: Hashtbl List Md_id Metadata Option String

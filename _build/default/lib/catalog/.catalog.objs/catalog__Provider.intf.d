@@ -1,0 +1,1 @@
+lib/catalog/provider.mli: Md_id Metadata

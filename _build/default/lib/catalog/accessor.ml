@@ -1,0 +1,139 @@
+open Ir
+
+(* MD Accessor (paper §5): the per-optimization-session view of metadata.
+   Keeps track of every object touched during the session, pins objects in
+   the MD cache, transparently fetches from the external provider on a miss,
+   and releases everything when the session completes. *)
+
+type t = {
+  provider : Provider.t;
+  cache : Md_cache.t;
+  factory : Colref.Factory.t;
+  mutable pinned : (Metadata.kind * Md_id.t) list;
+  mutable accessed : Metadata.obj list; (* for AMPERe harvesting *)
+}
+
+let create ?(factory = Colref.Factory.create ()) ~provider ~cache () =
+  { provider; cache; factory; pinned = []; accessed = [] }
+
+let factory t = t.factory
+
+let remember t kind mdid obj =
+  t.pinned <- (kind, mdid) :: t.pinned;
+  if
+    not
+      (List.exists
+         (fun o ->
+           Metadata.kind_of o = Metadata.kind_of obj
+           && Md_id.same_object (Metadata.mdid_of o) (Metadata.mdid_of obj))
+         t.accessed)
+  then t.accessed <- obj :: t.accessed
+
+let lookup_rel t mdid : Metadata.rel_md option =
+  let fetch () =
+    Option.map (fun r -> Metadata.Rel r) (t.provider.Provider.lookup_rel mdid)
+  in
+  match Md_cache.lookup_pin t.cache ~provider:t.provider Metadata.K_rel mdid ~fetch with
+  | Some (Metadata.Rel r as obj) ->
+      remember t Metadata.K_rel mdid obj;
+      Some r
+  | Some (Metadata.Rel_stats _) | None -> None
+
+let lookup_rel_by_name t name : Metadata.rel_md option =
+  match t.provider.Provider.lookup_rel_by_name name with
+  | None -> None
+  | Some r ->
+      (* route through the cache so pinning/versioning applies *)
+      lookup_rel t r.Metadata.rel_mdid
+
+let lookup_stats t mdid : Metadata.rel_stats_md option =
+  let fetch () =
+    Option.map
+      (fun s -> Metadata.Rel_stats s)
+      (t.provider.Provider.lookup_stats mdid)
+  in
+  match
+    Md_cache.lookup_pin t.cache ~provider:t.provider Metadata.K_rel_stats mdid
+      ~fetch
+  with
+  | Some (Metadata.Rel_stats s as obj) ->
+      remember t Metadata.K_rel_stats mdid obj;
+      Some s
+  | Some (Metadata.Rel _) | None -> None
+
+(* Bind a table into a query: mint fresh column references for this table
+   instance (self-joins bind the same relation twice with distinct columns)
+   and build the optimizer-side table descriptor. *)
+let bind_table t name : Table_desc.t option =
+  match lookup_rel_by_name t name with
+  | None -> None
+  | Some rel ->
+      let cols =
+        List.map
+          (fun (c : Metadata.col_md) ->
+            Colref.Factory.fresh t.factory ~name:c.Metadata.col_name
+              ~ty:c.Metadata.col_type)
+          rel.Metadata.rel_cols
+      in
+      let nth_col i = List.nth cols i in
+      let dist =
+        match rel.Metadata.rel_dist with
+        | Metadata.Hash_cols ps -> Table_desc.Dist_hash (List.map nth_col ps)
+        | Metadata.Random_dist -> Table_desc.Dist_random
+        | Metadata.Replicated_dist -> Table_desc.Dist_replicated
+      in
+      let parts =
+        List.map
+          (fun (p : Metadata.part_md) ->
+            {
+              Table_desc.part_id = p.Metadata.pm_id;
+              lo = p.Metadata.pm_lo;
+              hi = p.Metadata.pm_hi;
+            })
+          rel.Metadata.rel_parts
+      in
+      let indexes =
+        List.map
+          (fun (i : Metadata.index_md) ->
+            {
+              Table_desc.idx_name = i.Metadata.im_name;
+              idx_col = nth_col i.Metadata.im_col;
+            })
+          rel.Metadata.rel_indexes
+      in
+      Some
+        (Table_desc.make
+           ~dist
+           ?part_col:(Option.map nth_col rel.Metadata.rel_part_col)
+           ~parts ~indexes
+           ~mdid:(Md_id.to_string rel.Metadata.rel_mdid)
+           ~name cols)
+
+(* Base-table statistics for a bound table descriptor: positional histograms
+   from the catalog are rekeyed onto the descriptor's column references.
+   Loaded on demand, exactly like the histogram requests of paper Fig. 5. *)
+let base_stats t (td : Table_desc.t) : Stats.Relstats.t =
+  let mdid = Md_id.of_string td.Table_desc.mdid in
+  match lookup_stats t mdid with
+  | None ->
+      (* no statistics: default guess *)
+      Stats.Relstats.set_rows Stats.Relstats.empty 1000.0
+  | Some st ->
+      let cols = Array.of_list td.Table_desc.cols in
+      let with_hists =
+        List.fold_left
+          (fun acc (pos, hist) ->
+            if pos >= 0 && pos < Array.length cols then
+              Stats.Relstats.set_col acc cols.(pos) hist
+            else acc)
+          Stats.Relstats.empty st.Metadata.st_col_hists
+      in
+      Stats.Relstats.set_rows with_hists st.Metadata.st_rows
+
+let accessed_objects t = List.rev t.accessed
+
+(* End of optimization session: unpin everything (paper: "metadata objects
+   are pinned in the cache and unpinned when optimization completes"). *)
+let release t =
+  List.iter (fun (kind, mdid) -> Md_cache.unpin t.cache kind mdid) t.pinned;
+  t.pinned <- []

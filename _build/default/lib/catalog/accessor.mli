@@ -1,0 +1,40 @@
+(** MD Accessor (paper §5): the per-optimization-session view of metadata.
+
+    Tracks every object touched during the session (the AMPERe harvest set),
+    pins objects in the MD cache, transparently fetches from the external
+    provider on a miss, and releases all pins when the session completes. *)
+
+open Ir
+
+type t
+
+val create :
+  ?factory:Colref.Factory.t ->
+  provider:Provider.t ->
+  cache:Md_cache.t ->
+  unit ->
+  t
+
+val factory : t -> Colref.Factory.t
+(** The column-reference factory shared by everything in this session. *)
+
+val lookup_rel : t -> Md_id.t -> Metadata.rel_md option
+val lookup_rel_by_name : t -> string -> Metadata.rel_md option
+val lookup_stats : t -> Md_id.t -> Metadata.rel_stats_md option
+
+val bind_table : t -> string -> Table_desc.t option
+(** Bind a table into a query: mints fresh column references for this table
+    instance (self-joins bind twice with distinct columns) and maps the
+    catalog's positional distribution/partitioning/index metadata onto them. *)
+
+val base_stats : t -> Table_desc.t -> Stats.Relstats.t
+(** Base-table statistics rekeyed onto the descriptor's column references;
+    histograms are fetched on demand (paper Fig. 5). Returns a default guess
+    when the catalog has no statistics. *)
+
+val accessed_objects : t -> Metadata.obj list
+(** Every metadata object served during this session, in access order —
+    exactly what an AMPERe dump embeds. *)
+
+val release : t -> unit
+(** End of session: unpin everything this accessor pinned in the cache. *)

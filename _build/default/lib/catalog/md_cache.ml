@@ -1,0 +1,87 @@
+(* Metadata Cache (paper §3, §5): optimizer-side cache of metadata objects.
+   Objects are pinned for the duration of an optimization session and
+   invalidated when the provider reports a newer version. *)
+
+type entry = { obj : Metadata.obj; mutable pins : int; mutable hits : int }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable lookups : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 64;
+    lookups = 0;
+    misses = 0;
+    invalidations = 0;
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Look up an object; verify the cached version is still current via the
+   provider's [current_version]; on miss or staleness, [fetch] and insert.
+   The returned object is pinned; callers must [unpin] (the MD accessor does
+   this when the optimization session ends). *)
+let lookup_pin t ~(provider : Provider.t) kind mdid
+    ~(fetch : unit -> Metadata.obj option) : Metadata.obj option =
+  with_lock t (fun () ->
+      t.lookups <- t.lookups + 1;
+      let key = Metadata.cache_key kind mdid in
+      let stale entry =
+        match provider.Provider.current_version kind mdid with
+        | None -> false
+        | Some current ->
+            Md_id.newer_than current (Metadata.mdid_of entry.obj)
+      in
+      let insert_fresh () =
+        t.misses <- t.misses + 1;
+        match fetch () with
+        | None -> None
+        | Some obj ->
+            let entry = { obj; pins = 1; hits = 0 } in
+            Hashtbl.replace t.table key entry;
+            Some obj
+      in
+      match Hashtbl.find_opt t.table key with
+      | Some entry when not (stale entry) ->
+          entry.pins <- entry.pins + 1;
+          entry.hits <- entry.hits + 1;
+          Some entry.obj
+      | Some _stale_entry ->
+          t.invalidations <- t.invalidations + 1;
+          Hashtbl.remove t.table key;
+          insert_fresh ()
+      | None -> insert_fresh ())
+
+let unpin t kind mdid =
+  with_lock t (fun () ->
+      let key = Metadata.cache_key kind mdid in
+      match Hashtbl.find_opt t.table key with
+      | Some entry -> entry.pins <- max 0 (entry.pins - 1)
+      | None -> ())
+
+(* Evict unpinned entries (e.g. memory pressure or tests). *)
+let evict_unpinned t =
+  with_lock t (fun () ->
+      let keys =
+        Hashtbl.fold
+          (fun k e acc -> if e.pins = 0 then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) keys;
+      List.length keys)
+
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+
+type stats = { lookups : int; misses : int; invalidations : int }
+
+let stats t =
+  with_lock t (fun () ->
+      { lookups = t.lookups; misses = t.misses; invalidations = t.invalidations })

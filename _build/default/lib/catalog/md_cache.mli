@@ -1,0 +1,32 @@
+(** Metadata Cache (paper §3, §5): optimizer-side cache of metadata objects.
+
+    Objects are pinned for the duration of an optimization session and
+    invalidated when the provider reports a newer version of the same object
+    (metadata versions are part of the Mdid). Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val lookup_pin :
+  t ->
+  provider:Provider.t ->
+  Metadata.kind ->
+  Md_id.t ->
+  fetch:(unit -> Metadata.obj option) ->
+  Metadata.obj option
+(** Look up an object; verify the cached version is still current via the
+    provider; on miss or staleness run [fetch] and cache the result. The
+    returned object is pinned — callers must {!unpin} (the MD accessor does
+    this when its session ends). *)
+
+val unpin : t -> Metadata.kind -> Md_id.t -> unit
+
+val evict_unpinned : t -> int
+(** Drop all unpinned entries; returns how many were evicted. *)
+
+val size : t -> int
+
+type stats = { lookups : int; misses : int; invalidations : int }
+
+val stats : t -> stats

@@ -1,0 +1,36 @@
+(* Metadata ids (paper §4.1): "<system>.<object>.<major>.<minor>".
+   Versions invalidate cached metadata objects that changed across queries. *)
+
+type t = { system : int; oid : int; major : int; minor : int }
+
+let make ?(system = 0) ?(major = 1) ?(minor = 1) oid =
+  { system; oid; major; minor }
+
+let to_string t = Printf.sprintf "%d.%d.%d.%d" t.system t.oid t.major t.minor
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      try
+        {
+          system = int_of_string a;
+          oid = int_of_string b;
+          major = int_of_string c;
+          minor = int_of_string d;
+        }
+      with Failure _ ->
+        Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error "bad mdid %S" s)
+  | _ -> Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error "bad mdid %S" s
+
+(* Same object, ignoring version. *)
+let same_object a b = a.system = b.system && a.oid = b.oid
+
+let equal a b = a = b
+
+(* [newer_than a b]: a is a more recent version of the same object. *)
+let newer_than a b =
+  same_object a b && (a.major > b.major || (a.major = b.major && a.minor > b.minor))
+
+let bump_version t = { t with minor = t.minor + 1 }
+
+let hash t = Hashtbl.hash (t.system, t.oid)

@@ -1,0 +1,22 @@
+(** Metadata ids (paper §4.1): ["<system>.<object>.<major>.<minor>"].
+    Versions invalidate cached metadata objects that changed across
+    queries. *)
+
+type t = { system : int; oid : int; major : int; minor : int }
+
+val make : ?system:int -> ?major:int -> ?minor:int -> int -> t
+(** [make oid] defaults to system 0, version 1.1. *)
+
+val to_string : t -> string
+val of_string : string -> t
+
+val same_object : t -> t -> bool
+(** Same object identity, version ignored. *)
+
+val equal : t -> t -> bool
+
+val newer_than : t -> t -> bool
+(** [newer_than a b]: [a] is a more recent version of the same object. *)
+
+val bump_version : t -> t
+val hash : t -> int

@@ -1,0 +1,59 @@
+open Ir
+
+(* Catalog-side metadata objects exchanged between the database system and
+   the optimizer (paper §5). Columns are identified positionally here;
+   binding a table into a query mints fresh column references. *)
+
+type col_md = { col_name : string; col_type : Dtype.t }
+
+type dist_policy = Hash_cols of int list | Random_dist | Replicated_dist
+
+type part_md = { pm_id : int; pm_lo : Datum.t; pm_hi : Datum.t }
+
+type index_md = { im_name : string; im_col : int }
+
+type rel_md = {
+  rel_mdid : Md_id.t;
+  rel_name : string;
+  rel_cols : col_md list;
+  rel_dist : dist_policy;
+  rel_part_col : int option;  (* position of the partitioning column *)
+  rel_parts : part_md list;
+  rel_indexes : index_md list;
+}
+
+type rel_stats_md = {
+  st_mdid : Md_id.t;  (* same object id as the relation, distinct kind *)
+  st_rows : float;
+  st_col_hists : (int * Stats.Histogram.t) list;  (* by column position *)
+}
+
+(* Any metadata object, as stored in the MD cache. *)
+type obj = Rel of rel_md | Rel_stats of rel_stats_md
+
+type kind = K_rel | K_rel_stats
+
+let kind_of = function Rel _ -> K_rel | Rel_stats _ -> K_rel_stats
+
+let mdid_of = function
+  | Rel r -> r.rel_mdid
+  | Rel_stats s -> s.st_mdid
+
+let kind_to_string = function K_rel -> "rel" | K_rel_stats -> "relstats"
+
+(* Cache key: object identity plus kind (versions handled separately). *)
+let cache_key kind (mdid : Md_id.t) =
+  Printf.sprintf "%s:%d.%d" (kind_to_string kind) mdid.Md_id.system
+    mdid.Md_id.oid
+
+let rel_make ?(dist = Random_dist) ?part_col ?(parts = []) ?(indexes = [])
+    ~mdid ~name cols =
+  {
+    rel_mdid = mdid;
+    rel_name = name;
+    rel_cols = cols;
+    rel_dist = dist;
+    rel_part_col = part_col;
+    rel_parts = parts;
+    rel_indexes = indexes;
+  }

@@ -1,0 +1,51 @@
+(** Catalog-side metadata objects exchanged between the database system and
+    the optimizer (paper §5). Columns are positional here; binding a table
+    into a query mints fresh column references (see {!Accessor}). *)
+
+open Ir
+
+type col_md = { col_name : string; col_type : Dtype.t }
+
+type dist_policy = Hash_cols of int list | Random_dist | Replicated_dist
+
+type part_md = { pm_id : int; pm_lo : Datum.t; pm_hi : Datum.t }
+
+type index_md = { im_name : string; im_col : int }
+
+type rel_md = {
+  rel_mdid : Md_id.t;
+  rel_name : string;
+  rel_cols : col_md list;
+  rel_dist : dist_policy;
+  rel_part_col : int option;  (** position of the partitioning column *)
+  rel_parts : part_md list;
+  rel_indexes : index_md list;
+}
+
+type rel_stats_md = {
+  st_mdid : Md_id.t;  (** same object id as the relation, distinct kind *)
+  st_rows : float;
+  st_col_hists : (int * Stats.Histogram.t) list;  (** by column position *)
+}
+
+(** Any metadata object, as stored in the MD cache. *)
+type obj = Rel of rel_md | Rel_stats of rel_stats_md
+
+type kind = K_rel | K_rel_stats
+
+val kind_of : obj -> kind
+val mdid_of : obj -> Md_id.t
+val kind_to_string : kind -> string
+
+val cache_key : kind -> Md_id.t -> string
+(** Object identity plus kind; versions are handled separately. *)
+
+val rel_make :
+  ?dist:dist_policy ->
+  ?part_col:int ->
+  ?parts:part_md list ->
+  ?indexes:index_md list ->
+  mdid:Md_id.t ->
+  name:string ->
+  col_md list ->
+  rel_md

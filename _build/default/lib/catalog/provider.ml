@@ -1,0 +1,92 @@
+(* Metadata Provider interface (paper §5, Fig. 9): a system-specific plug-in
+   that serves metadata objects to the optimizer. Implementations include the
+   in-memory provider (backed by a live "database system" catalog), the
+   file-based DXL provider (used for AMPERe replay and offline testing), and
+   recording/filtering wrappers. *)
+
+type t = {
+  provider_name : string;
+  lookup_rel_by_name : string -> Metadata.rel_md option;
+  lookup_rel : Md_id.t -> Metadata.rel_md option;
+  lookup_stats : Md_id.t -> Metadata.rel_stats_md option;
+  (* current version of an object, used for cache invalidation *)
+  current_version : Metadata.kind -> Md_id.t -> Md_id.t option;
+}
+
+let name t = t.provider_name
+
+(* A provider over a fixed list of metadata objects. *)
+let of_objects ~name (objs : Metadata.obj list) : t =
+  let rels =
+    List.filter_map
+      (function Metadata.Rel r -> Some r | Metadata.Rel_stats _ -> None)
+      objs
+  in
+  let stats =
+    List.filter_map
+      (function Metadata.Rel_stats s -> Some s | Metadata.Rel _ -> None)
+      objs
+  in
+  {
+    provider_name = name;
+    lookup_rel_by_name =
+      (* SQL identifiers are case-folded; match names case-insensitively *)
+      (fun n ->
+        let fold = String.lowercase_ascii in
+        List.find_opt (fun r -> fold r.Metadata.rel_name = fold n) rels);
+    lookup_rel =
+      (fun id ->
+        List.find_opt
+          (fun r -> Md_id.same_object r.Metadata.rel_mdid id)
+          rels);
+    lookup_stats =
+      (fun id ->
+        List.find_opt
+          (fun s -> Md_id.same_object s.Metadata.st_mdid id)
+          stats);
+    current_version =
+      (fun kind id ->
+        match kind with
+        | Metadata.K_rel ->
+            List.find_opt
+              (fun r -> Md_id.same_object r.Metadata.rel_mdid id)
+              rels
+            |> Option.map (fun r -> r.Metadata.rel_mdid)
+        | Metadata.K_rel_stats ->
+            List.find_opt
+              (fun s -> Md_id.same_object s.Metadata.st_mdid id)
+              stats
+            |> Option.map (fun s -> s.Metadata.st_mdid));
+  }
+
+(* Wrap a provider, recording every object served. Used by the AMPERe dump
+   harvester to capture the minimal metadata needed to replay a query. *)
+let recording (inner : t) : t * (unit -> Metadata.obj list) =
+  let recorded : (string, Metadata.obj) Hashtbl.t = Hashtbl.create 16 in
+  let record obj =
+    Hashtbl.replace recorded
+      (Metadata.cache_key (Metadata.kind_of obj) (Metadata.mdid_of obj))
+      obj
+  in
+  let t =
+    {
+      provider_name = inner.provider_name ^ "+recording";
+      lookup_rel_by_name =
+        (fun n ->
+          let r = inner.lookup_rel_by_name n in
+          Option.iter (fun r -> record (Metadata.Rel r)) r;
+          r);
+      lookup_rel =
+        (fun id ->
+          let r = inner.lookup_rel id in
+          Option.iter (fun r -> record (Metadata.Rel r)) r;
+          r);
+      lookup_stats =
+        (fun id ->
+          let s = inner.lookup_stats id in
+          Option.iter (fun s -> record (Metadata.Rel_stats s)) s;
+          s);
+      current_version = inner.current_version;
+    }
+  in
+  (t, fun () -> Hashtbl.fold (fun _ o acc -> o :: acc) recorded [])

@@ -1,0 +1,24 @@
+(** Metadata Provider interface (paper §5, Fig. 9): a system-specific plug-in
+    serving metadata objects to the optimizer. Implementations include the
+    in-memory provider (a live "database catalog"), the file-based DXL
+    provider (AMPERe replay, offline testing — see {!Dxl.Dxl_metadata}), and
+    the recording wrapper used to harvest dump contents. *)
+
+type t = {
+  provider_name : string;
+  lookup_rel_by_name : string -> Metadata.rel_md option;
+      (** case-insensitive (SQL identifiers are folded) *)
+  lookup_rel : Md_id.t -> Metadata.rel_md option;
+  lookup_stats : Md_id.t -> Metadata.rel_stats_md option;
+  current_version : Metadata.kind -> Md_id.t -> Md_id.t option;
+      (** current version of an object, for cache invalidation *)
+}
+
+val name : t -> string
+
+val of_objects : name:string -> Metadata.obj list -> t
+(** A provider over a fixed object list. *)
+
+val recording : t -> t * (unit -> Metadata.obj list)
+(** Wrap a provider, recording every object served — the AMPERe harvest
+    mechanism. The thunk returns the deduplicated set so far. *)

@@ -1,0 +1,1 @@
+lib/core/ampere.ml: Catalog Dxl Gpos Ir List Optimizer Option Orca_config Printexc Printf Stdlib

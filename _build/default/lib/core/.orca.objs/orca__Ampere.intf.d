@@ -1,0 +1,1 @@
+lib/core/ampere.mli: Catalog Dxl Ir Optimizer Orca_config Stdlib

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Catalog Colref Dxl Expr Gc Gpos Ir List Ltree Memolib Orca_config Plan_ops Printf Props Search Stats Table_desc Xform

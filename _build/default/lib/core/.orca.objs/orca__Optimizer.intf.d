@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Catalog Colref Dxl Expr Ir Memolib Orca_config Props

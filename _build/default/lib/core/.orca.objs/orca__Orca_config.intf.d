@@ -1,0 +1,1 @@
+lib/core/orca_config.mli: Cost Xform

@@ -1,0 +1,1 @@
+lib/core/taqo.ml: Array Float Gpos Hashtbl Ir List Memolib Optimizer

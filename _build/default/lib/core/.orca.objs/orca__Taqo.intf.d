@@ -1,0 +1,1 @@
+lib/core/taqo.mli: Ir Optimizer

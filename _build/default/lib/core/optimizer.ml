@@ -1,0 +1,167 @@
+open Ir
+
+(* The Orca optimizer facade (paper §3, Fig. 2): DXL query in, DXL plan out.
+
+   Workflow (paper §4.1): parse/copy-in -> exploration -> statistics
+   derivation -> implementation -> optimization (property enforcement and
+   costing) -> plan extraction. Optimization can run in multiple stages, each
+   a complete workflow over a rule subset with optional timeout and cost
+   threshold. *)
+
+type report = {
+  plan : Expr.plan;
+  opt_time_ms : float;
+  groups : int;
+  gexprs : int;
+  contexts : int;
+  jobs_created : int;
+  jobs_run : int;
+  goal_hits : int;
+  xforms : int;
+  stage_name : string;
+  peak_heap_mb : float;
+  memo : Memolib.Memo.t;  (* retained for TAQO sampling and inspection *)
+  root_req : Props.req;
+  decorrelated : int;
+}
+
+let root_req (q : Dxl.Dxl_query.t) : Props.req =
+  { Props.rdist = q.Dxl.Dxl_query.dist; rorder = q.Dxl.Dxl_query.order }
+
+(* Wrap the extracted plan with a projection delivering exactly the query's
+   requested output columns, in order, when they differ from the root
+   schema. *)
+let project_output (plan : Expr.plan) (output : Colref.t list) : Expr.plan =
+  let same =
+    List.length plan.Expr.pschema = List.length output
+    && List.for_all2 Colref.equal plan.Expr.pschema output
+  in
+  if same || output = [] then plan
+  else
+    let projs =
+      List.map (fun c -> { Expr.proj_expr = Expr.Col c; proj_out = c }) output
+    in
+    Plan_ops.node (Expr.P_project projs) [ plan ] ~est_rows:plan.Expr.pest_rows
+      ~cost:plan.Expr.pcost
+
+let rec tree_to_mexpr (t : Ltree.t) : Memolib.Mexpr.t =
+  {
+    Memolib.Mexpr.op = Expr.Logical t.Ltree.op;
+    children =
+      List.map (fun c -> Memolib.Mexpr.Node (tree_to_mexpr c)) t.Ltree.children;
+  }
+
+(* One optimization stage over a fresh Memo. *)
+let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
+    ~(base : Table_desc.t -> Stats.Relstats.t) (tree : Ltree.t)
+    (req : Props.req) (stage : Xform.Ruleset.stage) =
+  let memo = Memolib.Memo.create () in
+  let root_ge =
+    Memolib.Memo.insert memo (tree_to_mexpr tree)
+  in
+  Memolib.Memo.set_root memo (Memolib.Memo.find memo root_ge.Memolib.Memo.ge_group);
+  let engine =
+    Search.Engine.create ~workers:config.Orca_config.workers
+      ~ruleset:stage.Xform.Ruleset.stage_rules ~model:config.Orca_config.model
+      ~factory ~base memo
+  in
+  Search.Engine.set_deadline engine stage.Xform.Ruleset.timeout_ms;
+  let plan = Search.Engine.run engine req in
+  (memo, engine, plan)
+
+exception Unsupported_query of string
+
+(* Optimize a DXL query against the metadata reachable through [accessor]. *)
+let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
+    (query : Dxl.Dxl_query.t) : report =
+  let t0 = Gpos.Clock.now () in
+  let factory = Catalog.Accessor.factory accessor in
+  Colref.Factory.bump factory (Dxl.Dxl_query.max_col_id query);
+  let base td = Catalog.Accessor.base_stats accessor td in
+  (* preprocessing: decorrelate subqueries, normalize *)
+  let tree = query.Dxl.Dxl_query.tree in
+  let tree, decorrelated =
+    if config.Orca_config.decorrelate then begin
+      let r = Xform.Decorrelate.run factory tree in
+      if r.Xform.Decorrelate.remaining > 0 then
+        raise
+          (Unsupported_query
+             (Printf.sprintf "%d correlated subqueries could not be unnested"
+                r.Xform.Decorrelate.remaining));
+      (r.Xform.Decorrelate.tree, r.Xform.Decorrelate.rewritten)
+    end
+    else begin
+      let has_apply =
+        Ltree.fold
+          (fun acc n ->
+            acc || match n.Ltree.op with Expr.L_apply _ -> true | _ -> false)
+          false tree
+      in
+      if has_apply then
+        raise (Unsupported_query "correlated subquery (decorrelation disabled)");
+      (tree, 0)
+    end
+  in
+  let tree = if config.Orca_config.normalize then Xform.Normalize.run tree else tree in
+  let tree =
+    if config.Orca_config.prune_columns then
+      Xform.Prune_columns.run tree ~output:query.Dxl.Dxl_query.output
+    else tree
+  in
+  Ltree.validate tree;
+  let req = root_req query in
+  (* stage loop: stop at the first stage whose best plan beats its cost
+     threshold; otherwise keep the cheapest plan across stages *)
+  let rec stages_loop best = function
+    | [] -> (
+        match best with
+        | Some r -> r
+        | None -> Gpos.Gpos_error.internal "no optimization stages configured")
+    | stage :: rest -> (
+        let memo, engine, plan =
+          run_stage config ~factory ~base tree req stage
+        in
+        let result = (memo, engine, plan, stage.Xform.Ruleset.stage_name) in
+        let better =
+          match best with
+          | Some (_, _, p, _) when p.Expr.pcost <= plan.Expr.pcost -> best
+          | _ -> Some result
+        in
+        match stage.Xform.Ruleset.cost_threshold with
+        | Some threshold when plan.Expr.pcost <= threshold ->
+            (match better with Some r -> r | None -> result)
+        | _ -> stages_loop better rest)
+  in
+  let memo, engine, plan, stage_name =
+    stages_loop None config.Orca_config.stages
+  in
+  let plan = project_output plan query.Dxl.Dxl_query.output in
+  let jobs_created, jobs_run, goal_hits = Search.Engine.scheduler_stats engine in
+  let counters = Search.Engine.counters engine in
+  let heap_mb =
+    float_of_int (Gc.quick_stat ()).Gc.heap_words *. 8.0 /. 1048576.0
+  in
+  Catalog.Accessor.release accessor;
+  {
+    plan;
+    opt_time_ms = Gpos.Clock.ms_since t0;
+    groups = Memolib.Memo.ngroups memo;
+    gexprs = Memolib.Memo.ngexprs memo;
+    contexts = (Search.Engine.counters engine).Search.Engine.contexts_created;
+    jobs_created;
+    jobs_run;
+    goal_hits;
+    xforms = counters.Search.Engine.xform_applied;
+    stage_name;
+    peak_heap_mb = heap_mb;
+    memo;
+    root_req = req;
+    decorrelated;
+  }
+
+(* Convenience: optimize and serialize the result back to DXL, the full
+   Fig. 2 round trip. *)
+let optimize_to_dxl ?config accessor (query : Dxl.Dxl_query.t) : string * report
+    =
+  let report = optimize ?config accessor query in
+  (Dxl.Dxl_plan.to_string report.plan, report)

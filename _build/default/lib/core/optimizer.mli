@@ -1,0 +1,50 @@
+(** The Orca optimizer facade (paper §3 Fig. 2): DXL query in, plan out.
+
+    Workflow (§4.1): preprocessing (decorrelation, normalization) → Memo
+    copy-in → exploration → statistics derivation → implementation →
+    optimization (property enforcement + costing) → plan extraction.
+    Optimization runs in one or more stages, each a complete workflow over a
+    rule subset with an optional timeout and cost threshold. *)
+
+open Ir
+
+type report = {
+  plan : Expr.plan;        (** the chosen physical plan *)
+  opt_time_ms : float;
+  groups : int;            (** Memo groups created *)
+  gexprs : int;            (** group expressions created *)
+  contexts : int;          (** optimization contexts created *)
+  jobs_created : int;      (** scheduler jobs created (§4.2) *)
+  jobs_run : int;          (** job executions, including resumptions *)
+  goal_hits : int;         (** jobs absorbed by goal queues *)
+  xforms : int;            (** transformation-rule applications *)
+  stage_name : string;     (** the optimization stage that produced the plan *)
+  peak_heap_mb : float;
+  memo : Memolib.Memo.t;   (** retained for TAQO sampling and inspection *)
+  root_req : Props.req;    (** the root optimization request *)
+  decorrelated : int;      (** Apply operators unnested during preprocessing *)
+}
+
+exception Unsupported_query of string
+(** Raised for queries outside the optimizer's reach (e.g. a correlated
+    subquery whose correlation cannot be pulled up, or any correlated
+    subquery when decorrelation is disabled). *)
+
+val optimize :
+  ?config:Orca_config.t -> Catalog.Accessor.t -> Dxl.Dxl_query.t -> report
+(** Optimize a DXL query against the metadata reachable through the
+    accessor. Releases the accessor's metadata pins on completion. *)
+
+val optimize_to_dxl :
+  ?config:Orca_config.t ->
+  Catalog.Accessor.t ->
+  Dxl.Dxl_query.t ->
+  string * report
+(** [optimize] plus DXL plan serialization: the full Fig. 2 round trip. *)
+
+val project_output : Expr.plan -> Colref.t list -> Expr.plan
+(** Wrap a plan with a projection delivering exactly the given output columns
+    in order (no-op when they already match). *)
+
+val root_req : Dxl.Dxl_query.t -> Props.req
+(** The query's root optimization request: required distribution and order. *)

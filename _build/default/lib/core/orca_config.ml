@@ -1,0 +1,52 @@
+(* Optimizer configuration: rule activation, staging, parallelism, cost model
+   parameters (paper §3: "all components can be replaced individually and
+   configured separately"). *)
+
+type t = {
+  stages : Xform.Ruleset.stage list;
+  workers : int;             (* optimization worker threads (§4.2) *)
+  segments : int;            (* target cluster size *)
+  model : Cost.Cost_model.t;
+  decorrelate : bool;        (* pull correlated subqueries into joins *)
+  normalize : bool;
+  prune_columns : bool;      (* narrow join inputs to needed columns *)
+  trace : bool;
+}
+
+let default =
+  {
+    stages = Xform.Ruleset.single_stage;
+    workers = 1;
+    segments = Cost.Cost_model.default.Cost.Cost_model.segments;
+    model = Cost.Cost_model.default;
+    decorrelate = true;
+    normalize = true;
+    prune_columns = true;
+    trace = false;
+  }
+
+let with_segments t segments =
+  { t with segments; model = Cost.Cost_model.with_segments t.model segments }
+
+let with_workers t workers = { t with workers }
+
+let with_stages t stages = { t with stages }
+
+(* Deactivate rules by name in every stage (used by the ablation benches). *)
+let without_rules t names =
+  {
+    t with
+    stages =
+      List.map
+        (fun (s : Xform.Ruleset.stage) ->
+          {
+            s with
+            Xform.Ruleset.stage_rules =
+              Xform.Ruleset.without s.Xform.Ruleset.stage_rules names;
+          })
+        t.stages;
+  }
+
+let without_decorrelation t = { t with decorrelate = false }
+
+let without_column_pruning t = { t with prune_columns = false }

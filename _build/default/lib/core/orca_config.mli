@@ -1,0 +1,32 @@
+(** Optimizer configuration (paper §3: "all components can be replaced
+    individually and configured separately"): rule activation, optimization
+    stages, parallelism, cost-model parameters, preprocessing toggles. *)
+
+type t = {
+  stages : Xform.Ruleset.stage list;
+      (** run in order; a stage's cost threshold stops the staging early *)
+  workers : int;       (** optimization worker domains (§4.2) *)
+  segments : int;      (** target cluster size *)
+  model : Cost.Cost_model.t;
+  decorrelate : bool;  (** pull correlated subqueries into joins *)
+  normalize : bool;
+  prune_columns : bool; (** narrow join inputs to the needed columns *)
+  trace : bool;
+}
+
+val default : t
+
+val with_segments : t -> int -> t
+(** Set the cluster size on both the config and its cost model. *)
+
+val with_workers : t -> int -> t
+val with_stages : t -> Xform.Ruleset.stage list -> t
+
+val without_rules : t -> string list -> t
+(** Deactivate rules by name in every stage (the ablation benches). *)
+
+val without_decorrelation : t -> t
+(** Correlated subqueries become unsupported, as in optimizers lacking the
+    feature. *)
+
+val without_column_pruning : t -> t

@@ -1,0 +1,1 @@
+lib/cost/cost_model.ml: Expr Float Ir List Physical_ops Props Scalar_ops Table_desc

@@ -1,0 +1,64 @@
+(** The MPP cost model (paper §4.1 step 4).
+
+    Costs approximate elapsed time: per-operator work is charged per segment
+    (mean x skew), so plans that keep work distributed beat plans that funnel
+    data through the master. Every parameter is exposed; TAQO (§6.2) measures
+    how well the resulting cost ordering predicts actual simulated runtimes. *)
+
+open Ir
+
+type t = {
+  segments : int;            (** cluster size the plan is costed for *)
+  cpu_tuple_cost : float;    (** touch one tuple *)
+  cpu_operator_cost : float; (** evaluate one scalar operator on one tuple *)
+  seq_io_cost : float;       (** read one byte sequentially *)
+  random_io_cost : float;    (** read one byte through an index *)
+  hash_build_cost : float;   (** insert one tuple into a hash table *)
+  hash_probe_cost : float;
+  sort_factor : float;       (** multiplier on n·log n comparisons *)
+  net_tuple_cost : float;    (** per tuple crossing the interconnect *)
+  net_byte_cost : float;
+  broadcast_factor : float;  (** penalty factor for broadcast fan-out *)
+  materialize_cost : float;  (** write one byte to a spool/CTE buffer *)
+  nl_tuple_cost : float;     (** per (outer x inner) pair in an NL join *)
+  mem_per_segment : float;   (** working memory per segment, bytes *)
+  spill_io_cost : float;     (** per byte spilled and re-read *)
+}
+
+val default : t
+
+val with_segments : t -> int -> t
+
+val rows_per_segment : t -> Props.dist -> float -> float
+(** Rows one segment processes for a stream with the given distribution
+    (full rows for Singleton and Replicated, rows/segments otherwise). *)
+
+(** Description of one child input to a costed operator. *)
+type input = { rows : float; width : float; dist : Props.dist; skew : float }
+
+val input : ?skew:float -> rows:float -> width:float -> dist:Props.dist -> unit -> input
+
+val op_cost :
+  t ->
+  Expr.physical ->
+  rows_out:float ->
+  width_out:float ->
+  inputs:input list ->
+  scan_rows:float ->
+  out_dist:Props.dist ->
+  float
+(** Incremental cost of a physical operator, children excluded. [scan_rows]
+    is the pre-filter base-table cardinality (scans only); [out_dist] the
+    operator's delivered distribution. Includes spill charges when an
+    operator's state exceeds [mem_per_segment]. *)
+
+val enforcer_cost :
+  t ->
+  Props.enforcer ->
+  rows:float ->
+  width:float ->
+  dist:Props.dist ->
+  skew:float ->
+  float
+(** Cost of one enforcer (sort or motion) applied to a stream with the given
+    properties. *)

@@ -1,0 +1,1 @@
+lib/dxl/dxl_metadata.ml: Catalog Int Ir List Md_id Metadata Option Printf Provider Stats String Xml

@@ -1,0 +1,1 @@
+lib/dxl/dxl_metadata.mli: Catalog Stats Xml

@@ -1,0 +1,1 @@
+lib/dxl/dxl_plan.ml: Datum Dxl_scalar Expr Gpos Ir List Option Printf Sortspec String Table_desc Xml

@@ -1,0 +1,1 @@
+lib/dxl/dxl_plan.mli: Expr Ir Xml

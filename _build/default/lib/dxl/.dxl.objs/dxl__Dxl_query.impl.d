@@ -1,0 +1,1 @@
+lib/dxl/dxl_query.ml: Colref Datum Dtype Dxl_scalar Expr Gpos Ir List Logical_ops Ltree Option Printf Props Sortspec String Xml

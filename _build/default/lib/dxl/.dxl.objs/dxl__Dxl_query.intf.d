@@ -1,0 +1,1 @@
+lib/dxl/dxl_query.mli: Colref Ir Ltree Props Sortspec Xml

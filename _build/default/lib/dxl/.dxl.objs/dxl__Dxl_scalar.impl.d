@@ -1,0 +1,1 @@
+lib/dxl/dxl_scalar.ml: Colref Datum Dtype Expr Gpos Ir List Sortspec String Table_desc Xml

@@ -1,0 +1,1 @@
+lib/dxl/dxl_scalar.mli: Colref Expr Ir Sortspec Table_desc Xml

@@ -1,0 +1,1 @@
+lib/dxl/xml.ml: Buffer Gpos List Printf String

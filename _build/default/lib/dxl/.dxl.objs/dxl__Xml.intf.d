@@ -1,0 +1,1 @@
+lib/dxl/xml.mli:

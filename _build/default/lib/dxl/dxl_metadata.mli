@@ -1,0 +1,25 @@
+(** DXL serialization of metadata objects (paper §5): relations and relation
+    statistics, histograms included. Enables the file-based MD Provider used
+    to replay AMPERe dumps with no live backend (Fig. 10). *)
+
+val rel_to_xml : Catalog.Metadata.rel_md -> Xml.element
+val rel_of_xml : Xml.element -> Catalog.Metadata.rel_md
+
+val histogram_to_xml : Stats.Histogram.t -> Xml.element
+val histogram_of_xml : Xml.element -> Stats.Histogram.t
+
+val rel_stats_to_xml : Catalog.Metadata.rel_stats_md -> Xml.element
+val rel_stats_of_xml : Xml.element -> Catalog.Metadata.rel_stats_md
+
+val obj_to_xml : Catalog.Metadata.obj -> Xml.element
+val obj_of_xml : Xml.element -> Catalog.Metadata.obj option
+
+val objects_to_xml : Catalog.Metadata.obj list -> Xml.element
+val objects_of_xml : Xml.element -> Catalog.Metadata.obj list
+val to_string : Catalog.Metadata.obj list -> string
+
+val file_provider_of_string : string -> Catalog.Provider.t
+(** A provider serving the metadata objects of a serialized DXL document. *)
+
+val file_provider : string -> Catalog.Provider.t
+(** Same, reading the document from a file path. *)

@@ -1,0 +1,33 @@
+(** DXL query messages (paper Listing 1): the input to Orca.
+
+    A query message carries the required output columns, sorting columns,
+    result distribution and the logical operator tree; table descriptors are
+    embedded with their Mdids so further metadata can be requested during
+    optimization. *)
+
+open Ir
+
+type t = {
+  output : Colref.t list;  (** required output columns, in order *)
+  order : Sortspec.t;      (** required result order *)
+  dist : Props.dist_req;   (** required result distribution *)
+  tree : Ltree.t;          (** the logical query *)
+}
+
+val to_xml : t -> Xml.element
+val of_xml : Xml.element -> t
+
+val to_string : t -> string
+(** Full DXL document, XML header included. *)
+
+val of_string : string -> t
+
+val query_element : Xml.element -> Xml.element
+(** The <dxl:Query> element of a message (identity if already one). *)
+
+val logical_to_xml : Ltree.t -> Xml.element
+val logical_of_xml : Xml.element -> Ltree.t
+
+val max_col_id : t -> int
+(** Highest column id mentioned anywhere in the query; the optimizer's
+    colref factory starts past it. *)

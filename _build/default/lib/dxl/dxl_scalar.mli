@@ -1,0 +1,38 @@
+(** DXL serialization of scalar expressions and shared payloads (paper §3:
+    DXL query/plan messages share one scalar sub-language). Round-trips are
+    exact: [of_xml (to_xml s) = s], including float datums (serialized in
+    hex to preserve every bit). *)
+
+open Ir
+
+val colref_to_xml : ?tag:string -> Colref.t -> Xml.element
+val colref_of_xml : Xml.element -> Colref.t
+
+val cmp_of_string : string -> Expr.cmp
+val arith_of_string : string -> Expr.arith
+
+val to_xml : Expr.scalar -> Xml.element
+val of_xml : Xml.element -> Expr.scalar
+
+val sortspec_to_xml : Sortspec.t -> Xml.element
+val sortspec_of_xml : Xml.element -> Sortspec.t
+
+val agg_to_xml : Expr.agg -> Xml.element
+val agg_of_xml : Xml.element -> Expr.agg
+
+val wfunc_to_xml : Expr.wfunc -> Xml.element
+val wfunc_of_xml : Xml.element -> Expr.wfunc
+
+val window_payload_to_children :
+  Colref.t list -> Sortspec.t -> Expr.wfunc list -> Xml.node list
+(** The three child elements a window operator carries: partition columns,
+    the within-partition sort spec, and the window-function list. *)
+
+val window_payload_of_xml :
+  Xml.element -> Colref.t list * Sortspec.t * Expr.wfunc list
+
+val proj_to_xml : Expr.proj -> Xml.element
+val proj_of_xml : Xml.element -> Expr.proj
+
+val table_desc_to_xml : Table_desc.t -> Xml.element
+val table_desc_of_xml : Xml.element -> Table_desc.t

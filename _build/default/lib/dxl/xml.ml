@@ -1,0 +1,291 @@
+(* Minimal XML reader/writer used by DXL. Supports elements, attributes and
+   text nodes with the standard five entities — all that DXL messages need. *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = { tag : string; attrs : (string * string) list; children : node list }
+
+let element ?(attrs = []) ?(children = []) tag = { tag; attrs; children }
+
+let attr (e : element) name = List.assoc_opt name e.attrs
+
+let attr_exn e name =
+  match attr e name with
+  | Some v -> v
+  | None ->
+      Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error
+        "element <%s> missing attribute %S" e.tag name
+
+let child_elements (e : element) =
+  List.filter_map (function Element c -> Some c | Text _ -> None) e.children
+
+let find_child e tag = List.find_opt (fun c -> c.tag = tag) (child_elements e)
+
+let find_child_exn e tag =
+  match find_child e tag with
+  | Some c -> c
+  | None ->
+      Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error
+        "element <%s> missing child <%s>" e.tag tag
+
+let children_named e tag =
+  List.filter (fun c -> c.tag = tag) (child_elements e)
+
+let text_content (e : element) =
+  String.concat ""
+    (List.filter_map (function Text t -> Some t | Element _ -> None) e.children)
+
+(* --- printing --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(header = true) (root : element) =
+  let buf = Buffer.create 1024 in
+  if header then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let rec emit indent (e : element) =
+    let pad = String.make (indent * 2) ' ' in
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+      e.attrs;
+    match e.children with
+    | [] -> Buffer.add_string buf "/>\n"
+    | children ->
+        Buffer.add_string buf ">";
+        let only_text =
+          List.for_all (function Text _ -> true | Element _ -> false) children
+        in
+        if only_text then begin
+          List.iter
+            (function Text t -> Buffer.add_string buf (escape t) | _ -> ())
+            children;
+          Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+        end
+        else begin
+          Buffer.add_char buf '\n';
+          List.iter
+            (function
+              | Element c -> emit (indent + 1) c
+              | Text t ->
+                  Buffer.add_string buf (String.make ((indent + 1) * 2) ' ');
+                  Buffer.add_string buf (escape t);
+                  Buffer.add_char buf '\n')
+            children;
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+        end
+  in
+  emit 0 root;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+exception Parse_failure of string
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | Some j ->
+          let entity = String.sub s (!i + 1) (j - !i - 1) in
+          (match entity with
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "amp" -> Buffer.add_char buf '&'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | e -> raise (Parse_failure ("unknown entity &" ^ e ^ ";")));
+          i := j + 1
+      | None -> raise (Parse_failure "unterminated entity")
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+type parser_state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.input
+    && (match st.input.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ ->
+      raise
+        (Parse_failure
+           (Printf.sprintf "expected %c at offset %d" c st.pos))
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let read_name st =
+  let start = st.pos in
+  while
+    st.pos < String.length st.input && is_name_char st.input.[st.pos]
+  do
+    advance st
+  done;
+  if st.pos = start then
+    raise (Parse_failure (Printf.sprintf "expected name at offset %d" st.pos));
+  String.sub st.input start (st.pos - start)
+
+let read_quoted st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) ->
+        advance st;
+        q
+    | _ -> raise (Parse_failure "expected quoted value")
+  in
+  let start = st.pos in
+  while st.pos < String.length st.input && st.input.[st.pos] <> quote do
+    advance st
+  done;
+  let v = String.sub st.input start (st.pos - start) in
+  expect st quote;
+  unescape v
+
+let rec skip_misc st =
+  skip_ws st;
+  if
+    st.pos + 3 < String.length st.input
+    && String.sub st.input st.pos 4 = "<!--"
+  then begin
+    (* comment *)
+    let rec find i =
+      if i + 2 >= String.length st.input then
+        raise (Parse_failure "unterminated comment")
+      else if String.sub st.input i 3 = "-->" then i + 3
+      else find (i + 1)
+    in
+    st.pos <- find (st.pos + 4);
+    skip_misc st
+  end
+  else if
+    st.pos + 1 < String.length st.input
+    && st.input.[st.pos] = '<'
+    && st.input.[st.pos + 1] = '?'
+  then begin
+    (* processing instruction / declaration *)
+    match String.index_from_opt st.input st.pos '>' with
+    | Some j ->
+        st.pos <- j + 1;
+        skip_misc st
+    | None -> raise (Parse_failure "unterminated declaration")
+  end
+
+let rec parse_element st : element =
+  skip_misc st;
+  expect st '<';
+  let tag = read_name st in
+  let attrs = ref [] in
+  let rec read_attrs () =
+    skip_ws st;
+    match peek st with
+    | Some '/' | Some '>' -> ()
+    | Some _ ->
+        let name = read_name st in
+        skip_ws st;
+        expect st '=';
+        skip_ws st;
+        let v = read_quoted st in
+        attrs := (name, v) :: !attrs;
+        read_attrs ()
+    | None -> raise (Parse_failure "unexpected end of input in attributes")
+  in
+  read_attrs ();
+  match peek st with
+  | Some '/' ->
+      advance st;
+      expect st '>';
+      { tag; attrs = List.rev !attrs; children = [] }
+  | Some '>' ->
+      advance st;
+      let children = ref [] in
+      let rec read_children () =
+        (* accumulate text until '<' *)
+        let start = st.pos in
+        while st.pos < String.length st.input && st.input.[st.pos] <> '<' do
+          advance st
+        done;
+        if st.pos > start then begin
+          let raw = String.sub st.input start (st.pos - start) in
+          let trimmed = String.trim raw in
+          if trimmed <> "" then children := Text (unescape trimmed) :: !children
+        end;
+        if st.pos + 1 < String.length st.input && st.input.[st.pos + 1] = '/'
+        then begin
+          (* closing tag *)
+          advance st;
+          advance st;
+          let close = read_name st in
+          skip_ws st;
+          expect st '>';
+          if close <> tag then
+            raise
+              (Parse_failure
+                 (Printf.sprintf "mismatched </%s>, expected </%s>" close tag))
+        end
+        else if
+          st.pos + 3 < String.length st.input
+          && String.sub st.input st.pos 4 = "<!--"
+        then begin
+          skip_misc st;
+          read_children ()
+        end
+        else begin
+          let child = parse_element st in
+          children := Element child :: !children;
+          read_children ()
+        end
+      in
+      read_children ();
+      { tag; attrs = List.rev !attrs; children = List.rev !children }
+  | _ -> raise (Parse_failure "malformed element")
+
+let of_string (s : string) : element =
+  let st = { input = s; pos = 0 } in
+  try
+    skip_misc st;
+    let e = parse_element st in
+    skip_ws st;
+    e
+  with Parse_failure msg ->
+    Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error "XML parse error: %s"
+      msg

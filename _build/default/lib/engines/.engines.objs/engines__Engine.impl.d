@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Catalog Exec Expr Gpos Hashtbl Ir List Orca Plan_ops Planner Sqlfront Stdlib String Tpcds

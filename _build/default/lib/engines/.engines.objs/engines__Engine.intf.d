@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Catalog Exec Expr Hashtbl Ir Stdlib Tpcds

@@ -1,0 +1,75 @@
+(** SQL-engine simulations for the paper's §7.3 comparison.
+
+    HAWQ runs Orca plans with spill-to-disk execution. The Hadoop engines are
+    modeled by the properties the paper credits for the performance gap: a
+    restricted SQL surface, rule-based optimization with literal syntactic
+    join order (and Impala-style broadcast-inner motions), no-spill execution
+    that aborts when an operator's state exceeds the per-node memory budget,
+    and (for Stinger) MapReduce-style per-stage startup and materialization
+    overheads. *)
+
+open Ir
+
+type name = HAWQ | Impala | Presto | Stinger
+
+val name_to_string : name -> string
+
+type spec = {
+  ename : name;
+  unsupported : Tpcds.Features.t list;  (** SQL features the engine rejects *)
+  unsupported_dialect : string list;    (** e.g. window functions, ROLLUP *)
+  mem_per_seg : float;
+  mode : Exec.Executor.mode;
+  cost_based : bool;                    (** cost-based join ordering? *)
+  stage_startup : float;                (** seconds per blocking operator *)
+  materialize_byte : float;             (** per byte materialized between stages *)
+}
+
+val hawq : mem_per_seg:float -> spec
+val impala : mem_per_seg:float -> spec
+val presto : mem_per_seg:float -> spec
+val stinger : mem_per_seg:float -> spec
+
+type status =
+  | S_unsupported of Tpcds.Features.t list  (** failed the SQL-surface check *)
+  | S_opt_failed of string
+  | S_oom
+  | S_exec_failed of string
+  | S_ok
+
+type result = {
+  engine : name;
+  qid : int;
+  status : status;
+  sim_seconds : float option;
+  rows : int option;
+  plan_ops : int option;
+}
+
+val status_to_string : status -> string
+
+(** Shared environment: generated data, catalog, and one loaded cluster per
+    distinct memory budget. *)
+type env = {
+  db : Tpcds.Datagen.db;
+  provider : Catalog.Provider.t;
+  cache : Catalog.Md_cache.t;
+  nsegs : int;
+  segments_loaded : (float, Exec.Cluster.t) Hashtbl.t;
+}
+
+val create_env : ?nsegs:int -> Tpcds.Datagen.db -> env
+val cluster_for : env -> mem_per_seg:float -> Exec.Cluster.t
+
+val supported : spec -> Tpcds.Queries.def -> Tpcds.Features.t list
+(** The query's features this engine lacks (empty = supported). *)
+
+val dialect_missing : spec -> Tpcds.Queries.def -> string list
+
+val optimize : spec -> env -> Tpcds.Queries.def -> (Expr.plan, status) Stdlib.result
+(** Run the engine's optimizer (Orca for HAWQ, the rule-based legacy planner
+    otherwise) after the SQL-surface check. *)
+
+val run : spec -> env -> Tpcds.Queries.def -> result
+(** Optimize and execute, catching OOM under [Fail_on_oom] and adding the
+    engine's stage overheads to the simulated time. *)

@@ -1,0 +1,1 @@
+lib/exec/cluster.ml: Array Datum Gpos Hashtbl Ir List Machine

@@ -1,0 +1,1 @@
+lib/exec/cluster.mli: Datum Hashtbl Ir Machine

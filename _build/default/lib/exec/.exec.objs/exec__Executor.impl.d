@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Cluster Colref Datum Expr Float Gpos Hashtbl Ir List Machine Metrics Physical_ops Printf Props Scalar_eval Scalar_ops Sortspec String Table_desc

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Cluster Colref Datum Expr Hashtbl Ir Metrics

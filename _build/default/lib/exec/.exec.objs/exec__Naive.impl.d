@@ -1,0 +1,1 @@
+lib/exec/naive.ml: Array Cluster Colref Datum Dxl Expr Gpos Hashtbl Ir List Ltree Scalar_eval Sortspec String Table_desc Xform

@@ -1,0 +1,1 @@
+lib/exec/naive.mli: Cluster Colref Datum Dxl Hashtbl Ir Ltree

@@ -1,0 +1,41 @@
+(** The simulated MPP cluster (paper §2.1): an array of segments, each
+    holding a horizontal slice of every table, with GPDB's three distribution
+    policies. *)
+
+open Ir
+
+type dist_policy =
+  | By_hash of int list  (** hash on these column positions *)
+  | By_random            (** round-robin *)
+  | By_replication       (** full copy on every segment *)
+
+type table_data = {
+  schema_width : int;
+  segments : Datum.t array list array;  (** rows held by each segment *)
+  total_rows : int;
+}
+
+type t = {
+  nsegs : int;
+  tables : (string, table_data) Hashtbl.t;
+  machine : Machine.t;      (** simulated-time constants *)
+  mem_per_seg : float;      (** operator working memory per segment, bytes *)
+}
+
+val create : ?machine:Machine.t -> ?mem_per_seg:float -> nsegs:int -> unit -> t
+(** A cluster with [nsegs] segments (default memory budget 64 MiB/segment). *)
+
+val hash_datums : Datum.t list -> int
+(** The one placement hash used for both table loading and Redistribute
+    motions — they must agree or co-located joins silently lose rows. *)
+
+val hash_row : int list -> Datum.t array -> int
+
+val load_table : t -> name:string -> dist:dist_policy -> Datum.t array list -> unit
+(** Distribute the rows across segments under the chosen policy. *)
+
+val table : t -> string -> table_data
+(** Raises [Gpos_error.Error Exec_error] for unknown tables. *)
+
+val table_rows : t -> string -> int
+val row_bytes : Datum.t array -> int

@@ -1,0 +1,40 @@
+(** Row-level interpreter for physical plans over the simulated cluster.
+
+    Motions move rows between segments for real, so co-location mistakes
+    surface as wrong results (caught by differential tests), and measured
+    work is converted into simulated elapsed time (see {!Machine} and
+    {!Metrics}). Correlated SubPlan scalars (legacy Planner plans) are
+    re-executed per distinct parameter binding, with each logical
+    re-execution charged its full simulated cost. *)
+
+open Ir
+
+type mode =
+  | Spill_to_disk  (** GPDB-style: over-budget operators spill (cost only) *)
+  | Fail_on_oom    (** Impala/Presto-style: over-budget operators abort *)
+
+type ctx = {
+  cluster : Cluster.t;
+  metrics : Metrics.t;
+  mode : mode;
+  dpe : bool;
+      (** dynamic partition elimination: a hash join over a range-partitioned
+          probe-side scan skips partitions that cannot contain the build
+          side's observed key values (paper §7.2.2, simplified from its
+          reference [2]). Inner and semi joins only. *)
+  cte : (int, Datum.t array list array) Hashtbl.t;
+  subplan_cache : (string, Datum.t array list * float) Hashtbl.t;
+}
+
+val create_ctx : ?mode:mode -> ?dpe:bool -> Cluster.t -> ctx
+
+val eval : ctx -> params:Datum.t Colref.Map.t -> Expr.plan -> Datum.t array list array
+(** Evaluate a plan, returning each segment's output rows. [params] supplies
+    correlation-parameter bindings for SubPlan evaluation (usually empty). *)
+
+val run :
+  ?mode:mode -> ?dpe:bool -> Cluster.t -> Expr.plan -> Datum.t array list * Metrics.t
+(** Evaluate a complete plan (expected to deliver a Singleton result) and
+    return the result rows with the collected execution metrics.
+    Raises [Gpos_error.Error Out_of_memory] in [Fail_on_oom] mode when any
+    operator's state exceeds the cluster's per-segment budget. *)

@@ -1,0 +1,37 @@
+(* Machine model for simulated elapsed time.
+
+   The simulator executes plans for real (row by row) and converts the
+   measured work — per-segment CPU operations, bytes crossing the
+   interconnect, bytes spilled — into simulated seconds using the constants
+   below. These are deliberately *different* numbers from the cost model's
+   parameters: TAQO (paper §6.2) quantifies how well the cost model's
+   ordering predicts these simulated runtimes. *)
+
+type t = {
+  cpu_tuple : float;      (* touch one tuple *)
+  cpu_op : float;         (* evaluate one scalar operator *)
+  hash_build : float;     (* insert into a hash table *)
+  hash_probe : float;
+  sort_cmp : float;       (* one comparison during sorting *)
+  net_tuple : float;      (* per tuple crossing the interconnect *)
+  net_byte : float;
+  spill_byte : float;     (* write + read back one spilled byte *)
+  nl_pair : float;        (* evaluate one (outer,inner) pair in an NL join *)
+  scan_byte : float;      (* read one byte from local storage *)
+  subplan_start : float;  (* fixed overhead of re-executing a SubPlan *)
+}
+
+let default =
+  {
+    cpu_tuple = 2.0e-7;
+    cpu_op = 6.0e-8;
+    hash_build = 3.5e-7;
+    hash_probe = 1.8e-7;
+    sort_cmp = 9.0e-8;
+    net_tuple = 6.0e-7;
+    net_byte = 1.2e-9;
+    spill_byte = 4.0e-9;
+    nl_pair = 6.0e-8;
+    scan_byte = 4.0e-10;
+    subplan_start = 2.0e-5;
+  }

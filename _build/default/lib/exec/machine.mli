@@ -1,0 +1,23 @@
+(** Machine model for simulated elapsed time.
+
+    The simulator executes plans for real and converts the measured work —
+    per-segment CPU operations, interconnect bytes, spilled bytes — into
+    simulated seconds with these constants. They are deliberately different
+    numbers from the cost model's parameters: TAQO (paper §6.2) quantifies
+    how well the cost model's ordering predicts these runtimes. *)
+
+type t = {
+  cpu_tuple : float;      (** touch one tuple *)
+  cpu_op : float;         (** evaluate one scalar operator *)
+  hash_build : float;
+  hash_probe : float;
+  sort_cmp : float;       (** one comparison while sorting *)
+  net_tuple : float;      (** per tuple crossing the interconnect *)
+  net_byte : float;
+  spill_byte : float;     (** write + read back one spilled byte *)
+  nl_pair : float;        (** one (outer, inner) pair in an NL join *)
+  scan_byte : float;
+  subplan_start : float;  (** fixed overhead of re-executing a SubPlan *)
+}
+
+val default : t

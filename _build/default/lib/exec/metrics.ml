@@ -1,0 +1,50 @@
+(* Execution metrics: measured work and the simulated elapsed time derived
+   from it. Operators act as loose barriers: each contributes the maximum of
+   its per-segment work to elapsed time, so skew and serial bottlenecks (work
+   funneled through the master) show up exactly as they would on a real
+   cluster. *)
+
+type t = {
+  nsegs : int;
+  mutable sim_seconds : float;
+  mutable rows_scanned : float;
+  mutable rows_moved : float;
+  mutable net_bytes : float;
+  mutable spill_bytes : float;
+  mutable subplan_executions : int;
+  mutable subplan_cache_hits : int;
+  mutable peak_state_bytes : float;
+  mutable operators_run : int;
+  mutable partitions_pruned_dynamically : int;
+}
+
+let create nsegs =
+  {
+    nsegs;
+    sim_seconds = 0.0;
+    rows_scanned = 0.0;
+    rows_moved = 0.0;
+    net_bytes = 0.0;
+    spill_bytes = 0.0;
+    subplan_executions = 0;
+    subplan_cache_hits = 0;
+    peak_state_bytes = 0.0;
+    operators_run = 0;
+    partitions_pruned_dynamically = 0;
+  }
+
+(* Charge the elapsed time of one operator: the slowest segment's work. *)
+let charge_max t (per_seg : float array) =
+  let m = Array.fold_left Float.max 0.0 per_seg in
+  t.sim_seconds <- t.sim_seconds +. m
+
+let charge t seconds = t.sim_seconds <- t.sim_seconds +. seconds
+
+let note_state t bytes =
+  if bytes > t.peak_state_bytes then t.peak_state_bytes <- bytes
+
+let to_string t =
+  Printf.sprintf
+    "sim=%.4fs scanned=%.0f moved=%.0f net=%.0fB spill=%.0fB subplans=%d(+%d cached) peak_state=%.0fB"
+    t.sim_seconds t.rows_scanned t.rows_moved t.net_bytes t.spill_bytes
+    t.subplan_executions t.subplan_cache_hits t.peak_state_bytes

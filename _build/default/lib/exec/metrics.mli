@@ -1,0 +1,28 @@
+(** Execution metrics: measured work and the simulated elapsed time derived
+    from it. Operators act as loose barriers — each contributes the maximum
+    of its per-segment work to elapsed time, so skew and serial bottlenecks
+    (work funneled through the master) show up exactly as on a real
+    cluster. *)
+
+type t = {
+  nsegs : int;
+  mutable sim_seconds : float;           (** simulated elapsed time *)
+  mutable rows_scanned : float;
+  mutable rows_moved : float;            (** rows crossing the interconnect *)
+  mutable net_bytes : float;
+  mutable spill_bytes : float;
+  mutable subplan_executions : int;      (** distinct SubPlan evaluations *)
+  mutable subplan_cache_hits : int;      (** repeated (memoized) evaluations *)
+  mutable peak_state_bytes : float;      (** largest operator state seen *)
+  mutable operators_run : int;
+  mutable partitions_pruned_dynamically : int;
+}
+
+val create : int -> t
+
+val charge_max : t -> float array -> unit
+(** Charge one operator's elapsed time: the slowest segment's work. *)
+
+val charge : t -> float -> unit
+val note_state : t -> float -> unit
+val to_string : t -> string

@@ -1,0 +1,17 @@
+(** Reference evaluator: executes *logical* trees directly, single-node, with
+    textbook semantics (correlated Apply by literal re-evaluation). The
+    oracle for differential testing — every optimized distributed plan must
+    produce the same bag of rows as this evaluator on the same data. *)
+
+open Ir
+
+val eval :
+  Cluster.t ->
+  params:Datum.t Colref.Map.t ->
+  cte:(int, Datum.t array list) Hashtbl.t ->
+  Ltree.t ->
+  Datum.t array list
+
+val run : Cluster.t -> Dxl.Dxl_query.t -> Datum.t array list
+(** Evaluate a full DXL query: the (normalized) tree is executed, the result
+    projected to the requested output columns and sorted by the root order. *)

@@ -1,0 +1,1 @@
+lib/gpos/gpos_error.mli:

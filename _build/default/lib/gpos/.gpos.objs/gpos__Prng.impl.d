@@ -1,0 +1,1 @@
+lib/gpos/prng.ml: Array Float Hashtbl Int64 List

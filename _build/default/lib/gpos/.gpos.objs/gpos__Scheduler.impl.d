@@ -1,0 +1,1 @@
+lib/gpos/scheduler.ml: Condition Domain Hashtbl List Mutex Queue

@@ -1,0 +1,1 @@
+lib/gpos/scheduler.mli:

@@ -1,0 +1,11 @@
+(* Wall-clock helpers (GPOS timer abstraction). *)
+
+let now () = Unix.gettimeofday ()
+
+let ms_since t0 = (now () -. t0) *. 1000.0
+
+(* Time a thunk; returns (result, elapsed milliseconds). *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, ms_since t0)

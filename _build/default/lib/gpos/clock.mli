@@ -1,0 +1,10 @@
+(** Wall-clock helpers (GPOS timer abstraction, paper §3). *)
+
+val now : unit -> float
+(** Seconds since the epoch, as a float. *)
+
+val ms_since : float -> float
+(** Milliseconds elapsed since a [now ()] reading. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Run a thunk; return its result and the elapsed milliseconds. *)

@@ -1,0 +1,37 @@
+(* Exception infrastructure mirroring GPOS's CException: every error carries a
+   stable code (used by AMPERe dumps and the engine feature matrices) and a
+   human-readable message. *)
+
+type code =
+  | Internal
+  | Unsupported of string  (* unsupported SQL feature; payload names it *)
+  | Out_of_memory          (* operator state exceeded the memory budget *)
+  | Timeout
+  | Md_not_found of string (* metadata object id *)
+  | Parse_error
+  | Bind_error
+  | Dxl_error
+  | Exec_error
+
+exception Error of code * string
+
+let code_name = function
+  | Internal -> "Internal"
+  | Unsupported f -> "Unsupported(" ^ f ^ ")"
+  | Out_of_memory -> "OutOfMemory"
+  | Timeout -> "Timeout"
+  | Md_not_found id -> "MdNotFound(" ^ id ^ ")"
+  | Parse_error -> "ParseError"
+  | Bind_error -> "BindError"
+  | Dxl_error -> "DxlError"
+  | Exec_error -> "ExecError"
+
+let raise_error code fmt =
+  Printf.ksprintf (fun msg -> raise (Error (code, msg))) fmt
+
+let internal fmt = raise_error Internal fmt
+let unsupported feature = raise (Error (Unsupported feature, feature))
+
+let to_string = function
+  | Error (code, msg) -> Printf.sprintf "%s: %s" (code_name code) msg
+  | e -> Printexc.to_string e

@@ -1,0 +1,27 @@
+(** Exception infrastructure mirroring GPOS's CException: every error carries
+    a stable code (used by AMPERe dumps and the engine feature matrices) and
+    a human-readable message. *)
+
+type code =
+  | Internal
+  | Unsupported of string  (** unsupported SQL feature; payload names it *)
+  | Out_of_memory          (** operator state exceeded the memory budget *)
+  | Timeout
+  | Md_not_found of string (** metadata object id *)
+  | Parse_error
+  | Bind_error
+  | Dxl_error
+  | Exec_error
+
+exception Error of code * string
+
+val code_name : code -> string
+
+val raise_error : code -> ('a, unit, string, 'b) format4 -> 'a
+(** [raise_error code fmt ...] raises {!Error} with a formatted message. *)
+
+val internal : ('a, unit, string, 'b) format4 -> 'a
+val unsupported : string -> 'a
+
+val to_string : exn -> string
+(** Render any exception, with codes for {!Error}. *)

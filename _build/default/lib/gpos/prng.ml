@@ -1,0 +1,81 @@
+(* Deterministic pseudo-random number generator (SplitMix64).
+
+   All randomized components (data generation, plan sampling, query parameter
+   instantiation) draw from explicit generator values so that every experiment
+   in the repository is reproducible bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let float_range t lo hi = lo +. (float t *. (hi -. lo))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipf-like skewed choice over [0, n): rank r has weight 1/(r+1)^theta.
+   Used by the data generator to create realistic value skew. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. (Float.of_int (r + 1) ** theta))
+  done;
+  let target = float t *. !total in
+  let rec find r acc =
+    if r >= n - 1 then r
+    else
+      let acc = acc +. (1.0 /. (Float.of_int (r + 1) ** theta)) in
+      if acc >= target then r else find (r + 1) acc
+  in
+  find 0 0.0
+
+(* Derive an independent stream for a named sub-component. *)
+let split t label =
+  let h = Hashtbl.hash label in
+  { state = Int64.add (mix t.state) (Int64.of_int h) }

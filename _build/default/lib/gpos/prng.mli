@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomized components — data generation, plan sampling, query
+    parameter instantiation — draw from explicit generator values, so every
+    experiment in the repository reproduces bit-for-bit. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). Raises on non-positive bounds. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi], inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> float -> float -> float
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+val shuffle_in_place : t -> 'a array -> unit
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-like skewed choice over [0, n): rank r has weight 1/(r+1)^theta.
+    Used by the data generator for realistic value skew. *)
+
+val split : t -> string -> t
+(** Derive an independent stream for a named sub-component. *)

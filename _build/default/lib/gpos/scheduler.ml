@@ -1,0 +1,198 @@
+(* Job scheduler (paper §4.2).
+
+   Optimization is broken into small re-entrant jobs. A job is a closure over
+   its own mutable state; running it either finishes or spawns child jobs and
+   suspends. When every child has completed, the suspended job is re-run and —
+   because its captured state advanced — proceeds to its next phase.
+
+   Jobs may carry a goal key (e.g. "exp:g3"): while a job with some goal is
+   running, other incoming jobs with the same goal are parked on the goal's
+   queue instead of duplicating work, and are released when it completes
+   (paper: group job queues).
+
+   The scheduler runs jobs on [workers] domains. With [workers = 1] execution
+   is sequential and deterministic, which is the default used by tests. *)
+
+type outcome =
+  | Finished
+  | Wait_for of child list
+
+and child = { run : unit -> outcome; goal : string option }
+
+type job = {
+  jid : int;
+  body : unit -> outcome;
+  jgoal : string option;
+  mutable pending : int; (* children not yet completed *)
+  mutable parent : job option;
+}
+
+type goal_state =
+  | Goal_running of job list ref (* parents waiting for this goal *)
+  | Goal_finished
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  goals : (string, goal_state) Hashtbl.t;
+  mutable live : int; (* jobs created and not yet completed *)
+  mutable next_id : int;
+  mutable failure : exn option;
+  mutable jobs_run : int; (* statistics: number of job (re-)executions *)
+  mutable jobs_created : int;
+  mutable goal_hits : int; (* children absorbed by an in-flight/finished goal *)
+  workers : int;
+}
+
+let create ?(workers = 1) () =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    goals = Hashtbl.create 64;
+    live = 0;
+    next_id = 0;
+    failure = None;
+    jobs_run = 0;
+    jobs_created = 0;
+    goal_hits = 0;
+    workers;
+  }
+
+let stats t = (t.jobs_created, t.jobs_run, t.goal_hits)
+
+(* All bookkeeping below runs with [t.mutex] held. *)
+
+let new_job t ?parent ?goal body =
+  let j = { jid = t.next_id; body; jgoal = goal; pending = 0; parent } in
+  t.next_id <- t.next_id + 1;
+  t.jobs_created <- t.jobs_created + 1;
+  t.live <- t.live + 1;
+  j
+
+let enqueue t j =
+  Queue.add j t.queue;
+  Condition.signal t.cond
+
+(* A child of [parent] became (or was already) complete. *)
+let rec child_completed t parent =
+  parent.pending <- parent.pending - 1;
+  if parent.pending = 0 then enqueue t parent
+
+(* Job [j] finished for good: release its goal and resume its parent. *)
+and complete t j =
+  t.live <- t.live - 1;
+  (match j.jgoal with
+  | None -> ()
+  | Some g -> (
+      match Hashtbl.find_opt t.goals g with
+      | Some (Goal_running waiters) ->
+          Hashtbl.replace t.goals g Goal_finished;
+          List.iter (fun p -> child_completed t p) !waiters
+      | Some Goal_finished | None -> ()));
+  (match j.parent with None -> () | Some p -> child_completed t p);
+  if t.live = 0 then Condition.broadcast t.cond
+
+(* Register a spawned child under its goal queue. Returns [true] when the
+   child must actually run, [false] when an equivalent job is in flight or
+   done (the parent will be resumed through the goal queue instead). *)
+let admit_child t parent (j : job) =
+  match j.jgoal with
+  | None -> true
+  | Some g -> (
+      match Hashtbl.find_opt t.goals g with
+      | None ->
+          Hashtbl.replace t.goals g (Goal_running (ref []));
+          true
+      | Some (Goal_running waiters) ->
+          t.goal_hits <- t.goal_hits + 1;
+          t.live <- t.live - 1;
+          waiters := parent :: !waiters;
+          false
+      | Some Goal_finished ->
+          t.goal_hits <- t.goal_hits + 1;
+          t.live <- t.live - 1;
+          child_completed t parent;
+          false)
+
+let spawn_children t parent children =
+  parent.pending <- List.length children;
+  let to_run =
+    List.filter_map
+      (fun { run; goal } ->
+        let j = new_job t ~parent ?goal run in
+        if admit_child t parent j then Some j else None)
+      children
+  in
+  (* Children absorbed by goal queues already decremented [pending]; if all
+     were absorbed and resolved, the parent is re-enqueued by
+     [child_completed]. Otherwise enqueue the remaining real jobs. *)
+  List.iter (fun j -> enqueue t j) to_run
+
+let run_one t j =
+  t.jobs_run <- t.jobs_run + 1;
+  Mutex.unlock t.mutex;
+  let result = try Ok (j.body ()) with e -> Error e in
+  Mutex.lock t.mutex;
+  match result with
+  | Ok Finished -> complete t j
+  | Ok (Wait_for []) -> enqueue t j (* nothing to wait for: re-run *)
+  | Ok (Wait_for children) -> spawn_children t j children
+  | Error e ->
+      if t.failure = None then t.failure <- Some e;
+      complete t j
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.live = 0 || t.failure <> None then ()
+    else
+      match Queue.take_opt t.queue with
+      | Some j ->
+          run_one t j;
+          loop ()
+      | None ->
+          Condition.wait t.cond t.mutex;
+          loop ()
+  in
+  loop ();
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+(* Run [root] (and everything it spawns) to completion. Raises the first
+   failure encountered by any job. *)
+let run t root =
+  Mutex.lock t.mutex;
+  t.failure <- None;
+  let j = new_job t root in
+  enqueue t j;
+  Mutex.unlock t.mutex;
+  if t.workers = 1 then worker_loop t
+  else begin
+    let domains =
+      List.init (t.workers - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+    in
+    worker_loop t;
+    List.iter Domain.join domains
+  end;
+  match t.failure with
+  | Some e ->
+      t.failure <- None;
+      (* Residual suspended jobs are abandoned on failure. *)
+      Mutex.lock t.mutex;
+      Queue.clear t.queue;
+      t.live <- 0;
+      Mutex.unlock t.mutex;
+      raise e
+  | None -> ()
+
+(* Convenience: run a one-shot computation structured as jobs and return its
+   result through a ref cell. *)
+let run_root t f =
+  let result = ref None in
+  run t (fun () ->
+      f (fun v -> result := Some v);
+      Finished);
+  !result

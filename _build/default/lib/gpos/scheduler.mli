@@ -1,0 +1,31 @@
+(** Job scheduler for parallel query optimization (paper §4.2).
+
+    Work is expressed as re-entrant jobs: a job either finishes, or spawns
+    child jobs and suspends until all of them complete, at which point it is
+    re-run (its captured mutable state makes it resume where it left off).
+    Jobs may carry a goal key; concurrent jobs with the same goal are
+    deduplicated through per-goal queues exactly as in the paper. *)
+
+type outcome =
+  | Finished
+  | Wait_for of child list
+      (** Spawn the children and re-run this job once they all complete. *)
+
+and child = { run : unit -> outcome; goal : string option }
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [workers = 1] (default) gives deterministic sequential execution;
+    [workers > 1] runs jobs on that many domains. *)
+
+val run : t -> (unit -> outcome) -> unit
+(** Run the root job and everything it transitively spawns to completion.
+    Re-raises the first exception raised by any job. *)
+
+val run_root : t -> (('a -> unit) -> unit) -> 'a option
+(** [run_root t f] runs [f store] as the root job; [store] saves the result
+    returned once the job graph drains. *)
+
+val stats : t -> int * int * int
+(** (jobs created, job executions, goal-queue hits). *)

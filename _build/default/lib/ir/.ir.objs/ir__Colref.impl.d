@@ -1,0 +1,1 @@
+lib/ir/colref.ml: Dtype Gpos Int List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/colref.mli: Dtype Map Set

@@ -1,0 +1,1 @@
+lib/ir/datum.ml: Char Dtype Float Gpos Hashtbl Printf Stdlib String

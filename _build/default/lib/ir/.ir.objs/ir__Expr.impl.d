@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Colref Datum Dtype Sortspec Table_desc

@@ -1,0 +1,1 @@
+lib/ir/logical_ops.ml: Colref Expr Gpos Hashtbl List Printf Scalar_ops Sortspec Stdlib String Table_desc

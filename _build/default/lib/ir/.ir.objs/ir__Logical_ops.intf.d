@@ -1,0 +1,1 @@
+lib/ir/logical_ops.mli: Colref Expr Sortspec

@@ -1,0 +1,1 @@
+lib/ir/ltree.ml: Colref Expr Gpos List Logical_ops String

@@ -1,0 +1,1 @@
+lib/ir/ltree.mli: Colref Expr

@@ -1,0 +1,1 @@
+lib/ir/physical_ops.ml: Colref Expr Gpos Hashtbl List Logical_ops Printf Props Scalar_ops Sortspec Stdlib String Table_desc

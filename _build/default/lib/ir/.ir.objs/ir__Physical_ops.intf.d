@@ -1,0 +1,1 @@
+lib/ir/physical_ops.mli: Colref Expr Props Sortspec Table_desc

@@ -1,0 +1,1 @@
+lib/ir/plan_ops.ml: Buffer Colref Expr Gpos List Option Physical_ops Printf Scalar_ops String Table_desc

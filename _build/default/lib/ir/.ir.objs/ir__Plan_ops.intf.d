@@ -1,0 +1,1 @@
+lib/ir/plan_ops.mli: Colref Expr

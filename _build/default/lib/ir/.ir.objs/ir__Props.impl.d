@@ -1,0 +1,1 @@
+lib/ir/props.ml: Colref Expr Hashtbl List Printf Scalar_ops Sortspec String

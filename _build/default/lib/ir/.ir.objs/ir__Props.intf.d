@@ -1,0 +1,1 @@
+lib/ir/props.mli: Colref Expr Sortspec

@@ -1,0 +1,1 @@
+lib/ir/scalar_eval.ml: Array Colref Datum Expr Gpos List Option Scalar_ops

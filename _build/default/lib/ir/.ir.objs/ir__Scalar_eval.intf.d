@@ -1,0 +1,1 @@
+lib/ir/scalar_eval.mli: Colref Datum Expr

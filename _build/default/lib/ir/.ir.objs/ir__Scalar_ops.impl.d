@@ -1,0 +1,1 @@
+lib/ir/scalar_ops.ml: Array Colref Datum Dtype Expr Hashtbl List Option Printf Stdlib String

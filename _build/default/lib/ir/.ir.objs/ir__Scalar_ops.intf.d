@@ -1,0 +1,1 @@
+lib/ir/scalar_ops.mli: Colref Dtype Expr

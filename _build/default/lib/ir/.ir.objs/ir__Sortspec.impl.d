@@ -1,0 +1,1 @@
+lib/ir/sortspec.ml: Array Colref Datum List Printf String

@@ -1,0 +1,1 @@
+lib/ir/sortspec.mli: Colref Datum

@@ -1,0 +1,1 @@
+lib/ir/table_desc.ml: Colref Datum List Printf String

@@ -1,0 +1,1 @@
+lib/ir/table_desc.mli: Colref Datum

@@ -1,0 +1,63 @@
+(* Column references. Every column *instance* in a query gets a unique id at
+   bind time (self-joins bind the same table twice with distinct ids), exactly
+   like Orca's ColId. *)
+
+type t = { id : int; name : string; ty : Dtype.t }
+
+let make ~id ~name ~ty = { id; name; ty }
+let id t = t.id
+let name t = t.name
+let ty t = t.ty
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash t = t.id
+
+let to_string t = Printf.sprintf "%s#%d" t.name t.id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Stdlib.Set.Make (Ord)
+
+  let to_string s =
+    "{" ^ String.concat ", " (List.map to_string (elements s)) ^ "}"
+end
+
+module Map = Stdlib.Map.Make (Ord)
+
+(* Factory producing fresh column ids; one per optimization session. *)
+module Factory = struct
+  type nonrec t = { mutable next : int }
+
+  let create ?(start = 0) () = { next = start }
+
+  let fresh t ~name ~ty =
+    let id = t.next in
+    t.next <- t.next + 1;
+    make ~id ~name ~ty
+
+  let next_id t = t.next
+
+  let bump t id = if id >= t.next then t.next <- id + 1
+end
+
+(* Positional lookup of a column id within a schema (list of colrefs). *)
+let position_in schema col =
+  let rec find i = function
+    | [] -> None
+    | c :: rest -> if equal c col then Some i else find (i + 1) rest
+  in
+  find 0 schema
+
+let position_exn schema col =
+  match position_in schema col with
+  | Some i -> i
+  | None ->
+      Gpos.Gpos_error.internal "column %s not found in schema [%s]"
+        (to_string col)
+        (String.concat "; " (List.map to_string schema))

@@ -1,0 +1,41 @@
+(** Column references. Every column *instance* in a query gets a unique id at
+    bind time — self-joins bind the same table twice with distinct ids —
+    exactly like Orca's ColId. Identity is the id; names are for humans. *)
+
+type t
+
+val make : id:int -> name:string -> ty:Dtype.t -> t
+val id : t -> int
+val name : t -> string
+val ty : t -> Dtype.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val to_string : t -> string
+end
+
+module Map : Map.S with type key = t
+
+(** Factory producing fresh column ids; one per optimization session. *)
+module Factory : sig
+  type colref := t
+  type t
+
+  val create : ?start:int -> unit -> t
+  val fresh : t -> name:string -> ty:Dtype.t -> colref
+  val next_id : t -> int
+
+  val bump : t -> int -> unit
+  (** Ensure future ids exceed the given id (used after parsing DXL queries
+      that carry explicit column ids). *)
+end
+
+val position_in : t list -> t -> int option
+(** Position of a column id within a schema. *)
+
+val position_exn : t list -> t -> int

@@ -1,0 +1,30 @@
+(* SQL data types supported by the system. *)
+
+type t = Int | Float | Bool | String | Date
+
+let to_string = function
+  | Int -> "int"
+  | Float -> "float"
+  | Bool -> "bool"
+  | String -> "string"
+  | Date -> "date"
+
+let of_string = function
+  | "int" -> Int
+  | "float" -> Float
+  | "bool" -> Bool
+  | "string" -> String
+  | "date" -> Date
+  | s -> Gpos.Gpos_error.raise_error Gpos.Gpos_error.Dxl_error "unknown type %s" s
+
+let is_numeric = function Int | Float -> true | Bool | String | Date -> false
+
+(* Byte width used by the cost model and memory accounting. *)
+let width = function
+  | Int -> 8
+  | Float -> 8
+  | Bool -> 1
+  | String -> 24
+  | Date -> 4
+
+let equal (a : t) (b : t) = a = b

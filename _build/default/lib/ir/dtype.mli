@@ -1,0 +1,15 @@
+(** SQL data types supported by the system. *)
+
+type t = Int | Float | Bool | String | Date
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Gpos_error.Error Dxl_error] on unknown names. *)
+
+val is_numeric : t -> bool
+
+val width : t -> int
+(** Nominal byte width used by the cost model. *)
+
+val equal : t -> t -> bool

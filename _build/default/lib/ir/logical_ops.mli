@@ -1,0 +1,27 @@
+(** Operations on logical operators. Output-column derivation is
+    parameterized by the children's output columns (supplied by the Memo's
+    group properties or recomputed from trees). *)
+
+open Expr
+
+val arity : logical -> int
+(** Set operations report 2 but accept two-or-more children. *)
+
+val output_cols : logical -> Colref.t list list -> Colref.t list
+(** The operator's output columns, in order, given each child's outputs. *)
+
+val used_cols : logical -> Colref.Set.t
+(** Columns the operator's own payload references. *)
+
+val agg_to_string : agg -> string
+val wfunc_to_string : wfunc -> string
+val window_to_string : Colref.t list -> Sortspec.t -> wfunc list -> string
+val proj_to_string : proj -> string
+val apply_kind_to_string : apply_kind -> string
+val to_string : logical -> string
+
+val fingerprint : logical -> int
+(** Payload hash for Memo duplicate detection (children handled by the
+    Memo's topology key). *)
+
+val equal : logical -> logical -> bool

@@ -1,0 +1,65 @@
+(* Pure logical operator trees: the binder's output and the input to the
+   preprocessing passes (normalization, subquery decorrelation) that run
+   before Memo copy-in. *)
+
+type t = { op : Expr.logical; children : t list }
+
+let make op children =
+  let expected = Logical_ops.arity op in
+  let actual = List.length children in
+  (* set operations accept two-or-more children *)
+  let ok =
+    match op with Expr.L_set _ -> actual >= 2 | _ -> actual = expected
+  in
+  if not ok then
+    Gpos.Gpos_error.internal "Ltree.make: %s expects %d children, got %d"
+      (Logical_ops.to_string op) expected actual;
+  { op; children }
+
+let leaf op = make op []
+
+let rec output_cols (t : t) : Colref.t list =
+  Logical_ops.output_cols t.op (List.map output_cols t.children)
+
+let rec to_string ?(indent = 0) (t : t) =
+  let pad = String.make (indent * 2) ' ' in
+  pad ^ Logical_ops.to_string t.op ^ "\n"
+  ^ String.concat "" (List.map (to_string ~indent:(indent + 1)) t.children)
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let node_count t = fold (fun n _ -> n + 1) 0 t
+
+(* Map a transformation bottom-up over the tree. *)
+let rec map_bottom_up (f : t -> t) (t : t) : t =
+  let children = List.map (map_bottom_up f) t.children in
+  f { t with children }
+
+(* Validate column visibility: every column used by an operator's payload
+   must be produced by its children (correlated apply inners are checked with
+   the outer columns visible). *)
+let validate (t : t) =
+  let rec go ~outer t =
+    let child_cols = List.map output_cols t.children in
+    let visible =
+      List.fold_left
+        (fun acc cols -> Colref.Set.union acc (Colref.Set.of_list cols))
+        outer child_cols
+    in
+    let used = Logical_ops.used_cols t.op in
+    if not (Colref.Set.subset used visible) then
+      Gpos.Gpos_error.internal "Ltree.validate: %s uses unbound columns %s"
+        (Logical_ops.to_string t.op)
+        (Colref.Set.to_string (Colref.Set.diff used visible));
+    match (t.op, t.children) with
+    | Expr.L_apply (_, _), [ outer_child; inner_child ] ->
+        go ~outer outer_child;
+        (* inner side may reference the outer child's columns (correlation) *)
+        let outer' =
+          Colref.Set.union outer
+            (Colref.Set.of_list (output_cols outer_child))
+        in
+        go ~outer:outer' inner_child
+    | _ -> List.iter (go ~outer) t.children
+  in
+  go ~outer:Colref.Set.empty t

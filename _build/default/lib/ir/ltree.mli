@@ -1,0 +1,20 @@
+(** Pure logical operator trees: the binder's output and the input to the
+    preprocessing passes that run before Memo copy-in. *)
+
+type t = { op : Expr.logical; children : t list }
+
+val make : Expr.logical -> t list -> t
+(** Arity-checked construction (set operations accept two or more children).
+    Raises on arity mismatch. *)
+
+val leaf : Expr.logical -> t
+val output_cols : t -> Colref.t list
+val to_string : ?indent:int -> t -> string
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+val node_count : t -> int
+val map_bottom_up : (t -> t) -> t -> t
+
+val validate : t -> unit
+(** Column-visibility validation: every column an operator's payload uses
+    must be produced by its children; correlated Apply inners are checked
+    with the outer side's columns visible. Raises on violations. *)

@@ -1,0 +1,143 @@
+(* Utilities over extracted physical plans. *)
+
+open Expr
+
+let make op children ~schema ~est_rows ~cost =
+  { pop = op; pchildren = children; pschema = schema; pest_rows = est_rows; pcost = cost }
+
+(* Build a plan node deriving the schema from the children. *)
+let node op children ~est_rows ~cost =
+  let schema =
+    Physical_ops.output_cols op (List.map (fun c -> c.pschema) children)
+  in
+  make op children ~schema ~est_rows ~cost
+
+let rec iter f (p : plan) =
+  f p;
+  List.iter (iter f) p.pchildren
+
+let rec fold f acc (p : plan) =
+  let acc = f acc p in
+  List.fold_left (fold f) acc p.pchildren
+
+let node_count p = fold (fun n _ -> n + 1) 0 p
+
+let contains pred p = fold (fun found n -> found || pred n) false p
+
+let count_motions p =
+  fold
+    (fun n node -> match node.pop with P_motion _ -> n + 1 | _ -> n)
+    0 p
+
+(* EXPLAIN-style rendering. *)
+let to_string ?(show_cost = true) (p : plan) =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf "-> ";
+    Buffer.add_string buf (Physical_ops.to_string node.pop);
+    if show_cost then
+      Buffer.add_string buf
+        (Printf.sprintf "  (rows=%.0f cost=%.2f)" node.pest_rows node.pcost);
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) node.pchildren
+  in
+  go 0 p;
+  Buffer.contents buf
+
+(* Structural validation: arities match, every column referenced by an
+   operator's payload is visible in its children (or is a correlation
+   parameter), and the stored schema matches the derived one. Raises on the
+   first violation; returns the number of nodes checked. *)
+let validate (p : plan) =
+  let checked = ref 0 in
+  let rec go ~params node =
+    incr checked;
+    let expected_arity = Physical_ops.arity node.pop in
+    if List.length node.pchildren <> expected_arity then
+      Gpos.Gpos_error.internal "plan node %s: arity %d, expected %d"
+        (Physical_ops.to_string node.pop)
+        (List.length node.pchildren)
+        expected_arity;
+    let child_schemas = List.map (fun c -> c.pschema) node.pchildren in
+    let derived = Physical_ops.output_cols node.pop child_schemas in
+    if
+      not
+        (List.length derived = List.length node.pschema
+        && List.for_all2 Colref.equal derived node.pschema)
+    then
+      Gpos.Gpos_error.internal "plan node %s: schema mismatch"
+        (Physical_ops.to_string node.pop);
+    let visible =
+      List.fold_left
+        (fun acc s -> Colref.Set.union acc (Colref.Set.of_list s))
+        params child_schemas
+    in
+    let visible =
+      match node.pop with
+      | P_table_scan (td, _, _) | P_index_scan (td, _, _, _, _) ->
+          Colref.Set.union visible (Colref.Set.of_list td.Table_desc.cols)
+      | P_cte_consumer (_, cols) | P_const_table (cols, _) | P_set (_, cols) ->
+          Colref.Set.union visible (Colref.Set.of_list cols)
+      | _ -> visible
+    in
+    let check_scalar s =
+      let free = Scalar_ops.free_cols s in
+      if not (Colref.Set.subset free visible) then
+        Gpos.Gpos_error.internal "plan node %s: unbound columns %s"
+          (Physical_ops.to_string node.pop)
+          (Colref.Set.to_string (Colref.Set.diff free visible))
+    in
+    (match node.pop with
+    | P_table_scan (_, _, Some f) -> check_scalar f
+    | P_index_scan (_, _, _, e, residual) ->
+        check_scalar e;
+        Option.iter check_scalar residual
+    | P_filter pred -> check_scalar pred
+    | P_project projs -> List.iter (fun pr -> check_scalar pr.proj_expr) projs
+    | P_hash_join (_, keys, residual) ->
+        List.iter
+          (fun (a, b) ->
+            check_scalar a;
+            check_scalar b)
+          keys;
+        Option.iter check_scalar residual
+    | P_nl_join (_, cond) -> check_scalar cond
+    | P_hash_agg (_, _, aggs) | P_stream_agg (_, _, aggs) ->
+        List.iter (fun a -> Option.iter check_scalar a.agg_arg) aggs
+    | P_window (_, _, wfuncs) ->
+        List.iter (fun w -> Option.iter check_scalar w.wf_arg) wfuncs
+    | P_motion (Redistribute es) -> List.iter check_scalar es
+    | _ -> ());
+    (* Subplans inside scalars are validated with their parameters visible. *)
+    let subplans = ref [] in
+    let collect s =
+      let rec go_s s =
+        (match s with Subplan sp -> subplans := sp :: !subplans | _ -> ());
+        Scalar_ops.iter_children go_s s
+      in
+      go_s s
+    in
+    (match node.pop with
+    | P_table_scan (_, _, Some f) -> collect f
+    | P_filter pred -> collect pred
+    | P_project projs -> List.iter (fun pr -> collect pr.proj_expr) projs
+    | P_nl_join (_, cond) -> collect cond
+    | P_hash_join (_, _, Some r) -> collect r
+    | _ -> ());
+    List.iter
+      (fun sp ->
+        let param_cols =
+          Colref.Set.of_list (List.map snd sp.sp_params)
+        in
+        go ~params:(Colref.Set.union params param_cols) sp.sp_plan)
+      !subplans;
+    List.iter (go ~params) node.pchildren
+  in
+  go ~params:Colref.Set.empty p;
+  !checked
+
+(* Total plan cost as recorded by the optimizer. *)
+let total_cost (p : plan) = p.pcost
+
+let est_rows (p : plan) = p.pest_rows

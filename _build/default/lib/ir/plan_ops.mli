@@ -1,0 +1,31 @@
+(** Utilities over extracted physical plans. *)
+
+open Expr
+
+val make :
+  physical ->
+  plan list ->
+  schema:Colref.t list ->
+  est_rows:float ->
+  cost:float ->
+  plan
+
+val node : physical -> plan list -> est_rows:float -> cost:float -> plan
+(** Build a node deriving its schema from the children. *)
+
+val iter : (plan -> unit) -> plan -> unit
+val fold : ('a -> plan -> 'a) -> 'a -> plan -> 'a
+val node_count : plan -> int
+val contains : (plan -> bool) -> plan -> bool
+val count_motions : plan -> int
+
+val to_string : ?show_cost:bool -> plan -> string
+(** EXPLAIN-style indented rendering. *)
+
+val validate : plan -> int
+(** Structural validation: arities, schema consistency, column visibility
+    (SubPlan bodies are checked with their correlation parameters in scope).
+    Raises on the first violation; returns the number of nodes checked. *)
+
+val total_cost : plan -> float
+val est_rows : plan -> float

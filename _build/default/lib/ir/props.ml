@@ -1,0 +1,198 @@
+(* The property framework (paper §4.1): required plan properties (what a
+   parent asks of a child: result distribution and sort order) and derived
+   properties (what a physical plan actually delivers), together with
+   satisfaction checks and enforcement alternatives.
+
+   Order properties are per-segment stream orders; a Singleton-distributed
+   sorted stream is globally sorted. *)
+
+open Expr
+
+type dist_req =
+  | Any_dist
+  | Req_singleton              (* gathered to the master *)
+  | Req_hashed of Colref.t list
+  | Req_replicated
+  | Req_non_singleton          (* parallel input, any partitioning *)
+
+type dist =
+  | D_singleton
+  | D_hashed of Colref.t list
+  | D_replicated
+  | D_random
+
+type req = { rdist : dist_req; rorder : Sortspec.t }
+
+type derived = { ddist : dist; dorder : Sortspec.t }
+
+let any_req = { rdist = Any_dist; rorder = Sortspec.empty }
+
+let req_dist d = { rdist = d; rorder = Sortspec.empty }
+
+let dist_req_to_string = function
+  | Any_dist -> "Any"
+  | Req_singleton -> "Singleton"
+  | Req_hashed cols ->
+      "Hashed(" ^ String.concat "," (List.map Colref.to_string cols) ^ ")"
+  | Req_replicated -> "Replicated"
+  | Req_non_singleton -> "NonSingleton"
+
+let dist_to_string = function
+  | D_singleton -> "Singleton"
+  | D_hashed cols ->
+      "Hashed(" ^ String.concat "," (List.map Colref.to_string cols) ^ ")"
+  | D_replicated -> "Replicated"
+  | D_random -> "Random"
+
+let req_to_string r =
+  Printf.sprintf "{%s, %s}" (dist_req_to_string r.rdist)
+    (if Sortspec.is_empty r.rorder then "Any" else Sortspec.to_string r.rorder)
+
+let derived_to_string d =
+  Printf.sprintf "{%s, %s}" (dist_to_string d.ddist)
+    (if Sortspec.is_empty d.dorder then "-" else Sortspec.to_string d.dorder)
+
+let req_fingerprint (r : req) : int =
+  let dist_part =
+    match r.rdist with
+    | Any_dist -> Hashtbl.hash 0
+    | Req_singleton -> Hashtbl.hash 1
+    | Req_hashed cols -> Hashtbl.hash (2, List.map Colref.id cols)
+    | Req_replicated -> Hashtbl.hash 3
+    | Req_non_singleton -> Hashtbl.hash 4
+  in
+  let order_part =
+    Hashtbl.hash
+      (List.map
+         (fun (i : Sortspec.item) -> (Colref.id i.col, i.dir))
+         r.rorder)
+  in
+  Hashtbl.hash (dist_part, order_part)
+
+let req_equal (a : req) (b : req) =
+  (match (a.rdist, b.rdist) with
+  | Any_dist, Any_dist
+  | Req_singleton, Req_singleton
+  | Req_replicated, Req_replicated
+  | Req_non_singleton, Req_non_singleton ->
+      true
+  | Req_hashed x, Req_hashed y ->
+      List.length x = List.length y && List.for_all2 Colref.equal x y
+  | _ -> false)
+  && Sortspec.equal a.rorder b.rorder
+
+let cols_equal x y =
+  List.length x = List.length y && List.for_all2 Colref.equal x y
+
+(* Distribution satisfaction. Hashed satisfaction is exact list equality: hash
+   partitioning aligns only when both sides hash the positionally-matching key
+   lists. *)
+let dist_satisfies ~(delivered : dist) ~(required : dist_req) =
+  match (required, delivered) with
+  | Any_dist, _ -> true
+  | Req_singleton, D_singleton -> true
+  | Req_singleton, _ -> false
+  | Req_hashed rc, D_hashed dc -> cols_equal rc dc
+  | Req_hashed _, _ -> false
+  | Req_replicated, D_replicated -> true
+  | Req_replicated, _ -> false
+  | Req_non_singleton, (D_hashed _ | D_random | D_replicated) -> true
+  | Req_non_singleton, D_singleton -> false
+
+let satisfies (d : derived) (r : req) =
+  dist_satisfies ~delivered:d.ddist ~required:r.rdist
+  && Sortspec.satisfies ~delivered:d.dorder ~required:r.rorder
+
+(* Enforcers that can be plugged on top of a plan (paper Fig. 7). *)
+type enforcer = E_sort of Sortspec.t | E_motion of motion
+
+let enforcer_to_string = function
+  | E_sort s -> "Sort" ^ Sortspec.to_string s
+  | E_motion Gather -> "Gather"
+  | E_motion (Gather_merge s) -> "GatherMerge" ^ Sortspec.to_string s
+  | E_motion (Redistribute es) ->
+      "Redistribute("
+      ^ String.concat "," (List.map Scalar_ops.to_string es)
+      ^ ")"
+  | E_motion Broadcast -> "Broadcast"
+
+(* Properties delivered after applying one enforcer. *)
+let apply_enforcer (d : derived) = function
+  | E_sort s -> { d with dorder = s }
+  | E_motion Gather -> { ddist = D_singleton; dorder = Sortspec.empty }
+  | E_motion (Gather_merge s) -> { ddist = D_singleton; dorder = s }
+  | E_motion (Redistribute es) ->
+      let dist =
+        (* hash on plain columns yields a trackable Hashed property *)
+        let cols =
+          List.filter_map (function Col c -> Some c | _ -> None) es
+        in
+        if List.length cols = List.length es && es <> [] then D_hashed cols
+        else D_random
+      in
+      { ddist = dist; dorder = Sortspec.empty }
+  | E_motion Broadcast -> { ddist = D_replicated; dorder = Sortspec.empty }
+
+let apply_enforcers d chain = List.fold_left apply_enforcer d chain
+
+(* All reasonable enforcer chains (applied bottom-up) turning [delivered] into
+   something satisfying [required]. Returns [[]] when nothing is needed.
+   The cost model differentiates the alternatives (e.g. sort-then-gather-merge
+   versus gather-then-sort, the two plans of paper Fig. 7). *)
+let enforcement_alternatives ~(delivered : derived) ~(required : req) :
+    enforcer list list =
+  let order_ok d =
+    Sortspec.satisfies ~delivered:d.dorder ~required:required.rorder
+  in
+  let dist_ok d = dist_satisfies ~delivered:d.ddist ~required:required.rdist in
+  if dist_ok delivered && order_ok delivered then [ [] ]
+  else
+    let chains =
+      match required.rdist with
+      | Any_dist ->
+          (* only the order needs fixing *)
+          [ [ E_sort required.rorder ] ]
+      | Req_singleton ->
+          let with_order =
+            if Sortspec.is_empty required.rorder then
+              [ [ E_motion Gather ] ]
+            else if order_ok delivered then
+              (* input already sorted per segment: merge while gathering *)
+              [
+                [ E_motion (Gather_merge required.rorder) ];
+                [ E_motion Gather; E_sort required.rorder ];
+              ]
+            else
+              [
+                (* sort per segment, then order-preserving gather *)
+                [ E_sort required.rorder; E_motion (Gather_merge required.rorder) ];
+                (* gather everything, then sort at the master *)
+                [ E_motion Gather; E_sort required.rorder ];
+              ]
+          in
+          if dist_ok delivered then
+            (* distribution fine (already singleton), only order broken *)
+            [ [ E_sort required.rorder ] ]
+          else with_order
+      | Req_hashed cols ->
+          let motion = E_motion (Redistribute (List.map (fun c -> Col c) cols)) in
+          if dist_ok delivered then [ [ E_sort required.rorder ] ]
+          else if Sortspec.is_empty required.rorder then [ [ motion ] ]
+          else [ [ motion; E_sort required.rorder ] ]
+      | Req_replicated ->
+          if dist_ok delivered then [ [ E_sort required.rorder ] ]
+          else if Sortspec.is_empty required.rorder then [ [ E_motion Broadcast ] ]
+          else [ [ E_motion Broadcast; E_sort required.rorder ] ]
+      | Req_non_singleton ->
+          (* spread a singleton back out with a round-robin redistribute *)
+          let motion = E_motion (Redistribute []) in
+          if dist_ok delivered then [ [ E_sort required.rorder ] ]
+          else if Sortspec.is_empty required.rorder then [ [ motion ] ]
+          else [ [ motion; E_sort required.rorder ] ]
+    in
+    (* Keep only chains that actually reach the requirement. *)
+    List.filter
+      (fun chain ->
+        let final = apply_enforcers delivered chain in
+        dist_ok final && order_ok final)
+      chains

@@ -1,0 +1,61 @@
+(** The property framework (paper §4.1): required plan properties (result
+    distribution and sort order), derived properties, satisfaction checks and
+    enforcement alternatives (Fig. 7).
+
+    Order properties are per-segment stream orders; a Singleton-distributed
+    sorted stream is globally sorted. Hashed-distribution satisfaction is
+    exact column-list equality: hash partitioning only aligns when both sides
+    hash positionally-matching key lists. *)
+
+open Expr
+
+type dist_req =
+  | Any_dist
+  | Req_singleton               (** gathered to the master *)
+  | Req_hashed of Colref.t list
+  | Req_replicated
+  | Req_non_singleton           (** parallel input, any partitioning *)
+
+type dist =
+  | D_singleton
+  | D_hashed of Colref.t list
+  | D_replicated
+  | D_random
+
+type req = { rdist : dist_req; rorder : Sortspec.t }
+(** An optimization request; an empty [rorder] means "any order". *)
+
+type derived = { ddist : dist; dorder : Sortspec.t }
+
+val any_req : req
+val req_dist : dist_req -> req
+
+val dist_req_to_string : dist_req -> string
+val dist_to_string : dist -> string
+val req_to_string : req -> string
+val derived_to_string : derived -> string
+
+val req_fingerprint : req -> int
+(** Hash for the group context tables (paper Fig. 6). *)
+
+val req_equal : req -> req -> bool
+val dist_satisfies : delivered:dist -> required:dist_req -> bool
+val satisfies : derived -> req -> bool
+
+(** Enforcers pluggable on top of a plan (paper Fig. 7). *)
+type enforcer = E_sort of Sortspec.t | E_motion of motion
+
+val enforcer_to_string : enforcer -> string
+
+val apply_enforcer : derived -> enforcer -> derived
+(** Properties delivered after one enforcer. *)
+
+val apply_enforcers : derived -> enforcer list -> derived
+
+val enforcement_alternatives :
+  delivered:derived -> required:req -> enforcer list list
+(** All reasonable enforcer chains (applied bottom-up) turning [delivered]
+    into something satisfying [required]; [[[]]] when nothing is needed.
+    Includes both Fig. 7 plans (sort-then-gather-merge vs gather-then-sort)
+    where applicable — the cost model differentiates them. Every returned
+    chain is guaranteed to reach the requirement. *)

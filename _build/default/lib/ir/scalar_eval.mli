@@ -1,0 +1,28 @@
+(** Scalar expression evaluation with SQL three-valued logic.
+
+    Parameterized by an environment resolving column references and by a
+    SubPlan executor callback (used by the legacy Planner's correlated
+    SubPlan scalars; the Orca path never needs it). *)
+
+open Expr
+
+type env = Colref.t -> Datum.t
+
+exception No_subplan_executor
+
+type subplan_exec = subplan -> env -> Datum.t array list
+(** Receives the subplan and the current row's environment (for correlation
+    parameters); returns the inner plan's result rows. *)
+
+val no_subplan : subplan_exec
+(** Raises {!No_subplan_executor} — the default for plans with no SubPlans. *)
+
+val eval : ?subplan:subplan_exec -> env -> scalar -> Datum.t
+(** Three-valued evaluation: NULL propagates through comparisons and
+    arithmetic; AND/OR/NOT follow Kleene logic; IN handles NULL elements. *)
+
+val eval_pred : ?subplan:subplan_exec -> env -> scalar -> bool
+(** Predicate semantics: NULL counts as not passing. *)
+
+val fold_constants : scalar -> scalar
+(** Evaluate column-free, SubPlan-free subexpressions to constants. *)

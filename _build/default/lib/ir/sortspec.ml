@@ -1,0 +1,54 @@
+(* Sort order specifications: an ordered list of (column, direction). *)
+
+type dir = Asc | Desc
+
+type item = { col : Colref.t; dir : dir }
+
+type t = item list
+
+let empty : t = []
+let is_empty (t : t) = t = []
+
+let asc col = { col; dir = Asc }
+let desc col = { col; dir = Desc }
+
+let dir_to_string = function Asc -> "asc" | Desc -> "desc"
+
+let item_to_string i =
+  Printf.sprintf "%s %s" (Colref.to_string i.col) (dir_to_string i.dir)
+
+let to_string (t : t) =
+  "<" ^ String.concat ", " (List.map item_to_string t) ^ ">"
+
+let equal_item a b = Colref.equal a.col b.col && a.dir = b.dir
+
+let equal (a : t) (b : t) =
+  List.length a = List.length b && List.for_all2 equal_item a b
+
+(* [satisfies delivered required]: a delivered order satisfies a required one
+   when the required order is a prefix of the delivered order. *)
+let satisfies ~delivered ~required =
+  let rec prefix req del =
+    match (req, del) with
+    | [], _ -> true
+    | _, [] -> false
+    | r :: rs, d :: ds -> equal_item r d && prefix rs ds
+  in
+  prefix required delivered
+
+let cols (t : t) = List.map (fun i -> i.col) t
+
+(* Comparator over rows given column positions resolved against a schema. *)
+let row_compare (t : t) ~schema =
+  let keyed =
+    List.map (fun i -> (Colref.position_exn schema i.col, i.dir)) t
+  in
+  fun (a : Datum.t array) (b : Datum.t array) ->
+    let rec go = function
+      | [] -> 0
+      | (pos, dir) :: rest ->
+          let c = Datum.compare a.(pos) b.(pos) in
+          let c = match dir with Asc -> c | Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go keyed

@@ -1,0 +1,27 @@
+(** Sort order specifications: an ordered list of (column, direction). *)
+
+type dir = Asc | Desc
+
+type item = { col : Colref.t; dir : dir }
+
+type t = item list
+(** The empty list means "no particular order". *)
+
+val empty : t
+val is_empty : t -> bool
+val asc : Colref.t -> item
+val desc : Colref.t -> item
+val dir_to_string : dir -> string
+val item_to_string : item -> string
+val to_string : t -> string
+val equal_item : item -> item -> bool
+val equal : t -> t -> bool
+
+val satisfies : delivered:t -> required:t -> bool
+(** A delivered order satisfies a required one when the required order is a
+    prefix of the delivered order (directions included). *)
+
+val cols : t -> Colref.t list
+
+val row_compare : t -> schema:Colref.t list -> Datum.t array -> Datum.t array -> int
+(** Row comparator with column positions resolved against [schema] once. *)

@@ -1,0 +1,69 @@
+(* Table descriptors: the optimizer-side view of a base table, bound to the
+   fresh column references of one query (paper §3, metadata exchange §5). *)
+
+type distribution =
+  | Dist_hash of Colref.t list  (* hashed on these columns across segments *)
+  | Dist_random                 (* round-robin *)
+  | Dist_replicated             (* full copy on every segment *)
+
+(* Range partition on [part_col]: value v belongs to part p iff lo <= v < hi. *)
+type part = { part_id : int; lo : Datum.t; hi : Datum.t }
+
+type index = {
+  idx_name : string;
+  idx_col : Colref.t;  (* single-column btree index *)
+}
+
+type t = {
+  mdid : string;  (* metadata id: "<sysid>.<oid>.<major>.<minor>" *)
+  name : string;
+  cols : Colref.t list;
+  dist : distribution;
+  part_col : Colref.t option;
+  parts : part list;
+  indexes : index list;
+}
+
+let make ?(dist = Dist_random) ?part_col ?(parts = []) ?(indexes = []) ~mdid
+    ~name cols =
+  { mdid; name; cols; dist; part_col; parts; indexes }
+
+let is_partitioned t = t.parts <> []
+
+let npartitions t = List.length t.parts
+
+let distribution_to_string = function
+  | Dist_hash cols ->
+      "Hashed(" ^ String.concat "," (List.map Colref.to_string cols) ^ ")"
+  | Dist_random -> "Random"
+  | Dist_replicated -> "Replicated"
+
+let to_string t =
+  Printf.sprintf "%s[%s] %s%s" t.name
+    (String.concat ", " (List.map Colref.to_string t.cols))
+    (distribution_to_string t.dist)
+    (if is_partitioned t then Printf.sprintf " parts=%d" (npartitions t) else "")
+
+(* Which partitions can contain rows satisfying [lo_bound <= part_col op v]?
+   Conservative static pruning over the range bounds. *)
+let parts_matching_range t ~lo ~hi =
+  (* keep part if [lo, hi] (inclusive, None = unbounded) intersects [p.lo, p.hi) *)
+  List.filter
+    (fun p ->
+      let above_lo =
+        match lo with
+        | None -> true
+        | Some v -> Datum.compare p.hi v > 0 (* part upper bound exceeds lo *)
+      in
+      let below_hi =
+        match hi with
+        | None -> true
+        | Some v -> Datum.compare p.lo v <= 0 (* part lower bound not above hi *)
+      in
+      above_lo && below_hi)
+    t.parts
+
+let parts_matching_value t v =
+  List.filter
+    (fun p -> Datum.compare p.lo v <= 0 && Datum.compare v p.hi < 0)
+    t.parts

@@ -1,0 +1,44 @@
+(** Table descriptors: the optimizer-side view of a base table, bound to the
+    fresh column references of one query (paper §3, §5). *)
+
+type distribution =
+  | Dist_hash of Colref.t list  (** hashed on these columns across segments *)
+  | Dist_random                 (** round-robin *)
+  | Dist_replicated             (** full copy on every segment *)
+
+type part = { part_id : int; lo : Datum.t; hi : Datum.t }
+(** Range partition on the partitioning column: lo <= v < hi. *)
+
+type index = { idx_name : string; idx_col : Colref.t }
+(** Single-column btree index. *)
+
+type t = {
+  mdid : string;  (** metadata id: "<sysid>.<oid>.<major>.<minor>" *)
+  name : string;
+  cols : Colref.t list;
+  dist : distribution;
+  part_col : Colref.t option;
+  parts : part list;
+  indexes : index list;
+}
+
+val make :
+  ?dist:distribution ->
+  ?part_col:Colref.t ->
+  ?parts:part list ->
+  ?indexes:index list ->
+  mdid:string ->
+  name:string ->
+  Colref.t list ->
+  t
+
+val is_partitioned : t -> bool
+val npartitions : t -> int
+val distribution_to_string : distribution -> string
+val to_string : t -> string
+
+val parts_matching_range :
+  t -> lo:Datum.t option -> hi:Datum.t option -> part list
+(** Partitions intersecting the inclusive range ([None] = unbounded). *)
+
+val parts_matching_value : t -> Datum.t -> part list

@@ -1,0 +1,1 @@
+lib/memo/extract.ml: Expr Gpos Hashtbl Ir List Logical_ops Memo Plan_ops Props Stats

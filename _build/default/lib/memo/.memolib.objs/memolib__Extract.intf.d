@@ -1,0 +1,1 @@
+lib/memo/extract.mli: Expr Gpos Ir Memo Props

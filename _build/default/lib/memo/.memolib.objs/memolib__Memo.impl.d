@@ -1,0 +1,1 @@
+lib/memo/memo.ml: Array Buffer Colref Expr Fun Hashtbl Ir List Logical_ops Mexpr Mutex Option Physical_ops Printf Props Stats String

@@ -1,0 +1,1 @@
+lib/memo/memo.mli: Colref Expr Hashtbl Ir Mexpr Mutex Props Stats

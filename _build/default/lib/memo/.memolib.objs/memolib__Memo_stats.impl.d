@@ -1,0 +1,1 @@
+lib/memo/memo_stats.ml: Gpos Ir List Memo Option Stats

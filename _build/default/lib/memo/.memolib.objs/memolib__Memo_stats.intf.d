@@ -1,0 +1,1 @@
+lib/memo/memo_stats.mli: Ir Memo Stats

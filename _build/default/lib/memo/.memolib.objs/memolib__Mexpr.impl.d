@@ -1,0 +1,1 @@
+lib/memo/mexpr.ml: Expr Ir List Logical_ops Physical_ops Printf String

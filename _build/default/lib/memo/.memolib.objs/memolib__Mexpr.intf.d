@@ -1,0 +1,1 @@
+lib/memo/mexpr.mli: Expr Ir

@@ -1,0 +1,28 @@
+(** Plan extraction from the Memo via the optimization-request linkage
+    structure (paper §4.1, Fig. 6), plus plan-space enumeration and uniform
+    sampling — the substrate TAQO builds on (paper §6.2, after Waas &
+    Galindo-Legaria's counting method). *)
+
+open Ir
+
+val best_plan : Memo.t -> int -> Props.req -> Expr.plan
+(** The least-cost plan satisfying [req] rooted in the given group; enforcers
+    recorded in the winning alternatives are materialized as Sort/Motion
+    nodes. Raises when no context or plan exists for the request. *)
+
+val plan_of_alternative :
+  Memo.t ->
+  int ->
+  Memo.alternative ->
+  pick:(int -> Props.req -> Memo.alternative) ->
+  Expr.plan
+(** Materialize one alternative, choosing child alternatives through [pick].
+    Node costs are rolled up from the children actually materialized. *)
+
+val count_plans : Memo.t -> int -> Props.req -> float
+(** Number of distinct plans recorded for (group, request); float-valued to
+    tolerate very large spaces. *)
+
+val sample_plan : Gpos.Prng.t -> Memo.t -> int -> Props.req -> Expr.plan
+(** Draw a plan uniformly from the recorded plan space: alternatives are
+    chosen with probability proportional to their subtree plan counts. *)

@@ -1,0 +1,407 @@
+open Ir
+
+(* The Memo (paper §3, §4.1): a compact encoding of the plan space.
+
+   Groups hold logically equivalent expressions (logical and physical
+   alike). Group expressions are operators whose children are groups.
+   Duplicate detection is topology-based: an operator fingerprint plus the
+   canonical ids of its child groups. Inserting an expression that already
+   exists in a different group merges the two groups (union-find).
+
+   Each group owns a hash table of optimization contexts: one per
+   optimization request (required properties), recording the best group
+   expression, its child requests and enforcers — the linkage structure used
+   for plan extraction (paper Fig. 6) and for TAQO's uniform plan sampling. *)
+
+type gexpr = {
+  ge_id : int;
+  ge_op : Expr.op;
+  ge_children : int list; (* group ids as of insertion; canonicalize on use *)
+  mutable ge_group : int;
+  ge_rule : string option;
+  mutable ge_explored : bool;
+  mutable ge_implemented : bool;
+  mutable ge_applied : int list; (* rule ids already applied *)
+}
+
+(* One costed way of satisfying a request with a particular group expression:
+   child requests (the linkage), enforcers stacked on top, total cost. *)
+type alternative = {
+  a_gexpr : gexpr;
+  a_child_reqs : Props.req list;
+  a_enforcers : Props.enforcer list; (* applied bottom-up above the gexpr *)
+  a_enf_costs : float list; (* incremental cost of each enforcer *)
+  a_local_cost : float; (* the operator's own cost, children excluded *)
+  a_cost : float; (* total: operator + children + enforcers *)
+  a_derived : Props.derived; (* properties delivered after enforcers *)
+}
+
+type ctx_state = Ctx_new | Ctx_in_progress | Ctx_complete
+
+type context = {
+  cx_req : Props.req;
+  mutable cx_state : ctx_state;
+  mutable cx_best : alternative option;
+  mutable cx_alts : alternative list; (* every costed alternative (for TAQO) *)
+}
+
+type group = {
+  g_id : int;
+  mutable g_exprs : gexpr list; (* in insertion order *)
+  mutable g_output_cols : Colref.t list;
+  mutable g_stats : Stats.Relstats.t option;
+  mutable g_explored : bool;
+  mutable g_implemented : bool;
+  mutable g_merged_into : int option;
+  g_contexts : (int, context list) Hashtbl.t; (* req fingerprint -> contexts *)
+  g_lock : Mutex.t;
+}
+
+type t = {
+  mutable groups : group array;
+  mutable ngroups : int;
+  mutable ngexprs : int;
+  dedup : (int, gexpr) Hashtbl.t;
+  mutable root : int;
+  lock : Mutex.t;
+  mutable cte_producer_groups : (int * int) list; (* cte id -> producer group *)
+}
+
+let create () =
+  {
+    groups = [||];
+    ngroups = 0;
+    ngexprs = 0;
+    dedup = Hashtbl.create 256;
+    root = -1;
+    lock = Mutex.create ();
+    cte_producer_groups = [];
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let group_unsafe t id = t.groups.(id)
+
+(* Canonical group id after merges. *)
+let rec find t id =
+  let g = group_unsafe t id in
+  match g.g_merged_into with None -> id | Some parent -> find t parent
+
+let group t id = group_unsafe t (find t id)
+
+let ngroups t = t.ngroups
+let ngexprs t = t.ngexprs
+let root t = find t t.root
+let set_root t id = t.root <- id
+
+let group_ids t = List.init t.ngroups (fun i -> i) |> List.filter (fun i -> (group_unsafe t i).g_merged_into = None)
+
+let output_cols t id = (group t id).g_output_cols
+
+let op_fingerprint = function
+  | Expr.Logical l -> Hashtbl.hash (0, Logical_ops.fingerprint l)
+  | Expr.Physical p -> Hashtbl.hash (1, Physical_ops.fingerprint p)
+
+let gexpr_key t op children =
+  Hashtbl.hash (op_fingerprint op, List.map (fun c -> find t c) children)
+
+let op_equal a b =
+  match (a, b) with
+  | Expr.Logical x, Expr.Logical y -> Logical_ops.equal x y
+  | Expr.Physical x, Expr.Physical y -> Physical_ops.equal x y
+  | _ -> false
+
+let gexpr_equal t (ge : gexpr) op children =
+  op_equal ge.ge_op op
+  && List.length ge.ge_children = List.length children
+  && List.for_all2
+       (fun a b -> find t a = find t b)
+       ge.ge_children children
+
+let add_group_slot t =
+  if t.ngroups = Array.length t.groups then begin
+    let cap = max 16 (2 * Array.length t.groups) in
+    let fresh =
+      Array.init cap (fun i ->
+          if i < t.ngroups then t.groups.(i)
+          else
+            {
+              g_id = i;
+              g_exprs = [];
+              g_output_cols = [];
+              g_stats = None;
+              g_explored = false;
+              g_implemented = false;
+              g_merged_into = None;
+              g_contexts = Hashtbl.create 8;
+              g_lock = Mutex.create ();
+            })
+    in
+    t.groups <- fresh
+  end;
+  let id = t.ngroups in
+  t.ngroups <- t.ngroups + 1;
+  id
+
+(* Merge group [loser] into [winner]: they were discovered to be logically
+   equivalent by duplicate detection. *)
+let merge_groups t winner loser =
+  if winner <> loser then begin
+    let w = group_unsafe t winner and l = group_unsafe t loser in
+    l.g_merged_into <- Some winner;
+    List.iter (fun ge -> ge.ge_group <- winner) l.g_exprs;
+    w.g_exprs <- w.g_exprs @ l.g_exprs;
+    l.g_exprs <- [];
+    w.g_explored <- w.g_explored && l.g_explored;
+    w.g_implemented <- w.g_implemented && l.g_implemented;
+    if w.g_stats = None then w.g_stats <- l.g_stats;
+    (* contexts of the loser are dropped; they will be recomputed on demand *)
+    if t.root = loser then t.root <- winner
+  end
+
+(* Insert an operator with child groups into [target] (fresh group when
+   None). Returns the resulting gexpr (possibly pre-existing). *)
+let insert_gexpr t ?rule ?target op children : gexpr =
+  with_lock t (fun () ->
+      let children = List.map (fun c -> find t c) children in
+      let key = gexpr_key t op children in
+      let existing =
+        match Hashtbl.find_all t.dedup key with
+        | [] -> None
+        | candidates ->
+            List.find_opt (fun ge -> gexpr_equal t ge op children) candidates
+      in
+      match existing with
+      | Some ge ->
+          let owner = find t ge.ge_group in
+          (match target with
+          | Some tgt when find t tgt <> owner ->
+              (* same expression found in two groups: they are equivalent *)
+              merge_groups t (find t tgt) owner
+          | _ -> ());
+          ge
+      | None ->
+          let gid =
+            match target with Some tgt -> find t tgt | None -> add_group_slot t
+          in
+          let ge =
+            {
+              ge_id = t.ngexprs;
+              ge_op = op;
+              ge_children = children;
+              ge_group = gid;
+              ge_rule = rule;
+              ge_explored = false;
+              ge_implemented = false;
+              ge_applied = [];
+            }
+          in
+          t.ngexprs <- t.ngexprs + 1;
+          Hashtbl.add t.dedup key ge;
+          let g = group_unsafe t gid in
+          g.g_exprs <- g.g_exprs @ [ ge ];
+          (* new logical expression invalidates exploration completeness *)
+          (match op with
+          | Expr.Logical _ ->
+              g.g_explored <- false;
+              g.g_implemented <- false
+          | Expr.Physical _ -> ());
+          if g.g_output_cols = [] then begin
+            let child_cols =
+              List.map (fun c -> (group t c).g_output_cols) children
+            in
+            match op with
+            | Expr.Logical l ->
+                g.g_output_cols <- Logical_ops.output_cols l child_cols
+            | Expr.Physical p ->
+                g.g_output_cols <- Physical_ops.output_cols p child_cols
+          end;
+          (* track CTE producer groups for stats derivation *)
+          (match op with
+          | Expr.Logical (Expr.L_cte_anchor cte_id) -> (
+              match children with
+              | producer :: _ ->
+                  if not (List.mem_assoc cte_id t.cte_producer_groups) then
+                    t.cte_producer_groups <-
+                      (cte_id, producer) :: t.cte_producer_groups
+              | [] -> ())
+          | _ -> ());
+          ge)
+
+(* Copy a mixed expression tree in, bottom-up. *)
+let rec insert t ?rule ?target (node : Mexpr.t) : gexpr =
+  let children =
+    List.map
+      (function
+        | Mexpr.Group g -> find t g
+        | Mexpr.Node n ->
+            let ge = insert t ?rule n in
+            find t ge.ge_group)
+      node.Mexpr.children
+  in
+  insert_gexpr t ?rule ?target node.Mexpr.op children
+
+let cte_producer_group t cte_id =
+  List.assoc_opt cte_id t.cte_producer_groups |> Option.map (find t)
+
+let logical_exprs g =
+  List.filter_map
+    (fun ge ->
+      match ge.ge_op with Expr.Logical l -> Some (ge, l) | _ -> None)
+    g.g_exprs
+
+let physical_exprs g =
+  List.filter_map
+    (fun ge ->
+      match ge.ge_op with Expr.Physical p -> Some (ge, p) | _ -> None)
+    g.g_exprs
+
+(* --- Optimization contexts (group hash tables, paper Fig. 6) --- *)
+
+let find_context t gid (req : Props.req) : context option =
+  let g = group t gid in
+  Mutex.lock g.g_lock;
+  let fp = Props.req_fingerprint req in
+  let result =
+    match Hashtbl.find_opt g.g_contexts fp with
+    | None -> None
+    | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs
+  in
+  Mutex.unlock g.g_lock;
+  result
+
+(* Find-or-create; the boolean tells the caller whether it created it (and
+   therefore owns computing it). *)
+let obtain_context t gid (req : Props.req) : context * bool =
+  let g = group t gid in
+  Mutex.lock g.g_lock;
+  let fp = Props.req_fingerprint req in
+  let existing =
+    match Hashtbl.find_opt g.g_contexts fp with
+    | None -> None
+    | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs
+  in
+  let result =
+    match existing with
+    | Some c -> (c, false)
+    | None ->
+        let c =
+          { cx_req = req; cx_state = Ctx_new; cx_best = None; cx_alts = [] }
+        in
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt g.g_contexts fp)
+        in
+        Hashtbl.replace g.g_contexts fp (c :: prev);
+        (c, true)
+  in
+  Mutex.unlock g.g_lock;
+  result
+
+let record_alternative t gid (ctx : context) (alt : alternative) =
+  let g = group t gid in
+  Mutex.lock g.g_lock;
+  ctx.cx_alts <- alt :: ctx.cx_alts;
+  (match ctx.cx_best with
+  | Some best when best.a_cost <= alt.a_cost -> ()
+  | _ -> ctx.cx_best <- Some alt);
+  Mutex.unlock g.g_lock;
+  ()
+
+let contexts_of_group t gid =
+  let g = group t gid in
+  Hashtbl.fold (fun _ ctxs acc -> ctxs @ acc) g.g_contexts []
+
+(* --- statistics --- *)
+
+let stats t gid = (group t gid).g_stats
+
+let set_stats t gid s =
+  let g = group t gid in
+  g.g_stats <- Some s
+
+(* --- debugging / the Fig. 4 and Fig. 6 displays --- *)
+
+let gexpr_to_string t ge =
+  let op_str =
+    match ge.ge_op with
+    | Expr.Logical l -> Logical_ops.to_string l
+    | Expr.Physical p -> Physical_ops.to_string p
+  in
+  let children = List.map (fun c -> string_of_int (find t c)) ge.ge_children in
+  Printf.sprintf "%d: %s [%s]" ge.ge_id op_str (String.concat "," children)
+
+(* Graphviz export: one record node per group listing its expressions, one
+   edge per (expression slot -> child group). *)
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let esc s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '<' -> "&lt;"
+           | '>' -> "&gt;"
+           | '"' -> "&quot;"
+           | '&' -> "&amp;"
+           | '|' -> "\\|"
+           | '{' -> "\\{"
+           | '}' -> "\\}"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  Buffer.add_string buf "digraph memo {\n  rankdir=TB;\n  node [shape=record, fontsize=10];\n";
+  List.iter
+    (fun gid ->
+      let g = group_unsafe t gid in
+      let rows =
+        match g.g_stats with
+        | Some s -> Printf.sprintf " rows=%.0f" (Stats.Relstats.rows s)
+        | None -> ""
+      in
+      let cells =
+        List.mapi
+          (fun i ge ->
+            let op =
+              match ge.ge_op with
+              | Expr.Logical l -> Logical_ops.to_string l
+              | Expr.Physical p -> Physical_ops.to_string p
+            in
+            Printf.sprintf "<e%d> %s" i (esc op))
+          g.g_exprs
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  g%d [label=\"{GROUP %d%s%s|%s}\"];\n" gid gid
+           (if gid = root t then " (root)" else "")
+           rows
+           (String.concat "|" cells));
+      List.iteri
+        (fun i ge ->
+          List.iter
+            (fun child ->
+              Buffer.add_string buf
+                (Printf.sprintf "  g%d:e%d -> g%d;\n" gid i (find t child)))
+            ge.ge_children)
+        g.g_exprs)
+    (group_ids t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun gid ->
+      let g = group_unsafe t gid in
+      Buffer.add_string buf
+        (Printf.sprintf "GROUP %d%s%s\n" gid
+           (if gid = root t then " (root)" else "")
+           (match g.g_stats with
+           | Some s -> Printf.sprintf "  rows=%.1f" (Stats.Relstats.rows s)
+           | None -> ""));
+      List.iter
+        (fun ge ->
+          Buffer.add_string buf ("  " ^ gexpr_to_string t ge ^ "\n"))
+        g.g_exprs)
+    (group_ids t);
+  Buffer.contents buf

@@ -1,0 +1,116 @@
+(** The Memo (paper §3, §4.1): a compact encoding of the plan space.
+
+    Groups hold logically equivalent expressions — logical and physical are
+    first-class citizens of equal footing. Group expressions are operators
+    whose children are groups. Duplicate detection is topology-based (an
+    operator fingerprint plus canonical child-group ids); inserting an
+    expression that already exists in a different group merges the two groups
+    through a union-find.
+
+    Each group owns a hash table of optimization contexts — one per
+    optimization request — recording every costed alternative and the best
+    one: the linkage structure used for plan extraction (Fig. 6) and for
+    TAQO's uniform plan sampling. *)
+
+open Ir
+
+type gexpr = {
+  ge_id : int;
+  ge_op : Expr.op;
+  ge_children : int list;  (** group ids as of insertion; canonicalize via [find] *)
+  mutable ge_group : int;
+  ge_rule : string option; (** the rule that produced this expression *)
+  mutable ge_explored : bool;
+  mutable ge_implemented : bool;
+  mutable ge_applied : int list; (** rule ids already applied *)
+}
+
+(** One costed way of satisfying a request: a group expression, the requests
+    passed to its children (the linkage), the enforcer chain stacked on top,
+    and its costs. *)
+type alternative = {
+  a_gexpr : gexpr;
+  a_child_reqs : Props.req list;
+  a_enforcers : Props.enforcer list; (** applied bottom-up above the gexpr *)
+  a_enf_costs : float list;          (** incremental cost of each enforcer *)
+  a_local_cost : float;              (** the operator's own cost, children excluded *)
+  a_cost : float;                    (** total: operator + children + enforcers *)
+  a_derived : Props.derived;         (** properties delivered after enforcers *)
+}
+
+type ctx_state = Ctx_new | Ctx_in_progress | Ctx_complete
+
+type context = {
+  cx_req : Props.req;
+  mutable cx_state : ctx_state;
+  mutable cx_best : alternative option;
+  mutable cx_alts : alternative list; (** every costed alternative *)
+}
+
+type group = {
+  g_id : int;
+  mutable g_exprs : gexpr list;
+  mutable g_output_cols : Colref.t list; (** the group's logical properties *)
+  mutable g_stats : Stats.Relstats.t option;
+  mutable g_explored : bool;
+  mutable g_implemented : bool;
+  mutable g_merged_into : int option;
+  g_contexts : (int, context list) Hashtbl.t;
+  g_lock : Mutex.t;
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> int
+(** Canonical group id after merges. *)
+
+val group : t -> int -> group
+val ngroups : t -> int
+val ngexprs : t -> int
+val root : t -> int
+val set_root : t -> int -> unit
+
+val group_ids : t -> int list
+(** Live (unmerged) group ids. *)
+
+val output_cols : t -> int -> Colref.t list
+
+val insert_gexpr : t -> ?rule:string -> ?target:int -> Expr.op -> int list -> gexpr
+(** Insert one operator with child groups into [target] (a fresh group when
+    omitted). Duplicate detection may return a pre-existing expression; a
+    duplicate found in a different group merges the groups. Thread-safe. *)
+
+val insert : t -> ?rule:string -> ?target:int -> Mexpr.t -> gexpr
+(** Copy a mixed expression tree in, bottom-up (paper: rule results are
+    "copied-in to the Memo"). *)
+
+val cte_producer_group : t -> int -> int option
+(** The group holding a CTE's producer (tracked at anchor insertion). *)
+
+val logical_exprs : group -> (gexpr * Expr.logical) list
+val physical_exprs : group -> (gexpr * Expr.physical) list
+
+val find_context : t -> int -> Props.req -> context option
+
+val obtain_context : t -> int -> Props.req -> context * bool
+(** Find-or-create the context for (group, request); the boolean says whether
+    this call created it (and therefore owns computing it). *)
+
+val record_alternative : t -> int -> context -> alternative -> unit
+(** Record a costed alternative, updating the context's best. *)
+
+val contexts_of_group : t -> int -> context list
+
+val stats : t -> int -> Stats.Relstats.t option
+val set_stats : t -> int -> Stats.Relstats.t -> unit
+
+val gexpr_to_string : t -> gexpr -> string
+
+val to_string : t -> string
+(** The Fig. 4/6 display: every group with its expressions. *)
+
+val to_dot : t -> string
+(** Graphviz (dot) export of the Memo graph: one record node per group, one
+    edge per group-expression child slot. *)

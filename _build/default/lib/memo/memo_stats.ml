@@ -1,0 +1,60 @@
+(* Statistics derivation on the Memo (paper §4.1 step 2, Fig. 5).
+
+   Derivation happens on the compact Memo structure: for each group we pick
+   the logical group expression with the highest promise of delivering
+   reliable statistics (fewer join conditions propagate less error), derive
+   the children recursively, and combine child statistics objects bottom-up.
+   Derived statistics are attached to groups and reused. *)
+
+let rec derive_group (memo : Memo.t) ~(base : Ir.Table_desc.t -> Stats.Relstats.t)
+    (gid : int) : Stats.Relstats.t =
+  let gid = Memo.find memo gid in
+  match Memo.stats memo gid with
+  | Some s -> s
+  | None ->
+      let g = Memo.group memo gid in
+      let logicals = Memo.logical_exprs g in
+      (match logicals with
+      | [] ->
+          Gpos.Gpos_error.internal "stats derivation: group %d has no logical expression" gid
+      | _ -> ());
+      (* pick the most promising expression *)
+      let _, best_ge, best_op =
+        List.fold_left
+          (fun (best_p, best_ge, best_op) (ge, op) ->
+            let p = Stats.Derive.promise op in
+            if p > best_p then (p, Some ge, Some op)
+            else (best_p, best_ge, best_op))
+          (min_int, None, None) logicals
+      in
+      let ge = Option.get best_ge and op = Option.get best_op in
+      let children =
+        List.map (fun c -> derive_group memo ~base c) ge.Memo.ge_children
+      in
+      let child_schemas =
+        List.map (fun c -> Memo.output_cols memo c) ge.Memo.ge_children
+      in
+      let cte cte_id =
+        match Memo.cte_producer_group memo cte_id with
+        | Some pg -> Some (derive_group memo ~base pg)
+        | None -> None
+      in
+      let s = Stats.Derive.derive ~base ~cte op ~children ~child_schemas in
+      Memo.set_stats memo gid s;
+      s
+
+(* Derive statistics for every group reachable from the root. *)
+let derive_all (memo : Memo.t) ~base =
+  ignore (derive_group memo ~base (Memo.root memo));
+  (* groups not reachable through the promise-selected expressions still get
+     stats on demand during costing; derive the remainder here so costing
+     never misses *)
+  List.iter
+    (fun gid ->
+      match Memo.stats memo gid with
+      | Some _ -> ()
+      | None -> (
+          match Memo.logical_exprs (Memo.group memo gid) with
+          | [] -> ()
+          | _ -> ignore (derive_group memo ~base gid)))
+    (Memo.group_ids memo)

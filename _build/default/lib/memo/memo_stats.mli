@@ -1,0 +1,13 @@
+(** Statistics derivation on the Memo (paper §4.1 step 2, Fig. 5).
+
+    Derivation happens on the compact Memo structure: each group picks the
+    logical group expression with the highest statistics promise, derives its
+    children recursively, and combines the child statistics bottom-up.
+    Derived statistics are attached to groups and reused. *)
+
+val derive_group :
+  Memo.t -> base:(Ir.Table_desc.t -> Stats.Relstats.t) -> int -> Stats.Relstats.t
+(** Derive (or return memoized) statistics for one group. *)
+
+val derive_all : Memo.t -> base:(Ir.Table_desc.t -> Stats.Relstats.t) -> unit
+(** Derive statistics for every group with a logical expression. *)

@@ -1,0 +1,35 @@
+open Ir
+
+(* Mixed expression trees: operator trees whose leaves may reference existing
+   Memo groups. Transformation rules produce these; [Memo.insert] copies them
+   in (paper §3: "results of applying transformation rules are copied-in to
+   the Memo"). *)
+
+type t = { op : Expr.op; children : child list }
+
+and child = Node of t | Group of int
+
+let node op children = { op; children = List.map (fun n -> Node n) children }
+
+let logical op children = node (Expr.Logical op) children
+
+let of_groups op groups = { op; children = List.map (fun g -> Group g) groups }
+
+let logical_of_groups op groups = of_groups (Expr.Logical op) groups
+
+let physical_of_groups op groups = of_groups (Expr.Physical op) groups
+
+let rec to_string (t : t) =
+  let op_str =
+    match t.op with
+    | Expr.Logical l -> Logical_ops.to_string l
+    | Expr.Physical p -> Physical_ops.to_string p
+  in
+  let children =
+    List.map
+      (function Node n -> to_string n | Group g -> Printf.sprintf "G%d" g)
+      t.children
+  in
+  match children with
+  | [] -> op_str
+  | cs -> op_str ^ "(" ^ String.concat ", " cs ^ ")"

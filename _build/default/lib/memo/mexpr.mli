@@ -1,0 +1,17 @@
+(** Mixed expression trees: operator trees whose leaves may reference
+    existing Memo groups. Transformation rules produce these and
+    [Memo.insert] copies them in (paper §3: rule results are "copied-in to
+    the Memo"). *)
+
+open Ir
+
+type t = { op : Expr.op; children : child list }
+
+and child = Node of t | Group of int
+
+val node : Expr.op -> t list -> t
+val logical : Expr.logical -> t list -> t
+val of_groups : Expr.op -> int list -> t
+val logical_of_groups : Expr.logical -> int list -> t
+val physical_of_groups : Expr.physical -> int list -> t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/planner/legacy_planner.ml: Array Catalog Colref Datum Dxl Expr Float Gpos Ir List Logical_ops Ltree Option Physical_ops Plan_ops Props Scalar_ops Sortspec Stats Table_desc Xform

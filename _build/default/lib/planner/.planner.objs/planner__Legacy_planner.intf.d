@@ -1,0 +1,1 @@
+lib/planner/legacy_planner.mli: Catalog Dxl Expr Ir

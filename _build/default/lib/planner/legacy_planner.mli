@@ -1,0 +1,33 @@
+(** The legacy "Planner" baseline (paper §7.2): a PostgreSQL-style bottom-up
+    optimizer used as the Figure 12 comparator.
+
+    It plans competently — greedy System-R-style join ordering up to
+    [dp_limit] relations, motion planning, predicate placement — but lacks
+    the paper's four headline features: join ordering degrades to syntactic
+    order on wide joins and ignores histograms; correlated subqueries execute
+    as SubPlans re-run per outer row; CTEs are inlined per consumer;
+    partitioned tables are always scanned in full. *)
+
+open Ir
+
+type config = {
+  segments : int;
+  dp_limit : int;
+      (** maximum relations considered by the join-order search; beyond it,
+          literal syntactic order *)
+  broadcast_inner : bool;
+      (** Impala-style motion planning: always replicate the join's inner
+          side instead of redistributing both sides *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Catalog.Accessor.t -> t
+
+val plan : t -> Dxl.Dxl_query.t -> Expr.plan
+(** Plan a query bottom-up. The result delivers the query's root
+    requirements (Singleton distribution, requested order, output columns). *)
+
+val plan_sql : ?config:config -> Catalog.Accessor.t -> Dxl.Dxl_query.t -> Expr.plan

@@ -1,0 +1,1 @@
+lib/search/engine.ml: Atomic Cost Expr Float Gpos Ir Lazy List Memolib Option Physical_ops Printf Props Requests Stats Table_desc Xform

@@ -1,0 +1,1 @@
+lib/search/engine.mli: Colref Cost Expr Ir Memolib Props Stats Table_desc Xform

@@ -1,0 +1,1 @@
+lib/search/requests.ml: Colref Expr Ir List Physical_ops Props Sortspec

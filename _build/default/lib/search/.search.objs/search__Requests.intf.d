@@ -1,0 +1,1 @@
+lib/search/requests.mli: Colref Expr Ir Props

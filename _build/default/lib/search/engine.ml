@@ -1,0 +1,477 @@
+open Ir
+module Memo = Memolib.Memo
+module Mexpr = Memolib.Mexpr
+
+(* The optimization engine (paper §4.1 workflow, §4.2 parallel optimization).
+
+   The engine drives the four optimization steps — exploration, statistics
+   derivation, implementation, optimization — as graphs of small re-entrant
+   jobs executed by the GPOS scheduler. The seven job kinds of the paper map
+   to: Exp(g)/Exp(gexpr), Imp(g)/Imp(gexpr), Opt(g,req)/Opt(gexpr,req) and
+   Xform(gexpr,t), with per-goal queues deduplicating concurrent work. *)
+
+type counters = {
+  xform_applied : int;
+  xform_results : int;
+  alternatives_costed : int;
+  contexts_created : int;
+}
+
+(* Internal counters are atomics so parallel Opt jobs can bump them without
+   a lock; the public [counters] type is a plain snapshot. *)
+type acounters = {
+  a_xform_applied : int Atomic.t;
+  a_xform_results : int Atomic.t;
+  a_alternatives_costed : int Atomic.t;
+  a_contexts_created : int Atomic.t;
+}
+
+type t = {
+  memo : Memo.t;
+  ruleset : Xform.Ruleset.t;
+  rctx : Xform.Rule.ctx;
+  model : Cost.Cost_model.t;
+  base : Table_desc.t -> Stats.Relstats.t;
+  sched : Gpos.Scheduler.t;
+      (* exploration/implementation: rule application funnels through the
+         Memo's global insertion lock, so those phases run sequentially *)
+  sched_opt : Gpos.Scheduler.t;
+      (* optimization: costing is group-local, so Opt jobs parallelize *)
+  mutable deadline : float option; (* absolute time; bounds exploration *)
+  counters : acounters;
+}
+
+let create ?(workers = 1) ~ruleset ~model ~factory ~base memo =
+  {
+    memo;
+    ruleset;
+    rctx = { Xform.Rule.factory };
+    model;
+    base;
+    sched = Gpos.Scheduler.create ();
+    sched_opt = Gpos.Scheduler.create ~workers ();
+    deadline = None;
+    counters =
+      {
+        a_xform_applied = Atomic.make 0;
+        a_xform_results = Atomic.make 0;
+        a_alternatives_costed = Atomic.make 0;
+        a_contexts_created = Atomic.make 0;
+      };
+  }
+
+let set_deadline t ms_from_now =
+  t.deadline <-
+    (match ms_from_now with
+    | None -> None
+    | Some ms -> Some (Gpos.Clock.now () +. (ms /. 1000.0)))
+
+let timed_out t =
+  match t.deadline with
+  | None -> false
+  | Some d -> Gpos.Clock.now () > d
+
+let bump_by counter n = ignore (Atomic.fetch_and_add counter n)
+
+(* --- Xform(gexpr, rule) --- *)
+
+let xform_job t (ge : Memo.gexpr) (rule : Xform.Rule.t) () =
+  let results = rule.Xform.Rule.apply t.rctx t.memo ge in
+  bump_by t.counters.a_xform_applied 1;
+  bump_by t.counters.a_xform_results (List.length results);
+  let target = Memo.find t.memo ge.Memo.ge_group in
+  List.iter
+    (fun mexpr ->
+      ignore (Memo.insert t.memo ~rule:rule.Xform.Rule.name ~target mexpr))
+    results;
+  Gpos.Scheduler.Finished
+
+(* Apply all not-yet-applied rules of [kind] to a group expression, after
+   recursively processing child groups with [child_group_job]. *)
+let gexpr_job t (ge : Memo.gexpr) ~(rules : Xform.Rule.t list)
+    ~(respect_deadline : bool) ~(mark : Memo.gexpr -> unit)
+    ~(child_goal : int -> string)
+    ~(child_group_job : int -> unit -> Gpos.Scheduler.outcome) :
+    unit -> Gpos.Scheduler.outcome =
+  (* stage A: make sure children are processed; stage B: fire rules.
+     The stage ref lives outside the closure: the job is re-entrant.
+     Deadlines bound exploration only; when one fires the expression is still
+     marked processed (skipping only the rule applications) so the group
+     fixpoints terminate. *)
+  let stage = ref `Children in
+  let rec step () =
+    match !stage with
+    | `Children ->
+        stage := `Rules;
+        let children =
+          List.map
+            (fun gid ->
+              let gid = Memo.find t.memo gid in
+              {
+                Gpos.Scheduler.run = child_group_job gid;
+                goal = Some (child_goal gid);
+              })
+            ge.Memo.ge_children
+        in
+        if children = [] then step ()
+        else Gpos.Scheduler.Wait_for children
+    | `Rules ->
+        stage := `Done;
+        if respect_deadline && timed_out t then begin
+          mark ge;
+          Gpos.Scheduler.Finished
+        end
+        else begin
+          let pending =
+            List.filter
+              (fun (r : Xform.Rule.t) ->
+                not (List.mem r.Xform.Rule.id ge.Memo.ge_applied))
+              rules
+            |> List.sort (fun (a : Xform.Rule.t) b ->
+                   compare b.Xform.Rule.promise a.Xform.Rule.promise)
+          in
+          List.iter
+            (fun (r : Xform.Rule.t) ->
+              ge.Memo.ge_applied <- r.Xform.Rule.id :: ge.Memo.ge_applied)
+            pending;
+          mark ge;
+          let jobs =
+            List.map
+              (fun r -> { Gpos.Scheduler.run = xform_job t ge r; goal = None })
+              pending
+          in
+          if jobs = [] then Gpos.Scheduler.Finished
+          else Gpos.Scheduler.Wait_for jobs
+        end
+    | `Done -> Gpos.Scheduler.Finished
+  in
+  step
+
+(* --- Exp(g) / Exp(gexpr): fixpoint over a group's logical expressions --- *)
+
+let rec exp_group_job t gid () =
+  let gid = Memo.find t.memo gid in
+  let g = Memo.group t.memo gid in
+  if g.Memo.g_explored || timed_out t then begin
+    g.Memo.g_explored <- true;
+    Gpos.Scheduler.Finished
+  end
+  else begin
+    let pending =
+      Memo.logical_exprs g
+      |> List.filter (fun (ge, _) -> not ge.Memo.ge_explored)
+      |> List.map fst
+    in
+    if pending = [] then begin
+      g.Memo.g_explored <- true;
+      Gpos.Scheduler.Finished
+    end
+    else
+      (* explore each pending gexpr, then re-run this job to catch any new
+         expressions the transformations copied in *)
+      Gpos.Scheduler.Wait_for
+        (List.map
+           (fun ge ->
+             {
+               Gpos.Scheduler.run =
+                 gexpr_job t ge
+                   ~rules:(Xform.Ruleset.exploration t.ruleset)
+                   ~respect_deadline:true
+                   ~mark:(fun ge -> ge.Memo.ge_explored <- true)
+                   ~child_goal:(fun gid -> Printf.sprintf "exp:%d" gid)
+                   ~child_group_job:(exp_group_job t);
+               goal = None;
+             })
+           pending)
+  end
+
+(* --- Imp(g) / Imp(gexpr) --- *)
+
+let rec imp_group_job t gid () =
+  let gid = Memo.find t.memo gid in
+  let g = Memo.group t.memo gid in
+  if g.Memo.g_implemented then Gpos.Scheduler.Finished
+  else begin
+    let pending =
+      Memo.logical_exprs g
+      |> List.filter (fun (ge, _) -> not ge.Memo.ge_implemented)
+      |> List.map fst
+    in
+    if pending = [] then begin
+      g.Memo.g_implemented <- true;
+      Gpos.Scheduler.Finished
+    end
+    else
+      Gpos.Scheduler.Wait_for
+        (List.map
+           (fun ge ->
+             {
+               Gpos.Scheduler.run =
+                 gexpr_job t ge
+                   ~rules:(Xform.Ruleset.implementation t.ruleset)
+                   ~respect_deadline:false
+                   ~mark:(fun ge -> ge.Memo.ge_implemented <- true)
+                   ~child_goal:(fun gid -> Printf.sprintf "imp:%d" gid)
+                   ~child_group_job:(imp_group_job t);
+               goal = None;
+             })
+           pending)
+  end
+
+(* --- costing helpers --- *)
+
+let group_rows t gid =
+  match Memo.stats t.memo gid with
+  | Some s -> Float.max 1.0 (Stats.Relstats.rows s)
+  | None -> 1000.0
+
+let group_width t gid =
+  Stats.Relstats.row_width (Memo.output_cols t.memo gid)
+
+(* Skew of the columns a redistribute enforcer hashes on. *)
+let redistribute_skew t gid (enf : Props.enforcer) =
+  match enf with
+  | Props.E_motion (Expr.Redistribute es) -> (
+      match Memo.stats t.memo gid with
+      | None -> 1.0
+      | Some s ->
+          let col_skews =
+            List.filter_map
+              (function
+                | Expr.Col c -> Some (Stats.Relstats.col_skew s c)
+                | _ -> None)
+              es
+          in
+          let skew = List.fold_left Float.max 1.0 col_skews in
+          Float.min skew 4.0)
+  | _ -> 1.0
+
+(* Cost one (gexpr, child-request vector) and record every enforcement
+   alternative into the context. *)
+let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
+    (op : Expr.physical) (child_reqs : Props.req list) : unit =
+  let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
+  let child_bests =
+    List.map2
+      (fun cg cr ->
+        match Memo.find_context t.memo cg cr with
+        | Some cctx -> cctx.Memo.cx_best
+        | None -> None)
+      children child_reqs
+  in
+  if List.for_all Option.is_some child_bests then begin
+    let child_bests = List.map Option.get child_bests in
+    let child_derived = List.map (fun b -> b.Memo.a_derived) child_bests in
+    let delivered = Physical_ops.derive op child_derived in
+    let inputs =
+      List.map2
+        (fun cg (b : Memo.alternative) ->
+          Cost.Cost_model.input ~rows:(group_rows t cg)
+            ~width:(group_width t cg) ~dist:b.Memo.a_derived.Props.ddist ())
+        children child_bests
+    in
+    let rows_out = group_rows t gid in
+    let width_out = group_width t gid in
+    let scan_rows =
+      match op with
+      | Expr.P_table_scan (td, _, _) | Expr.P_index_scan (td, _, _, _, _) ->
+          Stats.Relstats.rows (t.base td)
+      | _ -> 0.0
+    in
+    let local =
+      Cost.Cost_model.op_cost t.model op ~rows_out ~width_out ~inputs
+        ~scan_rows ~out_dist:delivered.Props.ddist
+    in
+    let children_cost =
+      List.fold_left (fun acc b -> acc +. b.Memo.a_cost) 0.0 child_bests
+    in
+    let base_cost = local +. children_cost in
+    let chains =
+      Props.enforcement_alternatives ~delivered ~required:ctx.Memo.cx_req
+    in
+    List.iter
+      (fun chain ->
+        (* walk the chain, tracking properties and incremental costs *)
+        let _, enf_costs_rev, final_derived =
+          List.fold_left
+            (fun (d, costs, _) enf ->
+              let skew = redistribute_skew t gid enf in
+              let c =
+                Cost.Cost_model.enforcer_cost t.model enf ~rows:rows_out
+                  ~width:width_out ~dist:d.Props.ddist ~skew
+              in
+              let d' = Props.apply_enforcer d enf in
+              (d', c :: costs, d'))
+            (delivered, [], delivered)
+            chain
+        in
+        let enf_costs = List.rev enf_costs_rev in
+        let total = base_cost +. List.fold_left ( +. ) 0.0 enf_costs in
+        bump_by t.counters.a_alternatives_costed 1;
+        Memo.record_alternative t.memo gid ctx
+          {
+            Memo.a_gexpr = ge;
+            a_child_reqs = child_reqs;
+            a_enforcers = chain;
+            a_enf_costs = enf_costs;
+            a_local_cost = local;
+            a_cost = total;
+            a_derived = final_derived;
+          })
+      chains
+  end
+
+(* --- Opt(g, req) / Opt(gexpr, req) --- *)
+
+let opt_goal gid req = Printf.sprintf "opt:%d:%d" gid (Props.req_fingerprint req)
+
+let rec opt_group_job t gid req () =
+  let gid = Memo.find t.memo gid in
+  let ctx, created = Memo.obtain_context t.memo gid req in
+  if created then bump_by t.counters.a_contexts_created 1;
+  match ctx.Memo.cx_state with
+  | Memo.Ctx_complete -> Gpos.Scheduler.Finished
+  | Memo.Ctx_in_progress ->
+      (* our own re-run after the Opt(gexpr) children drained (concurrent
+         requests for this goal are parked on the goal queue instead) *)
+      ctx.Memo.cx_state <- Memo.Ctx_complete;
+      Gpos.Scheduler.Finished
+  | Memo.Ctx_new ->
+      ctx.Memo.cx_state <- Memo.Ctx_in_progress;
+      let g = Memo.group t.memo gid in
+      let jobs =
+        Memo.physical_exprs g
+        |> List.map (fun (ge, op) ->
+               {
+                 Gpos.Scheduler.run = opt_gexpr_job t ctx gid ge op req;
+                 goal = None;
+               })
+      in
+      if jobs = [] then begin
+        ctx.Memo.cx_state <- Memo.Ctx_complete;
+        Gpos.Scheduler.Finished
+      end
+      else Gpos.Scheduler.Wait_for jobs
+
+and opt_gexpr_job t ctx gid ge op req =
+  let alternatives =
+    lazy
+      (Requests.alternatives op ~req
+         ~child_out_cols:
+           (List.map (Memo.output_cols t.memo) ge.Memo.ge_children))
+  in
+  let stage = ref `Spawn in
+  fun () ->
+    match !stage with
+    | `Spawn ->
+        stage := `Cost;
+        let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
+        (* spawn Opt(child group, child request) for every request appearing
+           in any alternative; goal queues deduplicate *)
+        let child_jobs =
+          Lazy.force alternatives
+          |> List.concat_map (fun child_reqs ->
+                 List.map2
+                   (fun cg cr ->
+                     {
+                       Gpos.Scheduler.run = opt_group_job t cg cr;
+                       goal = Some (opt_goal cg cr);
+                     })
+                   children child_reqs)
+        in
+        if child_jobs = [] then (
+          stage := `Cost;
+          List.iter (fun creqs -> cost_alternative t ctx gid ge op creqs)
+            (Lazy.force alternatives);
+          Gpos.Scheduler.Finished)
+        else Gpos.Scheduler.Wait_for child_jobs
+    | `Cost ->
+        stage := `Done;
+        List.iter
+          (fun creqs -> cost_alternative t ctx gid ge op creqs)
+          (Lazy.force alternatives);
+        Gpos.Scheduler.Finished
+    | `Done -> Gpos.Scheduler.Finished
+
+(* --- wait for a context to be complete, then finalize --- *)
+
+let mark_contexts_complete t =
+  (* optimization jobs have drained: every touched context is final *)
+  List.iter
+    (fun gid ->
+      List.iter
+        (fun ctx -> ctx.Memo.cx_state <- Memo.Ctx_complete)
+        (Memo.contexts_of_group t.memo gid))
+    (Memo.group_ids t.memo)
+
+(* --- the four optimization steps (paper §4.1) --- *)
+
+(* A root job that spawns [children] exactly once and finishes when they
+   drain. *)
+let once children =
+  let spawned = ref false in
+  fun () ->
+    if !spawned then Gpos.Scheduler.Finished
+    else begin
+      spawned := true;
+      Gpos.Scheduler.Wait_for children
+    end
+
+let explore t =
+  let root = Memo.root t.memo in
+  Gpos.Scheduler.run t.sched
+    (once
+       [
+         {
+           Gpos.Scheduler.run = exp_group_job t root;
+           goal = Some (Printf.sprintf "exp:%d" root);
+         };
+       ])
+
+let derive_statistics t = Memolib.Memo_stats.derive_all t.memo ~base:t.base
+
+let implement t =
+  (* implementation runs on every group so that plan alternatives exist even
+     in corners exploration pruned *)
+  Gpos.Scheduler.run t.sched
+    (once
+       (List.map
+          (fun gid ->
+            {
+              Gpos.Scheduler.run = imp_group_job t gid;
+              goal = Some (Printf.sprintf "imp:%d" gid);
+            })
+          (Memo.group_ids t.memo)))
+
+let optimize t (req : Props.req) =
+  let root = Memo.root t.memo in
+  Gpos.Scheduler.run t.sched_opt
+    (once
+       [
+         {
+           Gpos.Scheduler.run = opt_group_job t root req;
+           goal = Some (opt_goal root req);
+         };
+       ]);
+  mark_contexts_complete t
+
+(* Full workflow. Returns the best plan for the root request. *)
+let run t (req : Props.req) : Expr.plan =
+  explore t;
+  derive_statistics t;
+  implement t;
+  optimize t req;
+  Memolib.Extract.best_plan t.memo (Memo.root t.memo) req
+
+let scheduler_stats t =
+  let c1, r1, g1 = Gpos.Scheduler.stats t.sched in
+  let c2, r2, g2 = Gpos.Scheduler.stats t.sched_opt in
+  (c1 + c2, r1 + r2, g1 + g2)
+
+let counters t =
+  {
+    xform_applied = Atomic.get t.counters.a_xform_applied;
+    xform_results = Atomic.get t.counters.a_xform_results;
+    alternatives_costed = Atomic.get t.counters.a_alternatives_costed;
+    contexts_created = Atomic.get t.counters.a_contexts_created;
+  }

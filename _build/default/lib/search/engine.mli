@@ -1,0 +1,56 @@
+(** The optimization engine (paper §4.1 workflow, §4.2 parallel search).
+
+    Drives the four optimization steps — exploration, statistics derivation,
+    implementation, optimization — as graphs of small re-entrant jobs on the
+    GPOS scheduler. The paper's seven job kinds map to Exp(g)/Exp(gexpr),
+    Imp(g)/Imp(gexpr), Opt(g,req)/Opt(gexpr,req) and Xform(gexpr,rule), with
+    per-goal queues deduplicating concurrent work on the same (group,
+    purpose) or (group, request). *)
+
+open Ir
+
+type counters = {
+  xform_applied : int;
+  xform_results : int;
+  alternatives_costed : int;
+  contexts_created : int;
+}
+
+type t
+
+val create :
+  ?workers:int ->
+  ruleset:Xform.Ruleset.t ->
+  model:Cost.Cost_model.t ->
+  factory:Colref.Factory.t ->
+  base:(Table_desc.t -> Stats.Relstats.t) ->
+  Memolib.Memo.t ->
+  t
+(** [workers = 1] (default) is deterministic; more workers run optimization
+    jobs on that many domains. [base] supplies base-table statistics. *)
+
+val set_deadline : t -> float option -> unit
+(** Stage timeout in milliseconds from now; bounds exploration (a plan is
+    still always produced from what was explored). *)
+
+val explore : t -> unit
+(** Step 1: fire exploration rules to a fixpoint from the root group. *)
+
+val derive_statistics : t -> unit
+(** Step 2: statistics derivation on the Memo (promise-based, memoized). *)
+
+val implement : t -> unit
+(** Step 3: fire implementation rules on every group. *)
+
+val optimize : t -> Props.req -> unit
+(** Step 4: submit the root optimization request; property enforcement and
+    costing fill the optimization contexts. *)
+
+val run : t -> Props.req -> Expr.plan
+(** All four steps, then extract the best plan for the request. *)
+
+val scheduler_stats : t -> int * int * int
+(** (jobs created, job executions, goal-queue hits). *)
+
+val counters : t -> counters
+(** A consistent-enough snapshot of the atomic search counters. *)

@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Ast Catalog Colref Datum Dtype Dxl Expr Gpos Ir List Ltree Option Parser Printf Props Rollup Scalar_ops Sortspec Table_desc

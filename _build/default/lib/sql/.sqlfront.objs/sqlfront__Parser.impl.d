@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Gpos Ir Lexer List Printf String Token

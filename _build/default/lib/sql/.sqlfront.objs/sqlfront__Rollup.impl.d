@@ -1,0 +1,1 @@
+lib/sql/rollup.ml: Ast Ir List Option

@@ -1,0 +1,1 @@
+lib/sql/rollup.mli: Ast

@@ -1,0 +1,80 @@
+(* SQL abstract syntax (the parser's output, the binder's input). *)
+
+type expr =
+  | E_col of string option * string (* [qualifier.]column *)
+  | E_star                          (* COUNT-star argument / SELECT star *)
+  | E_int of int
+  | E_float of float
+  | E_string of string
+  | E_bool of bool
+  | E_null
+  | E_date of string                (* DATE 'YYYY-MM-DD' *)
+  | E_cmp of Ir.Expr.cmp * expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_arith of Ir.Expr.arith * expr * expr
+  | E_neg of expr
+  | E_is_null of expr * bool        (* negated? *)
+  | E_between of expr * expr * expr
+  | E_in_list of expr * expr list
+  | E_in_query of expr * query * bool (* negated? *)
+  | E_exists of query * bool          (* negated? *)
+  | E_scalar_subquery of query
+  | E_like of expr * string
+  | E_case of (expr * expr) list * expr option
+  | E_func of string * expr list    (* COALESCE and friends *)
+  | E_agg of agg_call
+  | E_window of window_call
+  | E_cast of expr * string
+
+and agg_call = { agg_name : string; agg_expr : expr option; agg_dist : bool }
+
+and window_call = {
+  win_name : string; (* ROW_NUMBER | RANK | COUNT | SUM | AVG | MIN | MAX *)
+  win_expr : expr option;
+  win_partition : expr list;
+  win_order : (expr * [ `Asc | `Desc ]) list;
+}
+
+and select_item = { item_expr : expr; item_alias : string option }
+
+and join_type = J_inner | J_left | J_right | J_full | J_cross
+
+and from_item =
+  | F_table of string * string option (* table or CTE name, alias *)
+  | F_subquery of query * string
+  | F_join of from_item * join_type * from_item * expr option
+
+and group_mode =
+  | G_plain
+  | G_rollup  (* grouping sets = every prefix of [group_by] *)
+  | G_cube    (* grouping sets = every subset of [group_by] *)
+  | G_sets of int list
+      (* explicit GROUPING SETS: each mask selects a subset of [group_by]
+         (bit i = expression i kept) *)
+
+and select_core = {
+  distinct : bool;
+  items : select_item list;
+  from : from_item list; (* comma list: implicit cross join *)
+  where : expr option;
+  group_by : expr list;
+  group_mode : group_mode;
+      (* ROLLUP/CUBE: [group_by] is the grouping-set generator; expanded to
+         a UNION ALL of plain GROUP BY arms before binding (see Rollup) *)
+  having : expr option;
+}
+
+and body = Select of select_core | Setop of Ir.Expr.set_kind * body * body
+
+and query = {
+  ctes : (string * query) list;
+  body : body;
+  order_by : (expr * [ `Asc | `Desc ]) list;
+  limit : int option;
+  offset : int option;
+}
+
+let simple_select core =
+  { ctes = []; body = Select core; order_by = []; limit = None; offset = None }

@@ -1,0 +1,23 @@
+(** The binder — the system's Query2DXL translator (paper Fig. 2).
+
+    Resolves names against the catalog through an MD accessor, mints fresh
+    column references per table instance (self-joins bind twice), lowers the
+    AST to a logical operator tree and packages it as a DXL query message.
+
+    Subqueries become Apply operators whose correlation sets are the columns
+    resolved through enclosing scopes. EXISTS/IN subqueries are accepted only
+    in conjunct positions (where the semi-join rewrite is sound); scalar
+    subqueries anywhere. AVG is decomposed into SUM/COUNT at bind time so
+    every aggregate splits cleanly into partial/final stages. *)
+
+type t
+
+val create : Catalog.Accessor.t -> t
+
+val bind : t -> Ast.query -> Dxl.Dxl_query.t
+(** Lower a parsed query. Raises [Gpos_error.Error Bind_error] for unknown
+    tables/columns, misplaced aggregates or subqueries, and unsupported
+    constructs. *)
+
+val bind_sql : Catalog.Accessor.t -> string -> Dxl.Dxl_query.t
+(** Parser + binder: SQL text straight to a DXL query. *)

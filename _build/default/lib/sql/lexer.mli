@@ -1,0 +1,8 @@
+(** SQL lexer: identifiers (case-folded to lowercase), keywords (uppercased),
+    integer/float/string literals with [''] escaping, operators, and [--]
+    line comments. *)
+
+val tokenize : string -> Token.t list
+(** The token stream, [EOF]-terminated. Raises
+    [Gpos_error.Error Parse_error] with a line number on bad characters or
+    unterminated strings. *)

@@ -1,0 +1,10 @@
+(** Recursive-descent SQL parser for the dialect the workload uses:
+    SELECT [DISTINCT] .. FROM (tables, inline views, explicit joins) WHERE /
+    GROUP BY / HAVING / ORDER BY / LIMIT / OFFSET, WITH-CTEs, UNION [ALL] /
+    INTERSECT / EXCEPT, scalar/IN/EXISTS subqueries, CASE, BETWEEN, LIKE,
+    IS [NOT] NULL, CAST, aggregates. *)
+
+val parse : string -> Ast.query
+(** Parse one statement (a trailing [;] is accepted). Raises
+    [Gpos_error.Error Parse_error] with a message on malformed input,
+    including trailing garbage. *)

@@ -1,0 +1,21 @@
+(** GROUP BY ROLLUP / CUBE expansion (GPDB grouping sets, exercised by many
+    real TPC-DS templates — q5, q18, q22, q27, q36, q67, q77, q80, q86).
+
+    [ROLLUP (e1, ..., en)] aggregates once per prefix of the list and
+    [CUBE (e1, ..., en)] once per subset, with NULL standing in for every
+    rolled-away expression and [GROUPING(e)] resolving to 1 where [e] is
+    rolled away. The expansion rewrites such a select into a [UNION ALL] of
+    plain GROUP BY arms — finest grouping set first — before binding, so the
+    Orca pipeline, the legacy Planner and the naive oracle all share one
+    implementation. *)
+
+val masks : Ast.group_mode -> int -> int list
+(** The grouping-set masks for [n] grouping expressions (bit i = expression
+    i kept), widest set first. ROLLUP: the n+1 prefixes. CUBE: all 2^n
+    subsets. G_sets: the given masks, reordered widest-first. Exposed for
+    property tests. *)
+
+val expand_query : Ast.query -> Ast.query
+(** Recursively expand every ROLLUP/CUBE in the query, its CTEs and
+    subqueries. Queries without one come back unchanged (up to clearing the
+    group mode). *)

@@ -1,0 +1,32 @@
+(* SQL tokens. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KEYWORD of string (* uppercased *)
+  | SYMBOL of string  (* punctuation and operators *)
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "OFFSET"; "AS"; "AND"; "OR"; "NOT"; "IN"; "EXISTS"; "BETWEEN"; "LIKE";
+    "IS"; "NULL"; "TRUE"; "FALSE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
+    "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER"; "CROSS"; "ON";
+    "UNION"; "ALL"; "INTERSECT"; "EXCEPT"; "DISTINCT"; "WITH"; "ASC"; "DESC";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "COALESCE"; "CAST"; "DATE"; "VALUES";
+    "OVER"; "PARTITION";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | KEYWORD k -> k
+  | SYMBOL s -> s
+  | EOF -> "<end of input>"

@@ -1,0 +1,1 @@
+lib/stats/derive.ml: Colref Datum Expr Float Gpos Histogram Ir List Option Relstats Scalar_ops Selectivity Table_desc

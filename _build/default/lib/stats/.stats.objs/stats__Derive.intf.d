@@ -1,0 +1,1 @@
+lib/stats/derive.mli: Colref Expr Ir Relstats Table_desc

@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Datum Expr Float Gpos Ir List Printf String

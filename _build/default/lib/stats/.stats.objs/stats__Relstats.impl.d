@@ -1,0 +1,1 @@
+lib/stats/relstats.ml: Colref Dtype Float Histogram Ir List Printf String

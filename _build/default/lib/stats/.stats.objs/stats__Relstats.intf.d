@@ -1,0 +1,1 @@
+lib/stats/relstats.mli: Colref Histogram Ir

@@ -1,0 +1,1 @@
+lib/stats/selectivity.ml: Colref Datum Dtype Expr Float Histogram Ir List Relstats Scalar_ops String

@@ -1,0 +1,1 @@
+lib/stats/selectivity.mli: Colref Expr Histogram Ir Relstats

@@ -1,0 +1,284 @@
+open Ir
+
+(* Equi-height column histograms (paper §4.1: "a statistics object in Orca is
+   mainly a collection of column histograms used to derive estimates for
+   cardinality and data skew").
+
+   Buckets carry absolute row counts so histograms can be scaled, filtered and
+   joined while keeping cardinalities consistent. Bucket bounds are datums;
+   interpolation inside a bucket uses the numeric embedding Datum.to_float. *)
+
+type bucket = {
+  lo : Datum.t;  (* inclusive *)
+  hi : Datum.t;  (* inclusive *)
+  rows : float;
+  ndv : float;
+}
+
+type t = { buckets : bucket list; null_rows : float }
+
+let empty = { buckets = []; null_rows = 0.0 }
+
+let total_rows t =
+  List.fold_left (fun acc b -> acc +. b.rows) t.null_rows t.buckets
+
+let non_null_rows t = total_rows t -. t.null_rows
+
+let ndv t = List.fold_left (fun acc b -> acc +. b.ndv) 0.0 t.buckets
+
+let null_fraction t =
+  let total = total_rows t in
+  if total <= 0.0 then 0.0 else t.null_rows /. total
+
+let is_empty t = t.buckets = [] && t.null_rows = 0.0
+
+(* Data skew: ratio of the heaviest bucket to the mean bucket weight. Used by
+   the cost model to penalize redistribution on skewed columns. *)
+let skew t =
+  match t.buckets with
+  | [] -> 1.0
+  | bs ->
+      let n = float_of_int (List.length bs) in
+      let total = List.fold_left (fun acc b -> acc +. b.rows) 0.0 bs in
+      if total <= 0.0 then 1.0
+      else
+        let max_rows = List.fold_left (fun m b -> Float.max m b.rows) 0.0 bs in
+        max_rows /. (total /. n)
+
+(* Build an equi-height histogram from concrete values. *)
+let build ?(nbuckets = 32) (values : Datum.t list) : t =
+  let nulls, non_null = List.partition Datum.is_null values in
+  let null_rows = float_of_int (List.length nulls) in
+  let sorted = List.sort Datum.compare non_null in
+  let n = List.length sorted in
+  if n = 0 then { buckets = []; null_rows }
+  else
+    let arr = Array.of_list sorted in
+    let per_bucket = max 1 (n / nbuckets) in
+    let buckets = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let stop0 = min (n - 1) (start + per_bucket - 1) in
+      (* extend the bucket so equal values never straddle a boundary *)
+      let stop = ref stop0 in
+      while !stop < n - 1 && Datum.equal arr.(!stop) arr.(!stop + 1) do
+        incr stop
+      done;
+      let slice_len = !stop - start + 1 in
+      let distinct = ref 1 in
+      for k = start + 1 to !stop do
+        if not (Datum.equal arr.(k) arr.(k - 1)) then incr distinct
+      done;
+      buckets :=
+        {
+          lo = arr.(start);
+          hi = arr.(!stop);
+          rows = float_of_int slice_len;
+          ndv = float_of_int !distinct;
+        }
+        :: !buckets;
+      i := !stop + 1
+    done;
+    { buckets = List.rev !buckets; null_rows }
+
+let scale t factor =
+  if factor < 0.0 then Gpos.Gpos_error.internal "Histogram.scale: negative factor";
+  {
+    buckets =
+      List.map
+        (fun b ->
+          { b with rows = b.rows *. factor; ndv = Float.min b.ndv (b.rows *. factor) })
+        t.buckets;
+    null_rows = t.null_rows *. factor;
+  }
+
+let bucket_width b =
+  let w = Datum.to_float b.hi -. Datum.to_float b.lo in
+  Float.max w 0.0
+
+(* Fraction of bucket [b] with value < v (or <= v when [inclusive]). *)
+let bucket_fraction_below b v ~inclusive =
+  let lo = Datum.to_float b.lo and hi = Datum.to_float b.hi in
+  let x = Datum.to_float v in
+  if x < lo then 0.0
+  else if x > hi then 1.0
+  else if hi <= lo then if inclusive then 1.0 else 0.0
+  else
+    let frac = (x -. lo) /. (hi -. lo) in
+    if inclusive then Float.min 1.0 (frac +. (1.0 /. Float.max 1.0 b.ndv))
+    else frac
+
+(* Rows in bucket equal to [v], assuming uniform spread over distinct values. *)
+let bucket_eq_rows b v =
+  if Datum.compare v b.lo < 0 || Datum.compare v b.hi > 0 then 0.0
+  else b.rows /. Float.max 1.0 b.ndv
+
+(* Filter the histogram with [col cmp const]; returns the filtered histogram
+   (null rows never pass a comparison). *)
+let select_cmp t (op : Expr.cmp) (v : Datum.t) : t =
+  if Datum.is_null v then { buckets = []; null_rows = 0.0 }
+  else
+    let keep b =
+      match op with
+      | Expr.Eq ->
+          let rows = bucket_eq_rows b v in
+          if rows > 0.0 then Some { lo = v; hi = v; rows; ndv = 1.0 } else None
+      | Expr.Neq ->
+          let eq = bucket_eq_rows b v in
+          let rows = Float.max 0.0 (b.rows -. eq) in
+          if rows > 0.0 then
+            Some { b with rows; ndv = Float.max 1.0 (b.ndv -. 1.0) }
+          else None
+      | Expr.Lt | Expr.Le ->
+          let frac = bucket_fraction_below b v ~inclusive:(op = Expr.Le) in
+          let rows = b.rows *. frac in
+          if rows > 0.0 then
+            Some
+              {
+                b with
+                hi = (if Datum.compare b.hi v > 0 then v else b.hi);
+                rows;
+                ndv = Float.max 1.0 (b.ndv *. frac);
+              }
+          else None
+      | Expr.Gt | Expr.Ge ->
+          let frac =
+            1.0 -. bucket_fraction_below b v ~inclusive:(op = Expr.Gt)
+          in
+          let rows = b.rows *. frac in
+          if rows > 0.0 then
+            Some
+              {
+                b with
+                lo = (if Datum.compare b.lo v < 0 then v else b.lo);
+                rows;
+                ndv = Float.max 1.0 (b.ndv *. frac);
+              }
+          else None
+    in
+    { buckets = List.filter_map keep t.buckets; null_rows = 0.0 }
+
+let selectivity_cmp t op v =
+  let total = total_rows t in
+  if total <= 0.0 then 1.0
+  else
+    let kept = total_rows (select_cmp t op v) in
+    Float.min 1.0 (Float.max 0.0 (kept /. total))
+
+(* Split buckets of both histograms on each other's boundaries so that the
+   resulting bucket lists cover identical ranges where they overlap. *)
+let split_on_boundaries (t : t) (boundaries : Datum.t list) : bucket list =
+  let split_bucket b =
+    let cuts =
+      boundaries
+      |> List.filter (fun v ->
+             Datum.compare v b.lo > 0 && Datum.compare v b.hi < 0)
+      |> List.sort_uniq Datum.compare
+    in
+    match cuts with
+    | [] -> [ b ]
+    | cuts ->
+        let pieces = ref [] in
+        let current_lo = ref b.lo in
+        let width_total = Float.max (bucket_width b) 1e-9 in
+        List.iter
+          (fun cut ->
+            let w =
+              (Datum.to_float cut -. Datum.to_float !current_lo) /. width_total
+            in
+            let w = Float.max 0.0 (Float.min 1.0 w) in
+            pieces :=
+              {
+                lo = !current_lo;
+                hi = cut;
+                rows = b.rows *. w;
+                ndv = Float.max 1.0 (b.ndv *. w);
+              }
+              :: !pieces;
+            current_lo := cut)
+          cuts;
+        let w =
+          (Datum.to_float b.hi -. Datum.to_float !current_lo) /. width_total
+        in
+        let w = Float.max 0.0 (Float.min 1.0 w) in
+        pieces :=
+          {
+            lo = !current_lo;
+            hi = b.hi;
+            rows = b.rows *. w;
+            ndv = Float.max 1.0 (b.ndv *. w);
+          }
+          :: !pieces;
+        List.rev !pieces
+  in
+  List.concat_map split_bucket t.buckets
+
+let overlaps a b = Datum.compare a.lo b.hi <= 0 && Datum.compare b.lo a.hi <= 0
+
+(* Equi-join of two column histograms. Returns (join row count, histogram of
+   the join key in the result). Aligned-fragment containment estimate:
+   rows = r1 * r2 / max(ndv1, ndv2) per overlapping fragment. *)
+let join_eq (a : t) (b : t) : float * t =
+  let bounds h =
+    List.concat_map (fun bk -> [ bk.lo; bk.hi ]) h.buckets
+  in
+  let a_buckets = split_on_boundaries a (bounds b) in
+  let b_buckets = split_on_boundaries b (bounds a) in
+  let out = ref [] in
+  let total = ref 0.0 in
+  List.iter
+    (fun ba ->
+      List.iter
+        (fun bb ->
+          if overlaps ba bb then begin
+            (* fragment intersection *)
+            let lo = if Datum.compare ba.lo bb.lo >= 0 then ba.lo else bb.lo in
+            let hi = if Datum.compare ba.hi bb.hi <= 0 then ba.hi else bb.hi in
+            let frac bucket =
+              let bw = bucket_width bucket in
+              if bw <= 0.0 then 1.0
+              else
+                let w = Datum.to_float hi -. Datum.to_float lo in
+                Float.max 0.0 (Float.min 1.0 (w /. bw))
+            in
+            let ra = ba.rows *. frac ba and rb = bb.rows *. frac bb in
+            let na = Float.max 1.0 (ba.ndv *. frac ba)
+            and nb = Float.max 1.0 (bb.ndv *. frac bb) in
+            let rows = ra *. rb /. Float.max na nb in
+            if rows > 0.0 then begin
+              total := !total +. rows;
+              out := { lo; hi; rows; ndv = Float.min na nb } :: !out
+            end
+          end)
+        b_buckets)
+    a_buckets;
+  (!total, { buckets = List.rev !out; null_rows = 0.0 })
+
+(* Merge two histograms of the same column domain (UNION ALL). *)
+let union_all (a : t) (b : t) : t =
+  {
+    buckets = a.buckets @ b.buckets;
+    null_rows = a.null_rows +. b.null_rows;
+  }
+
+let min_value t = match t.buckets with [] -> None | b :: _ -> Some b.lo
+
+let max_value t =
+  match List.rev t.buckets with [] -> None | b :: _ -> Some b.hi
+
+let to_string t =
+  let bs =
+    List.map
+      (fun b ->
+        Printf.sprintf "[%s..%s r=%.1f d=%.1f]" (Datum.to_string b.lo)
+          (Datum.to_string b.hi) b.rows b.ndv)
+      t.buckets
+  in
+  Printf.sprintf "hist(nulls=%.1f, %s)" t.null_rows (String.concat " " bs)
+
+(* Singleton histogram describing a column with [rows] rows uniformly spread
+   over [ndv] values in [lo, hi]; used for defaults and synthetic metadata. *)
+let uniform ~lo ~hi ~rows ~ndv =
+  if rows <= 0.0 then empty
+  else { buckets = [ { lo; hi; rows; ndv = Float.max 1.0 ndv } ]; null_rows = 0.0 }

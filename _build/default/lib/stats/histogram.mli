@@ -1,0 +1,64 @@
+(** Equi-height column histograms (paper §4.1: statistics objects are
+    collections of column histograms used to derive cardinality and data-skew
+    estimates).
+
+    Buckets carry absolute row counts, so histograms can be scaled, filtered
+    and joined while staying consistent with relation cardinalities. *)
+
+open Ir
+
+type bucket = {
+  lo : Datum.t;  (** inclusive lower bound *)
+  hi : Datum.t;  (** inclusive upper bound *)
+  rows : float;  (** rows falling in the bucket *)
+  ndv : float;   (** distinct values in the bucket *)
+}
+
+type t = { buckets : bucket list; null_rows : float }
+
+val empty : t
+
+val build : ?nbuckets:int -> Datum.t list -> t
+(** Build an equi-height histogram from concrete values (default 32 buckets).
+    Equal values never straddle a bucket boundary. *)
+
+val uniform : lo:Datum.t -> hi:Datum.t -> rows:float -> ndv:float -> t
+(** A single-bucket histogram describing [rows] rows uniformly spread over
+    [ndv] distinct values in [lo, hi]; used for defaults and synthetic
+    metadata. *)
+
+val total_rows : t -> float
+(** Total rows described, nulls included. *)
+
+val non_null_rows : t -> float
+val ndv : t -> float
+val null_fraction : t -> float
+val is_empty : t -> bool
+
+val skew : t -> float
+(** Ratio of the heaviest bucket to the mean bucket weight (>= 1.0). Used by
+    the cost model to penalize redistribution on skewed columns. *)
+
+val scale : t -> float -> t
+(** Scale all row counts by a selectivity factor (NDVs are capped by the
+    scaled rows). Raises on negative factors. *)
+
+val select_cmp : t -> Expr.cmp -> Datum.t -> t
+(** Histogram of the rows satisfying [col cmp const]. Null rows never pass a
+    comparison; comparing against NULL yields an empty histogram. *)
+
+val selectivity_cmp : t -> Expr.cmp -> Datum.t -> float
+(** Fraction of rows satisfying [col cmp const], in [0, 1]. *)
+
+val join_eq : t -> t -> float * t
+(** Equi-join of two column histograms: buckets are split on each other's
+    boundaries and joined fragment-by-fragment with the containment
+    assumption (rows = r1*r2 / max(ndv1, ndv2)). Returns the estimated join
+    cardinality and the join key's histogram in the result. *)
+
+val union_all : t -> t -> t
+(** Merge two histograms over the same column domain (UNION ALL). *)
+
+val min_value : t -> Datum.t option
+val max_value : t -> Datum.t option
+val to_string : t -> string

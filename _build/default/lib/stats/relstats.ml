@@ -1,0 +1,74 @@
+open Ir
+
+(* Relation statistics: a row count and a histogram per column. Attached to
+   Memo groups and incrementally extended (paper §4.1, Fig. 5). *)
+
+type col_stats = { hist : Histogram.t }
+
+type t = { rows : float; cols : col_stats Colref.Map.t }
+
+let empty = { rows = 0.0; cols = Colref.Map.empty }
+
+let rows t = t.rows
+
+let make ~rows cols_list =
+  let cols =
+    List.fold_left
+      (fun m (c, h) -> Colref.Map.add c { hist = h } m)
+      Colref.Map.empty cols_list
+  in
+  { rows; cols }
+
+let find_col t c = Colref.Map.find_opt c t.cols
+
+let col_hist t c =
+  match find_col t c with Some cs -> Some cs.hist | None -> None
+
+(* Default when no histogram is known: assume [default_ndv] distinct values. *)
+let default_ndv = 100.0
+
+let col_ndv t c =
+  match col_hist t c with
+  | Some h when not (Histogram.is_empty h) ->
+      Float.max 1.0 (Histogram.ndv h)
+  | _ -> Float.min default_ndv (Float.max 1.0 t.rows)
+
+let col_skew t c =
+  match col_hist t c with Some h -> Histogram.skew h | None -> 1.0
+
+let col_null_frac t c =
+  match col_hist t c with Some h -> Histogram.null_fraction h | None -> 0.0
+
+let set_col t c h = { t with cols = Colref.Map.add c { hist = h } t.cols }
+
+let set_rows t rows = { t with rows = Float.max 0.0 rows }
+
+(* Scale every histogram and the row count by [factor] (selectivity). *)
+let scale t factor =
+  let factor = Float.max 0.0 factor in
+  {
+    rows = t.rows *. factor;
+    cols = Colref.Map.map (fun cs -> { hist = Histogram.scale cs.hist factor }) t.cols;
+  }
+
+(* Combine column maps of two join inputs (disjoint column sets). *)
+let merge_cols a b =
+  {
+    rows = a.rows;
+    cols = Colref.Map.union (fun _ x _ -> Some x) a.cols b.cols;
+  }
+
+let width_of_cols cols =
+  List.fold_left (fun acc c -> acc + Dtype.width (Colref.ty c)) 0 cols
+
+(* Average row width in bytes for a set of output columns. *)
+let row_width cols = float_of_int (width_of_cols cols)
+
+let to_string t =
+  let cols =
+    Colref.Map.bindings t.cols
+    |> List.map (fun (c, cs) ->
+           Printf.sprintf "%s: ndv=%.1f" (Colref.to_string c)
+             (Histogram.ndv cs.hist))
+  in
+  Printf.sprintf "rows=%.1f {%s}" t.rows (String.concat "; " cols)

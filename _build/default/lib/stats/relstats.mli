@@ -1,0 +1,37 @@
+(** Relation statistics: a row count plus a histogram per column. Attached to
+    Memo groups and incrementally extended during optimization (paper §4.1,
+    Fig. 5). *)
+
+open Ir
+
+type col_stats = { hist : Histogram.t }
+
+type t = { rows : float; cols : col_stats Colref.Map.t }
+
+val empty : t
+val rows : t -> float
+val make : rows:float -> (Colref.t * Histogram.t) list -> t
+val find_col : t -> Colref.t -> col_stats option
+val col_hist : t -> Colref.t -> Histogram.t option
+
+val default_ndv : float
+(** Distinct-count guess for columns with no histogram. *)
+
+val col_ndv : t -> Colref.t -> float
+val col_skew : t -> Colref.t -> float
+val col_null_frac : t -> Colref.t -> float
+val set_col : t -> Colref.t -> Histogram.t -> t
+val set_rows : t -> float -> t
+
+val scale : t -> float -> t
+(** Scale the row count and every histogram by a selectivity factor. *)
+
+val merge_cols : t -> t -> t
+(** Combine the column maps of two join inputs (disjoint column sets); keeps
+    the first argument's row count. *)
+
+val width_of_cols : Colref.t list -> int
+val row_width : Colref.t list -> float
+(** Average row width in bytes for a set of output columns. *)
+
+val to_string : t -> string

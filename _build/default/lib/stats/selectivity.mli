@@ -1,0 +1,24 @@
+(** Predicate selectivity estimation over relation statistics.
+
+    Filtering returns *updated* statistics: the constrained column's
+    histogram is replaced by its filtered version and the other histograms
+    are scaled, so estimates compose as predicates stack up (paper Fig. 5:
+    combined statistics reflect the join condition's impact on histograms). *)
+
+open Ir
+
+val default_selectivity : float
+val default_eq_selectivity : float
+val like_prefix_selectivity : float
+val like_contains_selectivity : float
+
+val conjunct_selectivity :
+  Relstats.t -> Expr.scalar -> float * (Colref.t * Histogram.t) option
+(** Selectivity of one conjunct and, for column-vs-constant comparisons, the
+    refined histogram of the constrained column. *)
+
+val apply_pred : Relstats.t -> Expr.scalar -> Relstats.t
+(** Apply a (possibly conjunctive) predicate, refining histograms. *)
+
+val selectivity : Relstats.t -> Expr.scalar -> float
+(** Overall fraction of rows the predicate keeps, in [0, 1]. *)

@@ -1,0 +1,1 @@
+lib/tpcds/datagen.ml: Array Catalog Datum Exec Gpos Hashtbl Ir List Option Printf Schema Stats

@@ -1,0 +1,1 @@
+lib/tpcds/datagen.mli: Catalog Datum Exec Hashtbl Ir

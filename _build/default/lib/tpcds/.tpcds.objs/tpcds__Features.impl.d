@@ -1,0 +1,1 @@
+lib/tpcds/features.ml: Ir List Sqlfront

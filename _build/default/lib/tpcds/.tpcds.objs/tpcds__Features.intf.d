@@ -1,0 +1,1 @@
+lib/tpcds/features.mli:

@@ -1,0 +1,1 @@
+lib/tpcds/queries.ml: Features Lazy List Printf Schema

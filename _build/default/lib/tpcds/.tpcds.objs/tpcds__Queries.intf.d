@@ -1,0 +1,1 @@
+lib/tpcds/queries.mli: Features Lazy

@@ -1,0 +1,1 @@
+lib/tpcds/schema.ml: Dtype Gpos Ir List

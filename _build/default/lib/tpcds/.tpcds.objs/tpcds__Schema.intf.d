@@ -1,0 +1,1 @@
+lib/tpcds/schema.mli: Dtype Ir

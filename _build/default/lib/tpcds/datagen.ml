@@ -1,0 +1,339 @@
+open Ir
+
+(* Deterministic mini-TPC-DS data generator. Foreign keys are consistent,
+   item popularity and seasonal dates are skewed (Zipf / holiday boost), and
+   the catalog statistics are histograms computed from the actual generated
+   data — the optimizer sees truthful metadata, as after ANALYZE. *)
+
+type db = {
+  sf : float;
+  rows : (string, Datum.t array list) Hashtbl.t;
+}
+
+let categories =
+  [| "Books"; "Electronics"; "Home"; "Jewelry"; "Music"; "Shoes"; "Sports";
+     "Children"; "Men"; "Women" |]
+
+let brands = Array.init 40 (fun i -> Printf.sprintf "brand#%02d" i)
+let classes = Array.init 16 (fun i -> Printf.sprintf "class%02d" i)
+
+let states =
+  [| "AL"; "CA"; "CO"; "FL"; "GA"; "IL"; "IN"; "MI"; "MN"; "MO"; "NC"; "NY";
+     "OH"; "PA"; "TN"; "TX"; "VA"; "WA"; "WI"; "SD" |]
+
+let cities = Array.init 60 (fun i -> Printf.sprintf "city%02d" i)
+let countries = [| "United States" |]
+let genders = [| "M"; "F" |]
+let marital = [| "M"; "S"; "D"; "W"; "U" |]
+
+let education =
+  [| "Primary"; "Secondary"; "College"; "2 yr Degree"; "4 yr Degree";
+     "Advanced Degree"; "Unknown" |]
+
+let buy_potential = [| "0-500"; "501-1000"; "1001-5000"; ">10000"; "Unknown" |]
+let day_names = [| "Sunday"; "Monday"; "Tuesday"; "Wednesday"; "Thursday"; "Friday"; "Saturday" |]
+
+let scaled sf base = max 1 (int_of_float (float_of_int base *. sf))
+
+(* table cardinalities at sf = 1.0 *)
+let base_rows sf = function
+  | "date_dim" -> Schema.ndates
+  | "time_dim" -> 288
+  | "item" -> scaled sf 500
+  | "customer" -> scaled sf 2000
+  | "customer_address" -> scaled sf 1000
+  | "customer_demographics" -> 400
+  | "household_demographics" -> 144
+  | "income_band" -> 20
+  | "store" -> 30
+  | "call_center" -> 8
+  | "catalog_page" -> 40
+  | "web_site" -> 10
+  | "web_page" -> 30
+  | "warehouse" -> 10
+  | "promotion" -> 50
+  | "reason" -> 20
+  | "ship_mode" -> 10
+  | "household" -> 100
+  | "store_sales" -> scaled sf 20000
+  | "store_returns" -> scaled sf 2000
+  | "catalog_sales" -> scaled sf 10000
+  | "catalog_returns" -> scaled sf 1000
+  | "web_sales" -> scaled sf 6000
+  | "web_returns" -> scaled sf 600
+  | "inventory" -> scaled sf 8000
+  | name -> Gpos.Gpos_error.internal "datagen: unknown table %s" name
+
+let iv n = Datum.Int n
+let fv x = Datum.Float x
+let sv s = Datum.String s
+
+(* seasonal date pick: November/December get ~2.5x weight *)
+let pick_date rng =
+  let sk = Gpos.Prng.int rng Schema.ndates in
+  let moy = sk mod Schema.days_per_year / 30 + 1 in
+  if (moy = 11 || moy = 12) || Gpos.Prng.float rng < 0.28 then sk
+  else Gpos.Prng.int rng Schema.ndates
+
+let pick_item rng nitems = Gpos.Prng.zipf rng ~n:nitems ~theta:0.6
+
+let generate ?(seed = 20140622) ~sf () : db =
+  let rng = Gpos.Prng.create seed in
+  let rows : (string, Datum.t array list) Hashtbl.t = Hashtbl.create 32 in
+  let n name = base_rows sf name in
+  let nitems = n "item" and ncust = n "customer" and naddr = n "customer_address" in
+  let put name build =
+    let count = n name in
+    let data = List.init count (fun k -> build k) in
+    Hashtbl.replace rows name data
+  in
+  put "date_dim" (fun k ->
+      let year = Schema.first_year + (k / Schema.days_per_year) in
+      let doy = k mod Schema.days_per_year in
+      let moy = (doy / 30) + 1 in
+      let dom = (doy mod 30) + 1 in
+      [|
+        iv k;
+        Datum.Date (((year - 1900) * 365) + ((moy - 1) * 31) + (dom - 1));
+        iv year; iv moy; iv dom; iv (((moy - 1) / 3) + 1);
+        sv day_names.(k mod 7);
+      |]);
+  put "time_dim" (fun k -> [| iv k; iv (k / 12); iv (k mod 12 * 5) |]);
+  put "item" (fun k ->
+      [|
+        iv k;
+        sv (Printf.sprintf "ITEM%06d" k);
+        sv categories.(k mod Array.length categories);
+        sv (Gpos.Prng.pick rng brands);
+        sv (Gpos.Prng.pick rng classes);
+        fv (Gpos.Prng.float_range rng 0.5 300.0);
+        iv (Gpos.Prng.int rng 100);
+      |]);
+  put "customer" (fun k ->
+      [|
+        iv k;
+        sv (Printf.sprintf "CUST%08d" k);
+        sv (Printf.sprintf "first%03d" (Gpos.Prng.int rng 500));
+        sv (Printf.sprintf "last%03d" (Gpos.Prng.int rng 500));
+        iv (Gpos.Prng.int_range rng 1930 2000);
+        iv (Gpos.Prng.int rng naddr);
+        iv (Gpos.Prng.int rng 400);
+      |]);
+  put "customer_address" (fun k ->
+      [|
+        iv k;
+        sv (Gpos.Prng.pick rng states);
+        sv (Gpos.Prng.pick rng cities);
+        sv (Gpos.Prng.pick rng countries);
+        sv (Printf.sprintf "%05d" (Gpos.Prng.int rng 99999));
+      |]);
+  put "customer_demographics" (fun k ->
+      [|
+        iv k;
+        sv genders.(k mod 2);
+        sv marital.(k / 2 mod Array.length marital);
+        sv education.(k / 10 mod Array.length education);
+      |]);
+  put "household_demographics" (fun k ->
+      [|
+        iv k; iv (k mod 20); sv buy_potential.(k mod Array.length buy_potential);
+        iv (k mod 10);
+      |]);
+  put "income_band" (fun k -> [| iv k; iv (k * 10000); iv (((k + 1) * 10000) - 1) |]);
+  put "store" (fun k ->
+      [|
+        iv k;
+        sv (Printf.sprintf "S%04d" k);
+        sv (Printf.sprintf "Store %d" k);
+        sv states.(k mod Array.length states);
+        sv (Gpos.Prng.pick rng cities);
+        iv (Gpos.Prng.int_range rng 50 300);
+      |]);
+  put "call_center" (fun k ->
+      [| iv k; sv (Printf.sprintf "CC %d" k); sv states.(k mod Array.length states) |]);
+  put "catalog_page" (fun k ->
+      [| iv k; sv categories.(k mod Array.length categories) |]);
+  put "web_site" (fun k -> [| iv k; sv (Printf.sprintf "site%02d" k) |]);
+  put "web_page" (fun k -> [| iv k; iv (Gpos.Prng.int_range rng 100 8000) |]);
+  put "warehouse" (fun k ->
+      [| iv k; sv (Printf.sprintf "Warehouse %d" k); sv states.(k mod Array.length states) |]);
+  put "promotion" (fun k ->
+      [| iv k; sv (if k mod 3 = 0 then "Y" else "N"); sv (if k mod 4 = 0 then "Y" else "N") |]);
+  put "reason" (fun k -> [| iv k; sv (Printf.sprintf "reason %d" k) |]);
+  put "ship_mode" (fun k ->
+      [|
+        iv k;
+        sv [| "EXPRESS"; "OVERNIGHT"; "REGULAR"; "TWO DAY"; "LIBRARY" |].(k mod 5);
+        sv (Printf.sprintf "carrier%d" (k mod 7));
+      |]);
+  put "household" (fun k -> [| iv k; iv (k mod 5) |]);
+  put "store_sales" (fun k ->
+      let price = Gpos.Prng.float_range rng 1.0 300.0 in
+      let qty = Gpos.Prng.int_range rng 1 100 in
+      let ext = price *. float_of_int qty in
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv (Gpos.Prng.int rng (n "store"));
+        iv (Gpos.Prng.int rng (n "promotion"));
+        iv k;
+        iv qty;
+        fv price;
+        fv ext;
+        fv (ext *. (Gpos.Prng.float rng -. 0.35));
+        fv (price *. 0.6);
+      |]);
+  put "store_returns" (fun k ->
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv k;
+        iv (Gpos.Prng.int_range rng 1 20);
+        fv (Gpos.Prng.float_range rng 1.0 500.0);
+      |]);
+  put "catalog_sales" (fun _ ->
+      let price = Gpos.Prng.float_range rng 1.0 300.0 in
+      let qty = Gpos.Prng.int_range rng 1 100 in
+      let ext = price *. float_of_int qty in
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv (Gpos.Prng.int rng (n "call_center"));
+        iv (Gpos.Prng.int rng (n "catalog_page"));
+        iv (Gpos.Prng.int rng (n "ship_mode"));
+        iv (Gpos.Prng.int rng (n "warehouse"));
+        iv qty;
+        fv price;
+        fv ext;
+        fv (ext *. (Gpos.Prng.float rng -. 0.35));
+      |]);
+  put "catalog_returns" (fun _ ->
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv (Gpos.Prng.int_range rng 1 20);
+        fv (Gpos.Prng.float_range rng 1.0 500.0);
+      |]);
+  put "web_sales" (fun _ ->
+      let price = Gpos.Prng.float_range rng 1.0 300.0 in
+      let qty = Gpos.Prng.int_range rng 1 100 in
+      let ext = price *. float_of_int qty in
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv (Gpos.Prng.int rng (n "web_site"));
+        iv (Gpos.Prng.int rng (n "web_page"));
+        iv (Gpos.Prng.int rng (n "promotion"));
+        iv qty;
+        fv price;
+        fv ext;
+        fv (ext *. (Gpos.Prng.float rng -. 0.35));
+      |]);
+  put "web_returns" (fun _ ->
+      [|
+        iv (pick_date rng);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng ncust);
+        iv (Gpos.Prng.int_range rng 1 20);
+        fv (Gpos.Prng.float_range rng 1.0 500.0);
+      |]);
+  put "inventory" (fun _ ->
+      [|
+        iv (Gpos.Prng.int rng Schema.ndates);
+        iv (pick_item rng nitems);
+        iv (Gpos.Prng.int rng (n "warehouse"));
+        iv (Gpos.Prng.int_range rng 0 1000);
+      |]);
+  { sf; rows }
+
+let table_rows (db : db) name =
+  match Hashtbl.find_opt db.rows name with
+  | Some rows -> rows
+  | None -> Gpos.Gpos_error.internal "datagen: table %s not generated" name
+
+(* --- catalog metadata + truthful statistics --- *)
+
+let yearly_parts () =
+  List.init Schema.nyears (fun y ->
+      {
+        Catalog.Metadata.pm_id = y;
+        pm_lo = Datum.Int (y * Schema.days_per_year);
+        pm_hi = Datum.Int ((y + 1) * Schema.days_per_year);
+      })
+
+let rel_md_of (spec : Schema.table_spec) : Catalog.Metadata.rel_md =
+  let dist =
+    match spec.Schema.dist with
+    | Schema.Hash cols ->
+        Catalog.Metadata.Hash_cols (List.map (Schema.col_position spec) cols)
+    | Schema.Replicated -> Catalog.Metadata.Replicated_dist
+    | Schema.Random -> Catalog.Metadata.Random_dist
+  in
+  Catalog.Metadata.rel_make ~dist
+    ?part_col:(Option.map (Schema.col_position spec) spec.Schema.part_col)
+    ~parts:(if spec.Schema.part_col = None then [] else yearly_parts ())
+    ~indexes:
+      (List.map
+         (fun c ->
+           {
+             Catalog.Metadata.im_name = spec.Schema.tname ^ "_" ^ c ^ "_idx";
+             im_col = Schema.col_position spec c;
+           })
+         spec.Schema.indexed)
+    ~mdid:(Catalog.Md_id.make spec.Schema.oid)
+    ~name:spec.Schema.tname
+    (List.map
+       (fun (cname, cty) -> { Catalog.Metadata.col_name = cname; col_type = cty })
+       spec.Schema.cols)
+
+let stats_md_of (db : db) (spec : Schema.table_spec) :
+    Catalog.Metadata.rel_stats_md =
+  let rows = table_rows db spec.Schema.tname in
+  let nrows = List.length rows in
+  (* sample large tables for histogram construction *)
+  let sample =
+    if nrows <= 4000 then rows
+    else List.filteri (fun i _ -> i mod (nrows / 4000) = 0) rows
+  in
+  let scale = float_of_int nrows /. float_of_int (max 1 (List.length sample)) in
+  let hists =
+    List.mapi
+      (fun pos _ ->
+        let values = List.map (fun r -> r.(pos)) sample in
+        (pos, Stats.Histogram.scale (Stats.Histogram.build values) scale))
+      spec.Schema.cols
+  in
+  {
+    Catalog.Metadata.st_mdid = Catalog.Md_id.make spec.Schema.oid;
+    st_rows = float_of_int nrows;
+    st_col_hists = hists;
+  }
+
+let metadata_objects (db : db) : Catalog.Metadata.obj list =
+  List.concat_map
+    (fun spec ->
+      [ Catalog.Metadata.Rel (rel_md_of spec);
+        Catalog.Metadata.Rel_stats (stats_md_of db spec) ])
+    Schema.tables
+
+let provider (db : db) : Catalog.Provider.t =
+  Catalog.Provider.of_objects ~name:"tpcds" (metadata_objects db)
+
+let load_cluster (db : db) (cluster : Exec.Cluster.t) : unit =
+  List.iter
+    (fun (spec : Schema.table_spec) ->
+      let dist =
+        match spec.Schema.dist with
+        | Schema.Hash cols ->
+            Exec.Cluster.By_hash (List.map (Schema.col_position spec) cols)
+        | Schema.Replicated -> Exec.Cluster.By_replication
+        | Schema.Random -> Exec.Cluster.By_random
+      in
+      Exec.Cluster.load_table cluster ~name:spec.Schema.tname ~dist
+        (table_rows db spec.Schema.tname))
+    Schema.tables

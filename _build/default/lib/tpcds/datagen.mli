@@ -1,0 +1,29 @@
+(** Deterministic mini-TPC-DS data generator.
+
+    Foreign keys are consistent, item popularity is Zipf-skewed, sale dates
+    have a holiday boost, and the catalog statistics are histograms computed
+    from the actual generated data (the optimizer sees truthful metadata, as
+    after ANALYZE). *)
+
+open Ir
+
+type db = { sf : float; rows : (string, Datum.t array list) Hashtbl.t }
+
+val generate : ?seed:int -> sf:float -> unit -> db
+(** Generate all 25 tables at scale factor [sf] (facts scale linearly;
+    date/time and small dimensions are fixed-size). Deterministic in
+    [(seed, sf)]. *)
+
+val base_rows : float -> string -> int
+(** Cardinality of a table at the given scale factor. *)
+
+val table_rows : db -> string -> Datum.t array list
+
+val metadata_objects : db -> Catalog.Metadata.obj list
+(** Relation metadata plus truthful statistics for every table. *)
+
+val provider : db -> Catalog.Provider.t
+
+val load_cluster : db -> Exec.Cluster.t -> unit
+(** Load every table onto the cluster under its schema's distribution
+    policy. *)

@@ -1,0 +1,141 @@
+(* SQL-feature analysis of workload queries. Features are derived
+   mechanically from the parsed AST (except correlation, which templates tag)
+   and drive the per-engine support matrices of paper Fig. 15. *)
+
+type t =
+  | F_with
+  | F_case
+  | F_any_subquery              (* any subquery in an expression *)
+  | F_correlated_subquery
+  | F_exists
+  | F_in_subquery
+  | F_intersect
+  | F_except
+  | F_union_distinct
+  | F_outer_join
+  | F_full_outer_join
+  | F_implicit_cross        (* comma-separated FROM with several entries *)
+  | F_non_equi_join         (* ON condition with a non-equality conjunct *)
+  | F_order_no_limit
+  | F_distinct
+  | F_having
+  | F_from_subquery
+  | F_window
+  | F_rollup
+
+let to_string = function
+  | F_with -> "WITH"
+  | F_case -> "CASE"
+  | F_any_subquery -> "subquery"
+  | F_correlated_subquery -> "correlated-subquery"
+  | F_exists -> "EXISTS"
+  | F_in_subquery -> "IN-subquery"
+  | F_intersect -> "INTERSECT"
+  | F_except -> "EXCEPT"
+  | F_union_distinct -> "UNION"
+  | F_outer_join -> "outer-join"
+  | F_full_outer_join -> "full-outer-join"
+  | F_implicit_cross -> "implicit-cross-join"
+  | F_non_equi_join -> "non-equi-join"
+  | F_order_no_limit -> "ORDER-BY-without-LIMIT"
+  | F_distinct -> "DISTINCT"
+  | F_having -> "HAVING"
+  | F_from_subquery -> "FROM-subquery"
+  | F_window -> "window-function"
+  | F_rollup -> "ROLLUP/CUBE"
+
+let rec expr_features (e : Sqlfront.Ast.expr) : t list =
+  let open Sqlfront.Ast in
+  match e with
+  | E_case (whens, els) ->
+      F_case
+      :: (List.concat_map
+            (fun (c, v) -> expr_features c @ expr_features v)
+            whens
+         @ match els with None -> [] | Some v -> expr_features v)
+  | E_exists (q, _) -> (F_any_subquery :: F_exists :: query_features q)
+  | E_in_query (x, q, _) ->
+      (F_any_subquery :: F_in_subquery :: expr_features x) @ query_features q
+  | E_scalar_subquery q -> F_any_subquery :: query_features q
+  | E_cmp (_, a, b) | E_and (a, b) | E_or (a, b) | E_arith (_, a, b) ->
+      expr_features a @ expr_features b
+  | E_not a | E_neg a | E_is_null (a, _) | E_cast (a, _) | E_like (a, _) ->
+      expr_features a
+  | E_between (a, b, c) -> expr_features a @ expr_features b @ expr_features c
+  | E_in_list (a, _) -> expr_features a
+  | E_func (_, args) -> List.concat_map expr_features args
+  | E_agg { agg_expr = Some a; agg_dist; _ } ->
+      (if agg_dist then [ F_distinct ] else []) @ expr_features a
+  | E_window w ->
+      F_window
+      :: ((match w.Sqlfront.Ast.win_expr with
+          | Some a -> expr_features a
+          | None -> [])
+         @ List.concat_map expr_features w.Sqlfront.Ast.win_partition
+         @ List.concat_map (fun (e, _) -> expr_features e) w.Sqlfront.Ast.win_order)
+  | _ -> []
+
+and has_equality (e : Sqlfront.Ast.expr) : bool =
+  let open Sqlfront.Ast in
+  match e with
+  | E_cmp (Ir.Expr.Eq, _, _) -> true
+  | E_and (a, b) -> has_equality a || has_equality b
+  | _ -> false
+
+and from_features (f : Sqlfront.Ast.from_item) : t list =
+  let open Sqlfront.Ast in
+  match f with
+  | F_table _ -> []
+  | F_subquery (q, _) -> F_from_subquery :: query_features q
+  | F_join (l, jt, r, cond) ->
+      let jt_f =
+        match jt with
+        | J_left | J_right -> [ F_outer_join ]
+        | J_full -> [ F_outer_join; F_full_outer_join ]
+        | J_inner | J_cross -> []
+      in
+      let cond_f =
+        match cond with
+        | None -> []
+        | Some c ->
+            (if has_equality c then [] else [ F_non_equi_join ])
+            @ expr_features c
+      in
+      jt_f @ cond_f @ from_features l @ from_features r
+
+and body_features (b : Sqlfront.Ast.body) : t list =
+  let open Sqlfront.Ast in
+  match b with
+  | Select core ->
+      (if core.distinct then [ F_distinct ] else [])
+      @ (if core.group_mode <> Sqlfront.Ast.G_plain then [ F_rollup ] else [])
+      @ (if core.having <> None then [ F_having ] else [])
+      @ (if List.length core.from > 1 then [ F_implicit_cross ] else [])
+      @ List.concat_map (fun it -> expr_features it.item_expr) core.items
+      @ (match core.where with None -> [] | Some w -> expr_features w)
+      @ (match core.having with None -> [] | Some h -> expr_features h)
+      @ List.concat_map from_features core.from
+  | Setop (kind, l, r) ->
+      (match kind with
+      | Ir.Expr.Intersect -> [ F_intersect ]
+      | Ir.Expr.Except -> [ F_except ]
+      | Ir.Expr.Union_distinct -> [ F_union_distinct ]
+      | Ir.Expr.Union_all -> [])
+      @ body_features l @ body_features r
+
+and query_features (q : Sqlfront.Ast.query) : t list =
+  (if q.Sqlfront.Ast.ctes <> [] then [ F_with ] else [])
+  @ List.concat_map (fun (_, cq) -> query_features cq) q.Sqlfront.Ast.ctes
+  @ body_features q.Sqlfront.Ast.body
+  @
+  if q.Sqlfront.Ast.order_by <> [] && q.Sqlfront.Ast.limit = None then
+    [ F_order_no_limit ]
+  else []
+
+(* Analyse SQL text; [correlated] is declared by the template (correlation
+   is a binding-time property). *)
+let of_sql ?(correlated = false) (sql : string) : t list =
+  let ast = Sqlfront.Parser.parse sql in
+  let fs = query_features ast in
+  let fs = if correlated then F_correlated_subquery :: fs else fs in
+  List.sort_uniq compare fs

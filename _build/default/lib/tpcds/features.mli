@@ -1,0 +1,30 @@
+(** SQL-feature analysis of workload queries. Features are derived
+    mechanically from the parsed AST (except correlation, a binding-time
+    property declared by the template) and drive the per-engine support
+    matrices of paper Fig. 15. *)
+
+type t =
+  | F_with
+  | F_case
+  | F_any_subquery           (** any subquery in an expression *)
+  | F_correlated_subquery
+  | F_exists
+  | F_in_subquery
+  | F_intersect
+  | F_except
+  | F_union_distinct
+  | F_outer_join
+  | F_full_outer_join
+  | F_implicit_cross         (** comma-separated FROM with several entries *)
+  | F_non_equi_join          (** ON condition with no equality conjunct *)
+  | F_order_no_limit
+  | F_distinct
+  | F_having
+  | F_from_subquery
+  | F_window
+  | F_rollup
+
+val to_string : t -> string
+
+val of_sql : ?correlated:bool -> string -> t list
+(** Parse and analyse; the result is sorted and duplicate-free. *)

@@ -1,0 +1,404 @@
+(* The query workload: 111 queries generated from parameterized templates
+   (paper §7.1: 111 queries from the 99 TPC-DS templates). Each family
+   mirrors a TPC-DS query class — reporting star joins, ad-hoc exploration,
+   correlated subqueries, common expressions, set operations, channel
+   comparisons — and each query carries mechanically derived SQL-feature
+   tags used by the engine support matrices (Fig. 15). *)
+
+type def = {
+  qid : int;
+  family : string;
+  sql : string;
+  features : Features.t list;
+  correlated : bool;
+  dialect : string list;
+      (* constructs the family's real TPC-DS analog needs beyond our dialect
+         (e.g. "window", "rollup"); used by engine support matrices *)
+}
+
+let categories = [ "Books"; "Electronics"; "Home"; "Sports"; "Music" ]
+let states = [ "CA"; "TX"; "NY"; "FL"; "WA" ]
+let years = [ 1998; 1999; 2000; 2001; 2002 ]
+
+let year n = List.nth years (n mod List.length years)
+let cat n = List.nth categories (n mod List.length categories)
+let state n = List.nth states (n mod List.length states)
+
+(* date_sk range of a year (matches Datagen's calendar) *)
+let year_lo y = (y - Schema.first_year) * Schema.days_per_year
+let year_hi y = (y - Schema.first_year + 1) * Schema.days_per_year
+
+(* --- template families; each takes a variant number --- *)
+
+let star_agg v =
+  Printf.sprintf
+    "SELECT i_brand, sum(ss_ext_sales_price) AS revenue FROM store_sales, \
+     date_dim, item WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = \
+     i_item_sk AND d_year = %d AND i_category = '%s' GROUP BY i_brand ORDER \
+     BY revenue DESC, i_brand LIMIT 10"
+    (year v) (cat v)
+
+let reporting v =
+  Printf.sprintf
+    "SELECT i_category, avg(ss_quantity) AS qty, avg(ss_ext_sales_price) AS \
+     amt FROM store_sales, customer, customer_demographics, date_dim, item \
+     WHERE ss_customer_sk = c_customer_sk AND c_current_cdemo_sk = cd_demo_sk \
+     AND ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND cd_gender \
+     = '%s' AND cd_marital_status = '%s' AND d_year = %d GROUP BY ROLLUP \
+     (i_category) ORDER BY i_category LIMIT 100"
+    (if v mod 2 = 0 then "M" else "F")
+    (List.nth [ "M"; "S"; "D" ] (v mod 3))
+    (year v)
+
+let channel_union v =
+  Printf.sprintf
+    "SELECT i_brand, sum(price) AS total FROM (SELECT ss_item_sk AS item_sk, \
+     ss_ext_sales_price AS price FROM store_sales, date_dim WHERE \
+     ss_sold_date_sk = d_date_sk AND d_year = %d UNION ALL SELECT ws_item_sk \
+     AS item_sk, ws_ext_sales_price AS price FROM web_sales, date_dim WHERE \
+     ws_sold_date_sk = d_date_sk AND d_year = %d UNION ALL SELECT cs_item_sk \
+     AS item_sk, cs_ext_sales_price AS price FROM catalog_sales, date_dim \
+     WHERE cs_sold_date_sk = d_date_sk AND d_year = %d) AS sales, item WHERE \
+     item_sk = i_item_sk AND i_category = '%s' GROUP BY i_brand ORDER BY \
+     total DESC LIMIT 20"
+    (year v) (year v) (year v) (cat v)
+
+let correlated_avg v =
+  Printf.sprintf
+    "SELECT c_customer_id, sr_return_amt FROM store_returns sr1, customer \
+     WHERE sr1.sr_customer_sk = c_customer_sk AND sr1.sr_return_amt > \
+     (SELECT avg(sr2.sr_return_amt) * 1.2 FROM store_returns sr2 WHERE \
+     sr2.sr_item_sk = sr1.sr_item_sk) AND sr1.sr_returned_date_sk >= %d \
+     ORDER BY sr_return_amt DESC, c_customer_id LIMIT 50"
+    (year_lo (year v))
+
+let correlated_max v =
+  Printf.sprintf
+    "SELECT i_item_id, i_current_price FROM item WHERE i_category = '%s' AND \
+     i_current_price > (SELECT avg(ws_sales_price) FROM web_sales WHERE \
+     ws_item_sk = i_item_sk) ORDER BY i_current_price DESC, i_item_id LIMIT \
+     30"
+    (cat v)
+
+let exists_q v =
+  Printf.sprintf
+    "SELECT c_customer_id, c_last_name FROM customer WHERE EXISTS (SELECT 1 \
+     FROM store_sales, date_dim WHERE ss_customer_sk = c_customer_sk AND \
+     ss_sold_date_sk = d_date_sk AND d_year = %d AND ss_quantity > %d) ORDER \
+     BY c_customer_id LIMIT 100"
+    (year v)
+    (80 + (v mod 3 * 5))
+
+let not_exists_q v =
+  Printf.sprintf
+    "SELECT i_item_id FROM item WHERE i_category = '%s' AND NOT EXISTS \
+     (SELECT 1 FROM store_returns WHERE sr_item_sk = i_item_sk AND \
+     sr_return_quantity > %d) ORDER BY i_item_id LIMIT 100"
+    (cat v)
+    (10 + (v mod 3))
+
+let in_subquery_q v =
+  Printf.sprintf
+    "SELECT i_item_id, i_current_price FROM item WHERE i_item_sk IN (SELECT \
+     inv_item_sk FROM inventory WHERE inv_quantity_on_hand > %d) AND \
+     i_current_price > %d ORDER BY i_current_price DESC, i_item_id LIMIT 50"
+    (850 + (10 * (v mod 4)))
+    (50 + (20 * (v mod 3)))
+
+let cte_reuse v =
+  Printf.sprintf
+    "WITH ssales AS (SELECT ss_item_sk AS item_sk, sum(ss_ext_sales_price) \
+     AS total FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk \
+     AND d_year = %d GROUP BY ss_item_sk) SELECT s1.item_sk, s1.total FROM \
+     ssales s1, ssales s2 WHERE s1.item_sk = s2.item_sk AND s1.total > %d \
+     ORDER BY s1.total DESC LIMIT 25"
+    (year v)
+    (1000 * (1 + (v mod 3)))
+
+let cte_two v =
+  Printf.sprintf
+    "WITH ss AS (SELECT ss_item_sk AS item_sk, count(*) AS cnt FROM \
+     store_sales GROUP BY ss_item_sk), ws AS (SELECT ws_item_sk AS item_sk, \
+     count(*) AS cnt FROM web_sales GROUP BY ws_item_sk) SELECT ss.item_sk, \
+     ss.cnt AS store_cnt, ws.cnt AS web_cnt FROM ss, ws WHERE ss.item_sk = \
+     ws.item_sk AND ss.cnt > ws.cnt + %d ORDER BY ss.cnt DESC, ss.item_sk \
+     LIMIT 40"
+    (v mod 4 * 5)
+
+let intersect_q v =
+  Printf.sprintf
+    "SELECT ss_customer_sk FROM store_sales, date_dim WHERE ss_sold_date_sk \
+     = d_date_sk AND d_year = %d INTERSECT SELECT ws_bill_customer_sk FROM \
+     web_sales, date_dim WHERE ws_sold_date_sk = d_date_sk AND d_year = %d \
+     ORDER BY 1 LIMIT 100"
+    (year v) (year v)
+
+let except_q v =
+  Printf.sprintf
+    "SELECT ss_customer_sk FROM store_sales WHERE ss_quantity > %d EXCEPT \
+     SELECT wr_returning_customer_sk FROM web_returns ORDER BY 1 LIMIT 100"
+    (60 + (10 * (v mod 3)))
+
+let outer_join_q v =
+  Printf.sprintf
+    "SELECT s_store_name, sum(ss_net_profit) AS profit, \
+     sum(sr_return_amt) AS returns FROM store_sales JOIN store ON ss_store_sk \
+     = s_store_sk LEFT JOIN store_returns ON ss_item_sk = sr_item_sk AND \
+     ss_ticket_number = sr_ticket_number WHERE ss_sold_date_sk BETWEEN %d \
+     AND %d GROUP BY s_store_name ORDER BY profit DESC, s_store_name LIMIT \
+     20"
+    (year_lo (year v))
+    (year_hi (year v) - 1)
+
+let full_outer_q v =
+  Printf.sprintf
+    "SELECT store_part.customer_sk AS sc, web_part.customer_sk AS wc FROM \
+     (SELECT ss_customer_sk AS customer_sk, count(*) AS cnt FROM store_sales \
+     WHERE ss_quantity > %d GROUP BY ss_customer_sk) AS store_part FULL JOIN \
+     (SELECT ws_bill_customer_sk AS customer_sk, count(*) AS cnt FROM \
+     web_sales WHERE ws_quantity > %d GROUP BY ws_bill_customer_sk) AS \
+     web_part ON store_part.customer_sk = web_part.customer_sk ORDER BY 1, 2 \
+     LIMIT 100"
+    (90 + (v mod 3))
+    (90 + (v mod 3))
+
+let case_agg v =
+  Printf.sprintf
+    "SELECT s_state, sum(CASE WHEN ss_quantity BETWEEN 1 AND 20 THEN 1 ELSE \
+     0 END) AS low, sum(CASE WHEN ss_quantity BETWEEN 21 AND 60 THEN 1 ELSE \
+     0 END) AS mid, sum(CASE WHEN ss_quantity > 60 THEN 1 ELSE 0 END) AS \
+     high FROM store_sales, store, date_dim WHERE ss_store_sk = s_store_sk \
+     AND ss_sold_date_sk = d_date_sk AND d_year = %d GROUP BY s_state ORDER \
+     BY s_state LIMIT 30"
+    (year v)
+
+let having_q v =
+  Printf.sprintf
+    "SELECT ss_customer_sk, count(*) AS cnt, sum(ss_ext_sales_price) AS amt \
+     FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_moy \
+     = %d GROUP BY ss_customer_sk HAVING count(*) > %d ORDER BY cnt DESC, \
+     ss_customer_sk LIMIT 50"
+    (1 + (v mod 12))
+    (2 + (v mod 3))
+
+let distinct_q v =
+  Printf.sprintf
+    "SELECT i_category, count(DISTINCT ss_customer_sk) AS customers FROM \
+     store_sales, item, date_dim WHERE ss_item_sk = i_item_sk AND \
+     ss_sold_date_sk = d_date_sk AND d_year = %d GROUP BY i_category ORDER \
+     BY customers DESC, i_category LIMIT 20"
+    (year v)
+
+let big_sort v =
+  Printf.sprintf
+    "SELECT ss_ticket_number, ss_item_sk, ss_ext_sales_price FROM \
+     store_sales WHERE ss_quantity > %d ORDER BY ss_ext_sales_price DESC, \
+     ss_ticket_number, ss_item_sk"
+    (40 + (v mod 4 * 10))
+
+let big_agg v =
+  Printf.sprintf
+    "SELECT ss_customer_sk, ss_item_sk, count(*) AS cnt, \
+     sum(ss_ext_sales_price) AS amt, max(ss_net_profit) AS best FROM \
+     store_sales WHERE ss_quantity > %d GROUP BY ss_customer_sk, ss_item_sk \
+     ORDER BY amt DESC, ss_customer_sk, ss_item_sk LIMIT 100"
+    (v mod 3 * 10)
+
+let inventory_q v =
+  Printf.sprintf
+    "SELECT w_warehouse_name, i_item_id, avg(inv_quantity_on_hand) AS qoh \
+     FROM inventory, warehouse, item, date_dim WHERE inv_warehouse_sk = \
+     w_warehouse_sk AND inv_item_sk = i_item_sk AND inv_date_sk = d_date_sk \
+     AND d_year = %d AND i_category = '%s' GROUP BY ROLLUP \
+     (w_warehouse_name, i_item_id) ORDER BY qoh, w_warehouse_name, i_item_id \
+     LIMIT 100"
+    (year v) (cat v)
+
+let multi_channel v =
+  Printf.sprintf
+    "SELECT i_item_id, sum(ss_net_profit) AS store_profit, \
+     sum(cs_net_profit) AS catalog_profit FROM item, store_sales, \
+     catalog_sales, date_dim d1, date_dim d2 WHERE ss_item_sk = i_item_sk \
+     AND cs_item_sk = i_item_sk AND ss_sold_date_sk = d1.d_date_sk AND \
+     cs_sold_date_sk = d2.d_date_sk AND d1.d_year = %d AND d2.d_year = %d \
+     AND i_category = '%s' GROUP BY i_item_id ORDER BY store_profit DESC, \
+     i_item_id LIMIT 30"
+    (year v) (year v) (cat v)
+
+let cross_state v =
+  Printf.sprintf
+    "SELECT ca_state, i_category, grouping(ca_state) + grouping(i_category) \
+     AS lochierarchy, count(*) AS cnt FROM store_sales, customer, \
+     customer_address, item, date_dim WHERE ss_customer_sk = c_customer_sk \
+     AND c_current_addr_sk = ca_address_sk AND ss_item_sk = i_item_sk AND \
+     ss_sold_date_sk = d_date_sk AND d_year = %d AND ca_state = '%s' GROUP \
+     BY ROLLUP (ca_state, i_category) ORDER BY lochierarchy DESC, cnt DESC, \
+     i_category LIMIT 20"
+    (year v) (state v)
+
+let promo_effect v =
+  Printf.sprintf
+    "SELECT i_category, sum(CASE WHEN p_channel_email = 'Y' THEN \
+     ss_ext_sales_price ELSE 0 END) AS promo_sales, \
+     sum(ss_ext_sales_price) AS total_sales FROM store_sales, promotion, \
+     item, date_dim WHERE ss_promo_sk = p_promo_sk AND ss_item_sk = \
+     i_item_sk AND ss_sold_date_sk = d_date_sk AND d_year = %d GROUP BY \
+     i_category ORDER BY i_category"
+    (year v)
+
+let top_brands v =
+  Printf.sprintf
+    "SELECT i_brand, count(*) AS cnt FROM store_sales, item WHERE ss_item_sk \
+     = i_item_sk AND ss_sales_price > %d GROUP BY i_brand ORDER BY cnt DESC, \
+     i_brand LIMIT 15"
+    (100 + (50 * (v mod 4)))
+
+let returns_ratio v =
+  Printf.sprintf
+    "SELECT sales.item_sk, returns.ret_cnt, sales.sale_cnt FROM (SELECT \
+     ss_item_sk AS item_sk, count(*) AS sale_cnt FROM store_sales GROUP BY \
+     ss_item_sk) AS sales, (SELECT sr_item_sk AS item_sk, count(*) AS \
+     ret_cnt FROM store_returns GROUP BY sr_item_sk) AS returns WHERE \
+     sales.item_sk = returns.item_sk AND returns.ret_cnt * %d > \
+     sales.sale_cnt ORDER BY returns.ret_cnt DESC, sales.item_sk LIMIT 50"
+    (8 + (v mod 3))
+
+let scalar_global v =
+  Printf.sprintf
+    "SELECT i_item_id, i_current_price FROM item WHERE i_current_price > \
+     (SELECT avg(i_current_price) * %d FROM item) AND i_category = '%s' \
+     ORDER BY i_current_price DESC, i_item_id LIMIT 20"
+    (1 + (v mod 2))
+    (cat v)
+
+let semi_anti_combo v =
+  Printf.sprintf
+    "SELECT c_customer_id FROM customer WHERE c_customer_sk IN (SELECT \
+     ss_customer_sk FROM store_sales WHERE ss_quantity > %d) AND NOT EXISTS \
+     (SELECT 1 FROM web_sales WHERE ws_bill_customer_sk = c_customer_sk) \
+     ORDER BY c_customer_id LIMIT 100"
+    (85 + (v mod 3 * 5))
+
+let date_range v =
+  Printf.sprintf
+    "SELECT s_store_name, sum(ss_ext_sales_price) AS revenue FROM \
+     store_sales, store WHERE ss_store_sk = s_store_sk AND ss_sold_date_sk \
+     BETWEEN %d AND %d GROUP BY s_store_name ORDER BY revenue DESC, \
+     s_store_name LIMIT 10"
+    (year_lo (year v))
+    (year_lo (year v) + 89)
+
+let non_equi v =
+  Printf.sprintf
+    "SELECT ib_income_band_sk, count(*) AS cnt FROM household_demographics \
+     JOIN income_band ON hd_income_band_sk >= ib_income_band_sk - %d AND \
+     hd_income_band_sk <= ib_income_band_sk GROUP BY ib_income_band_sk \
+     ORDER BY ib_income_band_sk"
+    (1 + (v mod 2))
+
+let cte_union v =
+  Printf.sprintf
+    "WITH all_returns AS (SELECT sr_item_sk AS item_sk, sr_return_amt AS \
+     amt FROM store_returns UNION ALL SELECT wr_item_sk AS item_sk, \
+     wr_return_amt AS amt FROM web_returns) SELECT i_category, sum(amt) AS \
+     total FROM all_returns, item WHERE item_sk = i_item_sk GROUP BY \
+     i_category HAVING sum(amt) > %d ORDER BY total DESC LIMIT 10"
+    (1000 * (1 + (v mod 3)))
+
+let minmax_group v =
+  (* top-k sales per item class: the classic RANK() OVER pattern; odd
+     variants use DENSE_RANK, as real q44/q49/q98 mix the two *)
+  Printf.sprintf
+    "SELECT ranked.class, ranked.price, ranked.ticket, ranked.r FROM (SELECT \
+     i_class AS class, ss_sales_price AS price, ss_ticket_number AS ticket, \
+     %s OVER (PARTITION BY i_class ORDER BY ss_sales_price DESC) AS r \
+     FROM store_sales, item WHERE ss_item_sk = i_item_sk AND ss_quantity > \
+     %d) AS ranked WHERE ranked.r <= 2 ORDER BY ranked.class, ranked.r, \
+     ranked.price, ranked.ticket LIMIT 40"
+    (if v mod 2 = 1 then "dense_rank()" else "rank()")
+    (90 + (v mod 3))
+
+let web_page_q v =
+  (* running revenue per page: SUM() OVER with the default running frame *)
+  Printf.sprintf
+    "SELECT ws_web_page_sk, ws_quantity, sum(ws_quantity) OVER (PARTITION BY \
+     ws_web_page_sk ORDER BY ws_quantity) AS running FROM web_sales JOIN \
+     web_page ON ws_web_page_sk = wp_web_page_sk WHERE ws_quantity BETWEEN \
+     %d AND %d ORDER BY ws_web_page_sk, ws_quantity, running LIMIT 60"
+    (v mod 3 * 10)
+    (20 + (v mod 3 * 10))
+
+let customer_profile v =
+  Printf.sprintf
+    "SELECT cd_education_status, count(*) AS cnt FROM customer, \
+     customer_demographics, customer_address WHERE c_current_cdemo_sk = \
+     cd_demo_sk AND c_current_addr_sk = ca_address_sk AND ca_state = '%s' \
+     AND cd_gender = '%s' GROUP BY cd_education_status ORDER BY cnt DESC, \
+     cd_education_status"
+    (state v)
+    (if v mod 2 = 0 then "F" else "M")
+
+(* --- assembly: 111 queries --- *)
+
+let families :
+    (string * (int -> string) * bool * int * string list) list =
+  (* (name, builder, correlated?, variants, dialect of the real analog) *)
+  [
+    ("star_agg", star_agg, false, 4, []);
+    ("reporting", reporting, false, 4, []);
+    ("channel_union", channel_union, false, 4, []);
+    ("correlated_avg", correlated_avg, true, 4, []);
+    ("correlated_max", correlated_max, true, 4, []);
+    ("exists", exists_q, true, 3, []);
+    ("not_exists", not_exists_q, true, 3, []);
+    ("in_subquery", in_subquery_q, false, 4, []);
+    ("cte_reuse", cte_reuse, false, 4, []);
+    ("cte_two", cte_two, false, 4, []);
+    ("intersect", intersect_q, false, 3, []);
+    ("except", except_q, false, 3, []);
+    ("outer_join", outer_join_q, false, 3, []);
+    ("full_outer", full_outer_q, false, 3, []);
+    ("case_agg", case_agg, false, 4, []);
+    ("having", having_q, false, 3, [ "window" ]);
+    ("distinct", distinct_q, false, 3, [ "window" ]);
+    ("big_sort", big_sort, false, 3, []);
+    ("big_agg", big_agg, false, 3, []);
+    ("inventory", inventory_q, false, 4, []);
+    ("multi_channel", multi_channel, false, 4, []);
+    ("cross_state", cross_state, false, 4, []);
+    ("promo_effect", promo_effect, false, 3, []);
+    ("top_brands", top_brands, false, 4, []);
+    ("returns_ratio", returns_ratio, false, 3, [ "window" ]);
+    ("scalar_global", scalar_global, false, 3, []);
+    ("semi_anti", semi_anti_combo, true, 3, []);
+    ("date_range", date_range, false, 3, []);
+    ("non_equi", non_equi, false, 2, []);
+    ("cte_union", cte_union, false, 3, []);
+    ("minmax_group", minmax_group, false, 3, []);
+    ("web_page", web_page_q, false, 3, []);
+    ("customer_profile", customer_profile, false, 3, [ "window" ]);
+  ]
+
+let all : def list Lazy.t =
+  lazy
+    (let qid = ref 0 in
+     List.concat_map
+       (fun (family, build, correlated, variants, dialect) ->
+         List.init variants (fun v ->
+             incr qid;
+             let sql = build v in
+             {
+               qid = !qid;
+               family;
+               sql;
+               features = Features.of_sql ~correlated sql;
+               correlated;
+               dialect;
+             }))
+       families)
+
+let count () = List.length (Lazy.force all)
+
+let get qid = List.find (fun d -> d.qid = qid) (Lazy.force all)
+
+let has_feature d f = List.mem f d.features

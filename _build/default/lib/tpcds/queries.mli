@@ -1,0 +1,26 @@
+(** The benchmark workload: 111 queries generated from parameterized
+    templates (paper §7.1: 111 queries from the 99 TPC-DS templates). Each
+    family mirrors a TPC-DS query class; feature tags are derived
+    mechanically from the SQL and drive the engine support matrices
+    (Fig. 15). *)
+
+type def = {
+  qid : int;               (** 1..111 *)
+  family : string;         (** template family name *)
+  sql : string;
+  features : Features.t list;
+  correlated : bool;       (** contains a correlated subquery *)
+  dialect : string list;
+      (** constructs the family's real TPC-DS analog needs beyond our dialect
+          (e.g. "window", "rollup"); used by engine support matrices *)
+}
+
+val all : def list Lazy.t
+(** All 111 queries, in qid order. Deterministic. *)
+
+val count : unit -> int
+
+val get : int -> def
+(** Raises [Not_found] for ids outside 1..111. *)
+
+val has_feature : def -> Features.t -> bool

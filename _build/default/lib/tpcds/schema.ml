@@ -1,0 +1,168 @@
+open Ir
+
+(* Mini-TPC-DS schema (paper §7.1): 25 tables covering the benchmark's
+   structure — three sales channels with returns, inventory, and the shared
+   dimensions. Fact tables are hash-distributed on their item key and
+   range-partitioned by sold-date (yearly); small dimensions are replicated,
+   larger ones hash-distributed on their surrogate key, matching common GPDB
+   deployments. *)
+
+type dist_spec = Hash of string list | Replicated | Random
+
+type table_spec = {
+  tname : string;
+  oid : int;
+  cols : (string * Dtype.t) list;
+  dist : dist_spec;
+  part_col : string option; (* yearly range partitions on this column *)
+  indexed : string list;
+  is_fact : bool;
+}
+
+let i = Dtype.Int
+let f = Dtype.Float
+let s = Dtype.String
+let d = Dtype.Date
+
+let t tname oid ?(dist = Random) ?part_col ?(indexed = []) ?(fact = false) cols
+    =
+  { tname; oid; cols; dist; part_col; indexed; is_fact = fact }
+
+let tables : table_spec list =
+  [
+    t "date_dim" 1001 ~dist:Replicated ~indexed:[ "d_date_sk" ]
+      [
+        ("d_date_sk", i); ("d_date", d); ("d_year", i); ("d_moy", i);
+        ("d_dom", i); ("d_qoy", i); ("d_day_name", s);
+      ];
+    t "time_dim" 1002 ~dist:Replicated
+      [ ("t_time_sk", i); ("t_hour", i); ("t_minute", i) ];
+    t "item" 1003 ~dist:(Hash [ "i_item_sk" ]) ~indexed:[ "i_item_sk" ]
+      [
+        ("i_item_sk", i); ("i_item_id", s); ("i_category", s); ("i_brand", s);
+        ("i_class", s); ("i_current_price", f); ("i_manufact_id", i);
+      ];
+    t "customer" 1004 ~dist:(Hash [ "c_customer_sk" ])
+      [
+        ("c_customer_sk", i); ("c_customer_id", s); ("c_first_name", s);
+        ("c_last_name", s); ("c_birth_year", i); ("c_current_addr_sk", i);
+        ("c_current_cdemo_sk", i);
+      ];
+    t "customer_address" 1005 ~dist:(Hash [ "ca_address_sk" ])
+      [
+        ("ca_address_sk", i); ("ca_state", s); ("ca_city", s);
+        ("ca_country", s); ("ca_zip", s);
+      ];
+    t "customer_demographics" 1006 ~dist:(Hash [ "cd_demo_sk" ])
+      [
+        ("cd_demo_sk", i); ("cd_gender", s); ("cd_marital_status", s);
+        ("cd_education_status", s);
+      ];
+    t "household_demographics" 1007 ~dist:Replicated
+      [
+        ("hd_demo_sk", i); ("hd_income_band_sk", i); ("hd_buy_potential", s);
+        ("hd_dep_count", i);
+      ];
+    t "income_band" 1008 ~dist:Replicated
+      [ ("ib_income_band_sk", i); ("ib_lower_bound", i); ("ib_upper_bound", i) ];
+    t "store" 1009 ~dist:Replicated
+      [
+        ("s_store_sk", i); ("s_store_id", s); ("s_store_name", s);
+        ("s_state", s); ("s_city", s); ("s_number_employees", i);
+      ];
+    t "call_center" 1010 ~dist:Replicated
+      [ ("cc_call_center_sk", i); ("cc_name", s); ("cc_state", s) ];
+    t "catalog_page" 1011 ~dist:Replicated
+      [ ("cp_catalog_page_sk", i); ("cp_department", s) ];
+    t "web_site" 1012 ~dist:Replicated
+      [ ("web_site_sk", i); ("web_name", s) ];
+    t "web_page" 1013 ~dist:Replicated
+      [ ("wp_web_page_sk", i); ("wp_char_count", i) ];
+    t "warehouse" 1014 ~dist:Replicated
+      [ ("w_warehouse_sk", i); ("w_warehouse_name", s); ("w_state", s) ];
+    t "promotion" 1015 ~dist:Replicated
+      [ ("p_promo_sk", i); ("p_channel_email", s); ("p_channel_tv", s) ];
+    t "reason" 1016 ~dist:Replicated
+      [ ("r_reason_sk", i); ("r_reason_desc", s) ];
+    t "ship_mode" 1017 ~dist:Replicated
+      [ ("sm_ship_mode_sk", i); ("sm_type", s); ("sm_carrier", s) ];
+    t "household" 1018 ~dist:Replicated
+      [ ("h_household_sk", i); ("h_vehicle_count", i) ];
+    t "store_sales" 2001
+      ~dist:(Hash [ "ss_item_sk" ])
+      ~part_col:"ss_sold_date_sk" ~fact:true
+      [
+        ("ss_sold_date_sk", i); ("ss_item_sk", i); ("ss_customer_sk", i);
+        ("ss_store_sk", i); ("ss_promo_sk", i); ("ss_ticket_number", i);
+        ("ss_quantity", i); ("ss_sales_price", f); ("ss_ext_sales_price", f);
+        ("ss_net_profit", f); ("ss_wholesale_cost", f);
+      ];
+    t "store_returns" 2002
+      ~dist:(Hash [ "sr_item_sk" ])
+      ~part_col:"sr_returned_date_sk" ~fact:true
+      [
+        ("sr_returned_date_sk", i); ("sr_item_sk", i); ("sr_customer_sk", i);
+        ("sr_ticket_number", i); ("sr_return_quantity", i);
+        ("sr_return_amt", f);
+      ];
+    t "catalog_sales" 2003
+      ~dist:(Hash [ "cs_item_sk" ])
+      ~part_col:"cs_sold_date_sk" ~fact:true
+      [
+        ("cs_sold_date_sk", i); ("cs_item_sk", i); ("cs_bill_customer_sk", i);
+        ("cs_call_center_sk", i); ("cs_catalog_page_sk", i);
+        ("cs_ship_mode_sk", i); ("cs_warehouse_sk", i); ("cs_quantity", i);
+        ("cs_sales_price", f); ("cs_ext_sales_price", f); ("cs_net_profit", f);
+      ];
+    t "catalog_returns" 2004
+      ~dist:(Hash [ "cr_item_sk" ])
+      ~part_col:"cr_returned_date_sk" ~fact:true
+      [
+        ("cr_returned_date_sk", i); ("cr_item_sk", i);
+        ("cr_returning_customer_sk", i); ("cr_return_quantity", i);
+        ("cr_return_amount", f);
+      ];
+    t "web_sales" 2005
+      ~dist:(Hash [ "ws_item_sk" ])
+      ~part_col:"ws_sold_date_sk" ~fact:true
+      [
+        ("ws_sold_date_sk", i); ("ws_item_sk", i); ("ws_bill_customer_sk", i);
+        ("ws_web_site_sk", i); ("ws_web_page_sk", i); ("ws_promo_sk", i);
+        ("ws_quantity", i); ("ws_sales_price", f); ("ws_ext_sales_price", f);
+        ("ws_net_profit", f);
+      ];
+    t "web_returns" 2006
+      ~dist:(Hash [ "wr_item_sk" ])
+      ~part_col:"wr_returned_date_sk" ~fact:true
+      [
+        ("wr_returned_date_sk", i); ("wr_item_sk", i);
+        ("wr_returning_customer_sk", i); ("wr_return_quantity", i);
+        ("wr_return_amt", f);
+      ];
+    t "inventory" 2007
+      ~dist:(Hash [ "inv_item_sk" ])
+      ~part_col:"inv_date_sk" ~fact:true
+      [
+        ("inv_date_sk", i); ("inv_item_sk", i); ("inv_warehouse_sk", i);
+        ("inv_quantity_on_hand", i);
+      ];
+  ]
+
+let find name = List.find (fun spec -> spec.tname = name) tables
+
+let col_position spec cname =
+  let rec go idx = function
+    | [] -> Gpos.Gpos_error.internal "schema: column %s.%s" spec.tname cname
+    | (c, _) :: rest -> if c = cname then idx else go (idx + 1) rest
+  in
+  go 0 spec.cols
+
+let ncols spec = List.length spec.cols
+
+(* Date dimension covers five years, 360 simplified days each. *)
+let first_year = 1998
+let nyears = 5
+let days_per_year = 360
+let ndates = nyears * days_per_year
+
+let date_sk_of_year year = (year - first_year) * days_per_year

@@ -1,0 +1,35 @@
+(** Mini-TPC-DS schema (paper §7.1: "TPC-DS with its 25 tables, 429 columns
+    and 99 query templates"): 25 tables covering the benchmark's structure —
+    three sales channels with returns, inventory, and the shared dimensions.
+    Fact tables are hash-distributed on their item key and range-partitioned
+    yearly on their sold-date; small dimensions are replicated. *)
+
+open Ir
+
+type dist_spec = Hash of string list | Replicated | Random
+
+type table_spec = {
+  tname : string;
+  oid : int;
+  cols : (string * Dtype.t) list;
+  dist : dist_spec;
+  part_col : string option;  (** yearly range partitions on this column *)
+  indexed : string list;
+  is_fact : bool;
+}
+
+val tables : table_spec list
+
+val find : string -> table_spec
+(** Raises [Not_found] for unknown tables. *)
+
+val col_position : table_spec -> string -> int
+val ncols : table_spec -> int
+
+(** The simplified calendar backing the date dimension. *)
+
+val first_year : int
+val nyears : int
+val days_per_year : int
+val ndates : int
+val date_sk_of_year : int -> int

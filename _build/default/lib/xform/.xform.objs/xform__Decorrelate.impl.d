@@ -1,0 +1,1 @@
+lib/xform/decorrelate.ml: Colref Datum Expr Ir List Logical_ops Ltree Scalar_ops

@@ -1,0 +1,1 @@
+lib/xform/decorrelate.mli: Ir

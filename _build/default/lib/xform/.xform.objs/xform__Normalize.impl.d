@@ -1,0 +1,1 @@
+lib/xform/normalize.ml: Colref Datum Expr Ir List Ltree Scalar_eval Scalar_ops

@@ -1,0 +1,1 @@
+lib/xform/normalize.mli: Ir

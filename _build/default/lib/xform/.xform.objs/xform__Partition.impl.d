@@ -1,0 +1,1 @@
+lib/xform/partition.ml: Colref Datum Expr Int Ir List Scalar_ops Table_desc

@@ -1,0 +1,1 @@
+lib/xform/partition.mli: Ir

@@ -1,0 +1,1 @@
+lib/xform/prune_columns.ml: Colref Expr Ir List Ltree Scalar_ops Sortspec

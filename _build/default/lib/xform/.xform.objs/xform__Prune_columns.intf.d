@@ -1,0 +1,1 @@
+lib/xform/prune_columns.mli: Ir

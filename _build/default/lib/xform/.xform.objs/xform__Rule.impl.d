@@ -1,0 +1,1 @@
+lib/xform/rule.ml: Colref Expr Ir Memolib

@@ -1,0 +1,1 @@
+lib/xform/rule.mli: Colref Expr Ir Memolib

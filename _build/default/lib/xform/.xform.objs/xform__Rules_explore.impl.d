@@ -1,0 +1,1 @@
+lib/xform/rules_explore.ml: Colref Dtype Expr Ir List Memolib Rule Scalar_ops

@@ -1,0 +1,1 @@
+lib/xform/rules_implement.ml: Colref Expr Ir List Memolib Partition Rule Scalar_ops Table_desc

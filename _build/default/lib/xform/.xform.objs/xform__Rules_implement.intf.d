@@ -1,0 +1,1 @@
+lib/xform/rules_implement.mli: Rule

@@ -1,0 +1,1 @@
+lib/xform/ruleset.ml: List Rule Rules_explore Rules_implement

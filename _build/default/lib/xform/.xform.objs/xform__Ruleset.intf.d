@@ -1,0 +1,1 @@
+lib/xform/ruleset.mli: Rule

@@ -1,0 +1,269 @@
+open Ir
+
+(* Subquery decorrelation (paper §7.2.2 "Correlated Subqueries": Orca adopts
+   a unified subquery representation, detects deeply correlated predicates
+   and pulls them up into joins to avoid repeated execution).
+
+   The binder represents every subquery as an Apply operator. This pass runs
+   on the logical tree before Memo copy-in and rewrites:
+
+     Apply[Exists]     => Semi join on the pulled-up correlated predicates
+     Apply[NotExists]  => Anti-semi join
+     Apply[In e]       => Semi join on (e = inner_col) AND pulled predicates
+     Apply[NotIn e]    => Anti-semi join (simplified NOT IN semantics:
+                          correct when the inner column is non-null,
+                          see DESIGN.md)
+     Apply[Scalar]     => for a correlated scalar aggregate
+                          (SELECT agg(..) FROM .. WHERE inner_c = outer_c):
+                          left outer join with the aggregate grouped by the
+                          correlation keys (Kim's method); COUNT results are
+                          wrapped in COALESCE(.., 0)
+                        => for an uncorrelated subquery: a plain join
+
+   Applies whose correlation cannot be pulled up (e.g. non-equality
+   correlation under an aggregate) are left in place; the optimizer reports
+   them as unsupported. The legacy Planner never decorrelates — it executes
+   such subqueries as repeated SubPlans, which is precisely the performance
+   gap Figure 12 attributes to this feature. *)
+
+type result = { tree : Ltree.t; rewritten : int; remaining : int }
+
+(* Pull conjuncts referencing [corr] out of a tree spine of
+   Select/Inner-Join/Project nodes. Returns the cleaned tree and the pulled
+   conjuncts. Pulled predicates referencing columns hidden by a projection
+   force those columns to be added as pass-through projections. *)
+let rec pull_correlated ~(corr : Colref.Set.t) (t : Ltree.t) :
+    Ltree.t * Expr.scalar list =
+  let is_correlated c =
+    not (Colref.Set.is_empty (Colref.Set.inter (Scalar_ops.free_cols c) corr))
+  in
+  match t.Ltree.op, t.Ltree.children with
+  | Expr.L_select pred, [ child ] ->
+      let child', pulled_below = pull_correlated ~corr child in
+      let correlated, clean =
+        List.partition is_correlated (Scalar_ops.conjuncts pred)
+      in
+      let t' =
+        if clean = [] then child'
+        else Ltree.make (Expr.L_select (Scalar_ops.conjoin clean)) [ child' ]
+      in
+      (t', correlated @ pulled_below)
+  | Expr.L_join (Expr.Inner, cond), [ l; r ] ->
+      let l', pl = pull_correlated ~corr l in
+      let r', pr = pull_correlated ~corr r in
+      let correlated, clean =
+        List.partition is_correlated (Scalar_ops.conjuncts cond)
+      in
+      ( Ltree.make (Expr.L_join (Expr.Inner, Scalar_ops.conjoin clean)) [ l'; r' ],
+        correlated @ pl @ pr )
+  | Expr.L_project projs, [ child ] ->
+      let child', pulled = pull_correlated ~corr child in
+      if pulled = [] then
+        (Ltree.make (Expr.L_project projs) [ child' ], [])
+      else begin
+        (* make columns used by pulled predicates survive the projection *)
+        let needed =
+          Colref.Set.diff
+            (Scalar_ops.free_cols_of_list pulled)
+            corr
+        in
+        let already =
+          Colref.Set.of_list (List.map (fun p -> p.Expr.proj_out) projs)
+        in
+        let missing = Colref.Set.diff needed already in
+        let extra =
+          List.map
+            (fun c -> { Expr.proj_expr = Expr.Col c; proj_out = c })
+            (Colref.Set.elements missing)
+        in
+        (Ltree.make (Expr.L_project (projs @ extra)) [ child' ], pulled)
+      end
+  | _ -> (t, [])
+
+let tree_references ~(corr : Colref.Set.t) (t : Ltree.t) =
+  Ltree.fold
+    (fun acc node ->
+      acc
+      || not
+           (Colref.Set.is_empty
+              (Colref.Set.inter (Logical_ops.used_cols node.Ltree.op) corr)))
+    false t
+
+(* Split pulled predicates into equality pairs (inner column = outer column)
+   and the rest. *)
+let equi_pairs ~(corr : Colref.Set.t) pulled =
+  List.partition_map
+    (fun c ->
+      match c with
+      | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+          if Colref.Set.mem a corr && not (Colref.Set.mem b corr) then
+            Left (b, a) (* (inner, outer) *)
+          else if Colref.Set.mem b corr && not (Colref.Set.mem a corr) then
+            Left (a, b)
+          else Right c
+      | c -> Right c)
+    pulled
+
+(* Peel pure pass-through projections (the binder adds one atop every SELECT)
+   so the scalar-aggregate pattern below is recognized. *)
+let rec strip_passthrough (t : Ltree.t) : Ltree.t =
+  match (t.Ltree.op, t.Ltree.children) with
+  | Expr.L_project projs, [ child ]
+    when List.for_all
+           (fun (p : Expr.proj) ->
+             match p.Expr.proj_expr with
+             | Expr.Col c -> Colref.equal c p.Expr.proj_out
+             | _ -> false)
+           projs
+         && List.length projs = List.length (Ltree.output_cols child)
+         && List.for_all2 Colref.equal
+              (List.map (fun p -> p.Expr.proj_out) projs)
+              (Ltree.output_cols child) ->
+      strip_passthrough child
+  | _ -> t
+
+let semi_join_kind = function
+  | Expr.Apply_exists | Expr.Apply_in _ -> Expr.Semi
+  | Expr.Apply_not_exists | Expr.Apply_not_in _ -> Expr.Anti_semi
+  | Expr.Apply_scalar _ -> assert false
+
+(* Rewrite one Apply node; children already processed. Returns None when the
+   apply cannot be decorrelated. *)
+let rewrite_apply (factory : Colref.Factory.t) (kind : Expr.apply_kind)
+    (corr_cols : Colref.t list) (outer : Ltree.t) (inner : Ltree.t) :
+    Ltree.t option =
+  let corr = Colref.Set.of_list corr_cols in
+  match kind with
+  | Expr.Apply_exists | Expr.Apply_not_exists | Expr.Apply_in _
+  | Expr.Apply_not_in _ ->
+      let inner', pulled = pull_correlated ~corr inner in
+      if tree_references ~corr inner' then None
+      else
+        let membership =
+          match kind with
+          | Expr.Apply_in (e, inner_col) | Expr.Apply_not_in (e, inner_col) ->
+              [ Expr.Cmp (Expr.Eq, e, Expr.Col inner_col) ]
+          | _ -> []
+        in
+        let cond = Scalar_ops.conjoin (membership @ pulled) in
+        Some (Ltree.make (Expr.L_join (semi_join_kind kind, cond)) [ outer; inner' ])
+  | Expr.Apply_scalar out_col -> (
+      let inner = strip_passthrough inner in
+      (* optionally a computed projection sits on top of the aggregate
+         (e.g. avg decomposed into sum/count, or "agg * 1.2") *)
+      let projection, inner =
+        match (inner.Ltree.op, inner.Ltree.children) with
+        | Expr.L_project projs, [ child ] ->
+            (Some projs, strip_passthrough child)
+        | _ -> (None, inner)
+      in
+      match (inner.Ltree.op, inner.Ltree.children) with
+      | Expr.L_gb_agg (Expr.One_phase, [], aggs), [ agg_child ] -> (
+          let agg_child', pulled = pull_correlated ~corr agg_child in
+          if tree_references ~corr agg_child' then None
+          else
+            let pairs, residual_corr = equi_pairs ~corr pulled in
+            if residual_corr <> [] then None
+            else
+              (* The subquery's value expression over the aggregate outputs.
+                 COUNT aggregates are 0 (not NULL) on an empty group, so
+                 references to them are wrapped in COALESCE(.., 0). *)
+              let value_expr =
+                let base =
+                  match projection with
+                  | Some [ p ] -> p.Expr.proj_expr
+                  | Some _ -> Expr.Const Datum.Null (* guarded below *)
+                  | None -> (
+                      match aggs with
+                      | [ a ] -> Expr.Col a.Expr.agg_out
+                      | _ -> Expr.Const Datum.Null)
+                in
+                let count_outs =
+                  List.filter_map
+                    (fun (a : Expr.agg) ->
+                      match a.Expr.agg_kind with
+                      | Expr.Count | Expr.Count_star -> Some a.Expr.agg_out
+                      | _ -> None)
+                    aggs
+                in
+                Scalar_ops.map
+                  (function
+                    | Expr.Col c when List.exists (Colref.equal c) count_outs ->
+                        Some
+                          (Expr.Coalesce
+                             [ Expr.Col c; Expr.Const (Datum.Int 0) ])
+                    | _ -> None)
+                  base
+              in
+              let projection_ok =
+                match projection with Some ps -> List.length ps = 1 | None -> true
+              in
+              if (not projection_ok) || aggs = [] then None
+              else
+                let keys = List.map fst pairs in
+                let agg_node child =
+                  Ltree.make (Expr.L_gb_agg (Expr.One_phase, keys, aggs)) [ child ]
+                in
+                let join =
+                  match pairs with
+                  | [] ->
+                      (* uncorrelated scalar aggregate: single row *)
+                      Ltree.make
+                        (Expr.L_join (Expr.Inner, Expr.Const (Datum.Bool true)))
+                        [ outer; agg_node agg_child' ]
+                  | _ ->
+                      let cond =
+                        Scalar_ops.conjoin
+                          (List.map
+                             (fun (i, o) ->
+                               Expr.Cmp (Expr.Eq, Expr.Col o, Expr.Col i))
+                             pairs)
+                      in
+                      Ltree.make
+                        (Expr.L_join (Expr.Left_outer, cond))
+                        [ outer; agg_node agg_child' ]
+                in
+                (* project the outer columns plus the computed scalar value *)
+                let pass =
+                  List.map
+                    (fun c -> { Expr.proj_expr = Expr.Col c; proj_out = c })
+                    (Ltree.output_cols outer)
+                in
+                ignore factory;
+                Some
+                  (Ltree.make
+                     (Expr.L_project
+                        (pass @ [ { Expr.proj_expr = value_expr; proj_out = out_col } ]))
+                     [ join ]))
+      | _ ->
+          if Colref.Set.is_empty corr && not (tree_references ~corr inner) then
+            (* uncorrelated single-column subquery used as a scalar: join and
+               rename its column to the declared output *)
+            match Ltree.output_cols inner with
+            | [ c ] when Colref.equal c out_col ->
+                Some
+                  (Ltree.make
+                     (Expr.L_join (Expr.Inner, Expr.Const (Datum.Bool true)))
+                     [ outer; inner ])
+            | _ -> None
+          else None)
+
+(* Decorrelate every Apply in the tree, bottom-up. *)
+let run (factory : Colref.Factory.t) (tree : Ltree.t) : result =
+  let rewritten = ref 0 and remaining = ref 0 in
+  let rec go (t : Ltree.t) : Ltree.t =
+    let children = List.map go t.Ltree.children in
+    let t = { t with Ltree.children } in
+    match (t.Ltree.op, children) with
+    | Expr.L_apply (kind, corr_cols), [ outer; inner ] -> (
+        match rewrite_apply factory kind corr_cols outer inner with
+        | Some t' ->
+            incr rewritten;
+            t'
+        | None ->
+            incr remaining;
+            t)
+    | _ -> t
+  in
+  let tree = go tree in
+  { tree; rewritten = !rewritten; remaining = !remaining }

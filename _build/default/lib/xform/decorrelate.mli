@@ -1,0 +1,26 @@
+(** Subquery decorrelation (paper §7.2.2 "Correlated Subqueries": Orca
+    detects deeply correlated predicates and pulls them up into joins to
+    avoid repeated execution).
+
+    Runs on the binder's logical tree before Memo copy-in and rewrites:
+    - [Apply_exists]/[Apply_not_exists] into semi/anti-semi joins on the
+      pulled-up correlated predicates;
+    - [Apply_in]/[Apply_not_in] into semi/anti-semi joins on membership plus
+      pulled predicates (simplified NOT IN semantics, see DESIGN.md);
+    - correlated scalar aggregates into a left outer join against the
+      aggregate grouped by the correlation keys (Kim's method), with COUNT
+      results wrapped in COALESCE(.., 0) and computed projections (e.g. the
+      AVG = SUM/COUNT decomposition, or "agg * 1.2") carried across;
+    - uncorrelated scalar subqueries into plain joins.
+
+    Applies whose correlation cannot be pulled up (e.g. non-equality
+    correlation under an aggregate) are left in place and counted in
+    [remaining]; the optimizer reports them as unsupported. *)
+
+type result = {
+  tree : Ir.Ltree.t;
+  rewritten : int;  (** Apply operators successfully unnested *)
+  remaining : int;  (** Apply operators left in the tree *)
+}
+
+val run : Ir.Colref.Factory.t -> Ir.Ltree.t -> result

@@ -1,0 +1,12 @@
+(** Logical-tree normalization run before Memo copy-in (GPORCA-style
+    preprocessing): constant folding, trivial-select elimination, adjacent
+    select merging, and pushing filters toward the tables they constrain.
+    The Memo's exploration rules can derive the same push-downs; normalizing
+    first keeps the initial plan space small. Semantics-preserving. *)
+
+val fold_tree_constants : Ir.Ltree.t -> Ir.Ltree.t
+val merge_selects : Ir.Ltree.t -> Ir.Ltree.t
+val push_selects : Ir.Ltree.t -> Ir.Ltree.t
+
+val run : Ir.Ltree.t -> Ir.Ltree.t
+(** All passes, in order. *)

@@ -1,0 +1,10 @@
+(** Static partition elimination (paper §7.2.2, simplified from its
+    reference [2]): given a predicate over a range-partitioned table's
+    partitioning column, compute the partitions that can contain qualifying
+    rows. Conservative: only equality, range and IN-list conjuncts on the
+    partitioning column prune. *)
+
+val prune : Ir.Table_desc.t -> Ir.Expr.scalar -> int list option
+(** [None] when no conjunct constrains the partitioning column (no pruning
+    possible); [Some ids] otherwise — possibly all partitions, possibly
+    none. *)

@@ -1,0 +1,7 @@
+(** Column pruning: narrow each join input to the columns the plan actually
+    needs above it, by inserting pass-through projections — fewer bytes
+    through motions, smaller hash-join states. Runs after decorrelation.
+    Set-operation children and CTE producers are never narrowed. *)
+
+val run : Ir.Ltree.t -> output:Ir.Colref.t list -> Ir.Ltree.t
+(** [output] is the query's required output column list. *)

@@ -1,0 +1,46 @@
+open Ir
+
+(* Transformation rules (paper §3 "Transformations"): self-contained
+   components producing either equivalent logical expressions (exploration)
+   or physical implementations (implementation). Each rule can be activated
+   or deactivated through the optimizer configuration; rule subsets define
+   optimization stages (§4.1 "Multi-Stage Optimization"). *)
+
+type kind = Exploration | Implementation
+
+type ctx = { factory : Colref.Factory.t }
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  (* Given a group expression, produce alternative expressions to copy into
+     the same group. Never mutates the Memo. *)
+  apply : ctx -> Memolib.Memo.t -> Memolib.Memo.gexpr -> Memolib.Mexpr.t list;
+  (* Rule ordering hint: higher-promise rules apply first (paper §8.1:
+     Cascades "permits ordering the application of rules"). *)
+  promise : int;
+}
+
+let next_id = ref 0
+
+let make ?(promise = 0) ~name ~kind apply =
+  incr next_id;
+  { id = !next_id; name; kind; apply; promise }
+
+let is_exploration r = r.kind = Exploration
+let is_implementation r = r.kind = Implementation
+
+(* Helpers shared by rule implementations. *)
+
+let logical_op (ge : Memolib.Memo.gexpr) =
+  match ge.Memolib.Memo.ge_op with
+  | Expr.Logical l -> Some l
+  | Expr.Physical _ -> None
+
+let group_out_cols memo gid = Colref.Set.of_list (Memolib.Memo.output_cols memo gid)
+
+(* Logical expressions of a child group, canonicalized. *)
+let child_logicals memo gid =
+  let g = Memolib.Memo.group memo gid in
+  Memolib.Memo.logical_exprs g

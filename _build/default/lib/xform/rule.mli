@@ -1,0 +1,39 @@
+(** Transformation rules (paper §3): self-contained components producing
+    either equivalent logical expressions (exploration) or physical
+    implementations. Rules can be activated/deactivated through the
+    configuration; subsets define optimization stages (§4.1). *)
+
+open Ir
+
+type kind = Exploration | Implementation
+
+type ctx = { factory : Colref.Factory.t }
+(** What a rule may use besides the Memo: fresh column references (e.g. the
+    multi-stage aggregation split mints partial-output columns). *)
+
+type t = {
+  id : int;           (** unique; tracked per group expression *)
+  name : string;
+  kind : kind;
+  apply : ctx -> Memolib.Memo.t -> Memolib.Memo.gexpr -> Memolib.Mexpr.t list;
+      (** produce alternatives to copy into the expression's group; must not
+          mutate the Memo *)
+  promise : int;      (** ordering hint: higher-promise rules apply first *)
+}
+
+val make :
+  ?promise:int ->
+  name:string ->
+  kind:kind ->
+  (ctx -> Memolib.Memo.t -> Memolib.Memo.gexpr -> Memolib.Mexpr.t list) ->
+  t
+
+val is_exploration : t -> bool
+val is_implementation : t -> bool
+
+(** Helpers shared by rule implementations. *)
+
+val logical_op : Memolib.Memo.gexpr -> Expr.logical option
+val group_out_cols : Memolib.Memo.t -> int -> Colref.Set.t
+val child_logicals :
+  Memolib.Memo.t -> int -> (Memolib.Memo.gexpr * Expr.logical) list

@@ -1,0 +1,270 @@
+open Ir
+
+(* Exploration rules (paper §4.1 step 1): generate logically equivalent
+   expressions. Combined with the Memo's duplicate detection, commutativity
+   and associativity enumerate the join-order space; the push-down rules give
+   the search the chance to filter early. *)
+
+module Memo = Memolib.Memo
+module Mexpr = Memolib.Mexpr
+
+let join_commutativity =
+  Rule.make ~name:"JoinCommutativity" ~kind:Rule.Exploration ~promise:10
+    (fun _ctx _memo ge ->
+      match Rule.logical_op ge with
+      | Some (Expr.L_join (Expr.Inner, cond)) -> (
+          match ge.Memo.ge_children with
+          | [ g1; g2 ] ->
+              [
+                Mexpr.logical_of_groups (Expr.L_join (Expr.Inner, cond))
+                  [ g2; g1 ];
+              ]
+          | _ -> [])
+      | _ -> [])
+
+(* Inner(Inner(g1,g2),g3) => Inner(g1, Inner(g2,g3)).
+   Conjuncts of both conditions are re-partitioned: those referencing only
+   {g2,g3} sink into the new inner join; the rest stay on top. Pure cross
+   products are not generated unless the query itself is a cross product. *)
+let join_associativity =
+  Rule.make ~name:"JoinAssociativity" ~kind:Rule.Exploration ~promise:9
+    (fun _ctx memo ge ->
+      match (Rule.logical_op ge, ge.Memo.ge_children) with
+      | Some (Expr.L_join (Expr.Inner, cond_top)), [ g_left; g_right ] ->
+          let left_joins =
+            Rule.child_logicals memo g_left
+            |> List.filter_map (fun (ge_l, op) ->
+                   match op with
+                   | Expr.L_join (Expr.Inner, cond_l) -> (
+                       match ge_l.Memo.ge_children with
+                       | [ g1; g2 ] -> Some (g1, g2, cond_l)
+                       | _ -> None)
+                   | _ -> None)
+          in
+          List.filter_map
+            (fun (g1, g2, cond_l) ->
+              let cols_23 =
+                Colref.Set.union
+                  (Rule.group_out_cols memo g2)
+                  (Rule.group_out_cols memo g_right)
+              in
+              let all_conj =
+                Scalar_ops.conjuncts cond_top @ Scalar_ops.conjuncts cond_l
+              in
+              let inner_conj, top_conj =
+                List.partition
+                  (fun c -> Colref.Set.subset (Scalar_ops.free_cols c) cols_23)
+                  all_conj
+              in
+              if inner_conj = [] && all_conj <> [] then None
+              else
+                Some
+                  {
+                    Mexpr.op =
+                      Expr.Logical
+                        (Expr.L_join (Expr.Inner, Scalar_ops.conjoin top_conj));
+                    children =
+                      [
+                        Mexpr.Group g1;
+                        Mexpr.Node
+                          (Mexpr.logical_of_groups
+                             (Expr.L_join
+                                (Expr.Inner, Scalar_ops.conjoin inner_conj))
+                             [ g2; g_right ]);
+                      ];
+                  })
+            left_joins
+      | _ -> [])
+
+(* Select(pred, Join(g1,g2)) => Join(g1,g2) with the predicate merged into
+   the join condition (inner joins), giving the join implementations more
+   equi-keys to work with. *)
+let select_merge_join =
+  Rule.make ~name:"SelectMergeJoin" ~kind:Rule.Exploration ~promise:8
+    (fun _ctx memo ge ->
+      match (Rule.logical_op ge, ge.Memo.ge_children) with
+      | Some (Expr.L_select pred), [ g ] ->
+          Rule.child_logicals memo g
+          |> List.filter_map (fun (ge_j, op) ->
+                 match (op, ge_j.Memo.ge_children) with
+                 | Expr.L_join (Expr.Inner, cond), [ g1; g2 ] ->
+                     Some
+                       (Mexpr.logical_of_groups
+                          (Expr.L_join
+                             ( Expr.Inner,
+                               Scalar_ops.conjoin
+                                 (Scalar_ops.conjuncts cond
+                                 @ Scalar_ops.conjuncts pred) ))
+                          [ g1; g2 ])
+                 | _ -> None)
+      | _ -> [])
+
+(* Select(pred, OuterJoin(g1,g2)) => OuterJoin(Select(pred_outer, g1), g2):
+   conjuncts that reference only the outer side commute with a left outer
+   join. *)
+let select_pushdown_outer_join =
+  Rule.make ~name:"SelectPushdownOuterJoin" ~kind:Rule.Exploration ~promise:7
+    (fun _ctx memo ge ->
+      match (Rule.logical_op ge, ge.Memo.ge_children) with
+      | Some (Expr.L_select pred), [ g ] ->
+          Rule.child_logicals memo g
+          |> List.filter_map (fun (ge_j, op) ->
+                 match (op, ge_j.Memo.ge_children) with
+                 | Expr.L_join (Expr.Left_outer, cond), [ g1; g2 ] ->
+                     let outer_cols = Rule.group_out_cols memo g1 in
+                     let push, keep =
+                       List.partition
+                         (fun c ->
+                           Colref.Set.subset (Scalar_ops.free_cols c)
+                             outer_cols)
+                         (Scalar_ops.conjuncts pred)
+                     in
+                     if push = [] then None
+                     else
+                       let pushed_child =
+                         Mexpr.Node
+                           {
+                             Mexpr.op =
+                               Expr.Logical
+                                 (Expr.L_select (Scalar_ops.conjoin push));
+                             children = [ Mexpr.Group g1 ];
+                           }
+                       in
+                       let join =
+                         {
+                           Mexpr.op =
+                             Expr.Logical (Expr.L_join (Expr.Left_outer, cond));
+                           children = [ pushed_child; Mexpr.Group g2 ];
+                         }
+                       in
+                       if keep = [] then Some join
+                       else
+                         Some
+                           {
+                             Mexpr.op =
+                               Expr.Logical
+                                 (Expr.L_select (Scalar_ops.conjoin keep));
+                             children = [ Mexpr.Node join ];
+                           }
+                 | _ -> None)
+      | _ -> [])
+
+(* Select(pred, GbAgg(keys, aggs, child)) => GbAgg(keys, aggs, Select(...)):
+   conjuncts over grouping columns filter before aggregation. *)
+let select_pushdown_gb_agg =
+  Rule.make ~name:"SelectPushdownGbAgg" ~kind:Rule.Exploration ~promise:7
+    (fun _ctx memo ge ->
+      match (Rule.logical_op ge, ge.Memo.ge_children) with
+      | Some (Expr.L_select pred), [ g ] ->
+          Rule.child_logicals memo g
+          |> List.filter_map (fun (ge_a, op) ->
+                 match (op, ge_a.Memo.ge_children) with
+                 | Expr.L_gb_agg (Expr.One_phase, keys, aggs), [ gc ] ->
+                     let key_set = Colref.Set.of_list keys in
+                     let push, keep =
+                       List.partition
+                         (fun c ->
+                           Colref.Set.subset (Scalar_ops.free_cols c) key_set)
+                         (Scalar_ops.conjuncts pred)
+                     in
+                     if push = [] then None
+                     else
+                       let agg =
+                         {
+                           Mexpr.op =
+                             Expr.Logical
+                               (Expr.L_gb_agg (Expr.One_phase, keys, aggs));
+                           children =
+                             [
+                               Mexpr.Node
+                                 {
+                                   Mexpr.op =
+                                     Expr.Logical
+                                       (Expr.L_select (Scalar_ops.conjoin push));
+                                   children = [ Mexpr.Group gc ];
+                                 };
+                             ];
+                         }
+                       in
+                       if keep = [] then Some agg
+                       else
+                         Some
+                           {
+                             Mexpr.op =
+                               Expr.Logical
+                                 (Expr.L_select (Scalar_ops.conjoin keep));
+                             children = [ Mexpr.Node agg ];
+                           }
+                 | _ -> None)
+      | _ -> [])
+
+(* GbAgg => Final-GbAgg over Partial-GbAgg: multi-stage MPP aggregation.
+   The partial stage aggregates whatever is local to each segment; the final
+   stage combines partial states after a motion. AVG was decomposed into
+   SUM/COUNT at bind time, so every aggregate here splits cleanly. *)
+let split_gb_agg =
+  Rule.make ~name:"SplitGbAgg" ~kind:Rule.Exploration ~promise:6
+    (fun ctx _memo ge ->
+      match (Rule.logical_op ge, ge.Memo.ge_children) with
+      | Some (Expr.L_gb_agg (Expr.One_phase, keys, aggs)), [ gc ]
+        when aggs <> [] && not (List.exists (fun a -> a.Expr.agg_distinct) aggs)
+        ->
+          let split =
+            List.map
+              (fun (a : Expr.agg) ->
+                let partial_ty =
+                  match a.Expr.agg_kind with
+                  | Expr.Count_star | Expr.Count -> Dtype.Int
+                  | Expr.Sum | Expr.Min | Expr.Max ->
+                      Colref.ty a.Expr.agg_out
+                in
+                let partial_out =
+                  Colref.Factory.fresh ctx.Rule.factory
+                    ~name:(Colref.name a.Expr.agg_out ^ "_partial")
+                    ~ty:partial_ty
+                in
+                let partial = { a with Expr.agg_out = partial_out } in
+                let final_kind =
+                  match a.Expr.agg_kind with
+                  | Expr.Count_star | Expr.Count | Expr.Sum -> Expr.Sum
+                  | Expr.Min -> Expr.Min
+                  | Expr.Max -> Expr.Max
+                in
+                let final =
+                  {
+                    Expr.agg_kind = final_kind;
+                    agg_arg = Some (Expr.Col partial_out);
+                    agg_distinct = false;
+                    agg_out = a.Expr.agg_out;
+                  }
+                in
+                (partial, final))
+              aggs
+          in
+          let partials = List.map fst split and finals = List.map snd split in
+          [
+            {
+              Mexpr.op = Expr.Logical (Expr.L_gb_agg (Expr.Final, keys, finals));
+              children =
+                [
+                  Mexpr.Node
+                    {
+                      Mexpr.op =
+                        Expr.Logical
+                          (Expr.L_gb_agg (Expr.Partial, keys, partials));
+                      children = [ Mexpr.Group gc ];
+                    };
+                ];
+            };
+          ]
+      | _ -> [])
+
+let all : Rule.t list =
+  [
+    join_commutativity;
+    join_associativity;
+    select_merge_join;
+    select_pushdown_outer_join;
+    select_pushdown_gb_agg;
+    split_gb_agg;
+  ]

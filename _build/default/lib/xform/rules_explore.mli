@@ -1,0 +1,31 @@
+(** Exploration rules (paper §4.1 step 1): logical-to-logical
+    transformations that grow the Memo with algebraically equivalent
+    expressions. Each rule is a {!Rule.t} whose [apply] pattern-matches a
+    group expression and returns new logical group expressions. *)
+
+val join_commutativity : Rule.t
+(** [A ⋈ B → B ⋈ A] for inner joins (the paper's Fig. 4 example). *)
+
+val join_associativity : Rule.t
+(** [(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)] for inner joins, recombining the
+    conjuncts so each join keeps the predicates it can evaluate. *)
+
+val select_merge_join : Rule.t
+(** Merge a select over an inner join into the join's predicate, enabling
+    further reordering under it. *)
+
+val select_pushdown_outer_join : Rule.t
+(** Push a select below the outer-preserving side of a left outer join when
+    its predicate references only that side's columns. *)
+
+val select_pushdown_gb_agg : Rule.t
+(** Push a select below a group-by aggregate when the predicate only uses
+    grouping columns. *)
+
+val split_gb_agg : Rule.t
+(** Two-stage aggregation (§7.2.2 "multi-stage aggregates"): split a
+    one-phase aggregate into a Partial aggregate below a Final aggregate so
+    the partial stage can run pre-motion on each segment. *)
+
+val all : Rule.t list
+(** Every exploration rule, in application order. *)

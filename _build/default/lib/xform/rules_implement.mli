@@ -1,0 +1,55 @@
+(** Implementation rules (paper §4.1 step 3): logical-to-physical
+    transformations. Each produces physical group expressions in the same
+    group; costing and property enforcement happen later, during
+    optimization. *)
+
+val get2scan : Rule.t
+(** Logical Get → sequential table scan. *)
+
+val select2filter : Rule.t
+(** Logical Select → physical Filter over its child. *)
+
+val select2scan : Rule.t
+(** Select over a Get → predicated scan; performs static partition
+    elimination when the predicate constrains the partitioning column
+    (§7.2.2 "partition elimination"). *)
+
+val select2index_scan : Rule.t
+(** Select over a Get → index scan when an index covers an equality or
+    range conjunct. *)
+
+val project_impl : Rule.t
+
+val join2hashjoin : Rule.t
+(** Inner/outer/semi/anti joins with equi-conjuncts → hash join. *)
+
+val join2nljoin : Rule.t
+(** Any join → nested-loop join (also the only implementation for
+    correlated Apply-style joins). *)
+
+val join2mergejoin : Rule.t
+(** Equi-joins → sort-merge join; delivers the join keys' sort order. *)
+
+val gbagg2hashagg : Rule.t
+val gbagg2streamagg : Rule.t
+
+val window_impl : Rule.t
+(** Logical Window → physical Window (requests partition co-location and
+    (partition, order) sorting; see {!Search.Requests}). *)
+
+val limit_impl : Rule.t
+
+val cte_anchor2sequence : Rule.t
+(** CTE anchor → Sequence(producer, consumer-side plan), the paper's §B
+    CTE execution shape. *)
+
+val cte_producer_impl : Rule.t
+val cte_consumer_impl : Rule.t
+
+val set_impl : Rule.t
+(** UNION / UNION ALL / INTERSECT / EXCEPT implementations. *)
+
+val const_table_impl : Rule.t
+
+val all : Rule.t list
+(** Every implementation rule, in application order. *)

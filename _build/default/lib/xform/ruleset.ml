@@ -1,0 +1,51 @@
+(* Rule sets and optimization stages (paper §3: "each transformation rule is
+   a self-contained component that can be explicitly activated/deactivated in
+   Orca configurations"; §4.1 "Multi-Stage Optimization"). *)
+
+type t = { rules : Rule.t list }
+
+let default = { rules = Rules_explore.all @ Rules_implement.all }
+
+let rules t = t.rules
+
+let exploration t = List.filter Rule.is_exploration t.rules
+let implementation t = List.filter Rule.is_implementation t.rules
+
+(* Deactivate rules by name. *)
+let without t names =
+  { rules = List.filter (fun r -> not (List.mem r.Rule.name names)) t.rules }
+
+let only t names =
+  { rules = List.filter (fun r -> List.mem r.Rule.name names) t.rules }
+
+let find_by_name t name =
+  List.find_opt (fun r -> r.Rule.name = name) t.rules
+
+let names t = List.map (fun r -> r.Rule.name) t.rules
+
+(* An optimization stage: a complete optimization workflow over a rule
+   subset, with optional timeout and cost threshold. A stage terminates when
+   a plan under the threshold is found, the timeout fires, or its rules are
+   exhausted. *)
+type stage = {
+  stage_name : string;
+  stage_rules : t;
+  timeout_ms : float option;
+  cost_threshold : float option;
+}
+
+let stage ?(timeout_ms = None) ?(cost_threshold = None) ~name rules =
+  { stage_name = name; stage_rules = rules; timeout_ms; cost_threshold }
+
+let single_stage = [ stage ~name:"full" default ]
+
+(* A cheap first stage without the most expensive exploration rule (join
+   associativity), then the full rule set: the paper's example of running the
+   most expensive transformations in later stages. *)
+let two_stage ?(timeout_ms = 500.0) ?(cost_threshold = 1000.0) () =
+  [
+    stage ~name:"greedy"
+      ~cost_threshold:(Some cost_threshold)
+      (without default [ "JoinAssociativity" ]);
+    stage ~name:"full" ~timeout_ms:(Some timeout_ms) default;
+  ]

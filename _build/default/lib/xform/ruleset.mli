@@ -1,0 +1,43 @@
+(** Rule sets and optimization stages.
+
+    Paper §3: "each transformation rule is a self-contained component that
+    can be explicitly activated/deactivated in Orca configurations"; §4.1: an
+    optimization stage is a complete workflow using a subset of rules with an
+    optional timeout and cost threshold. *)
+
+type t
+
+val default : t
+(** All exploration and implementation rules. *)
+
+val rules : t -> Rule.t list
+val exploration : t -> Rule.t list
+val implementation : t -> Rule.t list
+
+val without : t -> string list -> t
+(** Deactivate rules by name. *)
+
+val only : t -> string list -> t
+val find_by_name : t -> string -> Rule.t option
+val names : t -> string list
+
+type stage = {
+  stage_name : string;
+  stage_rules : t;
+  timeout_ms : float option;      (** bounds exploration *)
+  cost_threshold : float option;  (** stop staging once a plan beats this *)
+}
+
+val stage :
+  ?timeout_ms:float option ->
+  ?cost_threshold:float option ->
+  name:string ->
+  t ->
+  stage
+
+val single_stage : stage list
+(** One full-rule-set stage — the default configuration. *)
+
+val two_stage : ?timeout_ms:float -> ?cost_threshold:float -> unit -> stage list
+(** The paper's example: a cheap first stage without the most expensive
+    exploration rule, then the full set under a timeout. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Catalog Colref Datum Dtype Engines Exec Gpos Ir Lazy List Orca Planner Printf Sqlfront Stats String Tpcds

@@ -1,0 +1,1 @@
+test/test_ampere_taqo.ml: Alcotest Catalog Cost Dxl Exec Expr Filename Fixtures Ir Lazy List Option Orca Plan_ops Sqlfront String Sys

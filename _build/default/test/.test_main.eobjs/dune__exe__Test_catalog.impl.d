@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog Colref Dtype Fixtures Ir Lazy List Option Stats Table_desc

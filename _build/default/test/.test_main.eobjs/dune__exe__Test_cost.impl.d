@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Datum Expr Fixtures Ir List Props Sortspec Table_desc

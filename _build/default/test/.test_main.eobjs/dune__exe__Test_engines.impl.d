@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Engines Fixtures Lazy List Printf Tpcds

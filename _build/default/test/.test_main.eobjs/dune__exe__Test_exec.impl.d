@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Colref Datum Dtype Exec Expr Fixtures Fun Gpos Hashtbl Ir List Plan_ops Printf QCheck QCheck_alcotest Sortspec Table_desc

@@ -1,0 +1,1 @@
+test/test_gpos.ml: Alcotest Array Atomic Fun Gpos List Sys

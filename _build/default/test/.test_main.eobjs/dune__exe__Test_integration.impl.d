@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dxl Engines Exec Expr Fixtures Ir Lazy List Ltree Orca Plan_ops Printf Sqlfront Tpcds

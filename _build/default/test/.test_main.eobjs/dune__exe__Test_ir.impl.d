@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Colref Datum Dtype Expr Fixtures Fmt Gpos Ir List Ltree Plan_ops Props Scalar_eval Scalar_ops Sortspec String Table_desc

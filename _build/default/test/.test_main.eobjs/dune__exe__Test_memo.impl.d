@@ -1,0 +1,1 @@
+test/test_memo.ml: Alcotest Colref Datum Dtype Expr Fixtures Ir List Memolib Option Orca Printf Props Sortspec Stats String Table_desc

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Catalog Dxl Engines Exec Expr Fixtures Float Ir Lazy List Memolib Orca Physical_ops Plan_ops Printf Props Sqlfront Xform

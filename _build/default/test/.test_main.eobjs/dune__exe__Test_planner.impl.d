@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Engines Exec Expr Fixtures Ir Lazy List Orca Plan_ops Planner Printf Scalar_ops Sqlfront Tpcds

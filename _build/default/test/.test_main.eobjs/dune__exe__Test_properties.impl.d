@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Colref Datum Dtype Dxl Exec Expr Fixtures Float Gpos Ir Lazy List Orca Printf Props QCheck QCheck_alcotest Scalar_eval Scalar_ops Sortspec Sqlfront Stats String

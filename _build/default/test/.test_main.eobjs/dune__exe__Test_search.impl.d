@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Catalog Datum Exec Expr Fixtures Ir Lazy List Memolib Orca Printf Props Search Sortspec Sqlfront Xform

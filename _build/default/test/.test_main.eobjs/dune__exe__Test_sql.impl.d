@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Colref Dxl Expr Fixtures Gpos Ir List Ltree Sortspec Sqlfront Tpcds

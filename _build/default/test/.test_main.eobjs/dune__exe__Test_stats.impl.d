@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Colref Datum Dtype Expr Fixtures Float Fun Ir List Printf QCheck QCheck_alcotest Stats

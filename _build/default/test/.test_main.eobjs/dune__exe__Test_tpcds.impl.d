@@ -1,0 +1,1 @@
+test/test_tpcds.ml: Alcotest Array Catalog Datum Dxl Engines Fixtures Float Hashtbl Ir Lazy List Ltree Option Printf Sqlfront Stats Table_desc Tpcds

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Datum Dxl Exec Expr Fixtures Gpos Hashtbl Ir Lazy List Option Orca Plan_ops Printf Sqlfront Tpcds

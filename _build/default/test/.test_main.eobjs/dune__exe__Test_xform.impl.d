@@ -1,0 +1,1 @@
+test/test_xform.ml: Alcotest Catalog Colref Cost Datum Dtype Dxl Expr Fixtures Ir List Ltree Memolib Printf Scalar_ops Search Sqlfront Stats Table_desc Xform

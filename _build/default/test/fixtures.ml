@@ -1,0 +1,133 @@
+open Ir
+
+(* Shared test fixtures: a small two-table catalog + cluster, and a tiny
+   mini-TPC-DS environment (built once, lazily). *)
+
+let nsegs = 4
+
+let rng_seed = 1234
+
+(* --- small t1/t2 database --- *)
+
+type small = {
+  provider : Catalog.Provider.t;
+  cache : Catalog.Md_cache.t;
+  cluster : Exec.Cluster.t;
+  t1_rows : Datum.t array list;
+  t2_rows : Datum.t array list;
+}
+
+let make_small () =
+  let rng = Gpos.Prng.create rng_seed in
+  let t1_rows =
+    List.init 500 (fun i ->
+        [| Datum.Int (i mod 100); Datum.Int (Gpos.Prng.int rng 300) |])
+  in
+  let t2_rows =
+    List.init 1200 (fun _ ->
+        [| Datum.Int (Gpos.Prng.int rng 300); Datum.Int (Gpos.Prng.int rng 100) |])
+  in
+  let hist rows pos = Stats.Histogram.build (List.map (fun r -> r.(pos)) rows) in
+  let rel name oid =
+    Catalog.Metadata.rel_make
+      ~dist:(Catalog.Metadata.Hash_cols [ 0 ])
+      ~mdid:(Catalog.Md_id.make oid) ~name
+      [
+        { Catalog.Metadata.col_name = "a"; col_type = Dtype.Int };
+        { Catalog.Metadata.col_name = "b"; col_type = Dtype.Int };
+      ]
+  in
+  let stats oid rows =
+    {
+      Catalog.Metadata.st_mdid = Catalog.Md_id.make oid;
+      st_rows = float_of_int (List.length rows);
+      st_col_hists = [ (0, hist rows 0); (1, hist rows 1) ];
+    }
+  in
+  let provider =
+    Catalog.Provider.of_objects ~name:"small"
+      [
+        Catalog.Metadata.Rel (rel "t1" 100);
+        Catalog.Metadata.Rel (rel "t2" 200);
+        Catalog.Metadata.Rel_stats (stats 100 t1_rows);
+        Catalog.Metadata.Rel_stats (stats 200 t2_rows);
+      ]
+  in
+  let cluster = Exec.Cluster.create ~nsegs () in
+  Exec.Cluster.load_table cluster ~name:"t1" ~dist:(Exec.Cluster.By_hash [ 0 ]) t1_rows;
+  Exec.Cluster.load_table cluster ~name:"t2" ~dist:(Exec.Cluster.By_hash [ 0 ]) t2_rows;
+  { provider; cache = Catalog.Md_cache.create (); cluster; t1_rows; t2_rows }
+
+let small = lazy (make_small ())
+
+let small_accessor () =
+  let s = Lazy.force small in
+  Catalog.Accessor.create ~provider:s.provider ~cache:s.cache ()
+
+let orca_config =
+  lazy (Orca.Orca_config.with_segments Orca.Orca_config.default nsegs)
+
+(* SQL -> optimized plan -> executed rows, on the small database. *)
+let run_orca_sql sql =
+  let s = Lazy.force small in
+  let accessor = small_accessor () in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let report =
+    Orca.Optimizer.optimize ~config:(Lazy.force orca_config) accessor query
+  in
+  let rows, metrics = Exec.Executor.run s.cluster report.Orca.Optimizer.plan in
+  (query, report, rows, metrics)
+
+let run_naive_sql sql =
+  let s = Lazy.force small in
+  let accessor = small_accessor () in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  Exec.Naive.run s.cluster query
+
+let run_planner_sql sql =
+  let s = Lazy.force small in
+  let accessor = small_accessor () in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let plan =
+    Planner.Legacy_planner.plan_sql
+      ~config:{ Planner.Legacy_planner.segments = nsegs; dp_limit = 5; broadcast_inner = false }
+      accessor query
+  in
+  let rows, metrics = Exec.Executor.run s.cluster plan in
+  (plan, rows, metrics)
+
+(* normalized row text for order-insensitive comparison *)
+let norm rows =
+  List.sort compare
+    (List.map
+       (fun r ->
+         String.concat ","
+           (List.map
+              (fun d ->
+                match d with
+                | Datum.Float f -> Printf.sprintf "%.5f" f
+                | d -> Datum.to_string d)
+              (Array.to_list r)))
+       rows)
+
+let rows_equal a b = norm a = norm b
+
+(* --- tiny mini-TPC-DS environment --- *)
+
+let tpcds_env =
+  lazy
+    (let db = Tpcds.Datagen.generate ~sf:0.05 () in
+     Engines.Engine.create_env ~nsegs db)
+
+let tpcds_cluster () =
+  Engines.Engine.cluster_for (Lazy.force tpcds_env)
+    ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0)
+
+let tpcds_accessor () =
+  let env = Lazy.force tpcds_env in
+  Catalog.Accessor.create ~provider:env.Engines.Engine.provider
+    ~cache:env.Engines.Engine.cache ()
+
+(* --- common colref helpers --- *)
+
+let col id name = Colref.make ~id ~name ~ty:Dtype.Int

@@ -1,0 +1,147 @@
+open Ir
+
+(* Tests for metadata ids, the MD cache (pinning, version invalidation), the
+   MD accessor (binding, base statistics, session tracking) and the
+   recording provider used by AMPERe. *)
+
+let test_mdid_roundtrip () =
+  let id = Catalog.Md_id.make ~system:0 ~major:2 ~minor:3 1639448 in
+  let s = Catalog.Md_id.to_string id in
+  Alcotest.(check string) "format" "0.1639448.2.3" s;
+  Alcotest.(check bool) "roundtrip" true
+    (Catalog.Md_id.equal id (Catalog.Md_id.of_string s))
+
+let test_mdid_versions () =
+  let v1 = Catalog.Md_id.make 10 in
+  let v2 = Catalog.Md_id.bump_version v1 in
+  Alcotest.(check bool) "same object" true (Catalog.Md_id.same_object v1 v2);
+  Alcotest.(check bool) "newer" true (Catalog.Md_id.newer_than v2 v1);
+  Alcotest.(check bool) "not older" false (Catalog.Md_id.newer_than v1 v2)
+
+let test_accessor_bind () =
+  let accessor = Fixtures.small_accessor () in
+  let t1 = Option.get (Catalog.Accessor.bind_table accessor "t1") in
+  let t1' = Option.get (Catalog.Accessor.bind_table accessor "t1") in
+  (* self-join: same relation, distinct column ids *)
+  let ids td = List.map Colref.id td.Table_desc.cols in
+  Alcotest.(check bool) "fresh colrefs per binding" true (ids t1 <> ids t1');
+  Alcotest.(check (option string)) "missing table" None
+    (Option.map (fun td -> td.Table_desc.name)
+       (Catalog.Accessor.bind_table accessor "nope"));
+  (* distribution mapped onto bound colrefs *)
+  (match t1.Table_desc.dist with
+  | Table_desc.Dist_hash [ c ] ->
+      Alcotest.(check string) "dist col" "a" (Colref.name c)
+  | _ -> Alcotest.fail "expected hash distribution");
+  Catalog.Accessor.release accessor
+
+let test_accessor_base_stats () =
+  let accessor = Fixtures.small_accessor () in
+  let t1 = Option.get (Catalog.Accessor.bind_table accessor "t1") in
+  let stats = Catalog.Accessor.base_stats accessor t1 in
+  Alcotest.(check bool) "row count" true (Stats.Relstats.rows stats = 500.0);
+  let a = List.hd t1.Table_desc.cols in
+  Alcotest.(check bool) "histogram keyed by bound colref" true
+    (Option.is_some (Stats.Relstats.col_hist stats a));
+  Catalog.Accessor.release accessor
+
+let test_cache_hit_and_stats () =
+  let s = Lazy.force Fixtures.small in
+  let cache = Catalog.Md_cache.create () in
+  let acc1 =
+    Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache ()
+  in
+  ignore (Catalog.Accessor.bind_table acc1 "t1");
+  let after_first = Catalog.Md_cache.stats cache in
+  let acc2 =
+    Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache ()
+  in
+  ignore (Catalog.Accessor.bind_table acc2 "t1");
+  let after_second = Catalog.Md_cache.stats cache in
+  Alcotest.(check int) "no extra misses on re-bind"
+    after_first.Catalog.Md_cache.misses after_second.Catalog.Md_cache.misses;
+  Alcotest.(check bool) "lookups grew" true
+    (after_second.Catalog.Md_cache.lookups > after_first.Catalog.Md_cache.lookups)
+
+let test_cache_invalidation () =
+  (* a mutable provider: bumping the version must invalidate the cache *)
+  let rel version =
+    Catalog.Metadata.rel_make
+      ~mdid:(Catalog.Md_id.make ~minor:version 77)
+      ~name:"v" [ { Catalog.Metadata.col_name = "x"; col_type = Dtype.Int } ]
+  in
+  let current = ref (rel 1) in
+  let base = Catalog.Provider.of_objects ~name:"mut" [] in
+  let provider =
+    {
+      base with
+      Catalog.Provider.lookup_rel_by_name =
+        (fun n -> if n = "v" then Some !current else None);
+      lookup_rel =
+        (fun id ->
+          if Catalog.Md_id.same_object id (Catalog.Md_id.make 77) then
+            Some !current
+          else None);
+      current_version =
+        (fun kind id ->
+          match kind with
+          | Catalog.Metadata.K_rel
+            when Catalog.Md_id.same_object id (Catalog.Md_id.make 77) ->
+              Some !current.Catalog.Metadata.rel_mdid
+          | _ -> None);
+    }
+  in
+  let cache = Catalog.Md_cache.create () in
+  let acc1 = Catalog.Accessor.create ~provider ~cache () in
+  ignore (Option.get (Catalog.Accessor.bind_table acc1 "v"));
+  current := rel 2;
+  let acc2 = Catalog.Accessor.create ~provider ~cache () in
+  ignore (Option.get (Catalog.Accessor.bind_table acc2 "v"));
+  let st = Catalog.Md_cache.stats cache in
+  Alcotest.(check int) "one invalidation" 1 st.Catalog.Md_cache.invalidations
+
+let test_evict_unpinned () =
+  let s = Lazy.force Fixtures.small in
+  let cache = Catalog.Md_cache.create () in
+  let acc = Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache () in
+  ignore (Catalog.Accessor.bind_table acc "t1");
+  Alcotest.(check int) "nothing evictable while pinned" 0
+    (Catalog.Md_cache.evict_unpinned cache);
+  Catalog.Accessor.release acc;
+  Alcotest.(check bool) "evicted after release" true
+    (Catalog.Md_cache.evict_unpinned cache > 0)
+
+let test_recording_provider () =
+  let s = Lazy.force Fixtures.small in
+  let recording, recorded = Catalog.Provider.recording s.Fixtures.provider in
+  let cache = Catalog.Md_cache.create () in
+  let acc = Catalog.Accessor.create ~provider:recording ~cache () in
+  let td = Option.get (Catalog.Accessor.bind_table acc "t1") in
+  ignore (Catalog.Accessor.base_stats acc td);
+  let objs = recorded () in
+  Alcotest.(check bool) "captured relation and stats" true
+    (List.exists (function Catalog.Metadata.Rel _ -> true | _ -> false) objs
+    && List.exists
+         (function Catalog.Metadata.Rel_stats _ -> true | _ -> false)
+         objs)
+
+let test_accessed_objects () =
+  let accessor = Fixtures.small_accessor () in
+  let t1 = Option.get (Catalog.Accessor.bind_table accessor "t1") in
+  ignore (Catalog.Accessor.base_stats accessor t1);
+  let objs = Catalog.Accessor.accessed_objects accessor in
+  Alcotest.(check int) "rel + stats tracked" 2 (List.length objs);
+  Catalog.Accessor.release accessor
+
+let suite =
+  [
+    Alcotest.test_case "mdid roundtrip" `Quick test_mdid_roundtrip;
+    Alcotest.test_case "mdid versions" `Quick test_mdid_versions;
+    Alcotest.test_case "accessor bind" `Quick test_accessor_bind;
+    Alcotest.test_case "accessor base stats" `Quick test_accessor_base_stats;
+    Alcotest.test_case "cache hits" `Quick test_cache_hit_and_stats;
+    Alcotest.test_case "cache invalidation" `Quick test_cache_invalidation;
+    Alcotest.test_case "evict unpinned" `Quick test_evict_unpinned;
+    Alcotest.test_case "recording provider" `Quick test_recording_provider;
+    Alcotest.test_case "accessed objects" `Quick test_accessed_objects;
+  ]

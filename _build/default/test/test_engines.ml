@@ -1,0 +1,117 @@
+(* Tests for the engine simulations: support matrices, OOM behaviour,
+   MapReduce-style overhead, and the Figure 15 counts' structure. *)
+
+let specs () =
+  let big = 64.0 *. 1024.0 *. 1024.0 in
+  ( Engines.Engine.hawq ~mem_per_seg:big,
+    Engines.Engine.impala ~mem_per_seg:5_000.0,
+    Engines.Engine.presto ~mem_per_seg:100.0,
+    Engines.Engine.stinger ~mem_per_seg:big )
+
+let test_feature_rejection () =
+  let _, impala, presto, stinger = specs () in
+  let cte = Tpcds.Queries.get 31 (* cte_reuse *) in
+  Alcotest.(check bool) "impala rejects WITH" true
+    (Engines.Engine.supported impala cte <> []);
+  Alcotest.(check bool) "stinger rejects WITH" true
+    (Engines.Engine.supported stinger cte <> []);
+  let corr = Tpcds.Queries.get 13 (* correlated_avg *) in
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) "rejects correlation" true
+        (Engines.Engine.supported spec corr <> []))
+    [ impala; presto; stinger ]
+
+let test_hawq_supports_everything () =
+  let hawq, _, _, _ = specs () in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list string)) "no missing features" []
+        (List.map Tpcds.Features.to_string (Engines.Engine.supported hawq q));
+      Alcotest.(check (list string)) "no dialect gap" []
+        (Engines.Engine.dialect_missing hawq q))
+    (Lazy.force Tpcds.Queries.all)
+
+let test_run_statuses () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  let hawq, impala, presto, _ = specs () in
+  let simple = Tpcds.Queries.get 1 in
+  (* HAWQ executes *)
+  let r = Engines.Engine.run hawq env simple in
+  Alcotest.(check bool) "hawq ok" true (r.Engines.Engine.status = Engines.Engine.S_ok);
+  Alcotest.(check bool) "hawq timed" true (r.Engines.Engine.sim_seconds <> None);
+  (* Presto with a tiny budget dies with OOM on a fact join *)
+  let r2 = Engines.Engine.run presto env simple in
+  Alcotest.(check bool) "presto OOM" true
+    (r2.Engines.Engine.status = Engines.Engine.S_oom);
+  (* Impala rejects a correlated query before execution *)
+  let r3 = Engines.Engine.run impala env (Tpcds.Queries.get 13) in
+  (match r3.Engines.Engine.status with
+  | Engines.Engine.S_unsupported _ -> ()
+  | s -> Alcotest.failf "expected unsupported, got %s" (Engines.Engine.status_to_string s))
+
+let test_stinger_overhead () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  let hawq, _, _, stinger = specs () in
+  let q = Tpcds.Queries.get 1 in
+  let rh = Engines.Engine.run hawq env q in
+  let rs = Engines.Engine.run stinger env q in
+  match (rh.Engines.Engine.sim_seconds, rs.Engines.Engine.sim_seconds) with
+  | Some th, Some ts ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stinger much slower (%.4f vs %.4f)" th ts)
+        true (ts > 4.0 *. th)
+  | _ -> Alcotest.fail "both should execute"
+
+let test_fig15_structure () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  let hawq, impala, presto, stinger = specs () in
+  let optimized spec =
+    List.length
+      (List.filter
+         (fun q ->
+           match Engines.Engine.optimize spec env q with
+           | Ok _ -> true
+           | Error _ -> false)
+         (Lazy.force Tpcds.Queries.all))
+  in
+  let h = optimized hawq
+  and i = optimized impala
+  and p = optimized presto
+  and s = optimized stinger in
+  Alcotest.(check int) "HAWQ optimizes all 111" 111 h;
+  (* the paper's ordering: HAWQ >> Stinger/Impala > Presto *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering holds (%d/%d/%d/%d)" h i p s)
+    true
+    (h > i && h > s && i > p && s > p);
+  Alcotest.(check bool) "hadoop engines support a small fraction" true
+    (i < 45 && s < 45 && p < 25)
+
+let test_same_results_across_engines () =
+  (* every engine that executes a query must produce the same row count *)
+  let env = Lazy.force Fixtures.tpcds_env in
+  let hawq, impala, _, stinger = specs () in
+  let q = Tpcds.Queries.get 1 in
+  let rows spec =
+    let r = Engines.Engine.run spec env q in
+    r.Engines.Engine.rows
+  in
+  let h = rows hawq in
+  Alcotest.(check bool) "hawq rows" true (h <> None);
+  List.iter
+    (fun spec ->
+      match rows spec with
+      | Some n -> Alcotest.(check (option int)) "same count" h (Some n)
+      | None -> ())
+    [ impala; stinger ]
+
+let suite =
+  [
+    Alcotest.test_case "feature rejection" `Quick test_feature_rejection;
+    Alcotest.test_case "hawq supports all" `Quick test_hawq_supports_everything;
+    Alcotest.test_case "run statuses" `Quick test_run_statuses;
+    Alcotest.test_case "stinger overhead" `Quick test_stinger_overhead;
+    Alcotest.test_case "fig15 structure" `Slow test_fig15_structure;
+    Alcotest.test_case "cross-engine agreement" `Quick test_same_results_across_engines;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the GPOS substrate: PRNG determinism and the job scheduler
+   (dependencies, re-entrancy, goal queues, parallel execution, failures). *)
+
+let test_prng_deterministic () =
+  let a = Gpos.Prng.create 42 and b = Gpos.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Gpos.Prng.int a 1000) (Gpos.Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Gpos.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Gpos.Prng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13);
+    let f = Gpos.Prng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_split_independent () =
+  let rng = Gpos.Prng.create 1 in
+  let a = Gpos.Prng.split rng "a" and b = Gpos.Prng.split rng "b" in
+  let va = List.init 10 (fun _ -> Gpos.Prng.int a 1000) in
+  let vb = List.init 10 (fun _ -> Gpos.Prng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (va <> vb)
+
+let test_prng_zipf_skew () =
+  let rng = Gpos.Prng.create 5 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let v = Gpos.Prng.zipf rng ~n:10 ~theta:1.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(5))
+
+let test_scheduler_sequential () =
+  let sched = Gpos.Scheduler.create () in
+  let log = ref [] in
+  let leaf name () =
+    log := name :: !log;
+    Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      match !stage with
+      | 1 ->
+          Gpos.Scheduler.Wait_for
+            [
+              { Gpos.Scheduler.run = leaf "a"; goal = None };
+              { Gpos.Scheduler.run = leaf "b"; goal = None };
+            ]
+      | _ ->
+          log := "root" :: !log;
+          Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched root;
+  (* parent resumes only after both children *)
+  Alcotest.(check (list string)) "order" [ "root"; "b"; "a" ] !log
+
+let test_scheduler_deep_dependencies () =
+  let sched = Gpos.Scheduler.create () in
+  let counter = ref 0 in
+  (* chain of depth 50: each job spawns one child then increments *)
+  let rec make depth =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 && depth > 0 then
+        Gpos.Scheduler.Wait_for
+          [ { Gpos.Scheduler.run = make (depth - 1); goal = None } ]
+      else begin
+        incr counter;
+        Gpos.Scheduler.Finished
+      end
+  in
+  Gpos.Scheduler.run sched (make 50);
+  Alcotest.(check int) "all ran" 51 !counter
+
+let test_scheduler_goal_dedup () =
+  let sched = Gpos.Scheduler.create () in
+  let expensive_runs = ref 0 in
+  let expensive () =
+    incr expensive_runs;
+    Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          (List.init 10 (fun _ ->
+               { Gpos.Scheduler.run = expensive; goal = Some "shared-goal" }))
+      else Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched root;
+  Alcotest.(check int) "goal ran once" 1 !expensive_runs;
+  let _, _, goal_hits = Gpos.Scheduler.stats sched in
+  Alcotest.(check int) "nine absorbed" 9 goal_hits
+
+let test_scheduler_exception () =
+  let sched = Gpos.Scheduler.create () in
+  let boom () = failwith "boom" in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for [ { Gpos.Scheduler.run = boom; goal = None } ]
+      else Gpos.Scheduler.Finished
+  in
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
+      Gpos.Scheduler.run sched root);
+  (* the scheduler is reusable after a failure *)
+  let ok = ref false in
+  Gpos.Scheduler.run sched (fun () ->
+      ok := true;
+      Gpos.Scheduler.Finished);
+  Alcotest.(check bool) "reusable" true !ok
+
+let test_scheduler_parallel () =
+  let sched = Gpos.Scheduler.create ~workers:4 () in
+  let total = 200 in
+  let counter = Atomic.make 0 in
+  let work () =
+    Atomic.incr counter;
+    Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          (List.init total (fun _ -> { Gpos.Scheduler.run = work; goal = None }))
+      else Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched root;
+  Alcotest.(check int) "all parallel jobs ran" total (Atomic.get counter)
+
+let test_run_root () =
+  let sched = Gpos.Scheduler.create () in
+  let result = Gpos.Scheduler.run_root sched (fun store -> store 42) in
+  Alcotest.(check (option int)) "result" (Some 42) result
+
+let test_clock () =
+  let _, ms = Gpos.Clock.time (fun () -> Sys.opaque_identity (List.init 100 Fun.id)) in
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng zipf skew" `Quick test_prng_zipf_skew;
+    Alcotest.test_case "scheduler order" `Quick test_scheduler_sequential;
+    Alcotest.test_case "scheduler deep chain" `Quick test_scheduler_deep_dependencies;
+    Alcotest.test_case "scheduler goal dedup" `Quick test_scheduler_goal_dedup;
+    Alcotest.test_case "scheduler exception" `Quick test_scheduler_exception;
+    Alcotest.test_case "scheduler parallel" `Quick test_scheduler_parallel;
+    Alcotest.test_case "run_root" `Quick test_run_root;
+    Alcotest.test_case "clock" `Quick test_clock;
+  ]

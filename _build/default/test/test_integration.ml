@@ -1,0 +1,229 @@
+open Ir
+
+(* Cross-cutting integration tests: DXL round-trips over real workload plans,
+   executor edge cases reached through full SQL, binder corner cases, and
+   engine-level agreement. *)
+
+(* --- DXL round-trips of real optimized plans --- *)
+
+let test_workload_plan_dxl_roundtrips () =
+  let cluster = Fixtures.tpcds_cluster () in
+  let env = Lazy.force Fixtures.tpcds_env in
+  List.iter
+    (fun qid ->
+      let q = Tpcds.Queries.get qid in
+      let accessor = Fixtures.tpcds_accessor () in
+      let query = Sqlfront.Binder.bind_sql accessor q.Tpcds.Queries.sql in
+      let config =
+        Orca.Orca_config.with_segments Orca.Orca_config.default
+          env.Engines.Engine.nsegs
+      in
+      let report = Orca.Optimizer.optimize ~config accessor query in
+      let plan = report.Orca.Optimizer.plan in
+      let plan' = Dxl.Dxl_plan.of_string (Dxl.Dxl_plan.to_string plan) in
+      Alcotest.(check int)
+        (Printf.sprintf "q%d node count" qid)
+        (Plan_ops.node_count plan) (Plan_ops.node_count plan');
+      let rows, _ = Exec.Executor.run cluster plan in
+      let rows', _ = Exec.Executor.run cluster plan' in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%d round-tripped plan executes identically" qid)
+        true
+        (Fixtures.rows_equal rows rows'))
+    [ 1; 9; 22; 31; 39; 45; 48; 55; 64; 71; 82; 95; 98; 103; 109 ]
+
+let test_workload_query_dxl_roundtrips () =
+  List.iter
+    (fun qid ->
+      let q = Tpcds.Queries.get qid in
+      let accessor = Fixtures.tpcds_accessor () in
+      let query = Sqlfront.Binder.bind_sql accessor q.Tpcds.Queries.sql in
+      let text = Dxl.Dxl_query.to_string query in
+      let query' = Dxl.Dxl_query.of_string text in
+      Alcotest.(check string)
+        (Printf.sprintf "q%d query message stable" qid)
+        text
+        (Dxl.Dxl_query.to_string query'))
+    [ 1; 13; 27; 31; 39; 48; 55; 71; 89; 98 ]
+
+(* --- executor edge cases through full SQL --- *)
+
+let test_empty_results () =
+  List.iter
+    (fun sql ->
+      let _, _, rows, _ = Fixtures.run_orca_sql sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "matches naive: %s" sql)
+        true
+        (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql)))
+    [
+      (* predicates that keep nothing *)
+      "SELECT a FROM t1 WHERE a > 99999 ORDER BY a";
+      (* joins with empty sides *)
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t2.a > 99999 ORDER BY 1";
+      (* aggregates over empty inputs: one identity row *)
+      "SELECT count(*) AS c, sum(a) AS s, min(b) AS m FROM t1 WHERE a < -5";
+      (* grouped aggregate over empty input: no rows *)
+      "SELECT a, count(*) AS c FROM t1 WHERE a < -5 GROUP BY a ORDER BY a";
+      (* offset beyond the result *)
+      "SELECT a FROM t1 WHERE a < 3 ORDER BY a LIMIT 10 OFFSET 5000";
+      (* empty IN-subquery: semi join keeps nothing, anti keeps everything *)
+      "SELECT a FROM t1 WHERE a IN (SELECT b FROM t2 WHERE b > 99999) ORDER BY a";
+      "SELECT count(*) AS c FROM t1 WHERE NOT EXISTS (SELECT 1 FROM t2 WHERE t2.a > 99999 AND t2.b = t1.a)";
+    ]
+
+let test_null_heavy_semantics () =
+  (* CASE/COALESCE/IS NULL through the whole pipeline *)
+  List.iter
+    (fun sql ->
+      let _, _, rows, _ = Fixtures.run_orca_sql sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "matches naive: %s" sql)
+        true
+        (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql)))
+    [
+      "SELECT t1.a, COALESCE(t2.a, -1) AS x FROM t1 LEFT JOIN t2 ON t1.a = \
+       t2.b AND t2.a > 290 ORDER BY 1, 2 LIMIT 40";
+      "SELECT count(*) AS c FROM t1 LEFT JOIN t2 ON t1.a = t2.b AND t2.a > \
+       295 WHERE t2.a IS NULL";
+      "SELECT CASE WHEN a % 2 = 0 THEN 'even' ELSE 'odd' END AS par, \
+       count(*) AS c FROM t1 GROUP BY par ORDER BY par";
+    ]
+
+let test_arithmetic_and_casts () =
+  List.iter
+    (fun sql ->
+      let _, _, rows, _ = Fixtures.run_orca_sql sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "matches naive: %s" sql)
+        true
+        (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql)))
+    [
+      "SELECT a + b * 2 - 1 AS x FROM t1 WHERE a < 5 ORDER BY x";
+      "SELECT CAST(a AS float) / 4 AS q FROM t1 WHERE a BETWEEN 1 AND 9 ORDER BY q";
+      "SELECT a FROM t1 WHERE a % 10 = 3 AND a / 2 > 10 ORDER BY a LIMIT 20";
+      "SELECT -a AS neg FROM t1 WHERE a < 5 ORDER BY neg";
+    ]
+
+(* --- binder corner cases --- *)
+
+let bind sql =
+  let accessor = Fixtures.small_accessor () in
+  Sqlfront.Binder.bind_sql accessor sql
+
+let test_cte_shadowing_and_nesting () =
+  (* a CTE name shadows a real table *)
+  let q =
+    bind "WITH t1 AS (SELECT b AS a FROM t2 WHERE b < 5) SELECT a FROM t1 ORDER BY a"
+  in
+  let has_consumer =
+    Ltree.fold
+      (fun acc n ->
+        acc
+        || match n.Ltree.op with Expr.L_cte_consumer _ -> true | _ -> false)
+      false q.Dxl.Dxl_query.tree
+  in
+  Alcotest.(check bool) "cte shadows table" true has_consumer;
+  (* later CTEs can reference earlier ones *)
+  let q2 =
+    bind
+      "WITH x AS (SELECT a FROM t1 WHERE a < 10), y AS (SELECT a FROM x WHERE \
+       a > 2) SELECT a FROM y ORDER BY a"
+  in
+  Ltree.validate q2.Dxl.Dxl_query.tree;
+  (* and the whole thing evaluates correctly *)
+  let s = Lazy.force Fixtures.small in
+  let _, report, rows, _ =
+    Fixtures.run_orca_sql
+      "WITH x AS (SELECT a FROM t1 WHERE a < 10), y AS (SELECT a FROM x WHERE \
+       a > 2) SELECT a FROM y ORDER BY a"
+  in
+  ignore report;
+  let expected =
+    Exec.Naive.run s.Fixtures.cluster
+      (bind
+         "WITH x AS (SELECT a FROM t1 WHERE a < 10), y AS (SELECT a FROM x \
+          WHERE a > 2) SELECT a FROM y ORDER BY a")
+  in
+  Alcotest.(check bool) "nested CTE result" true (Fixtures.rows_equal rows expected)
+
+let test_unused_cte_dropped () =
+  let q = bind "WITH unused AS (SELECT a FROM t1) SELECT b FROM t2 WHERE b < 3" in
+  let anchors =
+    Ltree.fold
+      (fun acc n ->
+        acc + match n.Ltree.op with Expr.L_cte_anchor _ -> 1 | _ -> 0)
+      0 q.Dxl.Dxl_query.tree
+  in
+  Alcotest.(check int) "no anchor for unused cte" 0 anchors
+
+let test_duplicate_alias_resolution () =
+  (* qualified references pick the right instance *)
+  let _, _, rows, _ =
+    Fixtures.run_orca_sql
+      "SELECT x.a, y.b FROM t1 x, t1 y WHERE x.a = y.a AND x.b < y.b ORDER BY \
+       1, 2 LIMIT 30"
+  in
+  let expected =
+    Fixtures.run_naive_sql
+      "SELECT x.a, y.b FROM t1 x, t1 y WHERE x.a = y.a AND x.b < y.b ORDER BY \
+       1, 2 LIMIT 30"
+  in
+  Alcotest.(check bool) "self join qualified" true
+    (Fixtures.rows_equal rows expected)
+
+(* --- group-by expression handling --- *)
+
+let test_group_by_forms () =
+  List.iter
+    (fun sql ->
+      let _, _, rows, _ = Fixtures.run_orca_sql sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "matches naive: %s" sql)
+        true
+        (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql)))
+    [
+      (* positional *)
+      "SELECT b, count(*) AS c FROM t1 GROUP BY 1 ORDER BY 1 LIMIT 10";
+      (* alias of a computed item *)
+      "SELECT a % 5 AS bucket, count(*) AS c FROM t1 GROUP BY bucket ORDER BY bucket";
+      (* raw expression *)
+      "SELECT count(*) AS c FROM t1 GROUP BY a % 3 ORDER BY c DESC LIMIT 3";
+      (* multiple keys, mixed forms *)
+      "SELECT a % 2 AS x, b % 2 AS y, count(*) AS c FROM t1 GROUP BY x, y ORDER BY x, y";
+    ]
+
+(* --- engines agree with HAWQ on everything they execute --- *)
+
+let test_engines_row_agreement_sample () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  let hawq = Engines.Engine.hawq ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0) in
+  let stinger = Engines.Engine.stinger ~mem_per_seg:(64.0 *. 1024.0 *. 1024.0) in
+  List.iter
+    (fun qid ->
+      let q = Tpcds.Queries.get qid in
+      let rh = Engines.Engine.run hawq env q in
+      let rs = Engines.Engine.run stinger env q in
+      match (rh.Engines.Engine.status, rs.Engines.Engine.status) with
+      | Engines.Engine.S_ok, Engines.Engine.S_ok ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "q%d row count" qid)
+            rh.Engines.Engine.rows rs.Engines.Engine.rows
+      | _ -> ())
+    [ 1; 2; 3; 4; 39; 40; 41; 82; 83; 84 ]
+
+let suite =
+  [
+    Alcotest.test_case "workload plan DXL roundtrips" `Slow
+      test_workload_plan_dxl_roundtrips;
+    Alcotest.test_case "workload query DXL roundtrips" `Slow
+      test_workload_query_dxl_roundtrips;
+    Alcotest.test_case "empty results" `Quick test_empty_results;
+    Alcotest.test_case "null-heavy semantics" `Quick test_null_heavy_semantics;
+    Alcotest.test_case "arithmetic and casts" `Quick test_arithmetic_and_casts;
+    Alcotest.test_case "cte shadowing/nesting" `Quick test_cte_shadowing_and_nesting;
+    Alcotest.test_case "unused cte dropped" `Quick test_unused_cte_dropped;
+    Alcotest.test_case "duplicate alias resolution" `Quick test_duplicate_alias_resolution;
+    Alcotest.test_case "group-by forms" `Quick test_group_by_forms;
+    Alcotest.test_case "engine row agreement" `Slow test_engines_row_agreement_sample;
+  ]

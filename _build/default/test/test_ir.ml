@@ -1,0 +1,312 @@
+open Ir
+
+(* Tests for the IR: datums, column references, sort specs, scalar operations
+   and evaluation, physical properties and enforcement. *)
+
+let datum = Alcotest.testable (Fmt.of_to_string Datum.to_string) Datum.equal
+
+let test_datum_compare () =
+  Alcotest.(check bool) "null smallest" true (Datum.compare Datum.Null (Datum.Int 0) < 0);
+  Alcotest.(check bool) "int/float mix" true
+    (Datum.compare (Datum.Int 2) (Datum.Float 2.5) < 0);
+  Alcotest.(check int) "equal across types" 0
+    (Datum.compare (Datum.Int 3) (Datum.Float 3.0));
+  Alcotest.(check bool) "strings" true
+    (Datum.compare (Datum.String "abc") (Datum.String "abd") < 0)
+
+let test_datum_sql_compare () =
+  Alcotest.(check (option int)) "null incomparable" None
+    (Datum.sql_compare Datum.Null (Datum.Int 1));
+  Alcotest.(check (option int)) "ordinary" (Some 0)
+    (Datum.sql_compare (Datum.Int 1) (Datum.Int 1))
+
+let test_datum_arith () =
+  Alcotest.check datum "add" (Datum.Int 7)
+    (Datum.arith `Add (Datum.Int 3) (Datum.Int 4));
+  Alcotest.check datum "div ints is float"
+    (Datum.Float 1.5)
+    (Datum.arith `Div (Datum.Int 3) (Datum.Int 2));
+  Alcotest.check datum "div by zero" Datum.Null
+    (Datum.arith `Div (Datum.Int 3) (Datum.Int 0));
+  Alcotest.check datum "null propagates" Datum.Null
+    (Datum.arith `Add Datum.Null (Datum.Int 1))
+
+let test_datum_serialize_roundtrip () =
+  let values =
+    [
+      Datum.Null; Datum.Int (-42); Datum.Float 3.25; Datum.Bool true;
+      Datum.String "he:llo|wo,rld"; Datum.Date 12345; Datum.String "";
+    ]
+  in
+  List.iter
+    (fun d ->
+      Alcotest.check datum "roundtrip" d (Datum.deserialize (Datum.serialize d)))
+    values
+
+let test_date_roundtrip () =
+  let d = Datum.date_of_string "2001-07-15" in
+  match d with
+  | Datum.Date _ ->
+      Alcotest.(check string) "prints back" "2001-07-15"
+        (String.sub (Datum.to_string d) 0 10)
+  | _ -> Alcotest.fail "expected a date"
+
+let test_cast () =
+  Alcotest.check datum "int->float" (Datum.Float 5.0)
+    (Datum.cast (Datum.Int 5) Dtype.Float);
+  Alcotest.check datum "string->int" (Datum.Int 12)
+    (Datum.cast (Datum.String "12") Dtype.Int);
+  Alcotest.check datum "bad string->int" Datum.Null
+    (Datum.cast (Datum.String "xyz") Dtype.Int)
+
+let test_colref_sets () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let s = Colref.Set.of_list [ a; b; a ] in
+  Alcotest.(check int) "set dedup" 2 (Colref.Set.cardinal s);
+  Alcotest.(check (option int)) "position" (Some 1)
+    (Colref.position_in [ a; b ] b)
+
+let test_factory () =
+  let f = Colref.Factory.create () in
+  let c1 = Colref.Factory.fresh f ~name:"x" ~ty:Dtype.Int in
+  let c2 = Colref.Factory.fresh f ~name:"x" ~ty:Dtype.Int in
+  Alcotest.(check bool) "distinct ids" true (Colref.id c1 <> Colref.id c2);
+  Colref.Factory.bump f 100;
+  let c3 = Colref.Factory.fresh f ~name:"y" ~ty:Dtype.Int in
+  Alcotest.(check bool) "bumped" true (Colref.id c3 > 100)
+
+let test_sortspec_satisfies () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let ab = [ Sortspec.asc a; Sortspec.asc b ] in
+  let a_only = [ Sortspec.asc a ] in
+  Alcotest.(check bool) "prefix ok" true
+    (Sortspec.satisfies ~delivered:ab ~required:a_only);
+  Alcotest.(check bool) "longer required fails" false
+    (Sortspec.satisfies ~delivered:a_only ~required:ab);
+  Alcotest.(check bool) "dir matters" false
+    (Sortspec.satisfies ~delivered:[ Sortspec.desc a ] ~required:a_only);
+  Alcotest.(check bool) "empty required" true
+    (Sortspec.satisfies ~delivered:[] ~required:[])
+
+let test_conjuncts () =
+  let a = Fixtures.col 1 "a" in
+  let p1 = Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Const (Datum.Int 1)) in
+  let p2 = Expr.Cmp (Expr.Gt, Expr.Col a, Expr.Const (Datum.Int 0)) in
+  let nested = Expr.And [ p1; Expr.And [ p2; Expr.Const (Datum.Bool true) ] ] in
+  Alcotest.(check int) "flattened" 2 (List.length (Scalar_ops.conjuncts nested));
+  Alcotest.(check int) "conjoin singleton" 1
+    (List.length (Scalar_ops.conjuncts (Scalar_ops.conjoin [ p1 ])))
+
+let test_free_cols () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let e =
+    Expr.Case
+      ( [ (Expr.Cmp (Expr.Lt, Expr.Col a, Expr.Const (Datum.Int 3)), Expr.Col b) ],
+        Some (Expr.Const Datum.Null) )
+  in
+  let free = Scalar_ops.free_cols e in
+  Alcotest.(check int) "two free" 2 (Colref.Set.cardinal free)
+
+let test_substitute () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let e = Expr.Arith (Expr.Add, Expr.Col a, Expr.Col a) in
+  let m = Colref.Map.singleton a b in
+  let e' = Scalar_ops.substitute m e in
+  Alcotest.(check bool) "substituted" true
+    (Colref.Set.mem b (Scalar_ops.free_cols e')
+    && not (Colref.Set.mem a (Scalar_ops.free_cols e')))
+
+let test_extract_equi_keys () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let outer = Colref.Set.singleton a and inner = Colref.Set.singleton b in
+  let cond =
+    Expr.And
+      [
+        Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b);
+        (* constant equality must not become a key (regression) *)
+        Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Const (Datum.Int 5));
+        Expr.Cmp (Expr.Lt, Expr.Col a, Expr.Col b);
+      ]
+  in
+  let keys, residual =
+    Scalar_ops.extract_equi_keys ~outer_cols:outer ~inner_cols:inner cond
+  in
+  Alcotest.(check int) "one key" 1 (List.length keys);
+  Alcotest.(check int) "two residual" 2 (List.length residual);
+  (* flipped sides get normalized *)
+  let keys2, _ =
+    Scalar_ops.extract_equi_keys ~outer_cols:outer ~inner_cols:inner
+      (Expr.Cmp (Expr.Eq, Expr.Col b, Expr.Col a))
+  in
+  (match keys2 with
+  | [ (Expr.Col o, Expr.Col i) ] ->
+      Alcotest.(check bool) "outer first" true
+        (Colref.equal o a && Colref.equal i b)
+  | _ -> Alcotest.fail "expected one column pair")
+
+let test_like_match () =
+  Alcotest.(check bool) "prefix" true (Scalar_ops.like_match ~pattern:"ab%" "abcdef");
+  Alcotest.(check bool) "contains" true (Scalar_ops.like_match ~pattern:"%cd%" "abcdef");
+  Alcotest.(check bool) "underscore" true (Scalar_ops.like_match ~pattern:"a_c" "abc");
+  Alcotest.(check bool) "no match" false (Scalar_ops.like_match ~pattern:"a_c" "abbc");
+  Alcotest.(check bool) "exact" true (Scalar_ops.like_match ~pattern:"abc" "abc");
+  Alcotest.(check bool) "empty pattern" false (Scalar_ops.like_match ~pattern:"" "x")
+
+let eval_const e = Scalar_eval.eval (fun _ -> Datum.Null) e
+
+let test_eval_three_valued () =
+  let null = Expr.Const Datum.Null in
+  let tru = Expr.Const (Datum.Bool true) and fls = Expr.Const (Datum.Bool false) in
+  Alcotest.check datum "null AND false" (Datum.Bool false)
+    (eval_const (Expr.And [ null; fls ]));
+  Alcotest.check datum "null AND true" Datum.Null
+    (eval_const (Expr.And [ null; tru ]));
+  Alcotest.check datum "null OR true" (Datum.Bool true)
+    (eval_const (Expr.Or [ null; tru ]));
+  Alcotest.check datum "null OR false" Datum.Null
+    (eval_const (Expr.Or [ null; fls ]));
+  Alcotest.check datum "NOT null" Datum.Null (eval_const (Expr.Not null));
+  Alcotest.check datum "null = null" Datum.Null
+    (eval_const (Expr.Cmp (Expr.Eq, null, null)));
+  Alcotest.check datum "is null" (Datum.Bool true) (eval_const (Expr.Is_null null))
+
+let test_eval_in_list () =
+  let e v ds = Expr.In_list (Expr.Const v, ds) in
+  Alcotest.check datum "found" (Datum.Bool true)
+    (eval_const (e (Datum.Int 2) [ Datum.Int 1; Datum.Int 2 ]));
+  Alcotest.check datum "not found w/ null" Datum.Null
+    (eval_const (e (Datum.Int 3) [ Datum.Int 1; Datum.Null ]));
+  Alcotest.check datum "not found" (Datum.Bool false)
+    (eval_const (e (Datum.Int 3) [ Datum.Int 1; Datum.Int 2 ]))
+
+let test_eval_case_coalesce () =
+  let c =
+    Expr.Case
+      ( [
+          (Expr.Const (Datum.Bool false), Expr.Const (Datum.Int 1));
+          (Expr.Const (Datum.Bool true), Expr.Const (Datum.Int 2));
+        ],
+        Some (Expr.Const (Datum.Int 3)) )
+  in
+  Alcotest.check datum "case picks" (Datum.Int 2) (eval_const c);
+  Alcotest.check datum "coalesce" (Datum.Int 9)
+    (eval_const (Expr.Coalesce [ Expr.Const Datum.Null; Expr.Const (Datum.Int 9) ]))
+
+let test_fold_constants () =
+  let a = Fixtures.col 1 "a" in
+  let e =
+    Expr.Arith
+      ( Expr.Add,
+        Expr.Col a,
+        Expr.Arith (Expr.Mul, Expr.Const (Datum.Int 2), Expr.Const (Datum.Int 3)) )
+  in
+  match Scalar_eval.fold_constants e with
+  | Expr.Arith (Expr.Add, Expr.Col _, Expr.Const (Datum.Int 6)) -> ()
+  | other -> Alcotest.failf "unexpected fold: %s" (Scalar_ops.to_string other)
+
+(* --- physical properties --- *)
+
+let test_dist_satisfies () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let check name expected delivered required =
+    Alcotest.(check bool) name expected (Props.dist_satisfies ~delivered ~required)
+  in
+  check "any" true (Props.D_random) Props.Any_dist;
+  check "singleton" true Props.D_singleton Props.Req_singleton;
+  check "hashed exact" true (Props.D_hashed [ a ]) (Props.Req_hashed [ a ]);
+  check "hashed mismatch" false (Props.D_hashed [ a ]) (Props.Req_hashed [ b ]);
+  check "hashed subset is not enough" false (Props.D_hashed [ a ])
+    (Props.Req_hashed [ a; b ]);
+  check "replicated not hashed" false Props.D_replicated (Props.Req_hashed [ a ]);
+  check "singleton not non-singleton" false Props.D_singleton Props.Req_non_singleton;
+  check "hashed is non-singleton" true (Props.D_hashed [ a ]) Props.Req_non_singleton
+
+let test_enforcement_alternatives () =
+  let a = Fixtures.col 1 "a" in
+  let delivered = { Props.ddist = Props.D_hashed [ a ]; dorder = [] } in
+  let required =
+    { Props.rdist = Props.Req_singleton; rorder = [ Sortspec.asc a ] }
+  in
+  let chains = Props.enforcement_alternatives ~delivered ~required in
+  (* the two plans of paper Fig. 7: sort+gather-merge, gather+sort *)
+  Alcotest.(check int) "two alternatives" 2 (List.length chains);
+  List.iter
+    (fun chain ->
+      let final = Props.apply_enforcers delivered chain in
+      Alcotest.(check bool) "chain reaches requirement" true
+        (Props.satisfies final required))
+    chains;
+  (* already satisfied: empty chain *)
+  let ok = Props.enforcement_alternatives ~delivered ~required:Props.any_req in
+  Alcotest.(check (list (list string))) "no-op" [ [] ]
+    (List.map (List.map Props.enforcer_to_string) ok)
+
+let test_enforcement_hashed () =
+  let a = Fixtures.col 1 "a" in
+  let delivered = { Props.ddist = Props.D_random; dorder = [] } in
+  let required = Props.req_dist (Props.Req_hashed [ a ]) in
+  match Props.enforcement_alternatives ~delivered ~required with
+  | [ [ Props.E_motion (Expr.Redistribute [ Expr.Col c ]) ] ] ->
+      Alcotest.(check bool) "redistribute col" true (Colref.equal c a)
+  | _ -> Alcotest.fail "expected a single redistribute chain"
+
+let test_ltree_validate () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let other = Colref.Factory.fresh f ~name:"ghost" ~ty:Dtype.Int in
+  let td = Table_desc.make ~mdid:"0.1.1.1" ~name:"t" [ a ] in
+  let good =
+    Ltree.make
+      (Expr.L_select (Expr.Cmp (Expr.Gt, Expr.Col a, Expr.Const (Datum.Int 0))))
+      [ Ltree.leaf (Expr.L_get td) ]
+  in
+  Ltree.validate good;
+  let bad =
+    Ltree.make
+      (Expr.L_select (Expr.Cmp (Expr.Gt, Expr.Col other, Expr.Const (Datum.Int 0))))
+      [ Ltree.leaf (Expr.L_get td) ]
+  in
+  Alcotest.(check bool) "bad tree rejected" true
+    (try
+       Ltree.validate bad;
+       false
+     with Gpos.Gpos_error.Error _ -> true)
+
+let test_plan_validate () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let td = Table_desc.make ~mdid:"0.1.1.1" ~name:"t" [ a ] in
+  let scan =
+    Plan_ops.node (Expr.P_table_scan (td, None, None)) [] ~est_rows:1.0 ~cost:1.0
+  in
+  let sorted =
+    Plan_ops.node (Expr.P_sort [ Sortspec.asc a ]) [ scan ] ~est_rows:1.0 ~cost:2.0
+  in
+  Alcotest.(check int) "validated nodes" 2 (Plan_ops.validate sorted)
+
+let suite =
+  [
+    Alcotest.test_case "datum compare" `Quick test_datum_compare;
+    Alcotest.test_case "datum sql compare" `Quick test_datum_sql_compare;
+    Alcotest.test_case "datum arith" `Quick test_datum_arith;
+    Alcotest.test_case "datum serialize" `Quick test_datum_serialize_roundtrip;
+    Alcotest.test_case "date roundtrip" `Quick test_date_roundtrip;
+    Alcotest.test_case "cast" `Quick test_cast;
+    Alcotest.test_case "colref sets" `Quick test_colref_sets;
+    Alcotest.test_case "colref factory" `Quick test_factory;
+    Alcotest.test_case "sortspec satisfies" `Quick test_sortspec_satisfies;
+    Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+    Alcotest.test_case "free cols" `Quick test_free_cols;
+    Alcotest.test_case "substitute" `Quick test_substitute;
+    Alcotest.test_case "extract equi keys" `Quick test_extract_equi_keys;
+    Alcotest.test_case "like match" `Quick test_like_match;
+    Alcotest.test_case "3-valued logic" `Quick test_eval_three_valued;
+    Alcotest.test_case "IN list eval" `Quick test_eval_in_list;
+    Alcotest.test_case "case/coalesce eval" `Quick test_eval_case_coalesce;
+    Alcotest.test_case "constant folding" `Quick test_fold_constants;
+    Alcotest.test_case "dist satisfaction" `Quick test_dist_satisfies;
+    Alcotest.test_case "enforcement (Fig 7)" `Quick test_enforcement_alternatives;
+    Alcotest.test_case "enforce hashed" `Quick test_enforcement_hashed;
+    Alcotest.test_case "ltree validate" `Quick test_ltree_validate;
+    Alcotest.test_case "plan validate" `Quick test_plan_validate;
+  ]

@@ -1,0 +1,26 @@
+(* Aggregated test entry point: one alcotest suite per library, plus
+   integration and property-based suites. *)
+
+let () =
+  Alcotest.run "orca-reproduction"
+    [
+      ("gpos", Test_gpos.suite);
+      ("ir", Test_ir.suite);
+      ("stats", Test_stats.suite);
+      ("catalog", Test_catalog.suite);
+      ("dxl", Test_dxl.suite);
+      ("memo", Test_memo.suite);
+      ("xform", Test_xform.suite);
+      ("search", Test_search.suite);
+      ("cost", Test_cost.suite);
+      ("sql", Test_sql.suite);
+      ("exec", Test_exec.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("planner", Test_planner.suite);
+      ("engines", Test_engines.suite);
+      ("ampere-taqo", Test_ampere_taqo.suite);
+      ("tpcds", Test_tpcds.suite);
+      ("window", Test_window.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+    ]

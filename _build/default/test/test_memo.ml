@@ -1,0 +1,177 @@
+open Ir
+module Memo = Memolib.Memo
+module Mexpr = Memolib.Mexpr
+
+(* Tests for the Memo: copy-in, duplicate detection, group merging, logical
+   properties, statistics derivation, contexts. *)
+
+let mk_tables () =
+  let f = Colref.Factory.create () in
+  let tbl name oid =
+    let a = Colref.Factory.fresh f ~name:(name ^ "a") ~ty:Dtype.Int in
+    let b = Colref.Factory.fresh f ~name:(name ^ "b") ~ty:Dtype.Int in
+    Table_desc.make
+      ~dist:(Table_desc.Dist_hash [ a ])
+      ~mdid:(Printf.sprintf "0.%d.1.1" oid)
+      ~name [ a; b ]
+  in
+  (f, tbl "t" 1, tbl "s" 2)
+
+let join_cond t1 t2 =
+  Expr.Cmp
+    ( Expr.Eq,
+      Expr.Col (List.hd t1.Table_desc.cols),
+      Expr.Col (List.nth t2.Table_desc.cols 1) )
+
+let initial_memo () =
+  let _, t1, t2 = mk_tables () in
+  let memo = Memo.create () in
+  let tree =
+    Mexpr.logical
+      (Expr.L_join (Expr.Inner, join_cond t1 t2))
+      [ Mexpr.logical (Expr.L_get t1) []; Mexpr.logical (Expr.L_get t2) [] ]
+  in
+  let root = Memo.insert memo tree in
+  Memo.set_root memo (Memo.find memo root.Memo.ge_group);
+  (memo, t1, t2)
+
+let test_copy_in () =
+  let memo, _, _ = initial_memo () in
+  (* Figure 4: three groups — two Gets and the join *)
+  Alcotest.(check int) "three groups" 3 (Memo.ngroups memo);
+  Alcotest.(check int) "three gexprs" 3 (Memo.ngexprs memo);
+  let root = Memo.group memo (Memo.root memo) in
+  Alcotest.(check int) "root has one expr" 1 (List.length root.Memo.g_exprs);
+  Alcotest.(check int) "root outputs 4 cols" 4
+    (List.length root.Memo.g_output_cols)
+
+let test_duplicate_detection () =
+  let memo, t1, t2 = initial_memo () in
+  let before = Memo.ngexprs memo in
+  (* inserting the identical tree again must not create anything *)
+  let tree =
+    Mexpr.logical
+      (Expr.L_join (Expr.Inner, join_cond t1 t2))
+      [ Mexpr.logical (Expr.L_get t1) []; Mexpr.logical (Expr.L_get t2) [] ]
+  in
+  ignore (Memo.insert memo tree);
+  Alcotest.(check int) "no new gexprs" before (Memo.ngexprs memo);
+  Alcotest.(check int) "no new groups" 3 (Memo.ngroups memo)
+
+let test_commuted_insert () =
+  let memo, _, _ = initial_memo () in
+  let root_group = Memo.group memo (Memo.root memo) in
+  let ge = List.hd root_group.Memo.g_exprs in
+  (match (ge.Memo.ge_op, ge.Memo.ge_children) with
+  | Expr.Logical (Expr.L_join (k, cond)), [ g1; g2 ] ->
+      let commuted =
+        Mexpr.logical_of_groups (Expr.L_join (k, cond)) [ g2; g1 ]
+      in
+      let ge2 = Memo.insert memo ~target:(Memo.root memo) commuted in
+      Alcotest.(check bool) "new expression" true (ge2.Memo.ge_id <> ge.Memo.ge_id);
+      Alcotest.(check int) "same group" (Memo.root memo)
+        (Memo.find memo ge2.Memo.ge_group);
+      (* inserting the commuted expression again dedups *)
+      let ge3 = Memo.insert memo ~target:(Memo.root memo) commuted in
+      Alcotest.(check int) "dedup" ge2.Memo.ge_id ge3.Memo.ge_id
+  | _ -> Alcotest.fail "unexpected root")
+
+let test_group_merge () =
+  let memo, t1, _ = initial_memo () in
+  (* create a separate group containing Get(t1) duplicated via a fresh
+     single-node insert targeted at a new group; inserting the same Get into
+     the root triggers a merge *)
+  let select_tree =
+    Mexpr.logical
+      (Expr.L_select (Expr.Const (Datum.Bool true)))
+      [ Mexpr.logical (Expr.L_get t1) [] ]
+  in
+  let sel = Memo.insert memo select_tree in
+  let sel_group = Memo.find memo sel.Memo.ge_group in
+  (* now force-insert Get(t1) into the select's group: Get(t1) already lives
+     in its own group => the two groups merge *)
+  let get_tree = Mexpr.logical (Expr.L_get t1) [] in
+  let ge = Memo.insert memo ~target:sel_group get_tree in
+  let merged = Memo.find memo ge.Memo.ge_group in
+  Alcotest.(check int) "group ids unified" (Memo.find memo sel_group) merged
+
+let test_stats_derivation () =
+  let memo, _, _ = initial_memo () in
+  let base (td : Table_desc.t) =
+    let rows = if td.Table_desc.name = "t" then 100.0 else 1000.0 in
+    let a = List.hd td.Table_desc.cols and b = List.nth td.Table_desc.cols 1 in
+    Stats.Relstats.make ~rows
+      [
+        (a, Stats.Histogram.uniform ~lo:(Datum.Int 0) ~hi:(Datum.Int 99) ~rows ~ndv:100.0);
+        (b, Stats.Histogram.uniform ~lo:(Datum.Int 0) ~hi:(Datum.Int 99) ~rows ~ndv:100.0);
+      ]
+  in
+  Memolib.Memo_stats.derive_all memo ~base;
+  let s = Option.get (Memo.stats memo (Memo.root memo)) in
+  let rows = Stats.Relstats.rows s in
+  Alcotest.(check bool)
+    (Printf.sprintf "join estimate ~1000 (%.0f)" rows)
+    true
+    (rows > 300.0 && rows < 3000.0);
+  (* derivation is memoized *)
+  let s2 = Option.get (Memo.stats memo (Memo.root memo)) in
+  Alcotest.(check bool) "same object" true (s == s2)
+
+let test_contexts () =
+  let memo, _, _ = initial_memo () in
+  let a =
+    List.hd (Memo.output_cols memo (Memo.root memo))
+  in
+  let req = { Props.rdist = Props.Req_singleton; rorder = [ Sortspec.asc a ] } in
+  let ctx, created = Memo.obtain_context memo (Memo.root memo) req in
+  Alcotest.(check bool) "created" true created;
+  let ctx2, created2 = Memo.obtain_context memo (Memo.root memo) req in
+  Alcotest.(check bool) "found" false created2;
+  Alcotest.(check bool) "same context" true (ctx == ctx2);
+  (* a different request gets its own context *)
+  let _, created3 = Memo.obtain_context memo (Memo.root memo) Props.any_req in
+  Alcotest.(check bool) "distinct request" true created3
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_to_string_smoke () =
+  let memo, _, _ = initial_memo () in
+  let s = Memo.to_string memo in
+  Alcotest.(check bool) "shows groups" true (contains ~needle:"GROUP 0" s)
+
+let test_to_dot () =
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b LIMIT 3"
+  in
+  let dot = Memolib.Memo.to_dot report.Orca.Optimizer.memo in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 20 && String.sub dot 0 12 = "digraph memo");
+  (* one node per group *)
+  let count_sub sub =
+    let n = ref 0 in
+    let l = String.length sub in
+    for i = 0 to String.length dot - l do
+      if String.sub dot i l = sub then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "one record node per group"
+    report.Orca.Optimizer.groups
+    (count_sub "[label=\"{GROUP ");
+  Alcotest.(check bool) "has edges" true (count_sub " -> " > 0)
+
+let suite =
+  [
+    Alcotest.test_case "copy-in (Fig 4)" `Quick test_copy_in;
+    Alcotest.test_case "graphviz export" `Quick test_to_dot;
+    Alcotest.test_case "duplicate detection" `Quick test_duplicate_detection;
+    Alcotest.test_case "commuted insert" `Quick test_commuted_insert;
+    Alcotest.test_case "group merge" `Quick test_group_merge;
+    Alcotest.test_case "stats derivation" `Quick test_stats_derivation;
+    Alcotest.test_case "contexts" `Quick test_contexts;
+    Alcotest.test_case "to_string" `Quick test_to_string_smoke;
+  ]

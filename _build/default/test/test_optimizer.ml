@@ -1,0 +1,278 @@
+open Ir
+
+(* Integration tests for the full Orca pipeline: correctness against the
+   naive oracle, plan-shape expectations, multi-stage optimization, parallel
+   workers, configuration. *)
+
+let check_against_naive sql =
+  let _, report, rows, _ = Fixtures.run_orca_sql sql in
+  ignore (Plan_ops.validate report.Orca.Optimizer.plan);
+  let expected = Fixtures.run_naive_sql sql in
+  Alcotest.(check bool)
+    (Printf.sprintf "results match naive: %s" sql)
+    true
+    (Fixtures.rows_equal rows expected);
+  report
+
+let test_correctness_fixture_set () =
+  List.iter
+    (fun sql -> ignore (check_against_naive sql))
+    [
+      "SELECT a, b FROM t1 WHERE a < 20 ORDER BY a, b";
+      "SELECT t1.a, t2.b FROM t1, t2 WHERE t1.a = t2.b AND t2.a < 100 ORDER BY 1, 2 LIMIT 50";
+      "SELECT a, count(*) AS c, sum(b) AS s FROM t1 GROUP BY a HAVING count(*) > 3 ORDER BY c DESC, a LIMIT 10";
+      "SELECT DISTINCT b FROM t2 WHERE b < 20 ORDER BY b";
+      "SELECT x.a FROM t1 x, t1 y WHERE x.a = y.a AND y.b < 100 ORDER BY 1 LIMIT 20";
+      "SELECT a FROM t1 WHERE a IN (SELECT b FROM t2 WHERE t2.a > 250) ORDER BY a";
+      "SELECT a FROM t1 WHERE NOT EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a) ORDER BY a";
+      "SELECT t1.a, (SELECT min(t2.a) FROM t2 WHERE t2.b = t1.a) AS m FROM t1 WHERE t1.b < 30 ORDER BY 1";
+      "WITH w AS (SELECT a, count(*) AS c FROM t1 GROUP BY a) SELECT w1.a FROM w w1, w w2 WHERE w1.a = w2.a AND w1.c > 2 ORDER BY 1";
+      "SELECT a FROM t1 WHERE a < 5 UNION ALL SELECT b FROM t2 WHERE b < 5 ORDER BY a";
+      "SELECT a FROM t1 INTERSECT SELECT b FROM t2 ORDER BY 1 LIMIT 20";
+      "SELECT a FROM t1 EXCEPT SELECT b FROM t2 ORDER BY 1 LIMIT 20";
+      "SELECT t1.a, t2.a FROM t1 LEFT JOIN t2 ON t1.a = t2.b AND t2.a > 290 ORDER BY 1, 2 LIMIT 30";
+      "SELECT count(*) AS c FROM t1 WHERE b BETWEEN 50 AND 60";
+      "SELECT CASE WHEN a < 50 THEN 'low' ELSE 'high' END AS bucket, count(*) AS c FROM t1 GROUP BY 1 ORDER BY 1";
+      "SELECT CASE WHEN b < 150 THEN 0 ELSE 1 END AS big, sum(a) AS s FROM t1 GROUP BY big ORDER BY big";
+    ]
+
+let test_plan_satisfies_request () =
+  (* the extracted plan delivers the root request: singleton + order *)
+  let _, report, _, _ =
+    Fixtures.run_orca_sql "SELECT a FROM t1 ORDER BY a DESC LIMIT 10"
+  in
+  let rec derived (p : Expr.plan) =
+    Physical_ops.derive p.Expr.pop (List.map derived p.Expr.pchildren)
+  in
+  let d = derived report.Orca.Optimizer.plan in
+  Alcotest.(check bool) "singleton delivered" true
+    (d.Props.ddist = Props.D_singleton)
+
+let test_running_example_shape () =
+  (* the paper's running example: expect a motion + a join; no cross product *)
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"
+  in
+  let plan = report.Orca.Optimizer.plan in
+  let has_join =
+    Plan_ops.contains
+      (fun n ->
+        match n.Expr.pop with
+        | Expr.P_hash_join _ | Expr.P_merge_join _ | Expr.P_nl_join _ -> true
+        | _ -> false)
+      plan
+  in
+  Alcotest.(check bool) "join present" true has_join;
+  Alcotest.(check bool) "motions present" true (Plan_ops.count_motions plan >= 1);
+  Alcotest.(check bool) "memo explored alternatives" true
+    (report.Orca.Optimizer.gexprs > 5)
+
+let test_join_order_uses_statistics () =
+  (* selective filter on t2 should put the filtered side on the build side or
+     at least avoid gathering everything; cheapest plan must beat the worst
+     alternative by construction — verify cost < naive gather-everything *)
+  let _, report, _, metrics =
+    Fixtures.run_orca_sql
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t2.a = 1 ORDER BY t1.a LIMIT 5"
+  in
+  Alcotest.(check bool) "rows moved bounded" true
+    (metrics.Exec.Metrics.rows_moved < 600.0);
+  Alcotest.(check bool) "cost positive" true
+    (report.Orca.Optimizer.plan.Expr.pcost > 0.0)
+
+let test_partition_elimination_plan () =
+  (* partitioned fact: the date filter must prune partitions in the scan *)
+  let env = Lazy.force Fixtures.tpcds_env in
+  let cluster = Fixtures.tpcds_cluster () in
+  let accessor = Fixtures.tpcds_accessor () in
+  let sql =
+    "SELECT count(*) AS c FROM store_sales WHERE ss_sold_date_sk BETWEEN 360 AND 540"
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.with_segments Orca.Orca_config.default
+      env.Engines.Engine.nsegs
+  in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  let pruned_scan =
+    Plan_ops.contains
+      (fun n ->
+        match n.Expr.pop with
+        | Expr.P_table_scan (_, Some kept, _) -> List.length kept <= 2
+        | _ -> false)
+      report.Orca.Optimizer.plan
+  in
+  Alcotest.(check bool) "partitions pruned" true pruned_scan;
+  let rows, _ = Exec.Executor.run cluster report.Orca.Optimizer.plan in
+  let expected = Exec.Naive.run cluster query in
+  Alcotest.(check bool) "result correct" true (Fixtures.rows_equal rows expected)
+
+let test_two_phase_agg_plan () =
+  (* grouping on a non-distribution key: the memo must contain Partial/Final
+     alternatives (whether they win is a cost decision; at scale they do, see
+     bench "ablate") *)
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "SELECT b, count(*) AS c FROM t2 GROUP BY b ORDER BY b LIMIT 5"
+  in
+  let memo = report.Orca.Optimizer.memo in
+  let has_partial_alternative =
+    List.exists
+      (fun gid ->
+        List.exists
+          (fun (_, op) ->
+            match op with
+            | Expr.L_gb_agg (Expr.Partial, _, _) -> true
+            | _ -> false)
+          (Memolib.Memo.logical_exprs (Memolib.Memo.group memo gid)))
+      (Memolib.Memo.group_ids memo)
+  in
+  Alcotest.(check bool) "multi-stage alternative explored" true
+    has_partial_alternative;
+  (* at fact scale the optimizer does pick multi-stage aggregation *)
+  let env = Lazy.force Fixtures.tpcds_env in
+  let accessor = Fixtures.tpcds_accessor () in
+  let query =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT ss_store_sk, count(*) AS c FROM store_sales GROUP BY        ss_store_sk ORDER BY c DESC LIMIT 5"
+  in
+  let config =
+    Orca.Orca_config.with_segments Orca.Orca_config.default
+      env.Engines.Engine.nsegs
+  in
+  let report2 = Orca.Optimizer.optimize ~config accessor query in
+  let chosen_partial =
+    Plan_ops.contains
+      (fun n ->
+        match n.Expr.pop with
+        | Expr.P_hash_agg (Expr.Partial, _, _)
+        | Expr.P_stream_agg (Expr.Partial, _, _) ->
+            true
+        | _ -> false)
+      report2.Orca.Optimizer.plan
+  in
+  Alcotest.(check bool) "multi-stage chosen at scale" true chosen_partial
+
+let test_cte_shared_once () =
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "WITH w AS (SELECT a, count(*) AS c FROM t1 GROUP BY a) SELECT w1.a \
+       FROM w w1, w w2 WHERE w1.a = w2.a ORDER BY 1 LIMIT 5"
+  in
+  let producers =
+    Plan_ops.fold
+      (fun n node ->
+        match node.Expr.pop with Expr.P_cte_producer _ -> n + 1 | _ -> n)
+      0 report.Orca.Optimizer.plan
+  in
+  let consumers =
+    Plan_ops.fold
+      (fun n node ->
+        match node.Expr.pop with Expr.P_cte_consumer _ -> n + 1 | _ -> n)
+      0 report.Orca.Optimizer.plan
+  in
+  Alcotest.(check int) "one producer" 1 producers;
+  Alcotest.(check int) "two consumers" 2 consumers
+
+let test_multi_stage_config () =
+  let s = Lazy.force Fixtures.small in
+  let accessor =
+    Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache:s.Fixtures.cache ()
+  in
+  let sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a LIMIT 3" in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.with_stages
+      (Lazy.force Fixtures.orca_config)
+      (Xform.Ruleset.two_stage ~timeout_ms:1000.0 ~cost_threshold:1e12 ())
+  in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  (* astronomically high threshold: the greedy stage suffices *)
+  Alcotest.(check string) "stopped at first stage" "greedy"
+    report.Orca.Optimizer.stage_name;
+  let rows, _ = Exec.Executor.run s.Fixtures.cluster report.Orca.Optimizer.plan in
+  Alcotest.(check bool) "still correct" true
+    (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql))
+
+let test_parallel_workers_same_cost () =
+  let s = Lazy.force Fixtures.small in
+  let sql =
+    "SELECT t1.a, count(*) AS c FROM t1, t2 WHERE t1.a = t2.b GROUP BY t1.a \
+     ORDER BY c DESC LIMIT 3"
+  in
+  let run workers =
+    let accessor =
+      Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache:s.Fixtures.cache ()
+    in
+    let query = Sqlfront.Binder.bind_sql accessor sql in
+    let config =
+      Orca.Orca_config.with_workers (Lazy.force Fixtures.orca_config) workers
+    in
+    let report = Orca.Optimizer.optimize ~config accessor query in
+    report.Orca.Optimizer.plan.Expr.pcost
+  in
+  let c1 = run 1 and c4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "same best cost (%.2f vs %.2f)" c1 c4)
+    true
+    (Float.abs (c1 -. c4) /. Float.max c1 1.0 < 1e-6)
+
+let test_disabled_rules_still_correct () =
+  let s = Lazy.force Fixtures.small in
+  let sql =
+    "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t2.a < 50 ORDER BY 1 LIMIT 10"
+  in
+  let accessor =
+    Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache:s.Fixtures.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.without_rules
+      (Lazy.force Fixtures.orca_config)
+      [ "JoinCommutativity"; "JoinAssociativity"; "Join2HashJoin"; "SplitGbAgg" ]
+  in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  let rows, _ = Exec.Executor.run s.Fixtures.cluster report.Orca.Optimizer.plan in
+  Alcotest.(check bool) "correct without rules" true
+    (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql))
+
+let test_report_statistics () =
+  let _, report, _, _ = Fixtures.run_orca_sql "SELECT a FROM t1 ORDER BY a LIMIT 1" in
+  Alcotest.(check bool) "jobs counted" true (report.Orca.Optimizer.jobs_created > 0);
+  Alcotest.(check bool) "xforms counted" true (report.Orca.Optimizer.xforms > 0);
+  Alcotest.(check bool) "time measured" true (report.Orca.Optimizer.opt_time_ms >= 0.0)
+
+let test_dxl_round_trip_through_optimizer () =
+  (* full Fig. 2 loop: SQL -> DXL query -> parse -> optimize -> DXL plan *)
+  let accessor = Fixtures.small_accessor () in
+  let sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a LIMIT 2" in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let text = Dxl.Dxl_query.to_string query in
+  let query' = Dxl.Dxl_query.of_string text in
+  let accessor2 = Fixtures.small_accessor () in
+  let dxl_plan, _ =
+    Orca.Optimizer.optimize_to_dxl ~config:(Lazy.force Fixtures.orca_config)
+      accessor2 query'
+  in
+  let plan = Dxl.Dxl_plan.of_string dxl_plan in
+  let s = Lazy.force Fixtures.small in
+  let rows, _ = Exec.Executor.run s.Fixtures.cluster plan in
+  Alcotest.(check bool) "round-tripped plan runs correctly" true
+    (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql))
+
+let suite =
+  [
+    Alcotest.test_case "correctness fixture set" `Slow test_correctness_fixture_set;
+    Alcotest.test_case "plan satisfies request" `Quick test_plan_satisfies_request;
+    Alcotest.test_case "running example shape" `Quick test_running_example_shape;
+    Alcotest.test_case "join order uses stats" `Quick test_join_order_uses_statistics;
+    Alcotest.test_case "partition elimination" `Quick test_partition_elimination_plan;
+    Alcotest.test_case "two-phase aggregation" `Quick test_two_phase_agg_plan;
+    Alcotest.test_case "cte shared once" `Quick test_cte_shared_once;
+    Alcotest.test_case "multi-stage config" `Quick test_multi_stage_config;
+    Alcotest.test_case "parallel workers same cost" `Quick test_parallel_workers_same_cost;
+    Alcotest.test_case "disabled rules still correct" `Quick test_disabled_rules_still_correct;
+    Alcotest.test_case "report statistics" `Quick test_report_statistics;
+    Alcotest.test_case "optimizer DXL round trip" `Quick test_dxl_round_trip_through_optimizer;
+  ]

@@ -1,0 +1,128 @@
+open Ir
+
+(* Tests for the legacy Planner baseline: correctness (same results as the
+   naive oracle) and the characteristic weaknesses Figure 12 depends on. *)
+
+let test_planner_correctness () =
+  List.iter
+    (fun sql ->
+      let plan, rows, _ = Fixtures.run_planner_sql sql in
+      ignore (Plan_ops.validate plan);
+      Alcotest.(check bool)
+        (Printf.sprintf "planner matches naive: %s" sql)
+        true
+        (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql)))
+    [
+      "SELECT a FROM t1 WHERE a < 10 ORDER BY a";
+      "SELECT t1.a, t2.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY 1, 2 LIMIT 40";
+      "SELECT a, count(*) AS c FROM t2 GROUP BY a ORDER BY c DESC, a LIMIT 5";
+      "SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a AND t2.a > 290) ORDER BY a";
+      "SELECT t1.a, (SELECT max(t2.a) FROM t2 WHERE t2.b = t1.a) AS m FROM t1 WHERE t1.b < 20 ORDER BY 1";
+      "WITH w AS (SELECT a, count(*) AS c FROM t1 GROUP BY a) SELECT w1.a FROM w w1, w w2 WHERE w1.a = w2.a ORDER BY 1 LIMIT 10";
+      "SELECT a FROM t1 INTERSECT SELECT b FROM t2 ORDER BY 1";
+      "SELECT t1.a, t2.a FROM t1 LEFT JOIN t2 ON t1.a = t2.b AND t2.a > 295 ORDER BY 1, 2 LIMIT 20";
+    ]
+
+let test_planner_uses_subplans () =
+  (* no decorrelation: correlated subqueries become SubPlan re-executions *)
+  let plan, _, metrics =
+    Fixtures.run_planner_sql
+      "SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a) ORDER BY a LIMIT 5"
+  in
+  let has_subplan =
+    Plan_ops.contains
+      (fun n ->
+        match n.Expr.pop with
+        | Expr.P_filter pred -> Scalar_ops.contains_subplan pred
+        | _ -> false)
+      plan
+  in
+  Alcotest.(check bool) "subplan in filter" true has_subplan;
+  Alcotest.(check bool) "repeated executions charged" true
+    (metrics.Exec.Metrics.subplan_executions
+     + metrics.Exec.Metrics.subplan_cache_hits
+    > 10)
+
+let test_planner_inlines_ctes () =
+  (* no CTE sharing: the producer body is planned once per consumer *)
+  let plan, _, _ =
+    Fixtures.run_planner_sql
+      "WITH w AS (SELECT a, count(*) AS c FROM t1 GROUP BY a) SELECT w1.a \
+       FROM w w1, w w2 WHERE w1.a = w2.a ORDER BY 1 LIMIT 5"
+  in
+  let producers =
+    Plan_ops.fold
+      (fun n node ->
+        match node.Expr.pop with Expr.P_cte_producer _ -> n + 1 | _ -> n)
+      0 plan
+  in
+  let aggs =
+    Plan_ops.fold
+      (fun n node ->
+        match node.Expr.pop with Expr.P_hash_agg _ -> n + 1 | _ -> n)
+      0 plan
+  in
+  Alcotest.(check int) "no producers" 0 producers;
+  Alcotest.(check bool) "aggregate duplicated" true (aggs >= 2)
+
+let test_planner_no_partition_elimination () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  let accessor = Fixtures.tpcds_accessor () in
+  let query =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT count(*) AS c FROM store_sales WHERE ss_sold_date_sk < 100"
+  in
+  let plan =
+    Planner.Legacy_planner.plan_sql
+      ~config:
+        { Planner.Legacy_planner.segments = env.Engines.Engine.nsegs; dp_limit = 5; broadcast_inner = false }
+      accessor query
+  in
+  let full_scan =
+    Plan_ops.contains
+      (fun n ->
+        match n.Expr.pop with
+        | Expr.P_table_scan (_, None, _) -> true
+        | _ -> false)
+      plan
+  in
+  Alcotest.(check bool) "scans all partitions" true full_scan
+
+let test_planner_orca_same_results_on_tpcds_sample () =
+  let cluster = Fixtures.tpcds_cluster () in
+  let env = Lazy.force Fixtures.tpcds_env in
+  List.iter
+    (fun qid ->
+      let q = Tpcds.Queries.get qid in
+      let accessor = Fixtures.tpcds_accessor () in
+      let query = Sqlfront.Binder.bind_sql accessor q.Tpcds.Queries.sql in
+      let config =
+        Orca.Orca_config.with_segments Orca.Orca_config.default
+          env.Engines.Engine.nsegs
+      in
+      let report = Orca.Optimizer.optimize ~config accessor query in
+      let orows, _ = Exec.Executor.run cluster report.Orca.Optimizer.plan in
+      let accessor2 = Fixtures.tpcds_accessor () in
+      let query2 = Sqlfront.Binder.bind_sql accessor2 q.Tpcds.Queries.sql in
+      let pplan =
+        Planner.Legacy_planner.plan_sql
+          ~config:
+            { Planner.Legacy_planner.segments = env.Engines.Engine.nsegs; dp_limit = 5; broadcast_inner = false }
+          accessor2 query2
+      in
+      let prows, _ = Exec.Executor.run cluster pplan in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%d orca = planner" qid)
+        true
+        (Fixtures.rows_equal orows prows))
+    [ 1; 13; 24; 31; 39; 45; 51; 64; 89; 98 ]
+
+let suite =
+  [
+    Alcotest.test_case "planner correctness" `Slow test_planner_correctness;
+    Alcotest.test_case "planner subplans" `Quick test_planner_uses_subplans;
+    Alcotest.test_case "planner inlines CTEs" `Quick test_planner_inlines_ctes;
+    Alcotest.test_case "planner full scans" `Quick test_planner_no_partition_elimination;
+    Alcotest.test_case "orca = planner on tpcds sample" `Slow
+      test_planner_orca_same_results_on_tpcds_sample;
+  ]

@@ -1,0 +1,488 @@
+(* Cross-cutting property-based tests: randomly generated queries are run
+   through Orca (optimize + distributed execution), the legacy Planner, and
+   the naive single-node oracle — all three must agree. This is the
+   repository's strongest end-to-end invariant. *)
+
+let rand_pred rng table =
+  let col = if Gpos.Prng.bool rng then table ^ ".a" else table ^ ".b" in
+  let v = Gpos.Prng.int rng 300 in
+  match Gpos.Prng.int rng 5 with
+  | 0 -> Printf.sprintf "%s = %d" col v
+  | 1 -> Printf.sprintf "%s < %d" col v
+  | 2 -> Printf.sprintf "%s > %d" col v
+  | 3 -> Printf.sprintf "%s BETWEEN %d AND %d" col (v / 2) v
+  | _ -> Printf.sprintf "%s IN (%d, %d, %d)" col v (v + 1) (v + 17)
+
+(* generate a random (but always valid) query over the small schema *)
+let rand_query (seed : int) : string =
+  let rng = Gpos.Prng.create seed in
+  let joined = Gpos.Prng.bool rng in
+  let grouped = Gpos.Prng.bool rng in
+  let preds =
+    List.init (Gpos.Prng.int rng 3) (fun _ ->
+        rand_pred rng (if joined && Gpos.Prng.bool rng then "t2" else "t1"))
+  in
+  let where_clause conds =
+    match conds with [] -> "" | cs -> " WHERE " ^ String.concat " AND " cs
+  in
+  if joined then begin
+    let join_key = "t1.a = t2.b" in
+    if grouped then
+      Printf.sprintf
+        "SELECT t1.a, count(*) AS c, sum(t2.a) AS s FROM t1, t2%s GROUP BY \
+         t1.a ORDER BY t1.a LIMIT 100"
+        (where_clause (join_key :: preds))
+    else
+      Printf.sprintf
+        "SELECT t1.a, t1.b, t2.a FROM t1, t2%s ORDER BY 1, 2, 3 LIMIT 200"
+        (where_clause (join_key :: preds))
+  end
+  else if grouped then
+    Printf.sprintf
+      "SELECT b, count(*) AS c, min(a) AS mn, max(a) AS mx FROM t1%s GROUP BY \
+       b ORDER BY b LIMIT 100"
+      (where_clause preds)
+  else
+    Printf.sprintf "SELECT a, b FROM t1%s ORDER BY a, b LIMIT 200"
+      (where_clause preds)
+
+let agree_on seed =
+  let sql = rand_query seed in
+  let _, _, orca_rows, _ = Fixtures.run_orca_sql sql in
+  let naive_rows = Fixtures.run_naive_sql sql in
+  let _, planner_rows, _ = Fixtures.run_planner_sql sql in
+  let ok =
+    Fixtures.rows_equal orca_rows naive_rows
+    && Fixtures.rows_equal planner_rows naive_rows
+  in
+  if not ok then
+    QCheck.Test.fail_reportf "disagreement on seed %d:\n%s\norca=%d planner=%d naive=%d"
+      seed sql (List.length orca_rows) (List.length planner_rows)
+      (List.length naive_rows)
+  else true
+
+let prop_three_way_agreement =
+  QCheck.Test.make ~count:60 ~name:"orca = planner = naive on random queries"
+    QCheck.small_nat agree_on
+
+(* plans extracted from the memo always validate structurally *)
+let prop_plans_validate =
+  QCheck.Test.make ~count:30 ~name:"optimized plans validate"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_query (seed + 10_000) in
+      let _, report, _, _ = Fixtures.run_orca_sql sql in
+      Ir.Plan_ops.validate report.Orca.Optimizer.plan > 0)
+
+(* the optimizer's chosen plan cost is minimal among sampled alternatives *)
+let prop_chosen_plan_cheapest_estimate =
+  QCheck.Test.make ~count:15 ~name:"chosen plan has minimal estimated cost"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_query (seed + 20_000) in
+      let _, report, _, _ = Fixtures.run_orca_sql sql in
+      let chosen = report.Orca.Optimizer.plan.Ir.Expr.pcost in
+      let sampled = Orca.Taqo.sample_plans ~n:8 report in
+      List.for_all
+        (fun (p : Ir.Expr.plan) -> p.Ir.Expr.pcost >= chosen -. 1e-6)
+        sampled)
+
+(* random window queries agree across the three execution paths *)
+let rand_window_query (seed : int) : string =
+  let rng = Gpos.Prng.create (seed + 77_000) in
+  let part = if Gpos.Prng.bool rng then "PARTITION BY a" else "" in
+  let order =
+    match Gpos.Prng.int rng 3 with
+    | 0 -> "ORDER BY b"
+    | 1 -> "ORDER BY b DESC"
+    | _ -> ""
+  in
+  let func =
+    match Gpos.Prng.int rng 6 with
+    | 0 -> "row_number()"
+    | 1 when order <> "" -> "rank()"
+    | 2 -> "sum(b)"
+    | 3 -> "count(*)"
+    | 4 when order <> "" -> "dense_rank()"
+    | _ -> "min(b)"
+  in
+  let func =
+    if (func = "rank()" || func = "dense_rank()") && order = "" then
+      "row_number()"
+    else func
+  in
+  let spec = String.trim (part ^ " " ^ order) in
+  Printf.sprintf
+    "SELECT a, b, %s OVER (%s) AS w FROM t1 WHERE a < %d ORDER BY a, b, w      LIMIT 300"
+    func spec
+    (5 + Gpos.Prng.int rng 40)
+
+let prop_window_three_way =
+  QCheck.Test.make ~count:40 ~name:"window queries: orca = planner = naive"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_window_query seed in
+      let _, _, orca_rows, _ = Fixtures.run_orca_sql sql in
+      let naive_rows = Fixtures.run_naive_sql sql in
+      let _, planner_rows, _ = Fixtures.run_planner_sql sql in
+      Fixtures.rows_equal orca_rows naive_rows
+      && Fixtures.rows_equal planner_rows naive_rows)
+
+(* random ROLLUP queries agree across the three execution paths *)
+let rand_rollup_query (seed : int) : string =
+  let rng = Gpos.Prng.create (seed + 990_000) in
+  let cols = if Gpos.Prng.bool rng then "a, b" else "b" in
+  let sel_grouping =
+    if Gpos.Prng.bool rng then ", grouping(b) AS g" else ""
+  in
+  let pred = 5 + Gpos.Prng.int rng 40 in
+  let agg =
+    match Gpos.Prng.int rng 3 with
+    | 0 -> "count(*) AS c"
+    | 1 -> "sum(a) AS c"
+    | _ -> "min(a) AS c"
+  in
+  if cols = "a, b" then
+    Printf.sprintf
+      "SELECT a, b, %s%s FROM t1 WHERE a < %d GROUP BY ROLLUP (a, b) ORDER \
+       BY a, b, c LIMIT 400"
+      agg sel_grouping pred
+  else
+    Printf.sprintf
+      "SELECT b, %s%s FROM t1 WHERE a < %d GROUP BY ROLLUP (b) ORDER BY b, \
+       c LIMIT 400"
+      agg sel_grouping pred
+
+let prop_rollup_three_way =
+  QCheck.Test.make ~count:30 ~name:"ROLLUP queries: orca = planner = naive"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_rollup_query seed in
+      let _, _, orca_rows, _ = Fixtures.run_orca_sql sql in
+      let naive_rows = Fixtures.run_naive_sql sql in
+      let _, planner_rows, _ = Fixtures.run_planner_sql sql in
+      Fixtures.rows_equal orca_rows naive_rows
+      && Fixtures.rows_equal planner_rows naive_rows)
+
+(* disabling optimizer features must change plans, never results: every
+   ablation config still produces a plan that executes to the oracle's
+   answer (exercises enforcement under forced-physical-operator plans) *)
+let ablation_configs =
+  lazy
+    (let base =
+       Orca.Orca_config.with_segments Orca.Orca_config.default 4
+     in
+     [
+       ("no-join-ordering",
+        Orca.Orca_config.without_rules base
+          [ "JoinCommutativity"; "JoinAssociativity" ]);
+       ("no-split-agg", Orca.Orca_config.without_rules base [ "SplitGbAgg" ]);
+       ("no-hash-join", Orca.Orca_config.without_rules base [ "Join2HashJoin" ]);
+       ("no-hash-agg", Orca.Orca_config.without_rules base [ "GbAgg2HashAgg" ]);
+       ("no-merge-join", Orca.Orca_config.without_rules base [ "Join2MergeJoin" ]);
+       ("no-column-pruning", Orca.Orca_config.without_column_pruning base);
+     ])
+
+let prop_ablations_still_correct =
+  QCheck.Test.make ~count:36
+    ~name:"every ablation config still executes to the oracle's answer"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_query (seed + 40_000) in
+      let name, config =
+        List.nth (Lazy.force ablation_configs)
+          (seed mod List.length (Lazy.force ablation_configs))
+      in
+      let s = Lazy.force Fixtures.small in
+      let accessor = Fixtures.small_accessor () in
+      let query = Sqlfront.Binder.bind_sql accessor sql in
+      let report = Orca.Optimizer.optimize ~config accessor query in
+      let rows, _ = Exec.Executor.run s.Fixtures.cluster report.Orca.Optimizer.plan in
+      let ok = Fixtures.rows_equal rows (Fixtures.run_naive_sql sql) in
+      if not ok then
+        QCheck.Test.fail_reportf "ablation %s broke correctness on:\n%s" name
+          sql
+      else true)
+
+(* plans survive DXL serialization: the round-tripped plan is structurally
+   identical and executes to the same rows (paper §3: the plan message is
+   the contract between optimizer and executor) *)
+let prop_plan_dxl_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"optimized plans round-trip through DXL"
+    QCheck.small_nat
+    (fun seed ->
+      let sql = rand_query (seed + 60_000) in
+      let _, report, rows, _ = Fixtures.run_orca_sql sql in
+      let plan = report.Orca.Optimizer.plan in
+      let plan' = Dxl.Dxl_plan.of_string (Dxl.Dxl_plan.to_string plan) in
+      let s = Lazy.force Fixtures.small in
+      let rows', _ = Exec.Executor.run s.Fixtures.cluster plan' in
+      Ir.Plan_ops.node_count plan = Ir.Plan_ops.node_count plan'
+      && Fixtures.rows_equal rows rows')
+
+(* the grouping-set mask generator: ROLLUP yields exactly the prefixes,
+   CUBE exactly the subsets, both widest-first and duplicate-free *)
+let prop_grouping_masks =
+  QCheck.Test.make ~count:200 ~name:"ROLLUP/CUBE mask generation"
+    (QCheck.make (QCheck.Gen.int_range 0 8))
+    (fun n ->
+      let popcount m =
+        let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+        go m 0
+      in
+      let sorted_desc l =
+        let rec ok = function
+          | a :: (b :: _ as rest) -> popcount a >= popcount b && ok rest
+          | _ -> true
+        in
+        ok l
+      in
+      let r = Sqlfront.Rollup.masks Sqlfront.Ast.G_rollup n in
+      let c = Sqlfront.Rollup.masks Sqlfront.Ast.G_cube n in
+      (* rollup: n+1 masks, each a prefix (mask+1 is a power of two) *)
+      List.length r = n + 1
+      && List.for_all (fun m -> m land (m + 1) = 0) r
+      && List.length (List.sort_uniq compare r) = n + 1
+      && sorted_desc r
+      (* cube: all 2^n subsets exactly once, widest first *)
+      && List.length c = 1 lsl n
+      && List.length (List.sort_uniq compare c) = 1 lsl n
+      && List.for_all (fun m -> m >= 0 && m < 1 lsl n) c
+      && sorted_desc c
+      (* rollup's sets are a subset of cube's *)
+      && List.for_all (fun m -> List.mem m c) r)
+
+(* --- algebraic properties of the IR --- *)
+
+open Ir
+
+let datum_gen : Datum.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Datum.Null;
+      QCheck.Gen.map (fun n -> Datum.Int (n - 500)) (QCheck.Gen.int_bound 1000);
+      QCheck.Gen.map (fun f -> Datum.Float (f -. 5.0)) (QCheck.Gen.float_bound_exclusive 10.0);
+      QCheck.Gen.map (fun b -> Datum.Bool b) QCheck.Gen.bool;
+      QCheck.Gen.map (fun s -> Datum.String s) (QCheck.Gen.string_size (QCheck.Gen.int_bound 5));
+      QCheck.Gen.map (fun n -> Datum.Date n) (QCheck.Gen.int_bound 40000);
+    ]
+
+let prop_datum_total_order =
+  QCheck.Test.make ~count:300 ~name:"Datum.compare is a total order"
+    (QCheck.make (QCheck.Gen.triple datum_gen datum_gen datum_gen))
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      (* antisymmetry *)
+      sgn (Datum.compare a b) = -sgn (Datum.compare b a)
+      (* transitivity *)
+      && (not (Datum.compare a b <= 0 && Datum.compare b c <= 0)
+         || Datum.compare a c <= 0)
+      (* reflexivity *)
+      && Datum.compare a a = 0)
+
+let prop_datum_serialize_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Datum serialize/deserialize round-trip"
+    (QCheck.make datum_gen)
+    (fun d -> Datum.equal d (Datum.deserialize (Datum.serialize d)))
+
+(* every enforcement chain produced for a random delivered/required pair
+   actually reaches the requirement *)
+let dist_gen cols : Props.dist QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Props.D_singleton;
+      QCheck.Gen.return Props.D_replicated;
+      QCheck.Gen.return Props.D_random;
+      QCheck.Gen.map (fun i -> Props.D_hashed [ List.nth cols (i mod 2) ])
+        QCheck.Gen.small_nat;
+    ]
+
+let dist_req_gen cols : Props.dist_req QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Props.Any_dist;
+      QCheck.Gen.return Props.Req_singleton;
+      QCheck.Gen.return Props.Req_replicated;
+      QCheck.Gen.return Props.Req_non_singleton;
+      QCheck.Gen.map (fun i -> Props.Req_hashed [ List.nth cols (i mod 2) ])
+        QCheck.Gen.small_nat;
+    ]
+
+let order_gen cols : Sortspec.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return [];
+      QCheck.Gen.map (fun i -> [ Sortspec.asc (List.nth cols (i mod 2)) ])
+        QCheck.Gen.small_nat;
+      QCheck.Gen.map
+        (fun i -> [ Sortspec.desc (List.nth cols (i mod 2)) ])
+        QCheck.Gen.small_nat;
+    ]
+
+let prop_enforcement_sound =
+  let cols = [ Fixtures.col 31 "x"; Fixtures.col 32 "y" ] in
+  QCheck.Test.make ~count:400
+    ~name:"every enforcement chain reaches the requirement"
+    (QCheck.make
+       (QCheck.Gen.quad (dist_gen cols) (order_gen cols) (dist_req_gen cols)
+          (order_gen cols)))
+    (fun (ddist, dorder, rdist, rorder) ->
+      let delivered = { Props.ddist; dorder } in
+      let required = { Props.rdist; rorder } in
+      let chains = Props.enforcement_alternatives ~delivered ~required in
+      (* chains may be empty only when enforcement is impossible; when
+         produced, each must reach the requirement, and satisfaction implies
+         the empty chain *)
+      List.for_all
+        (fun chain ->
+          Props.satisfies (Props.apply_enforcers delivered chain) required)
+        chains
+      && ((not (Props.satisfies delivered required)) || List.mem [] chains))
+
+(* histograms built from data predict selectivity consistently with actually
+   filtering the data *)
+let prop_histogram_matches_data =
+  QCheck.Test.make ~count:100
+    ~name:"histogram eq-selectivity tracks the data"
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.list_size (QCheck.Gen.int_range 50 300)
+             (QCheck.Gen.int_bound 20))
+          (QCheck.Gen.int_bound 20)))
+    (fun (values, probe) ->
+      let data = List.map (fun v -> Datum.Int v) values in
+      let h = Stats.Histogram.build data in
+      let actual =
+        float_of_int (List.length (List.filter (fun v -> v = probe) values))
+        /. float_of_int (List.length values)
+      in
+      let est = Stats.Histogram.selectivity_cmp h Expr.Eq (Datum.Int probe) in
+      (* within a loose band: equi-height buckets spread distincts evenly *)
+      Float.abs (est -. actual) < 0.25)
+
+(* constant folding preserves three-valued semantics on well-typed scalars
+   (the binder only ever produces well-typed trees), and is idempotent *)
+
+let folding_cols = Array.init 6 (fun i -> Fixtures.col (400 + i) "f")
+
+(* mutually recursive generators for numeric- and boolean-typed scalars *)
+let rec num_scalar_gen depth : Expr.scalar QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Expr.Col folding_cols.(i mod 6)) small_nat;
+        map (fun n -> Expr.Const (Datum.Int (n - 50))) (int_bound 100);
+        map (fun f -> Expr.Const (Datum.Float (f -. 5.0)))
+          (float_bound_exclusive 10.0);
+        return (Expr.Const Datum.Null);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (3, leaf);
+        ( 3,
+          map2
+            (fun (op, a) b -> Expr.Arith (op, a, b))
+            (pair
+               (oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Mod ])
+               (num_scalar_gen (depth - 1)))
+            (num_scalar_gen (depth - 1)) );
+        ( 1,
+          map3
+            (fun c a b -> Expr.Case ([ (c, a) ], Some b))
+            (bool_scalar_gen (depth - 1))
+            (num_scalar_gen (depth - 1))
+            (num_scalar_gen (depth - 1)) );
+        ( 1,
+          map2
+            (fun a b -> Expr.Coalesce [ a; b ])
+            (num_scalar_gen (depth - 1))
+            (num_scalar_gen (depth - 1)) );
+        (1, map (fun a -> Expr.Cast (a, Dtype.Float)) (num_scalar_gen (depth - 1)));
+      ]
+
+and bool_scalar_gen depth : Expr.scalar QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun b -> Expr.Const (Datum.Bool b)) bool;
+        return (Expr.Const Datum.Null);
+        map (fun a -> Expr.Is_null a) (num_scalar_gen 0);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (2, leaf);
+        ( 3,
+          map3
+            (fun op a b -> Expr.Cmp (op, a, b))
+            (oneofl [ Expr.Eq; Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ])
+            (num_scalar_gen (depth - 1))
+            (num_scalar_gen (depth - 1)) );
+        ( 2,
+          map2
+            (fun a b -> Expr.And [ a; b ])
+            (bool_scalar_gen (depth - 1))
+            (bool_scalar_gen (depth - 1)) );
+        ( 2,
+          map2
+            (fun a b -> Expr.Or [ a; b ])
+            (bool_scalar_gen (depth - 1))
+            (bool_scalar_gen (depth - 1)) );
+        (1, map (fun a -> Expr.Not a) (bool_scalar_gen (depth - 1)));
+        ( 1,
+          map2
+            (fun x ds -> Expr.In_list (x, ds))
+            (num_scalar_gen (depth - 1))
+            (list_size (int_bound 4)
+               (oneof
+                  [
+                    map (fun n -> Datum.Int (n - 50)) (int_bound 100);
+                    return Datum.Null;
+                  ])) );
+      ]
+
+let typed_scalar_gen : Expr.scalar QCheck.Gen.t =
+  QCheck.Gen.(oneof [ num_scalar_gen 3; bool_scalar_gen 3 ])
+
+let folding_case_gen : (Expr.scalar * Datum.t array) QCheck.Gen.t =
+  QCheck.Gen.pair typed_scalar_gen
+    (QCheck.Gen.array_size (QCheck.Gen.return 6)
+       (QCheck.Gen.oneof
+          [
+            QCheck.Gen.map (fun n -> Datum.Int (n - 50)) (QCheck.Gen.int_bound 100);
+            QCheck.Gen.return Datum.Null;
+          ]))
+
+let prop_fold_constants_sound =
+  QCheck.Test.make ~count:500
+    ~name:"fold_constants preserves 3VL evaluation and is idempotent"
+    (QCheck.make ~print:(fun (s, _) -> Scalar_ops.to_string s) folding_case_gen)
+    (fun (s, row) ->
+      let env (c : Colref.t) = row.(Colref.id c - 400) in
+      let folded = Scalar_eval.fold_constants s in
+      Datum.equal (Scalar_eval.eval env s) (Scalar_eval.eval env folded)
+      && Scalar_ops.equal folded (Scalar_eval.fold_constants folded))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_three_way_agreement;
+    QCheck_alcotest.to_alcotest prop_plans_validate;
+    QCheck_alcotest.to_alcotest prop_chosen_plan_cheapest_estimate;
+    QCheck_alcotest.to_alcotest prop_window_three_way;
+    QCheck_alcotest.to_alcotest prop_rollup_three_way;
+    QCheck_alcotest.to_alcotest prop_ablations_still_correct;
+    QCheck_alcotest.to_alcotest prop_plan_dxl_roundtrip;
+    QCheck_alcotest.to_alcotest prop_grouping_masks;
+    QCheck_alcotest.to_alcotest prop_datum_total_order;
+    QCheck_alcotest.to_alcotest prop_datum_serialize_roundtrip;
+    QCheck_alcotest.to_alcotest prop_enforcement_sound;
+    QCheck_alcotest.to_alcotest prop_histogram_matches_data;
+    QCheck_alcotest.to_alcotest prop_fold_constants_sound;
+  ]

@@ -1,0 +1,234 @@
+open Ir
+module Memo = Memolib.Memo
+
+(* Tests for the search engine: request schedules and deep invariants over
+   the optimization contexts of a fully optimized Memo. *)
+
+let a = Fixtures.col 11 "a"
+let b = Fixtures.col 12 "b"
+
+let test_join_request_schedules () =
+  let op =
+    Expr.P_hash_join (Expr.Inner, [ (Expr.Col a, Expr.Col b) ], None)
+  in
+  let alts =
+    Search.Requests.alternatives op ~req:Props.any_req
+      ~child_out_cols:[ [ a ]; [ b ] ]
+  in
+  (* inner join: co-located + broadcast-inner + broadcast-outer + singleton *)
+  Alcotest.(check int) "four alternatives" 4 (List.length alts);
+  List.iter
+    (fun reqs -> Alcotest.(check int) "binary" 2 (List.length reqs))
+    alts;
+  (* full outer: no broadcast variants *)
+  let fo =
+    Search.Requests.alternatives
+      (Expr.P_hash_join (Expr.Full_outer, [ (Expr.Col a, Expr.Col b) ], None))
+      ~req:Props.any_req ~child_out_cols:[ [ a ]; [ b ] ]
+  in
+  Alcotest.(check int) "full outer restricted" 2 (List.length fo);
+  List.iter
+    (fun reqs ->
+      List.iter
+        (fun (r : Props.req) ->
+          Alcotest.(check bool) "no replicated requests" true
+            (r.Props.rdist <> Props.Req_replicated))
+        reqs)
+    fo;
+  (* left outer: broadcast-inner ok, broadcast-outer not *)
+  let lo =
+    Search.Requests.alternatives
+      (Expr.P_hash_join (Expr.Left_outer, [ (Expr.Col a, Expr.Col b) ], None))
+      ~req:Props.any_req ~child_out_cols:[ [ a ]; [ b ] ]
+  in
+  Alcotest.(check bool) "left outer keeps broadcast-inner" true
+    (List.exists
+       (fun reqs ->
+         match reqs with
+         | [ _; (r : Props.req) ] -> r.Props.rdist = Props.Req_replicated
+         | _ -> false)
+       lo);
+  Alcotest.(check bool) "left outer drops broadcast-outer" true
+    (not
+       (List.exists
+          (fun reqs ->
+            match reqs with
+            | [ (r : Props.req); _ ] -> r.Props.rdist = Props.Req_replicated
+            | _ -> false)
+          lo))
+
+let test_agg_request_schedules () =
+  let agg =
+    { Expr.agg_kind = Expr.Count_star; agg_arg = None; agg_distinct = false;
+      agg_out = Fixtures.col 13 "c" }
+  in
+  (* a global (no-keys) one-phase aggregate must run on the master *)
+  let global =
+    Search.Requests.alternatives
+      (Expr.P_hash_agg (Expr.One_phase, [], [ agg ]))
+      ~req:Props.any_req ~child_out_cols:[ [ a ] ]
+  in
+  Alcotest.(check bool) "global agg needs singleton" true
+    (List.for_all
+       (fun reqs ->
+         match reqs with
+         | [ (r : Props.req) ] -> r.Props.rdist = Props.Req_singleton
+         | _ -> false)
+       global);
+  (* a partial aggregate takes anything *)
+  let partial =
+    Search.Requests.alternatives
+      (Expr.P_hash_agg (Expr.Partial, [ a ], [ agg ]))
+      ~req:Props.any_req ~child_out_cols:[ [ a ] ]
+  in
+  Alcotest.(check bool) "partial agg requests Any" true
+    (List.for_all
+       (fun reqs ->
+         match reqs with
+         | [ (r : Props.req) ] -> r.Props.rdist = Props.Any_dist
+         | _ -> false)
+       partial);
+  (* a stream aggregate asks its child for group-key order *)
+  let stream =
+    Search.Requests.alternatives
+      (Expr.P_stream_agg (Expr.One_phase, [ a ], [ agg ]))
+      ~req:Props.any_req ~child_out_cols:[ [ a ] ]
+  in
+  Alcotest.(check bool) "stream agg requests order" true
+    (List.for_all
+       (fun reqs ->
+         match reqs with
+         | [ (r : Props.req) ] -> not (Sortspec.is_empty r.Props.rorder)
+         | _ -> false)
+       stream)
+
+let test_filter_passes_request_through () =
+  let req = { Props.rdist = Props.Req_singleton; rorder = [ Sortspec.asc a ] } in
+  match
+    Search.Requests.alternatives
+      (Expr.P_filter (Expr.Const (Datum.Bool true)))
+      ~req ~child_out_cols:[ [ a ] ]
+  with
+  | [ [ child ] ] ->
+      Alcotest.(check bool) "same request" true (Props.req_equal child req)
+  | _ -> Alcotest.fail "expected one pass-through alternative"
+
+let test_project_blocks_lost_columns () =
+  (* projecting away the ordering column must not pass the order through *)
+  let projs = [ { Expr.proj_expr = Expr.Col b; proj_out = b } ] in
+  let req = { Props.rdist = Props.Any_dist; rorder = [ Sortspec.asc a ] } in
+  match
+    Search.Requests.alternatives (Expr.P_project projs) ~req
+      ~child_out_cols:[ [ a; b ] ]
+  with
+  | [ [ (child : Props.req) ] ] ->
+      Alcotest.(check bool) "order dropped" true
+        (Sortspec.is_empty child.Props.rorder)
+  | _ -> Alcotest.fail "expected one alternative"
+
+(* Deep invariant: after optimizing a real query, every recorded alternative
+   delivers properties satisfying its context's request, every child context
+   it references exists with a best plan, and the context best is minimal. *)
+let test_context_invariants () =
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "SELECT t1.a, count(*) AS c FROM t1, t2 WHERE t1.a = t2.b AND t2.a < \
+       150 GROUP BY t1.a ORDER BY c DESC, t1.a LIMIT 7"
+  in
+  let memo = report.Orca.Optimizer.memo in
+  let checked = ref 0 in
+  List.iter
+    (fun gid ->
+      List.iter
+        (fun (ctx : Memo.context) ->
+          (match ctx.Memo.cx_best with
+          | Some best ->
+              List.iter
+                (fun (alt : Memo.alternative) ->
+                  incr checked;
+                  Alcotest.(check bool) "alternative satisfies request" true
+                    (Props.satisfies alt.Memo.a_derived ctx.Memo.cx_req);
+                  Alcotest.(check bool) "best is minimal" true
+                    (best.Memo.a_cost <= alt.Memo.a_cost +. 1e-9);
+                  List.iter2
+                    (fun cg cr ->
+                      match Memo.find_context memo cg cr with
+                      | Some cctx ->
+                          Alcotest.(check bool) "child context has a plan" true
+                            (cctx.Memo.cx_best <> None)
+                      | None -> Alcotest.fail "dangling child context")
+                    alt.Memo.a_gexpr.Memo.ge_children alt.Memo.a_child_reqs)
+                ctx.Memo.cx_alts
+          | None -> ()))
+        (Memo.contexts_of_group memo gid))
+    (Memo.group_ids memo);
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d alternatives" !checked)
+    true (!checked > 20)
+
+let test_goal_queue_effectiveness () =
+  (* optimizing shares work through goal queues: hits must be substantial *)
+  let _, report, _, _ =
+    Fixtures.run_orca_sql
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a LIMIT 3"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "goal hits (%d)" report.Orca.Optimizer.goal_hits)
+    true
+    (report.Orca.Optimizer.goal_hits > 0)
+
+let test_timeout_still_produces_plan () =
+  let s = Lazy.force Fixtures.small in
+  let accessor =
+    Catalog.Accessor.create ~provider:s.Fixtures.provider ~cache:s.Fixtures.cache ()
+  in
+  let sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a LIMIT 3" in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  (* a zero-millisecond exploration budget: the plan must still come out *)
+  let config =
+    Orca.Orca_config.with_stages
+      (Lazy.force Fixtures.orca_config)
+      [ Xform.Ruleset.stage ~timeout_ms:(Some 0.0) ~name:"rushed"
+          Xform.Ruleset.default ]
+  in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  let rows, _ = Exec.Executor.run s.Fixtures.cluster report.Orca.Optimizer.plan in
+  Alcotest.(check bool) "correct under timeout" true
+    (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql))
+
+let test_index_scan_end_to_end () =
+  (* the date_dim d_date_sk index: an equality predicate should admit an
+     IndexScan alternative, and whatever wins must execute correctly *)
+  let cluster = Fixtures.tpcds_cluster () in
+  let accessor = Fixtures.tpcds_accessor () in
+  let sql = "SELECT d_year, d_moy FROM date_dim WHERE d_date_sk = 725" in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config = Orca.Orca_config.with_segments Orca.Orca_config.default 4 in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  let memo = report.Orca.Optimizer.memo in
+  let has_index_alternative =
+    List.exists
+      (fun gid ->
+        List.exists
+          (fun (_, op) ->
+            match op with Expr.P_index_scan _ -> true | _ -> false)
+          (Memo.physical_exprs (Memo.group memo gid)))
+      (Memo.group_ids memo)
+  in
+  Alcotest.(check bool) "index scan in the plan space" true
+    has_index_alternative;
+  let rows, _ = Exec.Executor.run cluster report.Orca.Optimizer.plan in
+  Alcotest.(check bool) "correct result" true
+    (Fixtures.rows_equal rows (Exec.Naive.run cluster query))
+
+let suite =
+  [
+    Alcotest.test_case "join request schedules" `Quick test_join_request_schedules;
+    Alcotest.test_case "agg request schedules" `Quick test_agg_request_schedules;
+    Alcotest.test_case "filter pass-through" `Quick test_filter_passes_request_through;
+    Alcotest.test_case "project blocks lost cols" `Quick test_project_blocks_lost_columns;
+    Alcotest.test_case "context invariants" `Quick test_context_invariants;
+    Alcotest.test_case "goal queue effectiveness" `Quick test_goal_queue_effectiveness;
+    Alcotest.test_case "timeout still plans" `Quick test_timeout_still_produces_plan;
+    Alcotest.test_case "index scan end to end" `Quick test_index_scan_end_to_end;
+  ]

@@ -1,0 +1,283 @@
+open Ir
+
+(* Tests for histograms, selectivity estimation and statistics derivation. *)
+
+let ints lo hi = List.init (hi - lo + 1) (fun i -> Datum.Int (lo + i))
+
+let close ?(eps = 1e-6) name a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%.4f vs %.4f)" name a b)
+    true
+    (Float.abs (a -. b) <= eps)
+
+let test_build_totals () =
+  let h = Stats.Histogram.build (ints 0 999) in
+  close "total" 1000.0 (Stats.Histogram.total_rows h);
+  close "ndv" 1000.0 (Stats.Histogram.ndv h);
+  close "no nulls" 0.0 (Stats.Histogram.null_fraction h)
+
+let test_build_with_nulls () =
+  let vals = Datum.Null :: Datum.Null :: ints 1 8 in
+  let h = Stats.Histogram.build vals in
+  close "total includes nulls" 10.0 (Stats.Histogram.total_rows h);
+  close "null fraction" 0.2 (Stats.Histogram.null_fraction h)
+
+let test_select_eq () =
+  let h = Stats.Histogram.build (ints 0 99) in
+  let sel = Stats.Histogram.selectivity_cmp h Expr.Eq (Datum.Int 50) in
+  close ~eps:0.005 "eq uniform" 0.01 sel;
+  let out = Stats.Histogram.selectivity_cmp h Expr.Eq (Datum.Int 1000) in
+  close "out of range" 0.0 out
+
+let test_select_range () =
+  let h = Stats.Histogram.build (ints 0 99) in
+  let sel = Stats.Histogram.selectivity_cmp h Expr.Lt (Datum.Int 25) in
+  Alcotest.(check bool) "quarterish" true (sel > 0.15 && sel < 0.35);
+  let all = Stats.Histogram.selectivity_cmp h Expr.Ge (Datum.Int 0) in
+  Alcotest.(check bool) "everything" true (all > 0.9)
+
+let test_join_eq_cardinality () =
+  (* R: 0..99 x10 each, S: 0..99 x5 each => |join| = 100 * 10 * 5 = 5000 *)
+  let r =
+    Stats.Histogram.build
+      (List.concat_map (fun _ -> ints 0 99) (List.init 10 Fun.id))
+  in
+  let s =
+    Stats.Histogram.build
+      (List.concat_map (fun _ -> ints 0 99) (List.init 5 Fun.id))
+  in
+  let card, h = Stats.Histogram.join_eq r s in
+  Alcotest.(check bool)
+    (Printf.sprintf "join card ~5000 (got %.0f)" card)
+    true
+    (card > 3000.0 && card < 6500.0);
+  Alcotest.(check bool) "result hist populated" true
+    (Stats.Histogram.total_rows h > 0.0)
+
+let test_join_eq_disjoint () =
+  let r = Stats.Histogram.build (ints 0 49) in
+  let s = Stats.Histogram.build (ints 100 149) in
+  let card, _ = Stats.Histogram.join_eq r s in
+  close "disjoint domains" 0.0 card
+
+let test_skew () =
+  let skewed =
+    Stats.Histogram.build
+      (List.concat
+         [ List.init 900 (fun _ -> Datum.Int 1); ints 2 101 ])
+  in
+  Alcotest.(check bool) "skew detected" true (Stats.Histogram.skew skewed > 2.0);
+  let uniform = Stats.Histogram.build (ints 0 999) in
+  Alcotest.(check bool) "uniform low skew" true (Stats.Histogram.skew uniform < 1.5)
+
+let test_scale () =
+  let h = Stats.Histogram.build (ints 0 99) in
+  let h2 = Stats.Histogram.scale h 0.5 in
+  close "scaled" 50.0 (Stats.Histogram.total_rows h2)
+
+(* --- relstats + selectivity --- *)
+
+let mk_stats () =
+  let a = Fixtures.col 1 "a" and b = Fixtures.col 2 "b" in
+  let ha = Stats.Histogram.build (ints 0 99) in
+  let hb =
+    Stats.Histogram.build (List.concat_map (fun _ -> ints 0 9) (List.init 10 Fun.id))
+  in
+  (a, b, Stats.Relstats.make ~rows:100.0 [ (a, ha); (b, hb) ])
+
+let test_apply_pred () =
+  let a, _, stats = mk_stats () in
+  let filtered =
+    Stats.Selectivity.apply_pred stats
+      (Expr.Cmp (Expr.Lt, Expr.Col a, Expr.Const (Datum.Int 50)))
+  in
+  let rows = Stats.Relstats.rows filtered in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half (%.1f)" rows)
+    true
+    (rows > 35.0 && rows < 65.0);
+  (* the filtered column's histogram tightened *)
+  (match Stats.Relstats.col_hist filtered a with
+  | Some h ->
+      Alcotest.(check bool) "max below cut" true
+        (match Stats.Histogram.max_value h with
+        | Some v -> Datum.compare v (Datum.Int 50) <= 0
+        | None -> false)
+  | None -> Alcotest.fail "histogram dropped")
+
+let test_conjunction_composes () =
+  let a, b, stats = mk_stats () in
+  let pred =
+    Expr.And
+      [
+        Expr.Cmp (Expr.Lt, Expr.Col a, Expr.Const (Datum.Int 50));
+        Expr.Cmp (Expr.Eq, Expr.Col b, Expr.Const (Datum.Int 3));
+      ]
+  in
+  let filtered = Stats.Selectivity.apply_pred stats pred in
+  let rows = Stats.Relstats.rows filtered in
+  Alcotest.(check bool)
+    (Printf.sprintf "conjunction ~5 (%.1f)" rows)
+    true
+    (rows > 1.0 && rows < 12.0)
+
+let test_or_selectivity () =
+  let a, _, stats = mk_stats () in
+  let pred =
+    Expr.Or
+      [
+        Expr.Cmp (Expr.Lt, Expr.Col a, Expr.Const (Datum.Int 10));
+        Expr.Cmp (Expr.Ge, Expr.Col a, Expr.Const (Datum.Int 90));
+      ]
+  in
+  let sel = Stats.Selectivity.selectivity stats pred in
+  Alcotest.(check bool)
+    (Printf.sprintf "or ~0.2 (%.3f)" sel)
+    true
+    (sel > 0.1 && sel < 0.35)
+
+let test_derive_join () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let b = Colref.Factory.fresh f ~name:"b" ~ty:Dtype.Int in
+  let sa = Stats.Relstats.make ~rows:100.0 [ (a, Stats.Histogram.build (ints 0 99)) ] in
+  let sb =
+    Stats.Relstats.make ~rows:1000.0
+      [ (b, Stats.Histogram.build (List.concat_map (fun _ -> ints 0 99) (List.init 10 Fun.id))) ]
+  in
+  let joined =
+    Stats.Derive.join_stats Expr.Inner
+      (Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b))
+      sa sb
+      ~outer_cols:(Colref.Set.singleton a)
+      ~inner_cols:(Colref.Set.singleton b)
+  in
+  let rows = Stats.Relstats.rows joined in
+  Alcotest.(check bool)
+    (Printf.sprintf "fk join ~1000 (%.0f)" rows)
+    true
+    (rows > 500.0 && rows < 2000.0)
+
+let test_derive_semi_anti () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let b = Colref.Factory.fresh f ~name:"b" ~ty:Dtype.Int in
+  let sa = Stats.Relstats.make ~rows:100.0 [ (a, Stats.Histogram.build (ints 0 99)) ] in
+  let sb = Stats.Relstats.make ~rows:50.0 [ (b, Stats.Histogram.build (ints 0 49)) ] in
+  let cond = Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) in
+  let semi =
+    Stats.Derive.join_stats Expr.Semi cond sa sb
+      ~outer_cols:(Colref.Set.singleton a) ~inner_cols:(Colref.Set.singleton b)
+  in
+  let anti =
+    Stats.Derive.join_stats Expr.Anti_semi cond sa sb
+      ~outer_cols:(Colref.Set.singleton a) ~inner_cols:(Colref.Set.singleton b)
+  in
+  Alcotest.(check bool) "semi bounded by outer" true
+    (Stats.Relstats.rows semi <= 100.0);
+  close ~eps:0.5 "semi + anti = outer" 100.0
+    (Stats.Relstats.rows semi +. Stats.Relstats.rows anti)
+
+let test_derive_gb_agg () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let out = Colref.Factory.fresh f ~name:"cnt" ~ty:Dtype.Int in
+  let sa =
+    Stats.Relstats.make ~rows:1000.0
+      [ (a, Stats.Histogram.build (List.concat_map (fun _ -> ints 0 9) (List.init 100 Fun.id))) ]
+  in
+  let agg =
+    { Expr.agg_kind = Expr.Count_star; agg_arg = None; agg_distinct = false; agg_out = out }
+  in
+  let grouped = Stats.Derive.gb_agg_stats [ a ] [ agg ] sa in
+  let rows = Stats.Relstats.rows grouped in
+  Alcotest.(check bool)
+    (Printf.sprintf "ndv groups (%.1f)" rows)
+    true
+    (rows >= 9.0 && rows <= 12.0);
+  let scalar = Stats.Derive.gb_agg_stats [] [ agg ] sa in
+  close "scalar agg one row" 1.0 (Stats.Relstats.rows scalar)
+
+(* --- property-based tests --- *)
+
+let datum_int_gen = QCheck.Gen.map (fun n -> Datum.Int n) (QCheck.Gen.int_bound 500)
+
+let values_gen = QCheck.Gen.list_size (QCheck.Gen.int_range 1 300) datum_int_gen
+
+let prop_build_conserves_rows =
+  QCheck.Test.make ~count:100 ~name:"histogram build conserves row count"
+    (QCheck.make values_gen)
+    (fun values ->
+      let h = Stats.Histogram.build values in
+      Float.abs (Stats.Histogram.total_rows h -. float_of_int (List.length values))
+      < 0.5)
+
+let prop_filter_bounded =
+  QCheck.Test.make ~count:100 ~name:"filtered histogram never grows"
+    (QCheck.make (QCheck.Gen.pair values_gen (QCheck.Gen.int_bound 500)))
+    (fun (values, cut) ->
+      values <> []
+      &&
+      let h = Stats.Histogram.build values in
+      List.for_all
+        (fun op ->
+          let f = Stats.Histogram.select_cmp h op (Datum.Int cut) in
+          Stats.Histogram.total_rows f
+          <= Stats.Histogram.total_rows h +. 1e-6)
+        [ Expr.Eq; Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ])
+
+let prop_lt_ge_partition =
+  QCheck.Test.make ~count:100 ~name:"P(<v) + P(>=v) ~ 1 - nulls"
+    (QCheck.make (QCheck.Gen.pair values_gen (QCheck.Gen.int_bound 500)))
+    (fun (values, cut) ->
+      values <> []
+      &&
+      let h = Stats.Histogram.build values in
+      let lt = Stats.Histogram.selectivity_cmp h Expr.Lt (Datum.Int cut) in
+      let ge = Stats.Histogram.selectivity_cmp h Expr.Ge (Datum.Int cut) in
+      lt +. ge <= 1.15 && lt +. ge >= 0.75)
+
+let prop_join_bounded_by_cross =
+  QCheck.Test.make ~count:60 ~name:"join cardinality bounded by cross product"
+    (QCheck.make (QCheck.Gen.pair values_gen values_gen))
+    (fun (va, vb) ->
+      va <> [] && vb <> []
+      &&
+      let a = Stats.Histogram.build va and b = Stats.Histogram.build vb in
+      let card, _ = Stats.Histogram.join_eq a b in
+      card
+      <= (Stats.Histogram.total_rows a *. Stats.Histogram.total_rows b) +. 1.0)
+
+let prop_union_all_adds =
+  QCheck.Test.make ~count:60 ~name:"union_all adds row counts"
+    (QCheck.make (QCheck.Gen.pair values_gen values_gen))
+    (fun (va, vb) ->
+      let a = Stats.Histogram.build va and b = Stats.Histogram.build vb in
+      let u = Stats.Histogram.union_all a b in
+      Float.abs
+        (Stats.Histogram.total_rows u
+        -. (Stats.Histogram.total_rows a +. Stats.Histogram.total_rows b))
+      < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "build totals" `Quick test_build_totals;
+    Alcotest.test_case "build with nulls" `Quick test_build_with_nulls;
+    Alcotest.test_case "select eq" `Quick test_select_eq;
+    Alcotest.test_case "select range" `Quick test_select_range;
+    Alcotest.test_case "join cardinality" `Quick test_join_eq_cardinality;
+    Alcotest.test_case "join disjoint" `Quick test_join_eq_disjoint;
+    Alcotest.test_case "skew" `Quick test_skew;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "apply pred" `Quick test_apply_pred;
+    Alcotest.test_case "conjunction composes" `Quick test_conjunction_composes;
+    Alcotest.test_case "or selectivity" `Quick test_or_selectivity;
+    Alcotest.test_case "derive join" `Quick test_derive_join;
+    Alcotest.test_case "derive semi/anti" `Quick test_derive_semi_anti;
+    Alcotest.test_case "derive group-by" `Quick test_derive_gb_agg;
+    QCheck_alcotest.to_alcotest prop_build_conserves_rows;
+    QCheck_alcotest.to_alcotest prop_filter_bounded;
+    QCheck_alcotest.to_alcotest prop_lt_ge_partition;
+    QCheck_alcotest.to_alcotest prop_join_bounded_by_cross;
+    QCheck_alcotest.to_alcotest prop_union_all_adds;
+  ]

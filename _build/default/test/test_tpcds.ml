@@ -1,0 +1,150 @@
+open Ir
+
+(* Tests for the mini-TPC-DS workload: schema coverage, data generation
+   (determinism, FK integrity, skew), query generation and feature tags. *)
+
+let db = lazy (Tpcds.Datagen.generate ~sf:0.05 ())
+
+let test_schema_inventory () =
+  Alcotest.(check int) "25 tables (paper: \"TPC-DS with its 25 tables\")" 25
+    (List.length Tpcds.Schema.tables);
+  let facts =
+    List.filter (fun s -> s.Tpcds.Schema.is_fact) Tpcds.Schema.tables
+  in
+  Alcotest.(check int) "seven fact tables" 7 (List.length facts);
+  List.iter
+    (fun (spec : Tpcds.Schema.table_spec) ->
+      Alcotest.(check bool)
+        (spec.Tpcds.Schema.tname ^ " facts are partitioned")
+        true
+        (spec.Tpcds.Schema.part_col <> None))
+    facts
+
+let test_datagen_deterministic () =
+  let a = Tpcds.Datagen.generate ~sf:0.02 () in
+  let b = Tpcds.Datagen.generate ~sf:0.02 () in
+  List.iter
+    (fun (spec : Tpcds.Schema.table_spec) ->
+      let name = spec.Tpcds.Schema.tname in
+      Alcotest.(check bool) (name ^ " identical") true
+        (Tpcds.Datagen.table_rows a name = Tpcds.Datagen.table_rows b name))
+    Tpcds.Schema.tables
+
+let test_datagen_row_counts_scale () =
+  let small = Tpcds.Datagen.generate ~sf:0.05 () in
+  let larger = Tpcds.Datagen.generate ~sf:0.2 () in
+  let n db t = List.length (Tpcds.Datagen.table_rows db t) in
+  Alcotest.(check bool) "facts scale" true
+    (n larger "store_sales" > 3 * n small "store_sales");
+  Alcotest.(check int) "date_dim fixed" (n small "date_dim") (n larger "date_dim")
+
+let test_fk_integrity () =
+  let db = Lazy.force db in
+  let keys name pos =
+    List.fold_left
+      (fun acc r ->
+        match r.(pos) with Datum.Int v -> max acc v | _ -> acc)
+      0
+      (Tpcds.Datagen.table_rows db name)
+  in
+  let items = List.length (Tpcds.Datagen.table_rows db "item") in
+  let custs = List.length (Tpcds.Datagen.table_rows db "customer") in
+  let spec = Tpcds.Schema.find "store_sales" in
+  let item_pos = Tpcds.Schema.col_position spec "ss_item_sk" in
+  let cust_pos = Tpcds.Schema.col_position spec "ss_customer_sk" in
+  Alcotest.(check bool) "item fks in range" true (keys "store_sales" item_pos < items);
+  Alcotest.(check bool) "customer fks in range" true
+    (keys "store_sales" cust_pos < custs);
+  let date_pos = Tpcds.Schema.col_position spec "ss_sold_date_sk" in
+  Alcotest.(check bool) "date fks in range" true
+    (keys "store_sales" date_pos < Tpcds.Schema.ndates)
+
+let test_item_skew () =
+  let db = Lazy.force db in
+  let spec = Tpcds.Schema.find "store_sales" in
+  let pos = Tpcds.Schema.col_position spec "ss_item_sk" in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match r.(pos) with
+      | Datum.Int v ->
+          Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      | _ -> ())
+    (Tpcds.Datagen.table_rows db "store_sales");
+  let total = Hashtbl.fold (fun _ c a -> a + c) counts 0 in
+  let max_c = Hashtbl.fold (fun _ c a -> max a c) counts 0 in
+  let n_items = Hashtbl.length counts in
+  Alcotest.(check bool) "popular item well above uniform" true
+    (float_of_int max_c > 3.0 *. (float_of_int total /. float_of_int n_items))
+
+let test_metadata_and_stats () =
+  let db = Lazy.force db in
+  let provider = Tpcds.Datagen.provider db in
+  let cache = Catalog.Md_cache.create () in
+  let accessor = Catalog.Accessor.create ~provider ~cache () in
+  let ss = Option.get (Catalog.Accessor.bind_table accessor "store_sales") in
+  Alcotest.(check bool) "partitioned" true (Table_desc.is_partitioned ss);
+  Alcotest.(check int) "yearly partitions" Tpcds.Schema.nyears
+    (Table_desc.npartitions ss);
+  let stats = Catalog.Accessor.base_stats accessor ss in
+  let actual = List.length (Tpcds.Datagen.table_rows db "store_sales") in
+  Alcotest.(check bool) "stats row count truthful" true
+    (Float.abs (Stats.Relstats.rows stats -. float_of_int actual) < 1.0);
+  let dd = Option.get (Catalog.Accessor.bind_table accessor "date_dim") in
+  Alcotest.(check bool) "dimension replicated" true
+    (dd.Table_desc.dist = Table_desc.Dist_replicated)
+
+let test_queries_inventory () =
+  let defs = Lazy.force Tpcds.Queries.all in
+  Alcotest.(check int) "111 queries" 111 (List.length defs);
+  (* qids are 1..111 and unique *)
+  let ids = List.map (fun d -> d.Tpcds.Queries.qid) defs in
+  Alcotest.(check (list int)) "sequential ids" (List.init 111 (fun i -> i + 1)) ids
+
+let test_queries_parse_and_bind () =
+  let env = Lazy.force Fixtures.tpcds_env in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      let accessor =
+        Catalog.Accessor.create ~provider:env.Engines.Engine.provider
+          ~cache:env.Engines.Engine.cache ()
+      in
+      let query = Sqlfront.Binder.bind_sql accessor q.Tpcds.Queries.sql in
+      Ltree.validate query.Dxl.Dxl_query.tree)
+    (Lazy.force Tpcds.Queries.all)
+
+let test_feature_tags_consistent () =
+  let defs = Lazy.force Tpcds.Queries.all in
+  (* correlated templates are tagged, and the tag matches binding reality *)
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      if q.Tpcds.Queries.correlated then
+        Alcotest.(check bool)
+          (Printf.sprintf "q%d tagged correlated" q.Tpcds.Queries.qid)
+          true
+          (List.mem Tpcds.Features.F_correlated_subquery q.Tpcds.Queries.features))
+    defs;
+  (* feature mix sanity: the workload exercises the interesting features *)
+  let count f =
+    List.length (List.filter (fun q -> Tpcds.Queries.has_feature q f) defs)
+  in
+  Alcotest.(check bool) "correlated present" true
+    (count Tpcds.Features.F_correlated_subquery >= 10);
+  Alcotest.(check bool) "with present" true (count Tpcds.Features.F_with >= 10);
+  Alcotest.(check bool) "setops present" true
+    (count Tpcds.Features.F_intersect + count Tpcds.Features.F_except >= 6);
+  Alcotest.(check bool) "outer joins present" true
+    (count Tpcds.Features.F_outer_join >= 5)
+
+let suite =
+  [
+    Alcotest.test_case "schema inventory" `Quick test_schema_inventory;
+    Alcotest.test_case "datagen deterministic" `Quick test_datagen_deterministic;
+    Alcotest.test_case "datagen scaling" `Quick test_datagen_row_counts_scale;
+    Alcotest.test_case "fk integrity" `Quick test_fk_integrity;
+    Alcotest.test_case "item skew" `Quick test_item_skew;
+    Alcotest.test_case "metadata and stats" `Quick test_metadata_and_stats;
+    Alcotest.test_case "111 queries" `Quick test_queries_inventory;
+    Alcotest.test_case "all queries bind" `Slow test_queries_parse_and_bind;
+    Alcotest.test_case "feature tags" `Quick test_feature_tags_consistent;
+  ]

@@ -1,0 +1,242 @@
+open Ir
+
+(* Tests for window functions: ROW_NUMBER/RANK/aggregates OVER with the SQL
+   default running frame, through the whole pipeline. *)
+
+let check sql =
+  let _, report, rows, _ = Fixtures.run_orca_sql sql in
+  ignore (Plan_ops.validate report.Orca.Optimizer.plan);
+  Alcotest.(check bool)
+    (Printf.sprintf "matches naive: %s" sql)
+    true
+    (Fixtures.rows_equal rows (Fixtures.run_naive_sql sql));
+  (report, rows)
+
+let test_row_number () =
+  let _, rows =
+    check
+      "SELECT a, b, row_number() OVER (PARTITION BY a ORDER BY b) AS rn FROM \
+       t1 WHERE a < 3 ORDER BY a, rn"
+  in
+  (* row numbers are 1..n within each partition *)
+  let by_a = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      match (row.(0), row.(2)) with
+      | Datum.Int a, Datum.Int rn ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt by_a a) in
+          Alcotest.(check int) "consecutive" (prev + 1) rn;
+          Hashtbl.replace by_a a rn
+      | _ -> Alcotest.fail "unexpected types")
+    rows;
+  Alcotest.(check bool) "has partitions" true (Hashtbl.length by_a >= 2)
+
+let test_rank_with_ties () =
+  (* rank over a column with duplicates: ties share a rank, next rank jumps *)
+  let _, rows =
+    check
+      "SELECT b, rank() OVER (ORDER BY a) AS r FROM t1 WHERE a < 2 ORDER BY \
+       r, b"
+  in
+  let ranks =
+    List.filter_map (fun r -> match r.(1) with Datum.Int v -> Some v | _ -> None) rows
+  in
+  Alcotest.(check bool) "first rank is 1" true (List.hd ranks = 1);
+  (* with duplicated [a] values, some rank must repeat *)
+  Alcotest.(check bool) "ties share ranks" true
+    (List.length ranks > List.length (List.sort_uniq compare ranks))
+
+let test_dense_rank () =
+  (* dense_rank: ties share a rank and the next distinct value gets the
+     next consecutive rank -- no gaps, unlike rank() *)
+  let _, rows =
+    check
+      "SELECT b, rank() OVER (ORDER BY a) AS r, dense_rank() OVER (ORDER BY \
+       a) AS dr FROM t1 WHERE a < 3 ORDER BY r, dr, b"
+  in
+  let pairs =
+    List.filter_map
+      (fun row ->
+        match (row.(1), row.(2)) with
+        | Datum.Int r, Datum.Int dr -> Some (r, dr)
+        | _ -> None)
+      rows
+  in
+  Alcotest.(check bool) "got rows" true (pairs <> []);
+  (* dense ranks are exactly 1..k with no gaps *)
+  let dense = List.sort_uniq compare (List.map snd pairs) in
+  List.iteri
+    (fun i dr -> Alcotest.(check int) "dense ranks consecutive" (i + 1) dr)
+    dense;
+  (* dense_rank never exceeds rank, and both start at 1 *)
+  List.iter
+    (fun (r, dr) ->
+      Alcotest.(check bool) "dense <= rank" true (dr <= r))
+    pairs;
+  Alcotest.(check (pair int int)) "first row" (1, 1) (List.hd pairs);
+  (* with duplicates present, rank must have a gap dense_rank doesn't *)
+  let max_r = List.fold_left (fun m (r, _) -> max m r) 0 pairs in
+  let max_dr = List.fold_left (fun m (_, dr) -> max m dr) 0 pairs in
+  Alcotest.(check bool) "rank gaps vs dense" true (max_dr <= max_r)
+
+let test_running_sum_monotone () =
+  let _, rows =
+    check
+      "SELECT a, b, sum(b) OVER (PARTITION BY a ORDER BY b) AS running FROM \
+       t1 WHERE a < 4 ORDER BY a, b, running"
+  in
+  (* within a partition, the running sum never decreases *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      match (row.(0), row.(2)) with
+      | Datum.Int a, running ->
+          (match Hashtbl.find_opt last a with
+          | Some prev ->
+              Alcotest.(check bool) "monotone" true (Datum.compare running prev >= 0)
+          | None -> ());
+          Hashtbl.replace last a running
+      | _ -> ())
+    rows
+
+let test_whole_partition_agg () =
+  (* no ORDER BY in the window: every row of a partition sees the same value,
+     equal to the group aggregate *)
+  let _, rows =
+    check
+      "SELECT a, sum(b) OVER (PARTITION BY a) AS total FROM t1 WHERE a < 5 \
+       ORDER BY a, total"
+  in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      match (row.(0), row.(1)) with
+      | Datum.Int a, total -> (
+          match Hashtbl.find_opt totals a with
+          | Some prev ->
+              Alcotest.(check bool) "same value across partition" true
+                (Datum.equal prev total)
+          | None -> Hashtbl.replace totals a total)
+      | _ -> ())
+    rows;
+  (* cross-check against GROUP BY *)
+  let grouped =
+    Fixtures.run_naive_sql
+      "SELECT a, sum(b) AS total FROM t1 WHERE a < 5 GROUP BY a ORDER BY a"
+  in
+  List.iter
+    (fun row ->
+      match (row.(0), row.(1)) with
+      | Datum.Int a, expected ->
+          Alcotest.(check bool) "matches GROUP BY" true
+            (Datum.equal (Hashtbl.find totals a) expected)
+      | _ -> ())
+    grouped
+
+let test_avg_over_decomposition () =
+  ignore
+    (check
+       "SELECT a, avg(b) OVER (PARTITION BY a) AS ab FROM t1 WHERE a < 4 \
+        ORDER BY a, ab")
+
+let test_topk_per_group () =
+  (* the rank-filter idiom through a FROM subquery *)
+  ignore
+    (check
+       "SELECT t.a, t.b, t.r FROM (SELECT a, b, rank() OVER (PARTITION BY a \
+        ORDER BY b DESC) AS r FROM t1 WHERE a < 6) AS t WHERE t.r <= 2 ORDER \
+        BY t.a, t.r, t.b")
+
+let test_window_plan_properties () =
+  (* the physical window requires co-location on the partition keys *)
+  let report, _ =
+    check
+      "SELECT a, count(*) OVER (PARTITION BY a ORDER BY b) AS c FROM t1 \
+       WHERE a < 8 ORDER BY a, c"
+  in
+  let has_window =
+    Plan_ops.contains
+      (fun n -> match n.Expr.pop with Expr.P_window _ -> true | _ -> false)
+      report.Orca.Optimizer.plan
+  in
+  Alcotest.(check bool) "window operator in plan" true has_window
+
+let test_window_dxl_roundtrip () =
+  let report, _ =
+    check
+      "SELECT a, rank() OVER (PARTITION BY a ORDER BY b) AS r FROM t1 WHERE \
+       a < 3 ORDER BY a, r"
+  in
+  let plan = report.Orca.Optimizer.plan in
+  let plan' = Dxl.Dxl_plan.of_string (Dxl.Dxl_plan.to_string plan) in
+  let s = Lazy.force Fixtures.small in
+  let rows, _ = Exec.Executor.run s.Fixtures.cluster plan in
+  let rows', _ = Exec.Executor.run s.Fixtures.cluster plan' in
+  Alcotest.(check bool) "round-tripped window plan" true
+    (Fixtures.rows_equal rows rows')
+
+let test_window_feature_detection () =
+  let fs =
+    Tpcds.Features.of_sql
+      "SELECT rank() OVER (PARTITION BY a ORDER BY b) AS r FROM t1 ORDER BY r LIMIT 1"
+  in
+  Alcotest.(check bool) "detected" true (List.mem Tpcds.Features.F_window fs)
+
+let test_window_rejected_in_where () =
+  Alcotest.(check bool) "window in WHERE rejected" true
+    (try
+       ignore
+         (Sqlfront.Binder.bind_sql (Fixtures.small_accessor ())
+            "SELECT a FROM t1 WHERE rank() OVER (ORDER BY a) < 3");
+       false
+     with Gpos.Gpos_error.Error (Gpos.Gpos_error.Bind_error, _) -> true)
+
+let test_explicit_default_frame () =
+  (* real TPC-DS q51-style explicit frame: identical to the implicit
+     default; non-default frames are rejected, not reinterpreted *)
+  let implicit =
+    "SELECT a, b, sum(b) OVER (PARTITION BY a ORDER BY b) AS r FROM t1 \
+     WHERE a < 4 ORDER BY a, b, r"
+  in
+  let explicit =
+    "SELECT a, b, sum(b) OVER (PARTITION BY a ORDER BY b ROWS BETWEEN \
+     UNBOUNDED PRECEDING AND CURRENT ROW) AS r FROM t1 WHERE a < 4 ORDER \
+     BY a, b, r"
+  in
+  let _, _, rows_i, _ = Fixtures.run_orca_sql implicit in
+  let _, _, rows_e, _ = Fixtures.run_orca_sql explicit in
+  Alcotest.(check bool) "explicit default frame = implicit" true
+    (Fixtures.rows_equal rows_i rows_e);
+  (* RANGE spelling too *)
+  let range_sql =
+    "SELECT a, sum(b) OVER (ORDER BY a RANGE BETWEEN UNBOUNDED PRECEDING \
+     AND CURRENT ROW) AS r FROM t1 WHERE a < 3 ORDER BY a, r"
+  in
+  let _, _, rows_r, _ = Fixtures.run_orca_sql range_sql in
+  Alcotest.(check bool) "range frame matches naive" true
+    (Fixtures.rows_equal rows_r (Fixtures.run_naive_sql range_sql));
+  (* a non-default frame is rejected with a clear error *)
+  Alcotest.(check bool) "non-default frame rejected" true
+    (try
+       ignore
+         (Fixtures.run_orca_sql
+            "SELECT a, sum(b) OVER (ORDER BY a ROWS BETWEEN 1 PRECEDING AND \
+             CURRENT ROW) AS r FROM t1");
+       false
+     with Gpos.Gpos_error.Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "row_number" `Quick test_row_number;
+    Alcotest.test_case "rank with ties" `Quick test_rank_with_ties;
+    Alcotest.test_case "dense_rank" `Quick test_dense_rank;
+    Alcotest.test_case "running sum" `Quick test_running_sum_monotone;
+    Alcotest.test_case "whole-partition agg" `Quick test_whole_partition_agg;
+    Alcotest.test_case "avg decomposition" `Quick test_avg_over_decomposition;
+    Alcotest.test_case "top-k per group" `Quick test_topk_per_group;
+    Alcotest.test_case "plan properties" `Quick test_window_plan_properties;
+    Alcotest.test_case "dxl roundtrip" `Quick test_window_dxl_roundtrip;
+    Alcotest.test_case "feature detection" `Quick test_window_feature_detection;
+    Alcotest.test_case "rejected in WHERE" `Quick test_window_rejected_in_where;
+    Alcotest.test_case "explicit default frame" `Quick test_explicit_default_frame;
+  ]

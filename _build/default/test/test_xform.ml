@@ -1,0 +1,343 @@
+open Ir
+module Memo = Memolib.Memo
+module Mexpr = Memolib.Mexpr
+
+(* Tests for transformation rules, normalization, partition pruning and
+   subquery decorrelation. *)
+
+let factory () = Colref.Factory.create ~start:1000 ()
+
+let rctx () = { Xform.Rule.factory = factory () }
+
+let mk_join_memo () =
+  let f = Colref.Factory.create () in
+  let tbl name oid =
+    let a = Colref.Factory.fresh f ~name:(name ^ "a") ~ty:Dtype.Int in
+    Table_desc.make ~mdid:(Printf.sprintf "0.%d.1.1" oid) ~name [ a ]
+  in
+  let t1 = tbl "t1" 1 and t2 = tbl "t2" 2 and t3 = tbl "t3" 3 in
+  let c t = List.hd t.Table_desc.cols in
+  let memo = Memo.create () in
+  let cond12 = Expr.Cmp (Expr.Eq, Expr.Col (c t1), Expr.Col (c t2)) in
+  let cond23 = Expr.Cmp (Expr.Eq, Expr.Col (c t2), Expr.Col (c t3)) in
+  let tree =
+    Mexpr.logical
+      (Expr.L_join (Expr.Inner, cond23))
+      [
+        Mexpr.logical
+          (Expr.L_join (Expr.Inner, cond12))
+          [ Mexpr.logical (Expr.L_get t1) []; Mexpr.logical (Expr.L_get t2) [] ];
+        Mexpr.logical (Expr.L_get t3) [];
+      ]
+  in
+  let root = Memo.insert memo tree in
+  Memo.set_root memo (Memo.find memo root.Memo.ge_group);
+  (memo, root)
+
+let test_join_commutativity () =
+  let memo, root = mk_join_memo () in
+  let results =
+    Xform.Rules_explore.join_commutativity.Xform.Rule.apply (rctx ()) memo root
+  in
+  Alcotest.(check int) "one alternative" 1 (List.length results);
+  match (List.hd results).Mexpr.children with
+  | [ Mexpr.Group g1; Mexpr.Group g2 ] ->
+      Alcotest.(check bool) "children swapped" true
+        (g1 <> g2
+        && root.Memo.ge_children = [ g2; g1 ])
+  | _ -> Alcotest.fail "expected two group children"
+
+let test_join_associativity () =
+  let memo, root = mk_join_memo () in
+  let results =
+    Xform.Rules_explore.join_associativity.Xform.Rule.apply (rctx ()) memo root
+  in
+  Alcotest.(check int) "one rotation" 1 (List.length results);
+  (* the rotated tree re-partitions conjuncts: inner join gets t2-t3 cond *)
+  match List.hd results with
+  | { Mexpr.op = Expr.Logical (Expr.L_join (Expr.Inner, top_cond)); children = [ _; Mexpr.Node inner ] } -> (
+      Alcotest.(check bool) "top references t1" true
+        (not (Colref.Set.is_empty (Scalar_ops.free_cols top_cond)));
+      match inner.Mexpr.op with
+      | Expr.Logical (Expr.L_join (Expr.Inner, inner_cond)) ->
+          Alcotest.(check int) "inner got one conjunct" 1
+            (List.length (Scalar_ops.conjuncts inner_cond))
+      | _ -> Alcotest.fail "expected inner join")
+  | _ -> Alcotest.fail "unexpected rotation shape"
+
+let test_exhaustive_join_orders () =
+  (* full exploration of a 3-way join enumerates all 12 ordered join trees *)
+  let memo, _ = mk_join_memo () in
+  let engine =
+    Search.Engine.create ~ruleset:Xform.Ruleset.default
+      ~model:Cost.Cost_model.default ~factory:(factory ())
+      ~base:(fun _ -> Stats.Relstats.set_rows Stats.Relstats.empty 100.0)
+      memo
+  in
+  Search.Engine.explore engine;
+  (* count logical join expressions across groups *)
+  let joins =
+    List.fold_left
+      (fun acc gid ->
+        acc
+        + List.length
+            (List.filter
+               (fun (_, op) ->
+                 match op with Expr.L_join _ -> true | _ -> false)
+               (Memo.logical_exprs (Memo.group memo gid))))
+      0 (Memo.group_ids memo)
+  in
+  (* 3 relations: 3 two-way groups x2 orders + root group with A(BC),(BC)A,
+     B(AC)... at least 8 join gexprs in a connected exploration *)
+  Alcotest.(check bool)
+    (Printf.sprintf "join alternatives explored (%d)" joins)
+    true (joins >= 8)
+
+let test_split_gb_agg () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let out = Colref.Factory.fresh f ~name:"s" ~ty:Dtype.Int in
+  let td = Table_desc.make ~mdid:"0.9.1.1" ~name:"t" [ a ] in
+  let memo = Memo.create () in
+  let agg =
+    { Expr.agg_kind = Expr.Sum; agg_arg = Some (Expr.Col a); agg_distinct = false; agg_out = out }
+  in
+  let tree =
+    Mexpr.logical
+      (Expr.L_gb_agg (Expr.One_phase, [ a ], [ agg ]))
+      [ Mexpr.logical (Expr.L_get td) [] ]
+  in
+  let root = Memo.insert memo tree in
+  let results =
+    Xform.Rules_explore.split_gb_agg.Xform.Rule.apply
+      { Xform.Rule.factory = f } memo root
+  in
+  Alcotest.(check int) "split produced" 1 (List.length results);
+  match List.hd results with
+  | { Mexpr.op = Expr.Logical (Expr.L_gb_agg (Expr.Final, _, finals)); children = [ Mexpr.Node partial ] } -> (
+      (* final sums the partial column, keeps the original output id *)
+      (match finals with
+      | [ fagg ] ->
+          Alcotest.(check bool) "final kind is sum" true
+            (fagg.Expr.agg_kind = Expr.Sum);
+          Alcotest.(check int) "final output preserved" (Colref.id out)
+            (Colref.id fagg.Expr.agg_out)
+      | _ -> Alcotest.fail "one final agg expected");
+      match partial.Mexpr.op with
+      | Expr.Logical (Expr.L_gb_agg (Expr.Partial, _, _)) -> ()
+      | _ -> Alcotest.fail "expected partial stage")
+  | _ -> Alcotest.fail "unexpected split shape"
+
+let test_split_skips_distinct () =
+  let f = Colref.Factory.create () in
+  let a = Colref.Factory.fresh f ~name:"a" ~ty:Dtype.Int in
+  let out = Colref.Factory.fresh f ~name:"d" ~ty:Dtype.Int in
+  let td = Table_desc.make ~mdid:"0.9.1.1" ~name:"t" [ a ] in
+  let memo = Memo.create () in
+  let agg =
+    { Expr.agg_kind = Expr.Count; agg_arg = Some (Expr.Col a); agg_distinct = true; agg_out = out }
+  in
+  let tree =
+    Mexpr.logical
+      (Expr.L_gb_agg (Expr.One_phase, [], [ agg ]))
+      [ Mexpr.logical (Expr.L_get td) [] ]
+  in
+  let root = Memo.insert memo tree in
+  Alcotest.(check int) "distinct not split" 0
+    (List.length
+       (Xform.Rules_explore.split_gb_agg.Xform.Rule.apply
+          { Xform.Rule.factory = f } memo root))
+
+let test_partition_prune () =
+  let f = Colref.Factory.create () in
+  let d = Colref.Factory.fresh f ~name:"d" ~ty:Dtype.Int in
+  let parts =
+    List.init 5 (fun y ->
+        { Table_desc.part_id = y; lo = Datum.Int (y * 100); hi = Datum.Int ((y + 1) * 100) })
+  in
+  let td =
+    Table_desc.make ~part_col:d ~parts ~mdid:"0.8.1.1" ~name:"fact" [ d ]
+  in
+  let check name pred expected =
+    Alcotest.(check (option (list int))) name expected (Xform.Partition.prune td pred)
+  in
+  check "eq hits one"
+    (Expr.Cmp (Expr.Eq, Expr.Col d, Expr.Const (Datum.Int 250)))
+    (Some [ 2 ]);
+  check "range hits prefix"
+    (Expr.Cmp (Expr.Lt, Expr.Col d, Expr.Const (Datum.Int 150)))
+    (Some [ 0; 1 ]);
+  check "between intersects"
+    (Expr.And
+       [
+         Expr.Cmp (Expr.Ge, Expr.Col d, Expr.Const (Datum.Int 150));
+         Expr.Cmp (Expr.Le, Expr.Col d, Expr.Const (Datum.Int 320));
+       ])
+    (Some [ 1; 2; 3 ]);
+  check "unrelated predicate: no pruning"
+    (Expr.Cmp (Expr.Eq, Expr.Const (Datum.Int 1), Expr.Const (Datum.Int 1)))
+    None;
+  check "in-list"
+    (Expr.In_list (Expr.Col d, [ Datum.Int 10; Datum.Int 410 ]))
+    (Some [ 0; 4 ])
+
+let test_normalize_pushdown () =
+  let accessor = Fixtures.small_accessor () in
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b < 5 AND t2.a > 7"
+  in
+  let tree = Xform.Normalize.run q.Dxl.Dxl_query.tree in
+  (* after normalization the single-table predicates sit below the join *)
+  let join_conds = ref [] in
+  let selects_below_join = ref 0 in
+  let rec walk ~under_join (t : Ltree.t) =
+    (match t.Ltree.op with
+    | Expr.L_join (_, cond) -> join_conds := cond :: !join_conds
+    | Expr.L_select _ -> if under_join then incr selects_below_join
+    | _ -> ());
+    let under_join =
+      under_join || match t.Ltree.op with Expr.L_join _ -> true | _ -> false
+    in
+    List.iter (walk ~under_join) t.Ltree.children
+  in
+  walk ~under_join:false tree;
+  Alcotest.(check int) "two pushed selects" 2 !selects_below_join;
+  match !join_conds with
+  | [ cond ] ->
+      Alcotest.(check int) "join keeps only the key" 1
+        (List.length (Scalar_ops.conjuncts cond))
+  | _ -> Alcotest.fail "expected one join"
+
+let test_decorrelate_exists () =
+  let accessor = Fixtures.small_accessor () in
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a AND t2.a > 5)"
+  in
+  let f = Catalog.Accessor.factory accessor in
+  let r = Xform.Decorrelate.run f q.Dxl.Dxl_query.tree in
+  Alcotest.(check int) "rewritten" 1 r.Xform.Decorrelate.rewritten;
+  Alcotest.(check int) "none left" 0 r.Xform.Decorrelate.remaining;
+  let has_semi =
+    Ltree.fold
+      (fun acc n ->
+        acc
+        || match n.Ltree.op with Expr.L_join (Expr.Semi, _) -> true | _ -> false)
+      false r.Xform.Decorrelate.tree
+  in
+  Alcotest.(check bool) "semi join" true has_semi
+
+let test_decorrelate_not_exists () =
+  let accessor = Fixtures.small_accessor () in
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT a FROM t1 WHERE NOT EXISTS (SELECT 1 FROM t2 WHERE t2.b = t1.a)"
+  in
+  let f = Catalog.Accessor.factory accessor in
+  let r = Xform.Decorrelate.run f q.Dxl.Dxl_query.tree in
+  let has_anti =
+    Ltree.fold
+      (fun acc n ->
+        acc
+        || match n.Ltree.op with
+           | Expr.L_join (Expr.Anti_semi, _) -> true
+           | _ -> false)
+      false r.Xform.Decorrelate.tree
+  in
+  Alcotest.(check bool) "anti-semi join" true has_anti
+
+let test_decorrelate_scalar_agg () =
+  let accessor = Fixtures.small_accessor () in
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT a FROM t1 WHERE t1.b > (SELECT avg(t2.a) FROM t2 WHERE t2.b = t1.a)"
+  in
+  let f = Catalog.Accessor.factory accessor in
+  let r = Xform.Decorrelate.run f q.Dxl.Dxl_query.tree in
+  Alcotest.(check int) "none left" 0 r.Xform.Decorrelate.remaining;
+  (* Kim's method: left outer join against a grouped aggregate *)
+  let has_left_over_agg =
+    Ltree.fold
+      (fun acc n ->
+        acc
+        ||
+        match (n.Ltree.op, n.Ltree.children) with
+        | Expr.L_join (Expr.Left_outer, _), [ _; inner ] ->
+            Ltree.fold
+              (fun a m ->
+                a
+                || match m.Ltree.op with
+                   | Expr.L_gb_agg (_, _ :: _, _) -> true
+                   | _ -> false)
+              false inner
+        | _ -> false)
+      false r.Xform.Decorrelate.tree
+  in
+  Alcotest.(check bool) "grouped agg under left join" true has_left_over_agg
+
+let test_decorrelate_count_coalesce () =
+  let accessor = Fixtures.small_accessor () in
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT a FROM t1 WHERE (SELECT count(*) FROM t2 WHERE t2.b = t1.a) = 0"
+  in
+  let f = Catalog.Accessor.factory accessor in
+  let r = Xform.Decorrelate.run f q.Dxl.Dxl_query.tree in
+  Alcotest.(check int) "decorrelated" 0 r.Xform.Decorrelate.remaining;
+  let has_coalesce =
+    Ltree.fold
+      (fun acc n ->
+        acc
+        ||
+        match n.Ltree.op with
+        | Expr.L_project projs ->
+            List.exists
+              (fun p ->
+                match p.Expr.proj_expr with
+                | Expr.Coalesce _ -> true
+                | _ -> false)
+              projs
+        | _ -> false)
+      false r.Xform.Decorrelate.tree
+  in
+  Alcotest.(check bool) "count wrapped in coalesce" true has_coalesce
+
+let test_decorrelate_bails_on_nonequi () =
+  let accessor = Fixtures.small_accessor () in
+  (* non-equality correlation under an aggregate cannot be pulled up *)
+  let q =
+    Sqlfront.Binder.bind_sql accessor
+      "SELECT a FROM t1 WHERE t1.b > (SELECT avg(t2.a) FROM t2 WHERE t2.b < t1.a)"
+  in
+  let f = Catalog.Accessor.factory accessor in
+  let r = Xform.Decorrelate.run f q.Dxl.Dxl_query.tree in
+  Alcotest.(check int) "left in place" 1 r.Xform.Decorrelate.remaining
+
+let test_ruleset_config () =
+  let rs = Xform.Ruleset.default in
+  let without = Xform.Ruleset.without rs [ "JoinCommutativity" ] in
+  Alcotest.(check bool) "rule removed" true
+    (not (List.mem "JoinCommutativity" (Xform.Ruleset.names without)));
+  Alcotest.(check int) "one fewer" (List.length (Xform.Ruleset.names rs) - 1)
+    (List.length (Xform.Ruleset.names without));
+  Alcotest.(check bool) "exploration/implementation split" true
+    (List.length (Xform.Ruleset.exploration rs) > 0
+    && List.length (Xform.Ruleset.implementation rs) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "join commutativity" `Quick test_join_commutativity;
+    Alcotest.test_case "join associativity" `Quick test_join_associativity;
+    Alcotest.test_case "exhaustive join orders" `Quick test_exhaustive_join_orders;
+    Alcotest.test_case "split gb agg" `Quick test_split_gb_agg;
+    Alcotest.test_case "split skips distinct" `Quick test_split_skips_distinct;
+    Alcotest.test_case "partition pruning" `Quick test_partition_prune;
+    Alcotest.test_case "normalize pushdown" `Quick test_normalize_pushdown;
+    Alcotest.test_case "decorrelate EXISTS" `Quick test_decorrelate_exists;
+    Alcotest.test_case "decorrelate NOT EXISTS" `Quick test_decorrelate_not_exists;
+    Alcotest.test_case "decorrelate scalar agg" `Quick test_decorrelate_scalar_agg;
+    Alcotest.test_case "decorrelate count->coalesce" `Quick test_decorrelate_count_coalesce;
+    Alcotest.test_case "decorrelate bails" `Quick test_decorrelate_bails_on_nonequi;
+    Alcotest.test_case "ruleset config" `Quick test_ruleset_config;
+  ]

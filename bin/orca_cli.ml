@@ -114,6 +114,66 @@ let dxl_cmd env sql =
   print_endline "\n<!-- DXL plan message -->";
   print_string (Dxl.Dxl_plan.to_string report.Orca.Optimizer.plan)
 
+(* Optimize with the static analyzers enabled and report their findings. *)
+let lint_optimize env sql =
+  let accessor =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.with_verify
+      (Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs)
+  in
+  Orca.Optimizer.optimize ~config accessor query
+
+let lint_report label (report : Orca.Optimizer.report) =
+  let diags = report.Orca.Optimizer.diagnostics in
+  if diags = [] then
+    Printf.printf "%-6s clean  (%d plan nodes, cost %.2f)\n" label
+      (Plan_ops.node_count report.Orca.Optimizer.plan)
+      report.Orca.Optimizer.plan.Expr.pcost
+  else begin
+    Printf.printf "%-6s %d error(s), %d warning(s)\n" label
+      (Verify.Analyzer.error_count diags)
+      (Verify.Diagnostic.count Verify.Diagnostic.Warning diags);
+    print_string (Verify.Diagnostic.report_to_string diags)
+  end;
+  Verify.Analyzer.error_count diags
+
+let lint_cmd suite verbose env sql =
+  match (suite, sql) with
+  | false, None ->
+      prerr_endline "lint: provide a SQL query, or pass --suite";
+      exit 2
+  | false, Some sql ->
+      let report = lint_optimize env sql in
+      let nerr = lint_report "query" report in
+      if verbose then
+        print_string
+          (Plan_ops.to_string ~show_props:true report.Orca.Optimizer.plan);
+      if nerr > 0 then exit 1
+  | true, _ ->
+      let errors = ref 0 and warnings = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun (q : Tpcds.Queries.def) ->
+          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+          match lint_optimize env q.Tpcds.Queries.sql with
+          | report ->
+              errors := !errors + lint_report label report;
+              warnings :=
+                !warnings
+                + Verify.Diagnostic.count Verify.Diagnostic.Warning
+                    report.Orca.Optimizer.diagnostics
+          | exception Orca.Optimizer.Unsupported_query msg ->
+              incr skipped;
+              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
+        (Lazy.force Tpcds.Queries.all);
+      Printf.printf
+        "\nlint: %d error(s), %d warning(s), %d unsupported across %d queries\n"
+        !errors !warnings !skipped
+        (List.length (Lazy.force Tpcds.Queries.all));
+      if !errors > 0 then exit 1
+
 let queries_cmd () =
   List.iter
     (fun (q : Tpcds.Queries.def) ->
@@ -161,6 +221,30 @@ let () =
            const (fun dot sf segs sql -> memo_cmd dot (make_env sf segs) sql)
            $ dot_arg $ sf_arg $ segs_arg $ sql_arg));
       cmd "dxl" "Print the DXL query and plan messages." dxl_cmd;
+      (let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:"Lint every bundled TPC-DS query instead of one SQL string.")
+       in
+       let verbose_arg =
+         Arg.(
+           value & flag
+           & info [ "verbose"; "v" ]
+               ~doc:"Also print the plan with derived properties per node.")
+       in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "lint"
+            ~doc:
+              "Run the static plan/Memo/DXL analyzers; exit nonzero on \
+               error-severity diagnostics.")
+         Term.(
+           const (fun suite verbose sf segs sql ->
+               lint_cmd suite verbose (make_env sf segs) sql)
+           $ suite_arg $ verbose_arg $ sf_arg $ segs_arg $ sql_opt_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());

@@ -23,6 +23,8 @@ type report = {
   memo : Memolib.Memo.t;  (* retained for TAQO sampling and inspection *)
   root_req : Props.req;
   decorrelated : int;
+  diagnostics : Verify.Diagnostic.t list;
+      (* static-analyzer findings ([] unless config.verify) *)
 }
 
 let root_req (q : Dxl.Dxl_query.t) : Props.req =
@@ -136,6 +138,11 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
     stages_loop None config.Orca_config.stages
   in
   let plan = project_output plan query.Dxl.Dxl_query.output in
+  let diagnostics =
+    if config.Orca_config.verify then
+      Verify.Analyzer.lint_all ~req ~memo plan
+    else []
+  in
   let jobs_created, jobs_run, goal_hits = Search.Engine.scheduler_stats engine in
   let counters = Search.Engine.counters engine in
   let heap_mb =
@@ -157,6 +164,7 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
     memo;
     root_req = req;
     decorrelated;
+    diagnostics;
   }
 
 (* Convenience: optimize and serialize the result back to DXL, the full

@@ -23,6 +23,9 @@ type report = {
   memo : Memolib.Memo.t;   (** retained for TAQO sampling and inspection *)
   root_req : Props.req;    (** the root optimization request *)
   decorrelated : int;      (** Apply operators unnested during preprocessing *)
+  diagnostics : Verify.Diagnostic.t list;
+      (** static-analyzer findings over the result (empty unless
+          {!Orca_config.t.verify} is set) *)
 }
 
 exception Unsupported_query of string

@@ -11,6 +11,7 @@ type t = {
   normalize : bool;
   prune_columns : bool;      (* narrow join inputs to needed columns *)
   trace : bool;
+  verify : bool;             (* run the static analyzers on the result *)
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     normalize = true;
     prune_columns = true;
     trace = false;
+    verify = false;
   }
 
 let with_segments t segments =
@@ -46,6 +48,8 @@ let without_rules t names =
           })
         t.stages;
   }
+
+let with_verify t = { t with verify = true }
 
 let without_decorrelation t = { t with decorrelate = false }
 

@@ -12,6 +12,9 @@ type t = {
   normalize : bool;
   prune_columns : bool; (** narrow join inputs to the needed columns *)
   trace : bool;
+  verify : bool;
+      (** run the {!Verify} static analyzers (plan, Memo, DXL round trip)
+          on every optimization result *)
 }
 
 val default : t
@@ -24,6 +27,10 @@ val with_stages : t -> Xform.Ruleset.stage list -> t
 
 val without_rules : t -> string list -> t
 (** Deactivate rules by name in every stage (the ablation benches). *)
+
+val with_verify : t -> t
+(** Enable the post-optimization static analyzers; their findings land in
+    {!Optimizer.report.diagnostics}. *)
 
 val without_decorrelation : t -> t
 (** Correlated subqueries become unsupported, as in optimizers lacking the

@@ -29,8 +29,14 @@ let count_motions p =
     (fun n node -> match node.pop with P_motion _ -> n + 1 | _ -> n)
     0 p
 
-(* EXPLAIN-style rendering. *)
-let to_string ?(show_cost = true) (p : plan) =
+(* Re-derive the properties a subtree delivers, bottom-up. *)
+let rec derive_props (p : plan) : Props.derived =
+  Physical_ops.derive p.pop (List.map derive_props p.pchildren)
+
+(* EXPLAIN-style rendering. [show_props] re-derives and prints the
+   distribution and sort order each node delivers, so EXPLAIN output and the
+   lint diagnostics of [Verify.Plan_check] share one renderer. *)
+let to_string ?(show_cost = true) ?(show_props = false) (p : plan) =
   let buf = Buffer.create 256 in
   let rec go indent node =
     Buffer.add_string buf (String.make (indent * 2) ' ');
@@ -39,6 +45,14 @@ let to_string ?(show_cost = true) (p : plan) =
     if show_cost then
       Buffer.add_string buf
         (Printf.sprintf "  (rows=%.0f cost=%.2f)" node.pest_rows node.pcost);
+    let derived =
+      if show_props then
+        try Some (derive_props node) with _ -> None
+      else None
+    in
+    (match derived with
+    | Some d -> Buffer.add_string buf ("  " ^ Props.derived_to_string d)
+    | None -> ());
     Buffer.add_char buf '\n';
     List.iter (go (indent + 1)) node.pchildren
   in

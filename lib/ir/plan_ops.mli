@@ -19,8 +19,13 @@ val node_count : plan -> int
 val contains : (plan -> bool) -> plan -> bool
 val count_motions : plan -> int
 
-val to_string : ?show_cost:bool -> plan -> string
-(** EXPLAIN-style indented rendering. *)
+val derive_props : plan -> Props.derived
+(** Re-derive the properties a subtree delivers, bottom-up
+    (via {!Physical_ops.derive}). *)
+
+val to_string : ?show_cost:bool -> ?show_props:bool -> plan -> string
+(** EXPLAIN-style indented rendering. [show_props] additionally prints the
+    derived distribution and sort order each node delivers. *)
 
 val validate : plan -> int
 (** Structural validation: arities, schema consistency, column visibility

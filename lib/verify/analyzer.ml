@@ -1,0 +1,20 @@
+(* The analyzer facade: run the three static-analysis passes — plan semantics
+   (Plan_check), Memo winner-linkage consistency (Memo_check) and the DXL
+   round trip (Dxl_check) — over an optimization result and return the
+   combined, severity-sorted findings. *)
+
+open Ir
+
+let lint_plan = Plan_check.check
+let lint_memo = Memo_check.check
+let lint_roundtrip = Dxl_check.check
+
+let lint_all ?req ?memo (plan : Expr.plan) : Diagnostic.t list =
+  let plan_diags = Plan_check.check ?req plan in
+  let memo_diags = match memo with None -> [] | Some m -> Memo_check.check m in
+  let dxl_diags = Dxl_check.check plan in
+  Diagnostic.sort (plan_diags @ memo_diags @ dxl_diags)
+
+let error_count ds = Diagnostic.count Diagnostic.Error ds
+
+let clean ds = error_count ds = 0

@@ -1,0 +1,18 @@
+(** Facade over the three static-analysis passes: {!Plan_check} (semantic
+    plan analysis), {!Memo_check} (winner-linkage consistency) and
+    {!Dxl_check} (DXL round trip). *)
+
+open Ir
+
+val lint_plan : ?req:Props.req -> Expr.plan -> Diagnostic.t list
+val lint_memo : Memolib.Memo.t -> Diagnostic.t list
+val lint_roundtrip : Expr.plan -> Diagnostic.t list
+
+val lint_all :
+  ?req:Props.req -> ?memo:Memolib.Memo.t -> Expr.plan -> Diagnostic.t list
+(** All passes over one optimization result, severity-sorted. *)
+
+val error_count : Diagnostic.t list -> int
+
+val clean : Diagnostic.t list -> bool
+(** No error-severity findings. *)

@@ -1,0 +1,69 @@
+(* Lint-style diagnostics for the static analyzers: every finding carries a
+   stable rule id, a severity, and the path of the offending node, and the
+   passes accumulate findings instead of raising on the first one. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;     (* stable rule id, e.g. "plan/missing-enforcer" *)
+  severity : severity;
+  path : string;     (* offending node, e.g. "root.0.1" or "group 12" *)
+  node : string;     (* operator / object rendering at the path *)
+  message : string;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let make ~rule ~severity ~path ~node fmt =
+  Printf.ksprintf
+    (fun message -> { rule; severity; path; node; message })
+    fmt
+
+(* Plan node paths are child-index chains from the root. *)
+let plan_path (rev_idx : int list) : string =
+  String.concat "." ("root" :: List.rev_map string_of_int rev_idx)
+
+let to_string d =
+  Printf.sprintf "%s[%s] at %s (%s): %s"
+    (severity_to_string d.severity)
+    d.rule d.path d.node d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> compare (a.path, a.rule) (b.path, b.rule)
+      | c -> c)
+    ds
+
+let report_to_string ds =
+  match ds with
+  | [] -> "clean: no diagnostics\n"
+  | ds ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun d ->
+          Buffer.add_string buf (to_string d);
+          Buffer.add_char buf '\n')
+        (sort ds);
+      Buffer.add_string buf
+        (Printf.sprintf "%d error(s), %d warning(s), %d info\n"
+           (count Error ds) (count Warning ds) (count Info ds));
+      Buffer.contents buf
+
+(* Accumulator threaded through the analysis passes. *)
+type sink = t list ref
+
+let sink () : sink = ref []
+let emit (s : sink) d = s := d :: !s
+let drain (s : sink) = sort (List.rev !s)

@@ -1,0 +1,46 @@
+(** Lint-style diagnostics shared by the static-analysis passes
+    ({!Plan_check}, {!Memo_check}, {!Dxl_check}): rule id + severity + node
+    path, accumulated rather than raised. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;     (** stable rule id, e.g. ["plan/missing-enforcer"] *)
+  severity : severity;
+  path : string;     (** offending node, e.g. ["root.0.1"] or ["group 12"] *)
+  node : string;     (** operator / object rendering at the path *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val make :
+  rule:string ->
+  severity:severity ->
+  path:string ->
+  node:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val plan_path : int list -> string
+(** Render a reversed child-index chain as a node path ("root.0.1"). *)
+
+val to_string : t -> string
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val count : severity -> t list -> int
+
+val sort : t list -> t list
+(** Errors first, then warnings, then info; stable within a severity. *)
+
+val report_to_string : t list -> string
+
+(** Accumulator threaded through the passes. *)
+type sink
+
+val sink : unit -> sink
+val emit : sink -> t -> unit
+
+val drain : sink -> t list
+(** Findings in severity-then-path order. *)

@@ -1,0 +1,17 @@
+(** DXL round-trip analyzer: serializes a plan to its DXL message, re-parses
+    it, and diffs the result against the original (operators, schemas, child
+    topology exactly; estimates within the printed precision). Plans carrying
+    SubPlan scalars cannot cross DXL and are reported as skipped (info).
+
+    Rule ids: [dxl/round-trip-failed], [dxl/round-trip-diff],
+    [dxl/subplan-not-serializable]. *)
+
+open Ir
+
+val check : Expr.plan -> Diagnostic.t list
+
+(**/**)
+
+val rule_failed : string
+val rule_diff : string
+val rule_skipped : string

@@ -1,0 +1,33 @@
+(** Semantic plan analyzer (paper §4.1, Fig. 7): re-derives the properties
+    every subtree delivers bottom-up and checks, at each node, that required
+    distribution/order are satisfied, that Motions are neither missing nor
+    redundant, that a singleton-requiring root is actually gathered, and that
+    scalar payloads type-check with all columns resolved. Lint-style: every
+    violation becomes a {!Diagnostic.t}; nothing raises.
+
+    Rule ids: [plan/missing-enforcer], [plan/redundant-motion],
+    [plan/motion-on-motion], [plan/root-requirement], [plan/arity],
+    [plan/schema-mismatch], [plan/unbound-column], [plan/type-mismatch],
+    [plan/suspicious-estimate]. *)
+
+open Ir
+
+val check : ?req:Props.req -> Expr.plan -> Diagnostic.t list
+(** Analyze an extracted physical plan. [req] is the root requirement the
+    plan must deliver (the query's requested distribution and order;
+    defaults to no requirement). *)
+
+val derive_plan : Expr.plan -> Props.derived
+(** The properties the whole plan delivers (diagnostics discarded). *)
+
+(**/**)
+
+val rule_missing : string
+val rule_redundant : string
+val rule_motion_on_motion : string
+val rule_root : string
+val rule_arity : string
+val rule_schema : string
+val rule_unbound : string
+val rule_type : string
+val rule_estimate : string

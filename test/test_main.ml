@@ -22,5 +22,6 @@ let () =
       ("tpcds", Test_tpcds.suite);
       ("window", Test_window.suite);
       ("integration", Test_integration.suite);
+      ("verify", Test_verify.suite);
       ("properties", Test_properties.suite);
     ]

@@ -339,6 +339,70 @@ let prop_enforcement_sound =
         chains
       && ((not (Props.satisfies delivered required)) || List.mem [] chains))
 
+(* deterministic enforcement edge cases (paper Fig. 7): every produced chain
+   must reach the requirement, and the characteristic chains must be among
+   the alternatives *)
+let checked_chains delivered required =
+  let chains = Props.enforcement_alternatives ~delivered ~required in
+  Alcotest.(check bool)
+    (Printf.sprintf "some chain enforces %s" (Props.req_to_string required))
+    true (chains <> []);
+  List.iter
+    (fun chain ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chain [%s] reaches %s"
+           (String.concat "; " (List.map Props.enforcer_to_string chain))
+           (Props.req_to_string required))
+        true
+        (Props.satisfies (Props.apply_enforcers delivered chain) required))
+    chains;
+  chains
+
+let test_enforce_replicated_to_hashed () =
+  let x = Fixtures.col 41 "x" in
+  let delivered = { Props.ddist = Props.D_replicated; dorder = [] } in
+  let required = Props.req_dist (Props.Req_hashed [ x ]) in
+  let chains = checked_chains delivered required in
+  Alcotest.(check bool)
+    "a Redistribute chain exists" true
+    (List.exists
+       (List.exists (function
+         | Props.E_motion (Expr.Redistribute _) -> true
+         | _ -> false))
+       chains)
+
+let test_enforce_singleton_to_non_singleton () =
+  let delivered = { Props.ddist = Props.D_singleton; dorder = [] } in
+  let required = Props.req_dist Props.Req_non_singleton in
+  ignore (checked_chains delivered required)
+
+(* A parallel sorted result gathered to the master: both Fig. 7 plans must be
+   offered — sort below a GatherMerge, and Gather followed by a Sort — since
+   only the cost model can rank them. *)
+let test_enforce_sort_gather_variants () =
+  let x = Fixtures.col 42 "x" in
+  let spec = [ Sortspec.asc x ] in
+  let delivered = { Props.ddist = Props.D_random; dorder = [] } in
+  let required = { Props.rdist = Props.Req_singleton; rorder = spec } in
+  let chains = checked_chains delivered required in
+  let sort_then_merge chain =
+    (* applied bottom-up: Sort first, then a merging gather above it *)
+    match chain with
+    | [ Props.E_sort _; Props.E_motion (Expr.Gather_merge _) ] -> true
+    | _ -> false
+  in
+  let gather_then_sort chain =
+    match chain with
+    | [ Props.E_motion Expr.Gather; Props.E_sort _ ] -> true
+    | _ -> false
+  in
+  Alcotest.(check bool)
+    "sort-then-gather-merge offered" true
+    (List.exists sort_then_merge chains);
+  Alcotest.(check bool)
+    "gather-then-sort offered" true
+    (List.exists gather_then_sort chains)
+
 (* histograms built from data predict selectivity consistently with actually
    filtering the data *)
 let prop_histogram_matches_data =
@@ -483,6 +547,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_datum_total_order;
     QCheck_alcotest.to_alcotest prop_datum_serialize_roundtrip;
     QCheck_alcotest.to_alcotest prop_enforcement_sound;
+    Alcotest.test_case "enforce replicated -> hashed" `Quick
+      test_enforce_replicated_to_hashed;
+    Alcotest.test_case "enforce singleton -> non-singleton" `Quick
+      test_enforce_singleton_to_non_singleton;
+    Alcotest.test_case "sort/gather-merge enforcement variants" `Quick
+      test_enforce_sort_gather_variants;
     QCheck_alcotest.to_alcotest prop_histogram_matches_data;
     QCheck_alcotest.to_alcotest prop_fold_constants_sound;
   ]

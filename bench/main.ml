@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- all experiments
      dune exec bench/main.exe -- fig12   -- one experiment
-     dune exec bench/main.exe -- fig12 --sf 0.4 --segs 8
+     dune exec bench/main.exe -- fig12 --sf 0.4 --segs 8 --workers 4
 
    Experiments: fig12 opt-stats fig13 fig14 fig15 taqo par-opt stages ablate
    running-example micro. Figures are printed as rows (query id, times,
@@ -13,6 +13,7 @@ open Ir
 
 let sf = ref 0.25
 let nsegs = ref 8
+let workers = ref 1
 let hawq_mem = ref (64.0 *. 1024.0 *. 1024.0)
 
 (* calibrated so that roughly a third of Impala's executed queries exceed
@@ -53,7 +54,9 @@ let get_env () =
       e
 
 let orca_config () =
-  Orca.Orca_config.with_segments Orca.Orca_config.default !nsegs
+  Orca.Orca_config.with_workers
+    (Orca.Orca_config.with_segments Orca.Orca_config.default !nsegs)
+    !workers
 
 let bind_query (e : bench_env) sql =
   let accessor =
@@ -623,6 +626,9 @@ let () =
         parse rest
     | "--segs" :: v :: rest ->
         nsegs := int_of_string v;
+        parse rest
+    | "--workers" :: v :: rest ->
+        workers := int_of_string v;
         parse rest
     | x :: rest -> x :: parse rest
     | [] -> []

@@ -17,9 +17,10 @@ type env = {
   provider : Catalog.Provider.t;
   cache : Catalog.Md_cache.t;
   nsegs : int;
+  workers : int;
 }
 
-let make_env sf nsegs =
+let make_env sf nsegs workers =
   let db = Tpcds.Datagen.generate ~sf () in
   let e = Engines.Engine.create_env ~nsegs db in
   {
@@ -28,17 +29,20 @@ let make_env sf nsegs =
     provider = e.Engines.Engine.provider;
     cache = e.Engines.Engine.cache;
     nsegs;
+    workers;
   }
+
+let base_config env =
+  Orca.Orca_config.with_workers
+    (Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs)
+    env.workers
 
 let optimize env sql =
   let accessor =
     Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
   in
   let query = Sqlfront.Binder.bind_sql accessor sql in
-  let config =
-    Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs
-  in
-  (query, Orca.Optimizer.optimize ~config accessor query)
+  (query, Orca.Optimizer.optimize ~config:(base_config env) accessor query)
 
 let print_rows rows =
   List.iter
@@ -120,11 +124,9 @@ let lint_optimize env sql =
     Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
   in
   let query = Sqlfront.Binder.bind_sql accessor sql in
-  let config =
-    Orca.Orca_config.with_verify
-      (Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs)
-  in
-  Orca.Optimizer.optimize ~config accessor query
+  Orca.Optimizer.optimize
+    ~config:(Orca.Orca_config.with_verify (base_config env))
+    accessor query
 
 let lint_report label (report : Orca.Optimizer.report) =
   let diags = report.Orca.Optimizer.diagnostics in
@@ -174,6 +176,103 @@ let lint_cmd suite verbose env sql =
         (List.length (Lazy.force Tpcds.Queries.all));
       if !errors > 0 then exit 1
 
+(* --- the concurrency sanitizer (lib/sanitize) --- *)
+
+let sanitize_optimize env ?fuzz_seed ?(workers = 1) ~record sql =
+  let accessor =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config =
+    Orca.Orca_config.with_workers
+      (Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs)
+      workers
+  in
+  let config = if record then Orca.Orca_config.with_sanitize config else config in
+  let config =
+    match fuzz_seed with
+    | None -> config
+    | Some s -> Orca.Orca_config.with_fuzz_seed config s
+  in
+  Orca.Optimizer.optimize ~config accessor query
+
+let plan_signature (report : Orca.Optimizer.report) =
+  (Plan_ops.to_string report.Orca.Optimizer.plan,
+   report.Orca.Optimizer.plan.Expr.pcost)
+
+(* One query through the sanitizer: a traced sequential run, a traced
+   [workers]-domain run checked for divergence against it, and [seeds]
+   deterministic schedule permutations that must reproduce the sequential
+   plan and cost exactly. *)
+let sanitize_query env ~workers ~seeds label sql =
+  let baseline = sanitize_optimize env ~record:true sql in
+  let bsig = plan_signature baseline in
+  let diags = ref baseline.Orca.Optimizer.diagnostics in
+  if workers > 1 then begin
+    let par = sanitize_optimize env ~workers ~record:true sql in
+    diags :=
+      !diags
+      @ par.Orca.Optimizer.diagnostics
+      @ Sanitize.Sanitizer.compare_runs
+          ~label:(Printf.sprintf "%s (workers=%d)" label workers)
+          ~baseline:bsig ~candidate:(plan_signature par)
+  end;
+  let seeds_ok = ref 0 in
+  for seed = 1 to seeds do
+    let fuzzed = sanitize_optimize env ~fuzz_seed:seed ~record:false sql in
+    let d =
+      Sanitize.Sanitizer.compare_runs
+        ~label:(Printf.sprintf "%s (fuzz seed %d)" label seed)
+        ~baseline:bsig ~candidate:(plan_signature fuzzed)
+    in
+    if d = [] then incr seeds_ok;
+    diags := !diags @ d
+  done;
+  let diags = Verify.Diagnostic.sort !diags in
+  let nerr = Verify.Analyzer.error_count diags in
+  if nerr = 0 then
+    Printf.printf "%-6s clean  (cost %.2f%s)\n" label (snd bsig)
+      (if seeds > 0 then Printf.sprintf ", %d/%d seeds match" !seeds_ok seeds
+       else "")
+  else begin
+    Printf.printf "%-6s %d error(s), %d warning(s)\n" label nerr
+      (Verify.Diagnostic.count Verify.Diagnostic.Warning diags);
+    print_string (Verify.Diagnostic.report_to_string diags)
+  end;
+  (nerr, Verify.Diagnostic.count Verify.Diagnostic.Warning diags)
+
+let sanitize_cmd suite seeds env sql =
+  let workers = env.workers in
+  match (suite, sql) with
+  | false, None ->
+      prerr_endline "sanitize: provide a SQL query, or pass --suite";
+      exit 2
+  | false, Some sql ->
+      let nerr, _ = sanitize_query env ~workers ~seeds "query" sql in
+      if nerr > 0 then exit 1
+  | true, _ ->
+      let errors = ref 0 and warnings = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun (q : Tpcds.Queries.def) ->
+          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+          match
+            sanitize_query env ~workers ~seeds label q.Tpcds.Queries.sql
+          with
+          | e, w ->
+              errors := !errors + e;
+              warnings := !warnings + w
+          | exception Orca.Optimizer.Unsupported_query msg ->
+              incr skipped;
+              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
+        (Lazy.force Tpcds.Queries.all);
+      Printf.printf
+        "\nsanitize: %d error(s), %d warning(s), %d unsupported across %d \
+         queries (workers=%d, seeds=%d)\n"
+        !errors !warnings !skipped
+        (List.length (Lazy.force Tpcds.Queries.all))
+        workers seeds;
+      if !errors > 0 then exit 1
+
 let queries_cmd () =
   List.iter
     (fun (q : Tpcds.Queries.def) ->
@@ -191,13 +290,19 @@ let sf_arg =
 let segs_arg =
   Arg.(value & opt int 8 & info [ "segs" ] ~docv:"N" ~doc:"Cluster segments.")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Optimization worker domains (paper \\u{00a7}4.2).")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
 let with_env f =
   Term.(
-    const (fun sf segs sql -> f (make_env sf segs) sql)
-    $ sf_arg $ segs_arg $ sql_arg)
+    const (fun sf segs workers sql -> f (make_env sf segs workers) sql)
+    $ sf_arg $ segs_arg $ workers_arg $ sql_arg)
 
 let cmd name doc f = Cmd.v (Cmd.info name ~doc) (with_env f)
 
@@ -218,7 +323,7 @@ let () =
        Cmd.v
          (Cmd.info "memo" ~doc:"Dump the Memo after optimization.")
          Term.(
-           const (fun dot sf segs sql -> memo_cmd dot (make_env sf segs) sql)
+           const (fun dot sf segs sql -> memo_cmd dot (make_env sf segs 1) sql)
            $ dot_arg $ sf_arg $ segs_arg $ sql_arg));
       cmd "dxl" "Print the DXL query and plan messages." dxl_cmd;
       (let suite_arg =
@@ -243,8 +348,39 @@ let () =
                error-severity diagnostics.")
          Term.(
            const (fun suite verbose sf segs sql ->
-               lint_cmd suite verbose (make_env sf segs) sql)
+               lint_cmd suite verbose (make_env sf segs 1) sql)
            $ suite_arg $ verbose_arg $ sf_arg $ segs_arg $ sql_opt_arg));
+      (let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Sanitize every bundled TPC-DS query instead of one SQL \
+                  string.")
+       in
+       let seeds_arg =
+         Arg.(
+           value & opt int 0
+           & info [ "seeds" ] ~docv:"K"
+               ~doc:
+                 "Also run K deterministic schedule permutations and require \
+                  the sequential plan and cost to be reproduced exactly.")
+       in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "sanitize"
+            ~doc:
+              "Run the concurrency sanitizer: record a scheduler/Memo trace, \
+               detect data races and goal-queue deadlocks, and check that \
+               parallel and fuzzed schedules reproduce the sequential plan. \
+               Exits nonzero on error-severity diagnostics.")
+         Term.(
+           const (fun suite seeds sf segs workers sql ->
+               sanitize_cmd suite seeds (make_env sf segs workers) sql)
+           $ suite_arg $ seeds_arg $ sf_arg $ segs_arg $ workers_arg
+           $ sql_opt_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());

@@ -64,6 +64,7 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
   Memolib.Memo.set_root memo (Memolib.Memo.find memo root_ge.Memolib.Memo.ge_group);
   let engine =
     Search.Engine.create ~workers:config.Orca_config.workers
+      ?fuzz_seed:config.Orca_config.fuzz_seed
       ~ruleset:stage.Xform.Ruleset.stage_rules ~model:config.Orca_config.model
       ~factory ~base memo
   in
@@ -134,14 +135,23 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
             (match better with Some r -> r | None -> result)
         | _ -> stages_loop better rest)
   in
-  let memo, engine, plan, stage_name =
-    stages_loop None config.Orca_config.stages
+  let (memo, engine, plan, stage_name), sanitize_diags =
+    if config.Orca_config.sanitize then
+      (* record every scheduler/Memo/engine event during the stage runs and
+         feed the trace to the concurrency analyses *)
+      let result, trace =
+        Sanitize.Sanitizer.record (fun () ->
+            stages_loop None config.Orca_config.stages)
+      in
+      (result, Sanitize.Sanitizer.analyze trace)
+    else (stages_loop None config.Orca_config.stages, [])
   in
   let plan = project_output plan query.Dxl.Dxl_query.output in
   let diagnostics =
-    if config.Orca_config.verify then
-      Verify.Analyzer.lint_all ~req ~memo plan
-    else []
+    (if config.Orca_config.verify then
+       Verify.Analyzer.lint_all ~req ~memo plan
+     else [])
+    @ sanitize_diags
   in
   let jobs_created, jobs_run, goal_hits = Search.Engine.scheduler_stats engine in
   let counters = Search.Engine.counters engine in

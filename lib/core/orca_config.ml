@@ -12,6 +12,8 @@ type t = {
   prune_columns : bool;      (* narrow join inputs to needed columns *)
   trace : bool;
   verify : bool;             (* run the static analyzers on the result *)
+  sanitize : bool;           (* record a trace, run the concurrency sanitizer *)
+  fuzz_seed : int option;    (* permute the costing schedule (with sanitize) *)
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     prune_columns = true;
     trace = false;
     verify = false;
+    sanitize = false;
+    fuzz_seed = None;
   }
 
 let with_segments t segments =
@@ -50,6 +54,10 @@ let without_rules t names =
   }
 
 let with_verify t = { t with verify = true }
+
+let with_sanitize t = { t with sanitize = true }
+
+let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 
 let without_decorrelation t = { t with decorrelate = false }
 

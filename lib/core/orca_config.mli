@@ -15,6 +15,12 @@ type t = {
   verify : bool;
       (** run the {!Verify} static analyzers (plan, Memo, DXL round trip)
           on every optimization result *)
+  sanitize : bool;
+      (** record a scheduler/Memo trace during optimization and run the
+          {!Sanitize} concurrency analyses on it *)
+  fuzz_seed : int option;
+      (** permute the costing schedule deterministically (schedule fuzzer);
+          meaningful together with [sanitize] or divergence checking *)
 }
 
 val default : t
@@ -31,6 +37,13 @@ val without_rules : t -> string list -> t
 val with_verify : t -> t
 (** Enable the post-optimization static analyzers; their findings land in
     {!Optimizer.report.diagnostics}. *)
+
+val with_sanitize : t -> t
+(** Enable the concurrency sanitizer; its findings land in
+    {!Optimizer.report.diagnostics} alongside the static analyzers'. *)
+
+val with_fuzz_seed : t -> int -> t
+(** Drive the optimization scheduler's dequeue order from a seeded PRNG. *)
 
 val without_decorrelation : t -> t
 (** Correlated subqueries become unsupported, as in optimizers lacking the

@@ -11,7 +11,18 @@
    (paper: group job queues).
 
    The scheduler runs jobs on [workers] domains. With [workers = 1] execution
-   is sequential and deterministic, which is the default used by tests. *)
+   is sequential and deterministic, which is the default used by tests. The
+   optional [fuzz] PRNG dequeues a random queued job instead of the oldest
+   one; with [workers = 1] that deterministically permutes the schedule per
+   seed, which is what the sanitizer's schedule fuzzer drives.
+
+   Lock discipline: every field of [t] below the mutex is read and written
+   with [t.mutex] held, except the statistics counters, which are [Atomic.t]
+   so that [stats] can be read from any domain without synchronizing with the
+   workers. Job bodies run with the mutex released.
+
+   When [Trace] has a sink installed, every lifecycle transition is published
+   for the offline race/deadlock analyses in [lib/sanitize]. *)
 
 type outcome =
   | Finished
@@ -28,7 +39,8 @@ type job = {
 }
 
 type goal_state =
-  | Goal_running of job list ref (* parents waiting for this goal *)
+  | Goal_running of { holder : job; waiters : job list ref }
+      (* [holder] runs the goal; [waiters] are parents parked on it *)
   | Goal_finished
 
 type t = {
@@ -36,40 +48,50 @@ type t = {
   cond : Condition.t;
   queue : job Queue.t;
   goals : (string, goal_state) Hashtbl.t;
-  mutable live : int; (* jobs created and not yet completed *)
-  mutable next_id : int;
-  mutable failure : exn option;
-  mutable jobs_run : int; (* statistics: number of job (re-)executions *)
-  mutable jobs_created : int;
-  mutable goal_hits : int; (* children absorbed by an in-flight/finished goal *)
+  live : int Atomic.t; (* jobs created and not yet completed *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  jobs_run : int Atomic.t; (* statistics: number of job (re-)executions *)
+  jobs_created : int Atomic.t;
+  goal_hits : int Atomic.t; (* children absorbed by an in-flight/finished goal *)
+  fuzz : Prng.t option; (* schedule fuzzer: randomized dequeue order *)
   workers : int;
 }
 
-let create ?(workers = 1) () =
+(* Job ids are globally unique (not per scheduler) so that traces covering
+   several schedulers — the engine runs exploration and optimization on
+   separate ones — never alias two jobs. *)
+let next_jid = Atomic.make 0
+
+let create ?(workers = 1) ?fuzz () =
   if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
   {
     mutex = Mutex.create ();
     cond = Condition.create ();
     queue = Queue.create ();
     goals = Hashtbl.create 64;
-    live = 0;
-    next_id = 0;
+    live = Atomic.make 0;
     failure = None;
-    jobs_run = 0;
-    jobs_created = 0;
-    goal_hits = 0;
+    jobs_run = Atomic.make 0;
+    jobs_created = Atomic.make 0;
+    goal_hits = Atomic.make 0;
+    fuzz;
     workers;
   }
 
-let stats t = (t.jobs_created, t.jobs_run, t.goal_hits)
+let stats t =
+  (Atomic.get t.jobs_created, Atomic.get t.jobs_run, Atomic.get t.goal_hits)
 
 (* All bookkeeping below runs with [t.mutex] held. *)
 
 let new_job t ?parent ?goal body =
-  let j = { jid = t.next_id; body; jgoal = goal; pending = 0; parent } in
-  t.next_id <- t.next_id + 1;
-  t.jobs_created <- t.jobs_created + 1;
-  t.live <- t.live + 1;
+  let jid = Atomic.fetch_and_add next_jid 1 in
+  let j = { jid; body; jgoal = goal; pending = 0; parent } in
+  Atomic.incr t.jobs_created;
+  Atomic.incr t.live;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Job_created
+         { jid; parent = Option.map (fun p -> p.jid) parent; goal });
   j
 
 let enqueue t j =
@@ -83,17 +105,33 @@ let rec child_completed t parent =
 
 (* Job [j] finished for good: release its goal and resume its parent. *)
 and complete t j =
-  t.live <- t.live - 1;
+  Atomic.decr t.live;
   (match j.jgoal with
   | None -> ()
   | Some g -> (
       match Hashtbl.find_opt t.goals g with
-      | Some (Goal_running waiters) ->
+      | Some (Goal_running { waiters; _ }) ->
           Hashtbl.replace t.goals g Goal_finished;
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Goal_released
+                 {
+                   goal = g;
+                   jid = j.jid;
+                   waiters = List.map (fun p -> p.jid) !waiters;
+                 });
           List.iter (fun p -> child_completed t p) !waiters
       | Some Goal_finished | None -> ()));
   (match j.parent with None -> () | Some p -> child_completed t p);
-  if t.live = 0 then Condition.broadcast t.cond
+  if Atomic.get t.live = 0 then Condition.broadcast t.cond
+
+(* Is [holder] equal to [j] or one of its ancestors? If a job spawns a child
+   whose goal is held by itself or an ancestor, parking the job on the goal
+   queue would deadlock: the goal cannot finish until the parked job's own
+   subtree completes. *)
+let rec held_by_ancestor holder j =
+  holder == j
+  || match j.parent with None -> false | Some p -> held_by_ancestor holder p
 
 (* Register a spawned child under its goal queue. Returns [true] when the
    child must actually run, [false] when an equivalent job is in flight or
@@ -104,16 +142,43 @@ let admit_child t parent (j : job) =
   | Some g -> (
       match Hashtbl.find_opt t.goals g with
       | None ->
-          Hashtbl.replace t.goals g (Goal_running (ref []));
+          Hashtbl.replace t.goals g
+            (Goal_running { holder = j; waiters = ref [] });
+          if Trace.enabled () then
+            Trace.emit (Trace.Goal_acquired { goal = g; jid = j.jid });
           true
-      | Some (Goal_running waiters) ->
-          t.goal_hits <- t.goal_hits + 1;
-          t.live <- t.live - 1;
-          waiters := parent :: !waiters;
+      | Some (Goal_running { holder; waiters }) ->
+          Atomic.incr t.goal_hits;
+          Atomic.decr t.live;
+          if held_by_ancestor holder parent then begin
+            (* The goal is held by the requesting job itself or an ancestor:
+               parking would form a wait cycle (the goal finishes only after
+               the parker's subtree does). The ancestor's own fixpoint covers
+               the work, so resolve the child immediately. *)
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Goal_absorbed
+                   { goal = g; parent = parent.jid; child = j.jid;
+                     finished = true });
+            child_completed t parent
+          end
+          else begin
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Goal_absorbed
+                   { goal = g; parent = parent.jid; child = j.jid;
+                     finished = false });
+            waiters := parent :: !waiters
+          end;
           false
       | Some Goal_finished ->
-          t.goal_hits <- t.goal_hits + 1;
-          t.live <- t.live - 1;
+          Atomic.incr t.goal_hits;
+          Atomic.decr t.live;
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Goal_absorbed
+                 { goal = g; parent = parent.jid; child = j.jid;
+                   finished = true });
           child_completed t parent;
           false)
 
@@ -126,30 +191,63 @@ let spawn_children t parent children =
         if admit_child t parent j then Some j else None)
       children
   in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Job_suspended
+         { jid = parent.jid; children = List.map (fun j -> j.jid) to_run });
   (* Children absorbed by goal queues already decremented [pending]; if all
      were absorbed and resolved, the parent is re-enqueued by
      [child_completed]. Otherwise enqueue the remaining real jobs. *)
   List.iter (fun j -> enqueue t j) to_run
 
 let run_one t j =
-  t.jobs_run <- t.jobs_run + 1;
+  Atomic.incr t.jobs_run;
+  if Trace.enabled () then Trace.emit (Trace.Job_start { jid = j.jid });
   Mutex.unlock t.mutex;
-  let result = try Ok (j.body ()) with e -> Error e in
+  Trace.set_running (Some j.jid);
+  let result =
+    try Ok (j.body ())
+    with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  Trace.set_running None;
   Mutex.lock t.mutex;
   match result with
-  | Ok Finished -> complete t j
-  | Ok (Wait_for []) -> enqueue t j (* nothing to wait for: re-run *)
+  | Ok Finished ->
+      if Trace.enabled () then Trace.emit (Trace.Job_finished { jid = j.jid });
+      complete t j
+  | Ok (Wait_for []) ->
+      (* nothing to wait for: re-run *)
+      if Trace.enabled () then
+        Trace.emit (Trace.Job_suspended { jid = j.jid; children = [] });
+      enqueue t j
   | Ok (Wait_for children) -> spawn_children t j children
-  | Error e ->
-      if t.failure = None then t.failure <- Some e;
+  | Error (e, bt) ->
+      if Trace.enabled () then Trace.emit (Trace.Job_failed { jid = j.jid });
+      if t.failure = None then t.failure <- Some (e, bt);
       complete t j
 
 let worker_loop t =
   Mutex.lock t.mutex;
+  let take () =
+    match t.fuzz with
+    | None -> Queue.take_opt t.queue
+    | Some rng ->
+        (* randomized dequeue: rotate a PRNG-chosen prefix to the back, then
+           take the front — a uniform pick over the queued jobs. Runs with
+           the mutex held, so the PRNG needs no extra synchronization. *)
+        let n = Queue.length t.queue in
+        if n = 0 then None
+        else begin
+          for _ = 1 to Prng.int rng n do
+            Queue.add (Queue.take t.queue) t.queue
+          done;
+          Queue.take_opt t.queue
+        end
+  in
   let rec loop () =
-    if t.live = 0 || t.failure <> None then ()
+    if Atomic.get t.live = 0 || t.failure <> None then ()
     else
-      match Queue.take_opt t.queue with
+      match take () with
       | Some j ->
           run_one t j;
           loop ()
@@ -162,10 +260,14 @@ let worker_loop t =
   Mutex.unlock t.mutex
 
 (* Run [root] (and everything it spawns) to completion. Raises the first
-   failure encountered by any job. *)
+   failure encountered by any job, preserving its backtrace. *)
 let run t root =
   Mutex.lock t.mutex;
   t.failure <- None;
+  (* Goal state never outlives a run: a later run reusing a goal key must not
+     be absorbed by a stale entry (in particular one left by a failed run,
+     whose waiters were abandoned — parking on it would wedge forever). *)
+  Hashtbl.reset t.goals;
   let j = new_job t root in
   enqueue t j;
   Mutex.unlock t.mutex;
@@ -177,15 +279,18 @@ let run t root =
     worker_loop t;
     List.iter Domain.join domains
   end;
+  if Trace.enabled () then Trace.emit (Trace.Run_end { root = j.jid });
   match t.failure with
-  | Some e ->
+  | Some (e, bt) ->
       t.failure <- None;
-      (* Residual suspended jobs are abandoned on failure. *)
+      (* Residual suspended jobs are abandoned on failure; drop every trace
+         of them so the scheduler is reusable. *)
       Mutex.lock t.mutex;
       Queue.clear t.queue;
-      t.live <- 0;
+      Hashtbl.reset t.goals;
+      Atomic.set t.live 0;
       Mutex.unlock t.mutex;
-      raise e
+      Printexc.raise_with_backtrace e bt
   | None -> ()
 
 (* Convenience: run a one-shot computation structured as jobs and return its

@@ -15,13 +15,19 @@ and child = { run : unit -> outcome; goal : string option }
 
 type t
 
-val create : ?workers:int -> unit -> t
+val create : ?workers:int -> ?fuzz:Prng.t -> unit -> t
 (** [workers = 1] (default) gives deterministic sequential execution;
-    [workers > 1] runs jobs on that many domains. *)
+    [workers > 1] runs jobs on that many domains. When [fuzz] is given, the
+    scheduler dequeues a PRNG-chosen queued job instead of the oldest one:
+    with [workers = 1] this deterministically permutes the schedule per seed
+    (the sanitizer's schedule fuzzer). *)
 
 val run : t -> (unit -> outcome) -> unit
 (** Run the root job and everything it transitively spawns to completion.
-    Re-raises the first exception raised by any job. *)
+    Re-raises the first exception raised by any job, preserving its
+    backtrace. Goal state never survives across runs (in particular a failed
+    run cannot wedge a later one), and when {!Trace} has a sink installed,
+    every lifecycle transition is published to it. *)
 
 val run_root : t -> (('a -> unit) -> unit) -> 'a option
 (** [run_root t f] runs [f store] as the root job; [store] saves the result

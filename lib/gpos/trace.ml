@@ -1,0 +1,57 @@
+(* Concurrency-event tracing for the sanitizer (lib/sanitize).
+
+   The scheduler, the Memo and the search engine emit structured events —
+   job lifecycle transitions, goal-queue operations, lock acquisitions and
+   shared-state accesses — through a single global sink. With no sink
+   installed (the default) [emit] is a single atomic load and a branch, so
+   the instrumentation is effectively free on the hot paths.
+
+   Events are stamped with the emitting domain and the job currently running
+   on that domain (tracked in domain-local storage by the scheduler), which
+   is what the offline race/deadlock analyses key on. *)
+
+type event =
+  | Job_created of { jid : int; parent : int option; goal : string option }
+  | Job_start of { jid : int }
+  | Job_suspended of { jid : int; children : int list }
+      (* [children]: jids of the spawned children actually enqueued (goal
+         absorptions excluded; those show up as [Goal_absorbed]) *)
+  | Job_finished of { jid : int }
+  | Job_failed of { jid : int }
+  | Goal_acquired of { goal : string; jid : int }
+  | Goal_absorbed of { goal : string; parent : int; child : int; finished : bool }
+      (* a spawned child was deduplicated against an in-flight goal
+         ([finished = false]: the parent parked on the goal queue) or an
+         already-finished one ([finished = true]: resolved immediately) *)
+  | Goal_released of { goal : string; jid : int; waiters : int list }
+  | Run_end of { root : int }
+      (* [Scheduler.run] returned: every spawned domain has been joined, so
+         everything that ran happens-before the emitting domain's future *)
+  | Lock_acquired of { lock : string }
+  | Lock_released of { lock : string }
+  | Access of { obj : string; write : bool }
+
+type stamped = { domain : int; running : int option; ev : event }
+
+let sink : (stamped -> unit) option Atomic.t = Atomic.make None
+
+let set_sink s = Atomic.set sink s
+
+let enabled () = Atomic.get sink <> None
+
+(* The job whose body is currently executing on this domain. *)
+let running_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_running jid = Domain.DLS.set running_key jid
+let running () = Domain.DLS.get running_key
+
+let emit ev =
+  match Atomic.get sink with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          domain = (Domain.self () :> int);
+          running = Domain.DLS.get running_key;
+          ev;
+        }

@@ -1,0 +1,42 @@
+(** Concurrency-event tracing for the sanitizer ({!module:Sanitize}).
+
+    The scheduler, the Memo and the search engine publish structured events
+    through one global sink; with no sink installed (the default) {!emit} is
+    an atomic load and a branch. Callers computing an expensive event payload
+    (e.g. a [Printf.sprintf]ed object name) should guard on {!enabled}. *)
+
+type event =
+  | Job_created of { jid : int; parent : int option; goal : string option }
+  | Job_start of { jid : int }
+  | Job_suspended of { jid : int; children : int list }
+      (** [children] lists only the spawned children actually enqueued;
+          goal-queue absorptions are reported as {!Goal_absorbed}. *)
+  | Job_finished of { jid : int }
+  | Job_failed of { jid : int }
+  | Goal_acquired of { goal : string; jid : int }
+  | Goal_absorbed of { goal : string; parent : int; child : int; finished : bool }
+  | Goal_released of { goal : string; jid : int; waiters : int list }
+  | Run_end of { root : int }
+      (** [Scheduler.run] returned: all spawned domains joined. *)
+  | Lock_acquired of { lock : string }
+  | Lock_released of { lock : string }
+  | Access of { obj : string; write : bool }
+      (** A shared-state read or write; [obj] is a stable object name such as
+          ["ctx:12.best"] or ["memo.index"]. *)
+
+type stamped = { domain : int; running : int option; ev : event }
+
+val set_sink : (stamped -> unit) option -> unit
+(** Install (or remove) the global event sink. The sink is called from every
+    domain and must be thread-safe. *)
+
+val enabled : unit -> bool
+
+val emit : event -> unit
+(** Stamp with the emitting domain and the job running on it, then forward to
+    the sink; a no-op when none is installed. *)
+
+val set_running : int option -> unit
+(** Used by the scheduler: mark the job whose body runs on this domain. *)
+
+val running : unit -> int option

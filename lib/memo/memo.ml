@@ -39,11 +39,14 @@ type alternative = {
 type ctx_state = Ctx_new | Ctx_in_progress | Ctx_complete
 
 type context = {
+  cx_id : int; (* process-unique, so sanitizer object names never collide *)
   cx_req : Props.req;
   mutable cx_state : ctx_state;
   mutable cx_best : alternative option;
   mutable cx_alts : alternative list; (* every costed alternative (for TAQO) *)
 }
+
+let next_cx_id = Atomic.make 0
 
 type group = {
   g_id : int;
@@ -78,9 +81,36 @@ let create () =
     cte_producer_groups = [];
   }
 
+(* Sanitizer hooks: when a Gpos.Trace sink is installed, every lock
+   acquisition and every access to shared optimization state is published so
+   the race detector can replay them. With no sink this is a branch. *)
+let trace_access obj write =
+  if Gpos.Trace.enabled () then
+    Gpos.Trace.emit (Gpos.Trace.Access { obj = obj (); write })
+
 let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  if Gpos.Trace.enabled () then
+    Gpos.Trace.emit (Gpos.Trace.Lock_acquired { lock = "memo" });
+  Fun.protect
+    ~finally:(fun () ->
+      if Gpos.Trace.enabled () then
+        Gpos.Trace.emit (Gpos.Trace.Lock_released { lock = "memo" });
+      Mutex.unlock t.lock)
+    f
+
+let with_group_lock (g : group) f =
+  Mutex.lock g.g_lock;
+  if Gpos.Trace.enabled () then
+    Gpos.Trace.emit
+      (Gpos.Trace.Lock_acquired { lock = "group:" ^ string_of_int g.g_id });
+  Fun.protect
+    ~finally:(fun () ->
+      if Gpos.Trace.enabled () then
+        Gpos.Trace.emit
+          (Gpos.Trace.Lock_released { lock = "group:" ^ string_of_int g.g_id });
+      Mutex.unlock g.g_lock)
+    f
 
 let group_unsafe t id = t.groups.(id)
 
@@ -165,6 +195,7 @@ let merge_groups t winner loser =
    None). Returns the resulting gexpr (possibly pre-existing). *)
 let insert_gexpr t ?rule ?target op children : gexpr =
   with_lock t (fun () ->
+      trace_access (fun () -> "memo.index") true;
       let children = List.map (fun c -> find t c) children in
       let key = gexpr_key t op children in
       let existing =
@@ -262,52 +293,65 @@ let physical_exprs g =
 
 let find_context t gid (req : Props.req) : context option =
   let g = group t gid in
-  Mutex.lock g.g_lock;
-  let fp = Props.req_fingerprint req in
-  let result =
-    match Hashtbl.find_opt g.g_contexts fp with
-    | None -> None
-    | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs
-  in
-  Mutex.unlock g.g_lock;
-  result
+  with_group_lock g (fun () ->
+      trace_access (fun () -> Printf.sprintf "group:%d.ctxs" g.g_id) false;
+      let fp = Props.req_fingerprint req in
+      match Hashtbl.find_opt g.g_contexts fp with
+      | None -> None
+      | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs)
 
 (* Find-or-create; the boolean tells the caller whether it created it (and
    therefore owns computing it). *)
 let obtain_context t gid (req : Props.req) : context * bool =
   let g = group t gid in
-  Mutex.lock g.g_lock;
-  let fp = Props.req_fingerprint req in
-  let existing =
-    match Hashtbl.find_opt g.g_contexts fp with
-    | None -> None
-    | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs
-  in
-  let result =
-    match existing with
-    | Some c -> (c, false)
-    | None ->
-        let c =
-          { cx_req = req; cx_state = Ctx_new; cx_best = None; cx_alts = [] }
-        in
-        let prev =
-          Option.value ~default:[] (Hashtbl.find_opt g.g_contexts fp)
-        in
-        Hashtbl.replace g.g_contexts fp (c :: prev);
-        (c, true)
-  in
-  Mutex.unlock g.g_lock;
-  result
+  with_group_lock g (fun () ->
+      let fp = Props.req_fingerprint req in
+      let existing =
+        match Hashtbl.find_opt g.g_contexts fp with
+        | None -> None
+        | Some ctxs -> List.find_opt (fun c -> Props.req_equal c.cx_req req) ctxs
+      in
+      match existing with
+      | Some c ->
+          trace_access (fun () -> Printf.sprintf "group:%d.ctxs" g.g_id) false;
+          (c, false)
+      | None ->
+          trace_access (fun () -> Printf.sprintf "group:%d.ctxs" g.g_id) true;
+          let c =
+            {
+              cx_id = Atomic.fetch_and_add next_cx_id 1;
+              cx_req = req;
+              cx_state = Ctx_new;
+              cx_best = None;
+              cx_alts = [];
+            }
+          in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt g.g_contexts fp)
+          in
+          Hashtbl.replace g.g_contexts fp (c :: prev);
+          (c, true))
+
+(* Deterministic order on equal-cost alternatives, so the winner does not
+   depend on the arrival order of parallel costing jobs (which would make
+   the chosen plan schedule-dependent even at identical cost). *)
+let alt_key (a : alternative) =
+  ( a.a_gexpr.ge_id,
+    List.map Props.req_fingerprint a.a_child_reqs,
+    List.length a.a_enforcers,
+    Hashtbl.hash a.a_enforcers )
 
 let record_alternative t gid (ctx : context) (alt : alternative) =
   let g = group t gid in
-  Mutex.lock g.g_lock;
-  ctx.cx_alts <- alt :: ctx.cx_alts;
-  (match ctx.cx_best with
-  | Some best when best.a_cost <= alt.a_cost -> ()
-  | _ -> ctx.cx_best <- Some alt);
-  Mutex.unlock g.g_lock;
-  ()
+  with_group_lock g (fun () ->
+      trace_access (fun () -> Printf.sprintf "ctx:%d.best" ctx.cx_id) true;
+      ctx.cx_alts <- alt :: ctx.cx_alts;
+      match ctx.cx_best with
+      | Some best
+        when best.a_cost < alt.a_cost
+             || (best.a_cost = alt.a_cost && alt_key best <= alt_key alt) ->
+          ()
+      | _ -> ctx.cx_best <- Some alt)
 
 let contexts_of_group t gid =
   let g = group t gid in
@@ -315,10 +359,14 @@ let contexts_of_group t gid =
 
 (* --- statistics --- *)
 
-let stats t gid = (group t gid).g_stats
+let stats t gid =
+  let g = group t gid in
+  trace_access (fun () -> Printf.sprintf "group:%d.stats" g.g_id) false;
+  g.g_stats
 
 let set_stats t gid s =
   let g = group t gid in
+  trace_access (fun () -> Printf.sprintf "group:%d.stats" g.g_id) true;
   g.g_stats <- Some s
 
 (* --- debugging / the Fig. 4 and Fig. 6 displays --- *)

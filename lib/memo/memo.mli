@@ -41,6 +41,8 @@ type alternative = {
 type ctx_state = Ctx_new | Ctx_in_progress | Ctx_complete
 
 type context = {
+  cx_id : int;
+      (** process-unique context id (stable sanitizer object names) *)
   cx_req : Props.req;
   mutable cx_state : ctx_state;
   mutable cx_best : alternative option;
@@ -99,7 +101,9 @@ val obtain_context : t -> int -> Props.req -> context * bool
     this call created it (and therefore owns computing it). *)
 
 val record_alternative : t -> int -> context -> alternative -> unit
-(** Record a costed alternative, updating the context's best. *)
+(** Record a costed alternative, updating the context's best. Ties on cost
+    break on a stable structural key rather than arrival order, so the
+    chosen plan is independent of the costing schedule. *)
 
 val contexts_of_group : t -> int -> context list
 

@@ -1,0 +1,238 @@
+(* Wait-for-graph analysis of the scheduler's goal queues.
+
+   The trace is replayed into per-job and per-goal end states; a healthy
+   drained run leaves every job finished (or absorbed into a goal that was
+   eventually released) and every goal finished. Anything else is a
+   lost-wakeup or a cycle:
+
+     - goal-cycle: jobs waiting on each other through goal queues form a
+       cycle in the wait-for graph (A holds goal a and is parked on goal b
+       whose holder is parked on a, ...);
+     - stuck-pending: a job is suspended, every child it waited for has
+       completed and every goal it parked on has been released, yet it was
+       never re-enqueued — its pending count can never reach 0 again;
+     - lost-waiter: a job is parked on a goal whose holder has already
+       finished or failed, i.e. the goal entry will never be released;
+     - job-leak (warning): a job was created or absorbed but its fate was
+       never resolved when the trace ended (normal only when the run was
+       aborted by a failure). *)
+
+type status = Created | Running | Suspended | Finished | Failed | Absorbed
+
+type jstate = {
+  j_id : int;
+  j_parent : int option;
+  mutable j_status : status;
+  mutable j_children : int list; (* outstanding children of last suspend *)
+  mutable j_parked : string list; (* unreleased goals this job waits on *)
+}
+
+type gstate = {
+  mutable g_holder : int option;
+  mutable g_finished : bool;
+  mutable g_waiters : int list;
+}
+
+let diag = Verify.Diagnostic.make
+
+let status_to_string = function
+  | Created -> "created"
+  | Running -> "running"
+  | Suspended -> "suspended"
+  | Finished -> "finished"
+  | Failed -> "failed"
+  | Absorbed -> "absorbed"
+
+let check (trace : Trace_log.t) : Verify.Diagnostic.t list =
+  let sink = Verify.Diagnostic.sink () in
+  let jobs : (int, jstate) Hashtbl.t = Hashtbl.create 256 in
+  let goals : (string, gstate) Hashtbl.t = Hashtbl.create 64 in
+  let failed_run = ref false in
+  let job ?parent jid =
+    match Hashtbl.find_opt jobs jid with
+    | Some js -> js
+    | None ->
+        let js =
+          { j_id = jid; j_parent = parent; j_status = Created;
+            j_children = []; j_parked = [] }
+        in
+        Hashtbl.add jobs jid js;
+        js
+  in
+  let replay (e : Trace_log.entry) =
+    match e.Trace_log.ev with
+    | Gpos.Trace.Job_created { jid; parent; goal = _ } ->
+        ignore (job ?parent jid)
+    | Job_start { jid } -> (job jid).j_status <- Running
+    | Job_suspended { jid; children } ->
+        let js = job jid in
+        js.j_status <- Suspended;
+        js.j_children <- children
+    | Job_finished { jid } | Job_failed { jid } ->
+        let js = job jid in
+        js.j_status <-
+          (match e.Trace_log.ev with Job_failed _ -> failed_run := true; Failed | _ -> Finished);
+        (match js.j_parent with
+        | Some p ->
+            let ps = job p in
+            ps.j_children <- List.filter (fun c -> c <> jid) ps.j_children
+        | None -> ())
+    | Goal_acquired { goal; jid } ->
+        Hashtbl.replace goals goal
+          { g_holder = Some jid; g_finished = false; g_waiters = [] }
+    | Goal_absorbed { goal; parent; child; finished } ->
+        (job child).j_status <- Absorbed;
+        if not finished then (
+          (match Hashtbl.find_opt goals goal with
+          | Some g -> g.g_waiters <- parent :: g.g_waiters
+          | None ->
+              Hashtbl.replace goals goal
+                { g_holder = None; g_finished = false; g_waiters = [ parent ] });
+          let ps = job parent in
+          if not (List.mem goal ps.j_parked) then
+            ps.j_parked <- goal :: ps.j_parked)
+    | Goal_released { goal; jid = _; waiters = _ } -> (
+        match Hashtbl.find_opt goals goal with
+        | Some g ->
+            g.g_finished <- true;
+            List.iter
+              (fun w ->
+                let ws = job w in
+                ws.j_parked <- List.filter (fun x -> x <> goal) ws.j_parked)
+              g.g_waiters;
+            g.g_waiters <- []
+        | None ->
+            Hashtbl.replace goals goal
+              { g_holder = None; g_finished = true; g_waiters = [] })
+    | Run_end _ | Lock_acquired _ | Lock_released _ | Access _ -> ()
+  in
+  List.iter replay trace;
+  let unresolved js =
+    match js.j_status with
+    | Created | Running | Suspended -> true
+    | Finished | Failed | Absorbed -> false
+  in
+  let goal_unfinished g =
+    match Hashtbl.find_opt goals g with
+    | Some gs -> not gs.g_finished
+    | None -> false
+  in
+  let goal_holder g =
+    match Hashtbl.find_opt goals g with Some gs -> gs.g_holder | None -> None
+  in
+  let edges js =
+    let via_children =
+      List.filter
+        (fun c ->
+          match Hashtbl.find_opt jobs c with
+          | Some cs -> unresolved cs
+          | None -> false)
+        js.j_children
+    in
+    let via_goals =
+      List.filter_map
+        (fun g -> if goal_unfinished g then goal_holder g else None)
+        js.j_parked
+    in
+    via_children @ via_goals
+  in
+  (* --- per-job end-state checks --- *)
+  let stuck = ref [] in
+  Hashtbl.iter
+    (fun _ js ->
+      match js.j_status with
+      | Suspended ->
+          let live_children =
+            List.exists
+              (fun c ->
+                match Hashtbl.find_opt jobs c with
+                | Some cs -> unresolved cs
+                | None -> true)
+              js.j_children
+          in
+          let parked_goals = List.filter goal_unfinished js.j_parked in
+          (* lost-waiter: parked on a goal whose holder can no longer
+             release it *)
+          List.iter
+            (fun g ->
+              match goal_holder g with
+              | Some h
+                when (match Hashtbl.find_opt jobs h with
+                     | Some hs -> not (unresolved hs)
+                     | None -> true) ->
+                  Verify.Diagnostic.emit sink
+                    (diag ~rule:"sanitize/lost-waiter"
+                       ~severity:Verify.Diagnostic.Error
+                       ~path:(Printf.sprintf "job %d" js.j_id)
+                       ~node:g
+                       "job %d is parked on goal %s whose holder (job %d) \
+                        already %s without releasing it"
+                       js.j_id g h
+                       (match Hashtbl.find_opt jobs h with
+                       | Some hs -> status_to_string hs.j_status
+                       | None -> "vanished"))
+              | Some _ | None -> ())
+            parked_goals;
+          if (not live_children) && parked_goals = [] && not !failed_run then
+            stuck := js :: !stuck
+      | Created | Running ->
+          if not !failed_run then
+            Verify.Diagnostic.emit sink
+              (diag ~rule:"sanitize/job-leak"
+                 ~severity:Verify.Diagnostic.Warning
+                 ~path:(Printf.sprintf "job %d" js.j_id)
+                 ~node:(status_to_string js.j_status)
+                 "job %d was still %s when the trace ended"
+                 js.j_id (status_to_string js.j_status))
+      | Finished | Failed | Absorbed -> ())
+    jobs;
+  List.iter
+    (fun js ->
+      Verify.Diagnostic.emit sink
+        (diag ~rule:"sanitize/stuck-pending" ~severity:Verify.Diagnostic.Error
+           ~path:(Printf.sprintf "job %d" js.j_id)
+           ~node:"suspended"
+           "job %d is suspended with no outstanding children and no parked \
+            goals: its pending count can never reach 0 again (lost wakeup)"
+           js.j_id))
+    !stuck;
+  (* --- cycle detection over the wait-for graph --- *)
+  let color : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let reported_cycle = ref false in
+  let rec dfs path jid =
+    match Hashtbl.find_opt color jid with
+    | Some 2 -> ()
+    | Some 1 ->
+        if not !reported_cycle then begin
+          reported_cycle := true;
+          let cycle =
+            let rec cut acc = function
+              | [] -> List.rev acc
+              | x :: _ when x = jid -> List.rev (x :: acc)
+              | x :: rest -> cut (x :: acc) rest
+            in
+            cut [] path
+          in
+          Verify.Diagnostic.emit sink
+            (diag ~rule:"sanitize/goal-cycle"
+               ~severity:Verify.Diagnostic.Error
+               ~path:
+                 (String.concat " -> "
+                    (List.map (Printf.sprintf "job %d") (List.rev cycle)))
+               ~node:"wait-for graph"
+               "goal-queue deadlock: jobs wait on each other in a cycle (%s)"
+               (String.concat " -> "
+                  (List.map string_of_int (List.rev (jid :: cycle)))))
+        end
+    | Some _ -> ()
+    | None -> (
+        match Hashtbl.find_opt jobs jid with
+        | None -> ()
+        | Some js ->
+            Hashtbl.replace color jid 1;
+            if unresolved js then List.iter (dfs (jid :: path)) (edges js);
+            Hashtbl.replace color jid 2)
+  in
+  Hashtbl.iter (fun jid js -> if unresolved js then dfs [] jid) jobs;
+  Verify.Diagnostic.drain sink

@@ -1,0 +1,8 @@
+(** Wait-for-graph analysis of the scheduler's goal queues: replays a trace
+    into per-job / per-goal end states and reports lost wakeups and deadlock
+    cycles.
+
+    Rules: [sanitize/goal-cycle], [sanitize/stuck-pending],
+    [sanitize/lost-waiter] (errors), [sanitize/job-leak] (warning). *)
+
+val check : Trace_log.t -> Verify.Diagnostic.t list

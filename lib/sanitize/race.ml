@@ -1,0 +1,313 @@
+(* Lockset / happens-before data-race detection over a recorded trace.
+
+   The trace is replayed into a segment graph. A segment is a maximal
+   interval of one thread of control between synchronization points: each
+   (re-)execution of a job is a segment (split again at every child spawn),
+   and each domain's non-job timeline is a chain of "ambient" segments.
+   Happens-before edges are purely structural:
+
+     - program order: consecutive segments of the same job (and of the same
+       domain's ambient timeline) are chained;
+     - spawn: the creating segment (up to the spawn point) precedes the
+       child's first segment;
+     - join: a finished child's last segment precedes its parent's next
+       segment (the scheduler re-enqueues the parent when its last child
+       completes);
+     - goal queues: the goal holder's last segment precedes each parked
+       waiter's next segment, and a child absorbed by an already-finished
+       goal inherits an edge from the segment that completed the goal;
+     - run end: [Scheduler.run] joins every worker domain, so the root
+       job's last segment precedes the calling domain's subsequent ambient
+       segments.
+
+   Deliberately NOT edges: the scheduler's own mutex, and the incidental
+   serialization of two jobs running back-to-back on the same domain. This
+   makes the analysis schedule-insensitive — two accesses are ordered only
+   if every schedule orders them — so a race is detected even when the
+   recorded run (say, at [workers = 1]) happened to execute the racy
+   accesses serially.
+
+   Two accesses to the same object race when at least one is a write, no
+   common lock was held around both, and neither segment reaches the other
+   in the graph. Reachability is computed with one forward pass: every
+   segment carries a bitset of the access-bearing segments that precede
+   it. *)
+
+module SSet = Set.Make (String)
+
+type access = {
+  a_seg : int;
+  a_write : bool;
+  a_locks : string list; (* sorted *)
+  a_job : int option;
+  a_seq : int;
+}
+
+(* --- small growable int-list array, indexed by segment id --- *)
+
+type segtab = { mutable preds : int list array; mutable nseg : int }
+
+let seg_new tab pl =
+  if tab.nseg = Array.length tab.preds then begin
+    let fresh = Array.make (max 256 (2 * tab.nseg)) [] in
+    Array.blit tab.preds 0 fresh 0 tab.nseg;
+    tab.preds <- fresh
+  end;
+  let id = tab.nseg in
+  tab.preds.(id) <- pl;
+  tab.nseg <- tab.nseg + 1;
+  id
+
+(* --- replay state --- *)
+
+type dstate = {
+  mutable d_ambient : int;
+  mutable d_job : int option; (* job whose segment is current, if any *)
+  mutable d_seg : int;
+  mutable d_locks : SSet.t;
+}
+
+type jstate = {
+  j_parent : int option;
+  mutable j_preds : int list; (* edges into the job's next segment *)
+  mutable j_final : int option;
+}
+
+(* Budget guards: traces and segment graphs beyond these sizes degrade to a
+   truncated analysis with an informational diagnostic rather than an
+   unbounded memory bill. *)
+let max_events = 500_000
+let max_reach_bits = 400_000_000
+let max_accesses_per_obj = 4_000
+
+let diag = Verify.Diagnostic.make
+
+let describe (a : access) =
+  Printf.sprintf "%s by %s (locks: %s)"
+    (if a.a_write then "write" else "read")
+    (match a.a_job with
+    | Some j -> Printf.sprintf "job %d" j
+    | None -> "the main thread")
+    (match a.a_locks with [] -> "none" | ls -> String.concat "," ls)
+
+let check (trace : Trace_log.t) : Verify.Diagnostic.t list =
+  let sink = Verify.Diagnostic.sink () in
+  let tab = { preds = Array.make 1024 []; nseg = 0 } in
+  let domains : (int, dstate) Hashtbl.t = Hashtbl.create 8 in
+  let jobs : (int, jstate) Hashtbl.t = Hashtbl.create 256 in
+  let goal_seg : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let accesses : (string, access list ref) Hashtbl.t = Hashtbl.create 256 in
+  let lock_pairs : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let domain d =
+    match Hashtbl.find_opt domains d with
+    | Some ds -> ds
+    | None ->
+        let s = seg_new tab [] in
+        let ds = { d_ambient = s; d_job = None; d_seg = s; d_locks = SSet.empty } in
+        Hashtbl.add domains d ds;
+        ds
+  in
+  let job ?parent jid =
+    match Hashtbl.find_opt jobs jid with
+    | Some js -> js
+    | None ->
+        let js = { j_parent = parent; j_preds = []; j_final = None } in
+        Hashtbl.add jobs jid js;
+        js
+  in
+  let job_ended ds jid =
+    let js = job jid in
+    js.j_final <- Some ds.d_seg;
+    (match js.j_parent with
+    | Some p -> (job p).j_preds <- ds.d_seg :: (job p).j_preds
+    | None -> ());
+    ds.d_job <- None;
+    ds.d_seg <- ds.d_ambient
+  in
+  let truncated = ref false in
+  let replay (e : Trace_log.entry) =
+    let ds = domain e.Trace_log.domain in
+    match e.Trace_log.ev with
+    | Gpos.Trace.Job_created { jid; parent; goal = _ } ->
+        (job ?parent jid).j_preds <- ds.d_seg :: (job ?parent jid).j_preds;
+        (* split the creating segment so that work after the spawn point is
+           not spuriously ordered before the child *)
+        let s = seg_new tab [ ds.d_seg ] in
+        ds.d_seg <- s;
+        if ds.d_job = None then ds.d_ambient <- s
+    | Job_start { jid } ->
+        let js = job jid in
+        let s = seg_new tab js.j_preds in
+        js.j_preds <- [];
+        ds.d_job <- Some jid;
+        ds.d_seg <- s
+    | Job_suspended { jid; children = _ } ->
+        (* append, not replace: goal-absorption edges recorded while the
+           children were being spawned must survive *)
+        (job jid).j_preds <- ds.d_seg :: (job jid).j_preds;
+        ds.d_job <- None;
+        ds.d_seg <- ds.d_ambient
+    | Job_finished { jid } | Job_failed { jid } -> job_ended ds jid
+    | Goal_acquired _ -> ()
+    | Goal_absorbed { goal; parent; child = _; finished } ->
+        if finished then (
+          match Hashtbl.find_opt goal_seg goal with
+          | Some s -> (job parent).j_preds <- s :: (job parent).j_preds
+          | None -> ())
+    | Goal_released { goal; jid; waiters } -> (
+        match (job jid).j_final with
+        | None -> ()
+        | Some s ->
+            Hashtbl.replace goal_seg goal s;
+            List.iter
+              (fun w -> (job w).j_preds <- s :: (job w).j_preds)
+              waiters)
+    | Run_end { root } ->
+        let preds =
+          match (job root).j_final with
+          | Some s -> [ ds.d_ambient; s ]
+          | None -> [ ds.d_ambient ]
+        in
+        ds.d_ambient <- seg_new tab preds;
+        if ds.d_job = None then ds.d_seg <- ds.d_ambient
+    | Lock_acquired { lock } ->
+        SSet.iter
+          (fun held ->
+            if held <> lock then Hashtbl.replace lock_pairs (held, lock) ())
+          ds.d_locks;
+        ds.d_locks <- SSet.add lock ds.d_locks
+    | Lock_released { lock } -> ds.d_locks <- SSet.remove lock ds.d_locks
+    | Access { obj; write } ->
+        let cell =
+          match Hashtbl.find_opt accesses obj with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add accesses obj c;
+              c
+        in
+        let locks = SSet.elements ds.d_locks in
+        (* dedup: one stored access per (segment, kind, lockset) *)
+        let dup =
+          List.exists
+            (fun a ->
+              a.a_seg = ds.d_seg && a.a_write = write && a.a_locks = locks)
+            !cell
+        in
+        if (not dup) && List.length !cell < max_accesses_per_obj then
+          cell :=
+            {
+              a_seg = ds.d_seg;
+              a_write = write;
+              a_locks = locks;
+              a_job = e.Trace_log.running;
+              a_seq = e.Trace_log.seq;
+            }
+            :: !cell
+  in
+  let rec consume n = function
+    | [] -> ()
+    | _ when n >= max_events -> truncated := true
+    | e :: rest ->
+        replay e;
+        consume (n + 1) rest
+  in
+  consume 0 trace;
+  (* --- reachability: which access-bearing segments precede each segment --- *)
+  let dim = Array.make tab.nseg (-1) in
+  let ndim = ref 0 in
+  Hashtbl.iter
+    (fun _ cell ->
+      List.iter
+        (fun a ->
+          if dim.(a.a_seg) < 0 then begin
+            dim.(a.a_seg) <- !ndim;
+            incr ndim
+          end)
+        !cell)
+    accesses;
+  let skip_reach = tab.nseg * !ndim > max_reach_bits in
+  if !truncated || skip_reach then
+    Verify.Diagnostic.emit sink
+      (diag ~rule:"sanitize/trace-truncated" ~severity:Verify.Diagnostic.Info
+         ~path:"trace" ~node:"recorder"
+         "trace too large (%d events, %d segments); race analysis %s"
+         (Trace_log.length trace) tab.nseg
+         (if skip_reach then "skipped" else "truncated"));
+  if not skip_reach then begin
+    let words = (!ndim + 62) / 63 in
+    let anc = Array.make tab.nseg [||] in
+    let empty = Array.make words 0 in
+    for s = 0 to tab.nseg - 1 do
+      let set =
+        match tab.preds.(s) with [] -> empty | _ -> Array.make words 0
+      in
+      List.iter
+        (fun p ->
+          let pa = anc.(p) in
+          if pa != empty && Array.length pa > 0 then
+            for w = 0 to words - 1 do
+              set.(w) <- set.(w) lor pa.(w)
+            done;
+          if dim.(p) >= 0 then
+            set.(dim.(p) / 63) <- set.(dim.(p) / 63) lor (1 lsl (dim.(p) mod 63)))
+        tab.preds.(s);
+      anc.(s) <- set
+    done;
+    let reaches a b =
+      (* does access segment [a] happen before segment [b]? *)
+      let d = dim.(a) in
+      Array.length anc.(b) > 0 && anc.(b).(d / 63) land (1 lsl (d mod 63)) <> 0
+    in
+    let ordered a b = a.a_seg = b.a_seg || reaches a.a_seg b.a_seg || reaches b.a_seg a.a_seg in
+    let disjoint_locks a b =
+      not (List.exists (fun l -> List.mem l b.a_locks) a.a_locks)
+    in
+    let report_race obj a b =
+      let a, b = if a.a_seq <= b.a_seq then (a, b) else (b, a) in
+      Verify.Diagnostic.emit sink
+        (diag ~rule:"sanitize/data-race" ~severity:Verify.Diagnostic.Error
+           ~path:obj ~node:obj
+           "conflicting unsynchronized accesses: %s vs %s — no common lock \
+            and no happens-before ordering through the job graph"
+           (describe a) (describe b))
+    in
+    Hashtbl.iter
+      (fun obj cell ->
+        let accs = List.rev !cell in
+        let writes = List.filter (fun a -> a.a_write) accs in
+        if writes <> [] then begin
+          let found = ref false in
+          List.iter
+            (fun w ->
+              List.iter
+                (fun b ->
+                  if
+                    (not !found)
+                    && (b.a_write = false || w.a_seq < b.a_seq)
+                    && w.a_seg <> b.a_seg
+                    && disjoint_locks w b
+                    && not (ordered w b)
+                  then begin
+                    found := true;
+                    report_race obj w b
+                  end)
+                accs)
+            writes
+        end)
+      accesses
+  end;
+  (* --- lock-order inversion: (a then b) and (b then a) both observed --- *)
+  Hashtbl.iter
+    (fun (a, b) () ->
+      if a < b && Hashtbl.mem lock_pairs (b, a) then
+        Verify.Diagnostic.emit sink
+          (diag ~rule:"sanitize/lock-inversion"
+             ~severity:Verify.Diagnostic.Warning
+             ~path:(Printf.sprintf "%s,%s" a b)
+             ~node:a
+             "locks %s and %s are acquired in both orders — potential \
+              deadlock under contention"
+             a b))
+    lock_pairs;
+  Verify.Diagnostic.drain sink

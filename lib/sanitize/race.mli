@@ -1,0 +1,12 @@
+(** Lockset / happens-before data-race detection over a recorded trace.
+
+    Replays the trace into a structural happens-before graph (program order,
+    spawn, join, goal-queue release, run end — but deliberately not the
+    scheduler mutex or same-domain coincidence, so the result is
+    schedule-insensitive) and flags conflicting accesses to the same object
+    that are unordered and share no lock.
+
+    Rules: [sanitize/data-race] (error), [sanitize/lock-inversion]
+    (warning), [sanitize/trace-truncated] (info). *)
+
+val check : Trace_log.t -> Verify.Diagnostic.t list

@@ -1,0 +1,31 @@
+(* Facade over the concurrency analyses: record a trace around an optimizer
+   run, then feed it to the race detector and the wait-for-graph analyzer.
+   Also hosts the plan/cost divergence check used by the schedule fuzzer. *)
+
+let record = Trace_log.record
+
+let analyze (trace : Trace_log.t) : Verify.Diagnostic.t list =
+  Verify.Diagnostic.sort (Deadlock.check trace @ Race.check trace)
+
+let check f =
+  let v, trace = record f in
+  (v, analyze trace)
+
+let compare_runs ~label ~baseline:(bplan, bcost) ~candidate:(cplan, ccost) :
+    Verify.Diagnostic.t list =
+  let diags = ref [] in
+  let diag = Verify.Diagnostic.make in
+  if bplan <> cplan then
+    diags :=
+      diag ~rule:"sanitize/schedule-divergence"
+        ~severity:Verify.Diagnostic.Error ~path:label ~node:"plan"
+        "%s produced a different plan than the sequential baseline" label
+      :: !diags;
+  if bcost <> ccost then
+    diags :=
+      diag ~rule:"sanitize/schedule-divergence"
+        ~severity:Verify.Diagnostic.Error ~path:label ~node:"cost"
+        "%s produced cost %.6f but the sequential baseline produced %.6f"
+        label ccost bcost
+      :: !diags;
+  !diags

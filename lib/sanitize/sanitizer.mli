@@ -1,0 +1,25 @@
+(** Concurrency sanitizer for the optimizer's job scheduler and Memo
+    (tentpole of the sanitize layer).
+
+    Record a trace around an optimizer run, then analyze it for data races
+    ({!Race}) and goal-queue deadlocks / lost wakeups ({!Deadlock}).
+    Findings reuse {!Verify.Diagnostic} so they slot into the same reports
+    as the static plan linter. *)
+
+val record : (unit -> 'a) -> 'a * Trace_log.t
+(** Run a computation with {!Gpos.Trace} recording enabled. *)
+
+val analyze : Trace_log.t -> Verify.Diagnostic.t list
+(** All concurrency analyses over one trace, sorted errors-first. *)
+
+val check : (unit -> 'a) -> 'a * Verify.Diagnostic.t list
+(** [record] + [analyze] in one step. *)
+
+val compare_runs :
+  label:string ->
+  baseline:string * float ->
+  candidate:string * float ->
+  Verify.Diagnostic.t list
+(** Plan/cost divergence check for the schedule fuzzer: compares a candidate
+    run's (plan rendering, cost) against the sequential baseline and emits
+    [sanitize/schedule-divergence] errors on mismatch. *)

@@ -1,0 +1,76 @@
+(* Event recorder: installs a Gpos.Trace sink, collects the stamped events in
+   global arrival order, and hands the finished trace to the analyses.
+
+   The recorder mutex makes arrival order a total order; scheduler
+   bookkeeping events are emitted with the scheduler mutex held, so the
+   recorded order is consistent with the synchronization the scheduler
+   actually performed (a child's [Job_start] can never precede its parent's
+   [Job_created] in the log, and so on). Body-side [Access] events from
+   different domains interleave arbitrarily, which is fine: the analyses
+   derive ordering from the job structure, not from log positions. *)
+
+type entry = {
+  seq : int;
+  domain : int;
+  running : int option; (* job whose body emitted the event, if any *)
+  ev : Gpos.Trace.event;
+}
+
+type t = entry list (* in global arrival order *)
+
+let record f =
+  let buf = ref [] in
+  let n = ref 0 in
+  let m = Mutex.create () in
+  let sink (s : Gpos.Trace.stamped) =
+    Mutex.lock m;
+    buf :=
+      { seq = !n; domain = s.Gpos.Trace.domain; running = s.Gpos.Trace.running;
+        ev = s.Gpos.Trace.ev }
+      :: !buf;
+    incr n;
+    Mutex.unlock m
+  in
+  Gpos.Trace.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Gpos.Trace.set_sink None)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !buf))
+
+let length = List.length
+
+let event_to_string (e : entry) =
+  let open Gpos.Trace in
+  let body =
+    match e.ev with
+    | Job_created { jid; parent; goal } ->
+        Printf.sprintf "job-created %d parent=%s goal=%s" jid
+          (match parent with None -> "-" | Some p -> string_of_int p)
+          (Option.value ~default:"-" goal)
+    | Job_start { jid } -> Printf.sprintf "job-start %d" jid
+    | Job_suspended { jid; children } ->
+        Printf.sprintf "job-suspended %d children=[%s]" jid
+          (String.concat "," (List.map string_of_int children))
+    | Job_finished { jid } -> Printf.sprintf "job-finished %d" jid
+    | Job_failed { jid } -> Printf.sprintf "job-failed %d" jid
+    | Goal_acquired { goal; jid } ->
+        Printf.sprintf "goal-acquired %s by %d" goal jid
+    | Goal_absorbed { goal; parent; child; finished } ->
+        Printf.sprintf "goal-absorbed %s parent=%d child=%d finished=%b" goal
+          parent child finished
+    | Goal_released { goal; jid; waiters } ->
+        Printf.sprintf "goal-released %s by %d waiters=[%s]" goal jid
+          (String.concat "," (List.map string_of_int waiters))
+    | Run_end { root } -> Printf.sprintf "run-end root=%d" root
+    | Lock_acquired { lock } -> Printf.sprintf "lock-acquired %s" lock
+    | Lock_released { lock } -> Printf.sprintf "lock-released %s" lock
+    | Access { obj; write } ->
+        Printf.sprintf "%s %s" (if write then "write" else "read") obj
+  in
+  Printf.sprintf "#%d d%d%s %s" e.seq e.domain
+    (match e.running with None -> "" | Some j -> Printf.sprintf " j%d" j)
+    body
+
+let to_string (t : t) =
+  String.concat "\n" (List.map event_to_string t) ^ "\n"

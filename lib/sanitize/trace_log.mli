@@ -1,0 +1,21 @@
+(** Event recorder for the concurrency sanitizer: installs a {!Gpos.Trace}
+    sink around a computation and returns the collected trace in global
+    arrival order. *)
+
+type entry = {
+  seq : int;
+  domain : int;
+  running : int option; (** job whose body emitted the event, if any *)
+  ev : Gpos.Trace.event;
+}
+
+type t = entry list
+
+val record : (unit -> 'a) -> 'a * t
+(** [record f] runs [f] with tracing enabled and returns its result together
+    with every event emitted while it ran. The sink is removed afterwards
+    even if [f] raises. Recording is process-global: do not nest. *)
+
+val length : t -> int
+val event_to_string : entry -> string
+val to_string : t -> string

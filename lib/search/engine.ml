@@ -41,7 +41,7 @@ type t = {
   counters : acounters;
 }
 
-let create ?(workers = 1) ~ruleset ~model ~factory ~base memo =
+let create ?(workers = 1) ?fuzz_seed ~ruleset ~model ~factory ~base memo =
   {
     memo;
     ruleset;
@@ -49,7 +49,13 @@ let create ?(workers = 1) ~ruleset ~model ~factory ~base memo =
     model;
     base;
     sched = Gpos.Scheduler.create ();
-    sched_opt = Gpos.Scheduler.create ~workers ();
+    sched_opt =
+      (* Schedule fuzzing permutes only the optimization scheduler: the
+         exploration/implementation phases assign gexpr and group ids, so
+         permuting them would change the Memo itself rather than exercise a
+         different interleaving of the same costing work. *)
+      Gpos.Scheduler.create ~workers
+        ?fuzz:(Option.map Gpos.Prng.create fuzz_seed) ();
     deadline = None;
     counters =
       {
@@ -72,6 +78,13 @@ let timed_out t =
   | Some d -> Gpos.Clock.now () > d
 
 let bump_by counter n = ignore (Atomic.fetch_and_add counter n)
+
+(* Sanitizer hook: publish context state/best accesses made outside the
+   Memo's locks, so the race detector can check they are ordered by the
+   scheduler's goal queues alone. *)
+let trace_access obj write =
+  if Gpos.Trace.enabled () then
+    Gpos.Trace.emit (Gpos.Trace.Access { obj = obj (); write })
 
 (* --- Xform(gexpr, rule) --- *)
 
@@ -255,7 +268,13 @@ let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
     List.map2
       (fun cg cr ->
         match Memo.find_context t.memo cg cr with
-        | Some cctx -> cctx.Memo.cx_best
+        | Some cctx ->
+            (* unlocked read: must be ordered after the child Opt goal's
+               release by the goal queue — the sanitizer checks exactly this *)
+            trace_access
+              (fun () -> Printf.sprintf "ctx:%d.best" cctx.Memo.cx_id)
+              false;
+            cctx.Memo.cx_best
         | None -> None)
       children child_reqs
   in
@@ -329,14 +348,18 @@ let rec opt_group_job t gid req () =
   let gid = Memo.find t.memo gid in
   let ctx, created = Memo.obtain_context t.memo gid req in
   if created then bump_by t.counters.a_contexts_created 1;
+  let state_obj () = Printf.sprintf "ctx:%d.state" ctx.Memo.cx_id in
+  trace_access state_obj false;
   match ctx.Memo.cx_state with
   | Memo.Ctx_complete -> Gpos.Scheduler.Finished
   | Memo.Ctx_in_progress ->
       (* our own re-run after the Opt(gexpr) children drained (concurrent
          requests for this goal are parked on the goal queue instead) *)
+      trace_access state_obj true;
       ctx.Memo.cx_state <- Memo.Ctx_complete;
       Gpos.Scheduler.Finished
   | Memo.Ctx_new ->
+      trace_access state_obj true;
       ctx.Memo.cx_state <- Memo.Ctx_in_progress;
       let g = Memo.group t.memo gid in
       let jobs =
@@ -348,6 +371,7 @@ let rec opt_group_job t gid req () =
                })
       in
       if jobs = [] then begin
+        trace_access state_obj true;
         ctx.Memo.cx_state <- Memo.Ctx_complete;
         Gpos.Scheduler.Finished
       end

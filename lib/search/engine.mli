@@ -20,6 +20,7 @@ type t
 
 val create :
   ?workers:int ->
+  ?fuzz_seed:int ->
   ruleset:Xform.Ruleset.t ->
   model:Cost.Cost_model.t ->
   factory:Colref.Factory.t ->
@@ -27,7 +28,10 @@ val create :
   Memolib.Memo.t ->
   t
 (** [workers = 1] (default) is deterministic; more workers run optimization
-    jobs on that many domains. [base] supplies base-table statistics. *)
+    jobs on that many domains. [base] supplies base-table statistics.
+    [fuzz_seed] makes the optimization scheduler dequeue PRNG-chosen jobs
+    (the sanitizer's schedule fuzzer): a different but deterministic
+    interleaving of the same costing work per seed. *)
 
 val set_deadline : t -> float option -> unit
 (** Stage timeout in milliseconds from now; bounds exploration (a plan is

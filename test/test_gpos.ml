@@ -139,6 +139,169 @@ let test_scheduler_parallel () =
   Gpos.Scheduler.run sched root;
   Alcotest.(check int) "all parallel jobs ran" total (Atomic.get counter)
 
+(* --- goal-queue edge cases (workers = 1) --- *)
+
+let test_goal_already_finished () =
+  (* a child spawned with a goal that already finished earlier in the run is
+     absorbed immediately instead of re-running the work *)
+  let sched = Gpos.Scheduler.create () in
+  let runs = ref 0 in
+  let work () =
+    incr runs;
+    Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      match !stage with
+      | 1 | 2 ->
+          Gpos.Scheduler.Wait_for
+            [ { Gpos.Scheduler.run = work; goal = Some "g" } ]
+      | _ -> Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched root;
+  Alcotest.(check int) "work ran once" 1 !runs;
+  let _, _, goal_hits = Gpos.Scheduler.stats sched in
+  Alcotest.(check int) "second child absorbed" 1 goal_hits
+
+let test_nested_same_goal () =
+  (* a job holding a goal spawns a child with the same goal: parking the
+     parent on its own goal queue would deadlock (the goal finishes only
+     after the parent's subtree does), so the child must be absorbed and
+     resolved against the ancestor instead *)
+  let sched = Gpos.Scheduler.create () in
+  let inner_runs = ref 0 in
+  let outer =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [
+            {
+              Gpos.Scheduler.run =
+                (fun () ->
+                  incr inner_runs;
+                  Gpos.Scheduler.Finished);
+              goal = Some "g";
+            };
+          ]
+      else Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [ { Gpos.Scheduler.run = outer; goal = Some "g" } ]
+      else Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched root;
+  (* termination IS the test; the nested child is covered by the ancestor *)
+  Alcotest.(check int) "inner absorbed into ancestor goal" 0 !inner_runs
+
+let test_wait_for_empty_reruns () =
+  (* Wait_for [] means "re-run me": the job must be re-enqueued, and the
+     run must terminate once it finally finishes *)
+  let sched = Gpos.Scheduler.create () in
+  let n = ref 0 in
+  let job () =
+    incr n;
+    if !n < 5 then Gpos.Scheduler.Wait_for [] else Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched job;
+  Alcotest.(check int) "re-ran until finished" 5 !n
+
+let test_failure_clears_goal_table () =
+  (* a failing run abandons a parent parked on a goal queue; the goal table
+     must be cleared so a later run reusing the same goal key cannot be
+     absorbed into the dead entry and wedge forever *)
+  let sched = Gpos.Scheduler.create () in
+  let holder =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [ { Gpos.Scheduler.run = (fun () -> failwith "boom"); goal = None } ]
+      else Gpos.Scheduler.Finished
+  in
+  let parker =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [
+            {
+              Gpos.Scheduler.run = (fun () -> Gpos.Scheduler.Finished);
+              goal = Some "g";
+            };
+          ]
+      else Gpos.Scheduler.Finished
+  in
+  let root =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [
+            { Gpos.Scheduler.run = holder; goal = Some "g" };
+            { Gpos.Scheduler.run = parker; goal = None };
+          ]
+      else Gpos.Scheduler.Finished
+  in
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
+      Gpos.Scheduler.run sched root);
+  let ran = ref false in
+  let reuse =
+    let stage = ref 0 in
+    fun () ->
+      incr stage;
+      if !stage = 1 then
+        Gpos.Scheduler.Wait_for
+          [
+            {
+              Gpos.Scheduler.run =
+                (fun () ->
+                  ran := true;
+                  Gpos.Scheduler.Finished);
+              goal = Some "g";
+            };
+          ]
+      else Gpos.Scheduler.Finished
+  in
+  Gpos.Scheduler.run sched reuse;
+  Alcotest.(check bool) "goal key usable after failed run" true !ran
+
+let test_fuzz_deterministic () =
+  (* same fuzz seed -> same schedule; the fuzzer is reproducible *)
+  let order seed =
+    let sched = Gpos.Scheduler.create ~fuzz:(Gpos.Prng.create seed) () in
+    let log = ref [] in
+    let leaf i () =
+      log := i :: !log;
+      Gpos.Scheduler.Finished
+    in
+    let root =
+      let stage = ref 0 in
+      fun () ->
+        incr stage;
+        if !stage = 1 then
+          Gpos.Scheduler.Wait_for
+            (List.init 8 (fun i ->
+                 { Gpos.Scheduler.run = leaf i; goal = None }))
+        else Gpos.Scheduler.Finished
+    in
+    Gpos.Scheduler.run sched root;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "seed 7 reproducible" (order 7) (order 7);
+  Alcotest.(check (list int)) "seed 8 reproducible" (order 8) (order 8)
+
 let test_run_root () =
   let sched = Gpos.Scheduler.create () in
   let result = Gpos.Scheduler.run_root sched (fun store -> store 42) in
@@ -159,6 +322,12 @@ let suite =
     Alcotest.test_case "scheduler goal dedup" `Quick test_scheduler_goal_dedup;
     Alcotest.test_case "scheduler exception" `Quick test_scheduler_exception;
     Alcotest.test_case "scheduler parallel" `Quick test_scheduler_parallel;
+    Alcotest.test_case "goal already finished" `Quick test_goal_already_finished;
+    Alcotest.test_case "nested same goal" `Quick test_nested_same_goal;
+    Alcotest.test_case "Wait_for [] re-runs" `Quick test_wait_for_empty_reruns;
+    Alcotest.test_case "failure clears goal table" `Quick
+      test_failure_clears_goal_table;
+    Alcotest.test_case "fuzz deterministic" `Quick test_fuzz_deterministic;
     Alcotest.test_case "run_root" `Quick test_run_root;
     Alcotest.test_case "clock" `Quick test_clock;
   ]

@@ -23,5 +23,6 @@ let () =
       ("window", Test_window.suite);
       ("integration", Test_integration.suite);
       ("verify", Test_verify.suite);
+      ("sanitize", Test_sanitize.suite);
       ("properties", Test_properties.suite);
     ]

@@ -538,6 +538,81 @@ let ablate () =
          BY s DESC LIMIT 5" );
     ]
 
+(* ====================== observability profile ======================== *)
+
+let profile_json = ref None
+
+(* Per-query optimizer/executor profile over the whole workload, with a
+   machine-readable JSON dump (--profile-json PATH, conventionally
+   BENCH_profile.json) for tracking optimizer behaviour across commits. *)
+let profile () =
+  let e = get_env () in
+  header
+    "Observability profile (lib/obs) -- per-query optimizer/executor counters";
+  let rows = ref [] in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      try
+        let accessor, query = bind_query e q.Tpcds.Queries.sql in
+        let config = Orca.Orca_config.with_obs (orca_config ()) in
+        let report = Orca.Optimizer.optimize ~config accessor query in
+        let _res, m = Exec.Executor.run e.cluster report.Orca.Optimizer.plan in
+        rows := (q, report, m) :: !rows
+      with ex ->
+        Printf.printf "q%-3d failed: %s\n" q.Tpcds.Queries.qid
+          (Gpos.Gpos_error.to_string ex))
+    (Lazy.force Tpcds.Queries.all);
+  let rows = List.rev !rows in
+  Printf.printf "%-5s %9s %7s %7s %7s %9s %10s %11s\n" "query" "opt(ms)"
+    "groups" "gexprs" "xforms" "jobs" "sim(s)" "scanned";
+  List.iter
+    (fun ((q : Tpcds.Queries.def), (r : Orca.Optimizer.report), m) ->
+      Printf.printf "%-5d %9.2f %7d %7d %7d %9d %10.5f %11.0f\n"
+        q.Tpcds.Queries.qid r.Orca.Optimizer.opt_time_ms r.Orca.Optimizer.groups
+        r.Orca.Optimizer.gexprs r.Orca.Optimizer.xforms
+        r.Orca.Optimizer.jobs_created m.Exec.Metrics.sim_seconds
+        m.Exec.Metrics.rows_scanned)
+    rows;
+  let sum f = List.fold_left (fun a x -> a +. f x) 0.0 rows in
+  Printf.printf
+    "\ntotal: %d queries, %.1f ms optimization, %.4f s simulated execution\n"
+    (List.length rows)
+    (sum (fun (_, r, _) -> r.Orca.Optimizer.opt_time_ms))
+    (sum (fun (_, _, m) -> m.Exec.Metrics.sim_seconds));
+  match !profile_json with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 8192 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pf "{\"sf\":%g,\"segments\":%d,\"workers\":%d,\"queries\":[\n" !sf !nsegs
+        !workers;
+      List.iteri
+        (fun i ((q : Tpcds.Queries.def), (r : Orca.Optimizer.report), m) ->
+          let kv =
+            Exec.Metrics.to_kv m
+            |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%g" k v)
+            |> String.concat ","
+          in
+          pf
+            "%s{\"qid\":%d,\"family\":%S,\"opt_ms\":%.3f,\"groups\":%d,\
+             \"gexprs\":%d,\"contexts\":%d,\"xforms\":%d,\"jobs_created\":%d,\
+             \"jobs_run\":%d,%s}"
+            (if i = 0 then "" else ",\n")
+            q.Tpcds.Queries.qid q.Tpcds.Queries.family
+            r.Orca.Optimizer.opt_time_ms r.Orca.Optimizer.groups
+            r.Orca.Optimizer.gexprs r.Orca.Optimizer.contexts
+            r.Orca.Optimizer.xforms r.Orca.Optimizer.jobs_created
+            r.Orca.Optimizer.jobs_run kv)
+        rows;
+      pf "\n],\"totals\":{\"queries\":%d,\"opt_ms\":%.3f,\"sim_seconds\":%g}}\n"
+        (List.length rows)
+        (sum (fun (_, r, _) -> r.Orca.Optimizer.opt_time_ms))
+        (sum (fun (_, _, m) -> m.Exec.Metrics.sim_seconds));
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "profile JSON written to %s\n" path
+
 (* ======================== running example (§4.1) ====================== *)
 
 let running_example () =
@@ -630,6 +705,9 @@ let () =
     | "--workers" :: v :: rest ->
         workers := int_of_string v;
         parse rest
+    | "--profile-json" :: v :: rest ->
+        profile_json := Some v;
+        parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
   in
@@ -645,9 +723,13 @@ let () =
     | "stages" -> stages ()
     | "ablate" -> ablate ()
     | "running-example" -> running_example ()
+    | "profile" -> profile ()
     | "micro" -> micro ()
     | other -> Printf.printf "unknown experiment %S\n" other
   in
   match cmds with
-  | [] -> all_experiments ()
-  | cmds -> List.iter dispatch cmds
+  (* bare --profile-json means "emit the profile", not "run everything" *)
+  | [] -> if !profile_json <> None then profile () else all_experiments ()
+  | cmds ->
+      List.iter dispatch cmds;
+      if !profile_json <> None && not (List.mem "profile" cmds) then profile ()

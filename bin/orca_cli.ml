@@ -63,9 +63,51 @@ let run_cmd env sql =
     report.Orca.Optimizer.opt_time_ms report.Orca.Optimizer.groups
     report.Orca.Optimizer.gexprs
 
-let explain_cmd env sql =
+(* EXPLAIN ANALYZE: execute the plan with the per-operator observe hook and
+   print estimated vs actual rows (the cardinality error) and the inclusive
+   simulated time next to each node. *)
+let explain_analyze env (report : Orca.Optimizer.report) =
+  let plan = report.Orca.Optimizer.plan in
+  let observed : (Expr.plan * float * float) list ref = ref [] in
+  let observe p ~rows ~sim_s = observed := (p, rows, sim_s) :: !observed in
+  let _rows, metrics = Exec.Executor.run ~observe env.cluster plan in
+  let buf = Buffer.create 1024 in
+  let rec walk depth (p : Expr.plan) =
+    let name = Physical_ops.to_string p.Expr.pop in
+    let name =
+      if String.length name > 44 then String.sub name 0 44 else name
+    in
+    let line =
+      (* DPE rewrites scan nodes before evaluating them, so a node can be
+         missing from the observations: report its actuals as unknown *)
+      match List.find_opt (fun (p', _, _) -> p' == p) !observed with
+      | Some (_, rows, sim_s) ->
+          let err =
+            if rows > 0.0 && p.Expr.pest_rows > 0.0 then
+              let e = Float.max (p.Expr.pest_rows /. rows) (rows /. p.Expr.pest_rows) in
+              Printf.sprintf "%8.2fx" e
+            else "       -"
+          in
+          Printf.sprintf "est=%10.0f  act=%10.0f  err=%s  time=%9.5fs"
+            p.Expr.pest_rows rows err sim_s
+      | None ->
+          Printf.sprintf "est=%10.0f  act=%10s  err=%8s  time=%9s"
+            p.Expr.pest_rows "-" "-" "-"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-48s %s\n"
+         (String.make (2 * depth) ' ' ^ "-> " ^ name)
+         line);
+    List.iter (walk (depth + 1)) p.Expr.pchildren
+  in
+  walk 0 plan;
+  print_string (Buffer.contents buf);
+  Printf.printf "\n%s\n" (Exec.Metrics.to_string metrics)
+
+let explain_cmd analyze env sql =
   let _, report = optimize env sql in
-  print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
+  if analyze then explain_analyze env report
+  else print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
   Printf.printf
     "\nstage=%s  groups=%d  gexprs=%d  contexts=%d  xforms=%d  jobs=%d  \
      opt=%.1fms\n"
@@ -273,6 +315,99 @@ let sanitize_cmd suite seeds env sql =
         workers seeds;
       if !errors > 0 then exit 1
 
+(* --- the observability profiler (lib/obs) --- *)
+
+(* Optimize one query with observability on and execute the plan; returns the
+   per-query Obs report (spans stay with the session owner, the caller). *)
+let profile_one env sql : Obs.Report.t =
+  let accessor =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let config = Orca.Orca_config.with_obs (base_config env) in
+  let report = Orca.Optimizer.optimize ~config accessor query in
+  let obs =
+    match report.Orca.Optimizer.obs with
+    | Some r -> r
+    | None -> Obs.Report.empty
+  in
+  let _rows, metrics =
+    Obs.Span.with_ ~name:"execute" (fun () ->
+        Exec.Executor.run env.cluster report.Orca.Optimizer.plan)
+  in
+  Obs.Report.with_exec obs (Exec.Metrics.to_kv metrics)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Span self-consistency: children must not sum past their parent. *)
+let profile_check spans =
+  match Obs.Trace_export.check_consistency spans with
+  | [] ->
+      Printf.printf "span accounting: consistent (%d spans)\n"
+        (List.length spans)
+  | violations ->
+      List.iter
+        (fun v ->
+          prerr_endline
+            ("span accounting: " ^ Obs.Trace_export.violation_to_string v))
+        violations;
+      exit 1
+
+let profile_finish ~trace ~top ~check ~flame (obs : Obs.Report.t) =
+  (* the flame summary is per-path: useful for one query, a wall of text for
+     a 111-query suite (the suite's spans still reach the trace file) *)
+  let printed = if flame then obs else Obs.Report.with_spans obs [] in
+  print_string (Obs.Report.to_string ~top printed);
+  (match trace with
+  | None -> ()
+  | Some path ->
+      write_file path (Obs.Trace_export.to_chrome_json obs.Obs.Report.spans);
+      Printf.printf "\ntrace: %s (load in Perfetto or chrome://tracing)\n" path);
+  if check then profile_check obs.Obs.Report.spans
+
+let profile_cmd suite trace top check env sql =
+  match (suite, sql) with
+  | false, None ->
+      prerr_endline "profile: provide a SQL query, or pass --suite";
+      exit 2
+  | false, Some sql ->
+      (* the CLI owns the span session so parse/bind/execute are captured
+         alongside the optimizer's own spans *)
+      let obs, spans = Obs.Span.collect (fun () -> profile_one env sql) in
+      profile_finish ~trace ~top ~check ~flame:true
+        { (Obs.Report.with_spans obs spans) with Obs.Report.label = "query" }
+  | true, _ ->
+      let reports = ref [] and skipped = ref 0 in
+      let (), spans =
+        Obs.Span.collect (fun () ->
+            List.iter
+              (fun (q : Tpcds.Queries.def) ->
+                let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+                match
+                  Obs.Span.with_ ~name:label (fun () ->
+                      profile_one env q.Tpcds.Queries.sql)
+                with
+                | obs ->
+                    reports := { obs with Obs.Report.label } :: !reports
+                | exception Orca.Optimizer.Unsupported_query msg ->
+                    incr skipped;
+                    Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
+              (Lazy.force Tpcds.Queries.all))
+      in
+      let merged =
+        {
+          (Obs.Report.merge_all (List.rev !reports)) with
+          Obs.Report.label = "tpcds-suite";
+        }
+      in
+      Printf.printf "profiled %d queries (%d unsupported)\n\n"
+        merged.Obs.Report.queries !skipped;
+      profile_finish ~trace ~top ~check ~flame:false
+        (Obs.Report.with_spans merged spans)
+
 let queries_cmd () =
   List.iter
     (fun (q : Tpcds.Queries.def) ->
@@ -314,7 +449,21 @@ let () =
   let cmds =
     [
       cmd "run" "Optimize and execute a query; print results." run_cmd;
-      cmd "explain" "Print the optimized plan and search statistics." explain_cmd;
+      (let analyze_arg =
+         Arg.(
+           value & flag
+           & info [ "analyze" ]
+               ~doc:
+                 "Execute the plan and print actual vs estimated rows (the \
+                  cardinality error) and per-operator simulated time.")
+       in
+       Cmd.v
+         (Cmd.info "explain"
+            ~doc:"Print the optimized plan and search statistics.")
+         Term.(
+           const (fun analyze sf segs workers sql ->
+               explain_cmd analyze (make_env sf segs workers) sql)
+           $ analyze_arg $ sf_arg $ segs_arg $ workers_arg $ sql_arg));
       cmd "compare" "Orca vs the legacy Planner: plans and simulated times."
         compare_cmd;
       (let dot_arg =
@@ -381,6 +530,51 @@ let () =
                sanitize_cmd suite seeds (make_env sf segs workers) sql)
            $ suite_arg $ seeds_arg $ sf_arg $ segs_arg $ workers_arg
            $ sql_opt_arg));
+      (let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Profile every bundled TPC-DS query instead of one SQL \
+                  string.")
+       in
+       let trace_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "trace" ] ~docv:"PATH"
+               ~doc:
+                 "Write the span trace as Chrome trace_event JSON (load in \
+                  Perfetto or chrome://tracing).")
+       in
+       let top_arg =
+         Arg.(
+           value & opt int 10
+           & info [ "top" ] ~docv:"N"
+               ~doc:"Show the N most expensive rules in the profile.")
+       in
+       let check_arg =
+         Arg.(
+           value & flag
+           & info [ "check" ]
+               ~doc:
+                 "Verify span accounting (children must not sum past their \
+                  parent); exit nonzero on violations.")
+       in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "profile"
+            ~doc:
+              "Optimize and execute with full observability: per-rule and \
+               per-stage profiles, Memo growth, scheduler utilization, \
+               execution metrics, and an exportable span trace.")
+         Term.(
+           const (fun suite trace top check sf segs workers sql ->
+               profile_cmd suite trace top check (make_env sf segs workers) sql)
+           $ suite_arg $ trace_arg $ top_arg $ check_arg $ sf_arg $ segs_arg
+           $ workers_arg $ sql_opt_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());

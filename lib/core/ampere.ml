@@ -15,19 +15,43 @@ type dump = {
   metadata : Catalog.Metadata.obj list;
   query : Dxl.Dxl_query.t;
   expected_plan : Ir.Expr.plan option;
+  profile : string option;     (* rendered Obs.Report summary *)
+  trace_json : string option;  (* Chrome trace_event JSON of the session *)
 }
 
 (* --- capture --- *)
 
 let capture ?(stacktrace = None) ?(traceflags = []) ?expected_plan
-    (accessor : Catalog.Accessor.t) (query : Dxl.Dxl_query.t) : dump =
+    ?(profile = None) ?(trace_json = None) (accessor : Catalog.Accessor.t)
+    (query : Dxl.Dxl_query.t) : dump =
   {
     stacktrace;
     traceflags;
     metadata = Catalog.Accessor.accessed_objects accessor;
     query;
     expected_plan;
+    profile;
+    trace_json;
   }
+
+(* Embed the observability report of a completed optimization: the rendered
+   summary plus the Perfetto-loadable trace, so a dump carries the profile of
+   the session it reproduces. No-op when the report has none. *)
+let embed_report (d : dump) (report : Optimizer.report) : dump =
+  match report.Optimizer.obs with
+  | None -> d
+  | Some r ->
+      (* trimmed so the strings survive the DXL round trip byte-for-byte
+         (the XML parser strips leading/trailing whitespace in text nodes) *)
+      {
+        d with
+        profile = Some (String.trim (Obs.Report.to_string r));
+        trace_json =
+          (match r.Obs.Report.spans with
+          | [] -> d.trace_json
+          | spans ->
+              Some (String.trim (Obs.Trace_export.to_chrome_json spans)));
+      }
 
 (* Capture a dump for a failed optimization. *)
 let capture_exn (accessor : Catalog.Accessor.t) (query : Dxl.Dxl_query.t)
@@ -43,10 +67,35 @@ let capture_exn (accessor : Catalog.Accessor.t) (query : Dxl.Dxl_query.t)
 let optimize_with_capture ?config (accessor : Catalog.Accessor.t)
     (query : Dxl.Dxl_query.t) :
     (Optimizer.report, dump) Stdlib.result =
-  try Ok (Optimizer.optimize ?config accessor query)
+  let cfg = Option.value ~default:Orca_config.default config in
+  (* Own the span session so a failure dump can still embed the partial
+     trace of the spans completed before the exception. *)
+  let owned = cfg.Orca_config.obs && Obs.Span.begin_session () in
+  try
+    let report = Optimizer.optimize ?config accessor query in
+    let report =
+      if owned then
+        let spans = Obs.Span.end_session () in
+        {
+          report with
+          Optimizer.obs =
+            Option.map
+              (fun r -> Obs.Report.with_spans r spans)
+              report.Optimizer.obs;
+        }
+      else report
+    in
+    Ok report
   with exn ->
     let bt = Printexc.get_backtrace () in
-    Error (capture_exn accessor query exn bt)
+    let trace_json =
+      if owned then
+        match Obs.Span.end_session () with
+        | [] -> None
+        | spans -> Some (String.trim (Obs.Trace_export.to_chrome_json spans))
+      else None
+    in
+    Error { (capture_exn accessor query exn bt) with trace_json }
 
 (* --- serialization --- *)
 
@@ -70,14 +119,28 @@ let to_xml (d : dump) : Dxl.Xml.element =
         Dxl.Xml.Element
           (Dxl.Dxl_query.query_element (Dxl.Dxl_query.to_xml d.query));
       ]
+    @ (match d.expected_plan with
+      | None -> []
+      | Some p ->
+          [
+            Dxl.Xml.Element
+              (Dxl.Xml.element "dxl:Plan"
+                 ~children:[ Dxl.Xml.Element (Dxl.Dxl_plan.to_xml p) ]);
+          ])
+    @ (match d.profile with
+      | None -> []
+      | Some p ->
+          [
+            Dxl.Xml.Element
+              (Dxl.Xml.element "dxl:ObsProfile" ~children:[ Dxl.Xml.Text p ]);
+          ])
     @
-    match d.expected_plan with
+    match d.trace_json with
     | None -> []
-    | Some p ->
+    | Some t ->
         [
           Dxl.Xml.Element
-            (Dxl.Xml.element "dxl:Plan"
-               ~children:[ Dxl.Xml.Element (Dxl.Dxl_plan.to_xml p) ]);
+            (Dxl.Xml.element "dxl:ObsTrace" ~children:[ Dxl.Xml.Text t ]);
         ]
   in
   Dxl.Xml.element "dxl:DXLMessage"
@@ -104,7 +167,13 @@ let of_xml (root : Dxl.Xml.element) : dump =
   let expected_plan =
     Option.map Dxl.Dxl_plan.of_message (Dxl.Xml.find_child thread "dxl:Plan")
   in
-  { stacktrace; traceflags; metadata; query; expected_plan }
+  let profile =
+    Option.map Dxl.Xml.text_content (Dxl.Xml.find_child thread "dxl:ObsProfile")
+  in
+  let trace_json =
+    Option.map Dxl.Xml.text_content (Dxl.Xml.find_child thread "dxl:ObsTrace")
+  in
+  { stacktrace; traceflags; metadata; query; expected_plan; profile; trace_json }
 
 let of_string (s : string) : dump = of_xml (Dxl.Xml.of_string s)
 

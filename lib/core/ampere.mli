@@ -14,17 +14,28 @@ type dump = {
   metadata : Catalog.Metadata.obj list;
   query : Dxl.Dxl_query.t;
   expected_plan : Ir.Expr.plan option;
+  profile : string option;
+      (** rendered {!Obs.Report} summary of the captured session *)
+  trace_json : string option;
+      (** Chrome trace_event JSON of the session's spans (partial trace up
+          to the exception on failure captures) *)
 }
 
 val capture :
   ?stacktrace:string option ->
   ?traceflags:(string * string) list ->
   ?expected_plan:Ir.Expr.plan ->
+  ?profile:string option ->
+  ?trace_json:string option ->
   Catalog.Accessor.t ->
   Dxl.Dxl_query.t ->
   dump
 (** Capture a dump from a completed (or attempted) optimization session; the
     metadata is exactly the set of objects the accessor touched. *)
+
+val embed_report : dump -> Optimizer.report -> dump
+(** Attach the report's observability summary and trace (when the report has
+    one) so the dump carries the profile of the session it reproduces. *)
 
 val capture_exn :
   Catalog.Accessor.t -> Dxl.Dxl_query.t -> exn -> string -> dump
@@ -38,7 +49,10 @@ val optimize_with_capture :
 (** The paper's automatic failure capture (§6.1 "a dump is automatically
     generated when an unexpected error takes place"): run the optimizer; an
     escaping exception becomes an [Error dump] carrying the query, the
-    metadata working set and the stack trace instead of a crash. *)
+    metadata working set and the stack trace instead of a crash. With
+    {!Orca_config.t.obs} set, this call owns the span session: a success
+    report carries the session's spans, and a failure dump embeds the
+    partial trace of the spans completed before the exception. *)
 
 val to_string : dump -> string
 (** Serialize to a DXL document (the Listing 2 shape). *)

@@ -25,6 +25,8 @@ type report = {
   decorrelated : int;
   diagnostics : Verify.Diagnostic.t list;
       (* static-analyzer findings ([] unless config.verify) *)
+  obs : Obs.Report.t option;
+      (* unified observability report (None unless config.obs) *)
 }
 
 let root_req (q : Dxl.Dxl_query.t) : Props.req =
@@ -57,25 +59,28 @@ let rec tree_to_mexpr (t : Ltree.t) : Memolib.Mexpr.t =
 let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
     ~(base : Table_desc.t -> Stats.Relstats.t) (tree : Ltree.t)
     (req : Props.req) (stage : Xform.Ruleset.stage) =
-  let memo = Memolib.Memo.create () in
-  let root_ge =
-    Memolib.Memo.insert memo (tree_to_mexpr tree)
-  in
-  Memolib.Memo.set_root memo (Memolib.Memo.find memo root_ge.Memolib.Memo.ge_group);
-  let engine =
-    Search.Engine.create ~workers:config.Orca_config.workers
-      ?fuzz_seed:config.Orca_config.fuzz_seed
-      ~ruleset:stage.Xform.Ruleset.stage_rules ~model:config.Orca_config.model
-      ~factory ~base memo
-  in
-  Search.Engine.set_deadline engine stage.Xform.Ruleset.timeout_ms;
-  let plan = Search.Engine.run engine req in
-  (memo, engine, plan)
+  Obs.Span.with_ ~name:("stage:" ^ stage.Xform.Ruleset.stage_name) (fun () ->
+      let memo = Memolib.Memo.create () in
+      let root_ge =
+        Obs.Span.with_ ~name:"copy-in" (fun () ->
+            Memolib.Memo.insert memo (tree_to_mexpr tree))
+      in
+      Memolib.Memo.set_root memo
+        (Memolib.Memo.find memo root_ge.Memolib.Memo.ge_group);
+      let engine =
+        Search.Engine.create ~workers:config.Orca_config.workers
+          ?fuzz_seed:config.Orca_config.fuzz_seed ~obs:config.Orca_config.obs
+          ~ruleset:stage.Xform.Ruleset.stage_rules
+          ~model:config.Orca_config.model ~factory ~base memo
+      in
+      Search.Engine.set_deadline engine stage.Xform.Ruleset.timeout_ms;
+      let plan = Search.Engine.run engine req in
+      (memo, engine, plan))
 
 exception Unsupported_query of string
 
 (* Optimize a DXL query against the metadata reachable through [accessor]. *)
-let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
+let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     (query : Dxl.Dxl_query.t) : report =
   let t0 = Gpos.Clock.now () in
   let factory = Catalog.Accessor.factory accessor in
@@ -84,35 +89,52 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
   (* preprocessing: decorrelate subqueries, normalize *)
   let tree = query.Dxl.Dxl_query.tree in
   let tree, decorrelated =
-    if config.Orca_config.decorrelate then begin
-      let r = Xform.Decorrelate.run factory tree in
-      if r.Xform.Decorrelate.remaining > 0 then
-        raise
-          (Unsupported_query
-             (Printf.sprintf "%d correlated subqueries could not be unnested"
-                r.Xform.Decorrelate.remaining));
-      (r.Xform.Decorrelate.tree, r.Xform.Decorrelate.rewritten)
-    end
-    else begin
-      let has_apply =
-        Ltree.fold
-          (fun acc n ->
-            acc || match n.Ltree.op with Expr.L_apply _ -> true | _ -> false)
-          false tree
-      in
-      if has_apply then
-        raise (Unsupported_query "correlated subquery (decorrelation disabled)");
-      (tree, 0)
-    end
-  in
-  let tree = if config.Orca_config.normalize then Xform.Normalize.run tree else tree in
-  let tree =
-    if config.Orca_config.prune_columns then
-      Xform.Prune_columns.run tree ~output:query.Dxl.Dxl_query.output
-    else tree
+    Obs.Span.with_ ~name:"preprocess" (fun () ->
+        let tree, decorrelated =
+          if config.Orca_config.decorrelate then
+            Obs.Span.with_ ~name:"decorrelate" (fun () ->
+                let r = Xform.Decorrelate.run factory tree in
+                if r.Xform.Decorrelate.remaining > 0 then
+                  raise
+                    (Unsupported_query
+                       (Printf.sprintf
+                          "%d correlated subqueries could not be unnested"
+                          r.Xform.Decorrelate.remaining));
+                (r.Xform.Decorrelate.tree, r.Xform.Decorrelate.rewritten))
+          else begin
+            let has_apply =
+              Ltree.fold
+                (fun acc n ->
+                  acc
+                  || match n.Ltree.op with Expr.L_apply _ -> true | _ -> false)
+                false tree
+            in
+            if has_apply then
+              raise
+                (Unsupported_query
+                   "correlated subquery (decorrelation disabled)");
+            (tree, 0)
+          end
+        in
+        let tree =
+          if config.Orca_config.normalize then
+            Obs.Span.with_ ~name:"normalize" (fun () ->
+                Xform.Normalize.run tree)
+          else tree
+        in
+        let tree =
+          if config.Orca_config.prune_columns then
+            Obs.Span.with_ ~name:"prune-columns" (fun () ->
+                Xform.Prune_columns.run tree
+                  ~output:query.Dxl.Dxl_query.output)
+          else tree
+        in
+        (tree, decorrelated))
   in
   Ltree.validate tree;
   let req = root_req query in
+  (* every stage actually run, for the per-stage observability snapshots *)
+  let stage_runs : (string * Search.Engine.t) list ref = ref [] in
   (* stage loop: stop at the first stage whose best plan beats its cost
      threshold; otherwise keep the cheapest plan across stages *)
   let rec stages_loop best = function
@@ -124,6 +146,8 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
         let memo, engine, plan =
           run_stage config ~factory ~base tree req stage
         in
+        if config.Orca_config.obs then
+          stage_runs := (stage.Xform.Ruleset.stage_name, engine) :: !stage_runs;
         let result = (memo, engine, plan, stage.Xform.Ruleset.stage_name) in
         let better =
           match best with
@@ -159,9 +183,36 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
     float_of_int (Gc.quick_stat ()).Gc.heap_words *. 8.0 /. 1048576.0
   in
   Catalog.Accessor.release accessor;
+  let opt_ms = Gpos.Clock.ms_since t0 in
+  let obs =
+    if not config.Orca_config.obs then None
+    else
+      (* one snapshot per stage run, merged: rule counters sum by name,
+         scheduler counters by label, Memo growth across the stages' Memos *)
+      let per_stage =
+        List.rev_map
+          (fun (sname, eng) ->
+            {
+              Obs.Report.empty with
+              Obs.Report.stage_names = [ sname ];
+              rules = Search.Engine.rule_profile eng;
+              memo = Search.Engine.memo_profile eng;
+              scheds = Search.Engine.sched_profiles eng;
+              cost = Search.Engine.cost_profile eng;
+            })
+          !stage_runs
+      in
+      Some
+        {
+          (Obs.Report.merge_all per_stage) with
+          Obs.Report.label = "query";
+          queries = 1;
+          total_ms = opt_ms;
+        }
+  in
   {
     plan;
-    opt_time_ms = Gpos.Clock.ms_since t0;
+    opt_time_ms = opt_ms;
     groups = Memolib.Memo.ngroups memo;
     gexprs = Memolib.Memo.ngexprs memo;
     contexts = (Search.Engine.counters engine).Search.Engine.contexts_created;
@@ -175,7 +226,24 @@ let optimize ?(config = Orca_config.default) (accessor : Catalog.Accessor.t)
     root_req = req;
     decorrelated;
     diagnostics;
+    obs;
   }
+
+(* With observability on, own a span session for the whole optimization when
+   no outer owner (the CLI's suite loop, AMPERe capture) holds one; the
+   drained spans land on the report. Nested under an active session,
+   [Obs.Span.collect] returns no events and the outer owner keeps them. *)
+let optimize ?(config = Orca_config.default) accessor query : report =
+  if not config.Orca_config.obs then optimize_inner ~config accessor query
+  else
+    let report, spans =
+      Obs.Span.collect (fun () ->
+          Obs.Span.with_ ~name:"optimize" (fun () ->
+              optimize_inner ~config accessor query))
+    in
+    if spans = [] then report
+    else
+      { report with obs = Option.map (fun r -> Obs.Report.with_spans r spans) report.obs }
 
 (* Convenience: optimize and serialize the result back to DXL, the full
    Fig. 2 round trip. *)

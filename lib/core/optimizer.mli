@@ -26,6 +26,12 @@ type report = {
   diagnostics : Verify.Diagnostic.t list;
       (** static-analyzer findings over the result (empty unless
           {!Orca_config.t.verify} is set) *)
+  obs : Obs.Report.t option;
+      (** unified observability report — per-rule profiles, Memo growth,
+          scheduler utilization, cost-model invocations, spans ([None]
+          unless {!Orca_config.t.obs} is set). Spans are attached only when
+          this call owned the span session; a caller holding an outer
+          session (the CLI suite loop, AMPERe capture) drains them itself. *)
 }
 
 exception Unsupported_query of string

@@ -14,6 +14,7 @@ type t = {
   verify : bool;             (* run the static analyzers on the result *)
   sanitize : bool;           (* record a trace, run the concurrency sanitizer *)
   fuzz_seed : int option;    (* permute the costing schedule (with sanitize) *)
+  obs : bool;                (* collect the observability report (lib/obs) *)
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     verify = false;
     sanitize = false;
     fuzz_seed = None;
+    obs = false;
   }
 
 let with_segments t segments =
@@ -56,6 +58,8 @@ let without_rules t names =
 let with_verify t = { t with verify = true }
 
 let with_sanitize t = { t with sanitize = true }
+
+let with_obs t = { t with obs = true }
 
 let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 

@@ -21,6 +21,10 @@ type t = {
   fuzz_seed : int option;
       (** permute the costing schedule deterministically (schedule fuzzer);
           meaningful together with [sanitize] or divergence checking *)
+  obs : bool;
+      (** collect the {!Obs} observability report (per-rule profiles, Memo
+          growth, scheduler utilization, cost-model invocations, spans);
+          lands in {!Optimizer.report.obs} *)
 }
 
 val default : t
@@ -41,6 +45,11 @@ val with_verify : t -> t
 val with_sanitize : t -> t
 (** Enable the concurrency sanitizer; its findings land in
     {!Optimizer.report.diagnostics} alongside the static analyzers'. *)
+
+val with_obs : t -> t
+(** Enable the observability subsystem: per-rule/per-stage profiling and span
+    tracing. Off by default — with it off, the instrumentation on the hot
+    paths is a branch, so production timings are unaffected. *)
 
 val with_fuzz_seed : t -> int -> t
 (** Drive the optimization scheduler's dequeue order from a seeded PRNG. *)

@@ -21,10 +21,13 @@ type ctx = {
   dpe : bool; (* dynamic partition elimination in hash joins *)
   cte : (int, Datum.t array list array) Hashtbl.t;
   subplan_cache : (string, Datum.t array list * float) Hashtbl.t;
+  observe : (Expr.plan -> rows:float -> sim_s:float -> unit) option;
+      (* per-operator hook: actual output rows and inclusive simulated time
+         (EXPLAIN ANALYZE); None costs nothing on the eval path *)
 }
 
-let create_ctx ?(mode = Spill_to_disk) ?(dpe = true) (cluster : Cluster.t) :
-    ctx =
+let create_ctx ?(mode = Spill_to_disk) ?(dpe = true) ?observe
+    (cluster : Cluster.t) : ctx =
   {
     cluster;
     metrics = Metrics.create cluster.Cluster.nsegs;
@@ -32,6 +35,7 @@ let create_ctx ?(mode = Spill_to_disk) ?(dpe = true) (cluster : Cluster.t) :
     dpe;
     cte = Hashtbl.create 8;
     subplan_cache = Hashtbl.create 64;
+    observe;
   }
 
 let mach ctx = ctx.cluster.Cluster.machine
@@ -147,6 +151,20 @@ let agg_finish (a : Expr.agg) (st : agg_state) : Datum.t =
 let rec eval (ctx : ctx) ~(params : Datum.t Colref.Map.t) (p : Expr.plan) :
     Datum.t array list array =
   ctx.metrics.Metrics.operators_run <- ctx.metrics.Metrics.operators_run + 1;
+  match ctx.observe with
+  | None -> eval_node ctx ~params p
+  | Some f ->
+      let t0 = ctx.metrics.Metrics.sim_seconds in
+      let segs = eval_node ctx ~params p in
+      let rows =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 segs
+      in
+      f p ~rows:(float_of_int rows)
+        ~sim_s:(ctx.metrics.Metrics.sim_seconds -. t0);
+      segs
+
+and eval_node (ctx : ctx) ~(params : Datum.t Colref.Map.t) (p : Expr.plan) :
+    Datum.t array list array =
   let nsegs = ctx.cluster.Cluster.nsegs in
   let m = mach ctx in
   let child n = List.nth p.Expr.pchildren n in
@@ -1122,9 +1140,9 @@ and subplan_exec (ctx : ctx) (outer_params : Datum.t Colref.Map.t)
 
 (* Run a plan and return the result rows (the plan is expected to deliver a
    Singleton result at the master, segment 0). *)
-let run ?(mode = Spill_to_disk) ?(dpe = true) (cluster : Cluster.t)
+let run ?(mode = Spill_to_disk) ?(dpe = true) ?observe (cluster : Cluster.t)
     (plan : Expr.plan) : Datum.t array list * Metrics.t =
-  let ctx = create_ctx ~mode ~dpe cluster in
+  let ctx = create_ctx ~mode ~dpe ?observe cluster in
   let segs = eval ctx ~params:Colref.Map.empty plan in
   let rows = List.concat (Array.to_list segs) in
   (rows, ctx.metrics)

@@ -24,16 +24,30 @@ type ctx = {
           reference [2]). Inner and semi joins only. *)
   cte : (int, Datum.t array list array) Hashtbl.t;
   subplan_cache : (string, Datum.t array list * float) Hashtbl.t;
+  observe : (Expr.plan -> rows:float -> sim_s:float -> unit) option;
+      (** per-operator hook, called after each operator evaluates with its
+          actual output row count (summed over segments) and its inclusive
+          simulated time — the data behind [explain --analyze] *)
 }
 
-val create_ctx : ?mode:mode -> ?dpe:bool -> Cluster.t -> ctx
+val create_ctx :
+  ?mode:mode ->
+  ?dpe:bool ->
+  ?observe:(Expr.plan -> rows:float -> sim_s:float -> unit) ->
+  Cluster.t ->
+  ctx
 
 val eval : ctx -> params:Datum.t Colref.Map.t -> Expr.plan -> Datum.t array list array
 (** Evaluate a plan, returning each segment's output rows. [params] supplies
     correlation-parameter bindings for SubPlan evaluation (usually empty). *)
 
 val run :
-  ?mode:mode -> ?dpe:bool -> Cluster.t -> Expr.plan -> Datum.t array list * Metrics.t
+  ?mode:mode ->
+  ?dpe:bool ->
+  ?observe:(Expr.plan -> rows:float -> sim_s:float -> unit) ->
+  Cluster.t ->
+  Expr.plan ->
+  Datum.t array list * Metrics.t
 (** Evaluate a complete plan (expected to deliver a Singleton result) and
     return the result rows with the collected execution metrics.
     Raises [Gpos_error.Error Out_of_memory] in [Fail_on_oom] mode when any

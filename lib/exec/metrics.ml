@@ -45,6 +45,25 @@ let note_state t bytes =
 
 let to_string t =
   Printf.sprintf
-    "sim=%.4fs scanned=%.0f moved=%.0f net=%.0fB spill=%.0fB subplans=%d(+%d cached) peak_state=%.0fB"
-    t.sim_seconds t.rows_scanned t.rows_moved t.net_bytes t.spill_bytes
-    t.subplan_executions t.subplan_cache_hits t.peak_state_bytes
+    "sim=%.4fs ops=%d scanned=%.0f moved=%.0f net=%.0fB spill=%.0fB \
+     subplans=%d(+%d cached) peak_state=%.0fB parts_pruned=%d"
+    t.sim_seconds t.operators_run t.rows_scanned t.rows_moved t.net_bytes
+    t.spill_bytes t.subplan_executions t.subplan_cache_hits t.peak_state_bytes
+    t.partitions_pruned_dynamically
+
+(* Key/value view for the observability report ([Obs.Report.exec]): lib/obs
+   depends on nothing above gpos, so metrics cross as generic pairs. *)
+let to_kv t =
+  [
+    ("sim_seconds", t.sim_seconds);
+    ("rows_scanned", t.rows_scanned);
+    ("rows_moved", t.rows_moved);
+    ("net_bytes", t.net_bytes);
+    ("spill_bytes", t.spill_bytes);
+    ("subplan_executions", float_of_int t.subplan_executions);
+    ("subplan_cache_hits", float_of_int t.subplan_cache_hits);
+    ("peak_state_bytes", t.peak_state_bytes);
+    ("operators_run", float_of_int t.operators_run);
+    ( "partitions_pruned_dynamically",
+      float_of_int t.partitions_pruned_dynamically );
+  ]

@@ -25,4 +25,11 @@ val charge_max : t -> float array -> unit
 
 val charge : t -> float -> unit
 val note_state : t -> float -> unit
+
 val to_string : t -> string
+(** One-line rendering of every counter, including spill, peak operator
+    state and dynamically pruned partitions. *)
+
+val to_kv : t -> (string * float) list
+(** Key/value view for the observability report ({!Obs.Report} [exec]
+    field); peak_state_bytes is a high-water mark, the rest are sums. *)

@@ -8,3 +8,9 @@ val ms_since : float -> float
 
 val time : (unit -> 'a) -> 'a * float
 (** Run a thunk; return its result and the elapsed milliseconds. *)
+
+val with_fake : ?start:float -> ?step:float -> (unit -> 'a) -> 'a
+(** Run a thunk under a deterministic clock: [now] starts at [start]
+    (default 0) and advances [step] seconds (default 0.001) per call, so
+    durations are reproducible in tests. Restores the real clock on exit.
+    Single-domain use only. *)

@@ -53,6 +53,9 @@ type t = {
   jobs_run : int Atomic.t; (* statistics: number of job (re-)executions *)
   jobs_created : int Atomic.t;
   goal_hits : int Atomic.t; (* children absorbed by an in-flight/finished goal *)
+  jobs_suspended : int Atomic.t; (* executions that returned Wait_for *)
+  max_queue_depth : int Atomic.t; (* high-water mark of the run queue *)
+  per_worker_run : int Atomic.t array; (* job executions per worker domain *)
   fuzz : Prng.t option; (* schedule fuzzer: randomized dequeue order *)
   workers : int;
 }
@@ -74,12 +77,38 @@ let create ?(workers = 1) ?fuzz () =
     jobs_run = Atomic.make 0;
     jobs_created = Atomic.make 0;
     goal_hits = Atomic.make 0;
+    jobs_suspended = Atomic.make 0;
+    max_queue_depth = Atomic.make 0;
+    per_worker_run = Array.init workers (fun _ -> Atomic.make 0);
     fuzz;
     workers;
   }
 
 let stats t =
   (Atomic.get t.jobs_created, Atomic.get t.jobs_run, Atomic.get t.goal_hits)
+
+(* Utilization snapshot for the observability report (lib/obs). *)
+type profile = {
+  p_workers : int;
+  p_jobs_created : int;
+  p_jobs_run : int;
+  p_jobs_suspended : int;
+  p_goal_hits : int;
+  p_max_queue_depth : int;
+  p_per_worker_run : int list;
+}
+
+let profile t =
+  {
+    p_workers = t.workers;
+    p_jobs_created = Atomic.get t.jobs_created;
+    p_jobs_run = Atomic.get t.jobs_run;
+    p_jobs_suspended = Atomic.get t.jobs_suspended;
+    p_goal_hits = Atomic.get t.goal_hits;
+    p_max_queue_depth = Atomic.get t.max_queue_depth;
+    p_per_worker_run =
+      Array.to_list (Array.map Atomic.get t.per_worker_run);
+  }
 
 (* All bookkeeping below runs with [t.mutex] held. *)
 
@@ -96,6 +125,9 @@ let new_job t ?parent ?goal body =
 
 let enqueue t j =
   Queue.add j t.queue;
+  (* queue-depth high-water mark; runs with the mutex held *)
+  let d = Queue.length t.queue in
+  if d > Atomic.get t.max_queue_depth then Atomic.set t.max_queue_depth d;
   Condition.signal t.cond
 
 (* A child of [parent] became (or was already) complete. *)
@@ -200,8 +232,10 @@ let spawn_children t parent children =
      [child_completed]. Otherwise enqueue the remaining real jobs. *)
   List.iter (fun j -> enqueue t j) to_run
 
-let run_one t j =
+let run_one t ~widx j =
   Atomic.incr t.jobs_run;
+  if widx < Array.length t.per_worker_run then
+    Atomic.incr t.per_worker_run.(widx);
   if Trace.enabled () then Trace.emit (Trace.Job_start { jid = j.jid });
   Mutex.unlock t.mutex;
   Trace.set_running (Some j.jid);
@@ -217,16 +251,19 @@ let run_one t j =
       complete t j
   | Ok (Wait_for []) ->
       (* nothing to wait for: re-run *)
+      Atomic.incr t.jobs_suspended;
       if Trace.enabled () then
         Trace.emit (Trace.Job_suspended { jid = j.jid; children = [] });
       enqueue t j
-  | Ok (Wait_for children) -> spawn_children t j children
+  | Ok (Wait_for children) ->
+      Atomic.incr t.jobs_suspended;
+      spawn_children t j children
   | Error (e, bt) ->
       if Trace.enabled () then Trace.emit (Trace.Job_failed { jid = j.jid });
       if t.failure = None then t.failure <- Some (e, bt);
       complete t j
 
-let worker_loop t =
+let worker_loop t ~widx =
   Mutex.lock t.mutex;
   let take () =
     match t.fuzz with
@@ -249,7 +286,7 @@ let worker_loop t =
     else
       match take () with
       | Some j ->
-          run_one t j;
+          run_one t ~widx j;
           loop ()
       | None ->
           Condition.wait t.cond t.mutex;
@@ -271,12 +308,13 @@ let run t root =
   let j = new_job t root in
   enqueue t j;
   Mutex.unlock t.mutex;
-  if t.workers = 1 then worker_loop t
+  if t.workers = 1 then worker_loop t ~widx:0
   else begin
     let domains =
-      List.init (t.workers - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+      List.init (t.workers - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t ~widx:(i + 1)))
     in
-    worker_loop t;
+    worker_loop t ~widx:0;
     List.iter Domain.join domains
   end;
   if Trace.enabled () then Trace.emit (Trace.Run_end { root = j.jid });

@@ -35,3 +35,16 @@ val run_root : t -> (('a -> unit) -> unit) -> 'a option
 
 val stats : t -> int * int * int
 (** (jobs created, job executions, goal-queue hits). *)
+
+type profile = {
+  p_workers : int;
+  p_jobs_created : int;
+  p_jobs_run : int;
+  p_jobs_suspended : int;  (** executions that returned [Wait_for] *)
+  p_goal_hits : int;
+  p_max_queue_depth : int; (** high-water mark of the run queue *)
+  p_per_worker_run : int list;  (** job executions per worker domain *)
+}
+(** Utilization snapshot for the observability report (lib/obs). *)
+
+val profile : t -> profile

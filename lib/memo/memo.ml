@@ -60,6 +60,20 @@ type group = {
   g_lock : Mutex.t;
 }
 
+(* Growth counters for the observability report (lib/obs). Insert-side
+   counters are plain ints mutated under [t.lock]; context/winner counters
+   are atomics because [obtain_context] and [record_alternative] run under
+   per-group locks, concurrently across groups. *)
+type obs_counters = {
+  mutable oc_inserts : int;      (* insert_gexpr calls *)
+  mutable oc_dedup_hits : int;   (* resolved to an existing expression *)
+  mutable oc_merges : int;       (* group merges from duplicate detection *)
+  oc_ctx_created : int Atomic.t;
+  oc_ctx_hits : int Atomic.t;    (* obtain_context found an existing context *)
+  oc_winner_updates : int Atomic.t; (* record_alternative improved cx_best *)
+  oc_winner_kept : int Atomic.t;    (* incumbent survived the challenge *)
+}
+
 type t = {
   mutable groups : group array;
   mutable ngroups : int;
@@ -68,6 +82,7 @@ type t = {
   mutable root : int;
   lock : Mutex.t;
   mutable cte_producer_groups : (int * int) list; (* cte id -> producer group *)
+  obs : obs_counters;
 }
 
 let create () =
@@ -79,6 +94,38 @@ let create () =
     root = -1;
     lock = Mutex.create ();
     cte_producer_groups = [];
+    obs =
+      {
+        oc_inserts = 0;
+        oc_dedup_hits = 0;
+        oc_merges = 0;
+        oc_ctx_created = Atomic.make 0;
+        oc_ctx_hits = Atomic.make 0;
+        oc_winner_updates = Atomic.make 0;
+        oc_winner_kept = Atomic.make 0;
+      };
+  }
+
+(* Snapshot of the growth counters, for Obs.Report. *)
+type profile = {
+  p_inserts : int;
+  p_dedup_hits : int;
+  p_merges : int;
+  p_ctx_created : int;
+  p_ctx_hits : int;
+  p_winner_updates : int;
+  p_winner_kept : int;
+}
+
+let profile t =
+  {
+    p_inserts = t.obs.oc_inserts;
+    p_dedup_hits = t.obs.oc_dedup_hits;
+    p_merges = t.obs.oc_merges;
+    p_ctx_created = Atomic.get t.obs.oc_ctx_created;
+    p_ctx_hits = Atomic.get t.obs.oc_ctx_hits;
+    p_winner_updates = Atomic.get t.obs.oc_winner_updates;
+    p_winner_kept = Atomic.get t.obs.oc_winner_kept;
   }
 
 (* Sanitizer hooks: when a Gpos.Trace sink is installed, every lock
@@ -179,6 +226,7 @@ let add_group_slot t =
    equivalent by duplicate detection. *)
 let merge_groups t winner loser =
   if winner <> loser then begin
+    t.obs.oc_merges <- t.obs.oc_merges + 1;
     let w = group_unsafe t winner and l = group_unsafe t loser in
     l.g_merged_into <- Some winner;
     List.iter (fun ge -> ge.ge_group <- winner) l.g_exprs;
@@ -196,6 +244,7 @@ let merge_groups t winner loser =
 let insert_gexpr t ?rule ?target op children : gexpr =
   with_lock t (fun () ->
       trace_access (fun () -> "memo.index") true;
+      t.obs.oc_inserts <- t.obs.oc_inserts + 1;
       let children = List.map (fun c -> find t c) children in
       let key = gexpr_key t op children in
       let existing =
@@ -206,6 +255,7 @@ let insert_gexpr t ?rule ?target op children : gexpr =
       in
       match existing with
       | Some ge ->
+          t.obs.oc_dedup_hits <- t.obs.oc_dedup_hits + 1;
           let owner = find t ge.ge_group in
           (match target with
           | Some tgt when find t tgt <> owner ->
@@ -313,9 +363,11 @@ let obtain_context t gid (req : Props.req) : context * bool =
       in
       match existing with
       | Some c ->
+          Atomic.incr t.obs.oc_ctx_hits;
           trace_access (fun () -> Printf.sprintf "group:%d.ctxs" g.g_id) false;
           (c, false)
       | None ->
+          Atomic.incr t.obs.oc_ctx_created;
           trace_access (fun () -> Printf.sprintf "group:%d.ctxs" g.g_id) true;
           let c =
             {
@@ -350,8 +402,10 @@ let record_alternative t gid (ctx : context) (alt : alternative) =
       | Some best
         when best.a_cost < alt.a_cost
              || (best.a_cost = alt.a_cost && alt_key best <= alt_key alt) ->
-          ()
-      | _ -> ctx.cx_best <- Some alt)
+          Atomic.incr t.obs.oc_winner_kept
+      | _ ->
+          Atomic.incr t.obs.oc_winner_updates;
+          ctx.cx_best <- Some alt)
 
 let contexts_of_group t gid =
   let g = group t gid in

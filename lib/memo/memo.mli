@@ -65,6 +65,21 @@ type t
 
 val create : unit -> t
 
+type profile = {
+  p_inserts : int;         (** [insert] calls (after tree flattening) *)
+  p_dedup_hits : int;      (** inserts resolved to an existing expression *)
+  p_merges : int;          (** group merges from duplicate detection *)
+  p_ctx_created : int;
+  p_ctx_hits : int;        (** [obtain_context] found an existing context *)
+  p_winner_updates : int;  (** [record_alternative] improved [cx_best] *)
+  p_winner_kept : int;     (** the incumbent winner survived a challenge *)
+}
+(** Growth/duplicate-detection/winner-cache counters for the observability
+    report (lib/obs). Collected unconditionally — each is one counter bump
+    on an already-locked path. *)
+
+val profile : t -> profile
+
 val find : t -> int -> int
 (** Canonical group id after merges. *)
 

@@ -1,0 +1,267 @@
+(* The unified observability report: per-rule profiles, Memo growth,
+   scheduler utilization, cost-model invocations, execution metrics and the
+   collected spans, merged into one value attached to [Optimizer.report].
+
+   Producers (the engine, the Memo, the scheduler) expose snapshots of their
+   own counters; [Orca.Optimizer] assembles one [t] per optimization stage
+   and [merge]s them. The CLI merges further across a whole suite. Exec
+   metrics arrive as generic key/value pairs ([Exec.Metrics.to_kv]) so this
+   library depends on nothing above gpos. *)
+
+type rule_stat = {
+  r_name : string;
+  r_kind : string;  (* "explore" | "implement" *)
+  r_fired : int;    (* applications actually run *)
+  r_results : int;  (* alternatives produced *)
+  r_skipped : int;  (* applications filtered out (stage deadline fired) *)
+  r_time_ms : float;
+}
+
+type memo_stat = {
+  m_groups : int;
+  m_gexprs : int;
+  m_inserts : int;      (* insert_gexpr calls *)
+  m_dedup_hits : int;   (* inserts resolved to an existing expression *)
+  m_merges : int;       (* group merges triggered by duplicate detection *)
+  m_ctx_created : int;
+  m_ctx_cache_hits : int;  (* obtain_context found an existing context *)
+  m_winner_updates : int;  (* record_alternative improved cx_best *)
+  m_winner_kept : int;     (* record_alternative kept the incumbent *)
+}
+
+type sched_stat = {
+  s_label : string;  (* "explore/implement" | "costing" *)
+  s_workers : int;
+  s_jobs_created : int;
+  s_jobs_run : int;
+  s_jobs_suspended : int;
+  s_goal_hits : int;
+  s_max_queue_depth : int;
+  s_per_worker_run : int list;
+}
+
+type cost_stat = {
+  c_op_costings : int;       (* Cost_model.op_cost invocations *)
+  c_enforcer_costings : int; (* Cost_model.enforcer_cost invocations *)
+  c_alternatives : int;      (* alternatives recorded into contexts *)
+  c_deadline_checks : int;
+}
+
+type t = {
+  label : string;
+  queries : int;  (* merged query count (1 per optimization session) *)
+  total_ms : float;
+  stage_names : string list;
+  rules : rule_stat list;
+  memo : memo_stat;
+  scheds : sched_stat list;
+  cost : cost_stat;
+  exec : (string * float) list;  (* Exec.Metrics key/values, when executed *)
+  spans : Span.event list;
+}
+
+let empty_memo =
+  {
+    m_groups = 0;
+    m_gexprs = 0;
+    m_inserts = 0;
+    m_dedup_hits = 0;
+    m_merges = 0;
+    m_ctx_created = 0;
+    m_ctx_cache_hits = 0;
+    m_winner_updates = 0;
+    m_winner_kept = 0;
+  }
+
+let empty_cost =
+  {
+    c_op_costings = 0;
+    c_enforcer_costings = 0;
+    c_alternatives = 0;
+    c_deadline_checks = 0;
+  }
+
+let empty =
+  {
+    label = "";
+    queries = 0;
+    total_ms = 0.0;
+    stage_names = [];
+    rules = [];
+    memo = empty_memo;
+    scheds = [];
+    cost = empty_cost;
+    exec = [];
+    spans = [];
+  }
+
+let with_exec t kv = { t with exec = kv }
+let with_spans t spans = { t with spans }
+
+(* --- merging --- *)
+
+let merge_memo a b =
+  {
+    m_groups = a.m_groups + b.m_groups;
+    m_gexprs = a.m_gexprs + b.m_gexprs;
+    m_inserts = a.m_inserts + b.m_inserts;
+    m_dedup_hits = a.m_dedup_hits + b.m_dedup_hits;
+    m_merges = a.m_merges + b.m_merges;
+    m_ctx_created = a.m_ctx_created + b.m_ctx_created;
+    m_ctx_cache_hits = a.m_ctx_cache_hits + b.m_ctx_cache_hits;
+    m_winner_updates = a.m_winner_updates + b.m_winner_updates;
+    m_winner_kept = a.m_winner_kept + b.m_winner_kept;
+  }
+
+let merge_cost a b =
+  {
+    c_op_costings = a.c_op_costings + b.c_op_costings;
+    c_enforcer_costings = a.c_enforcer_costings + b.c_enforcer_costings;
+    c_alternatives = a.c_alternatives + b.c_alternatives;
+    c_deadline_checks = a.c_deadline_checks + b.c_deadline_checks;
+  }
+
+let merge_rules a b =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace tbl r.r_name r) a;
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.r_name with
+      | None -> Hashtbl.replace tbl r.r_name r
+      | Some p ->
+          Hashtbl.replace tbl r.r_name
+            {
+              p with
+              r_fired = p.r_fired + r.r_fired;
+              r_results = p.r_results + r.r_results;
+              r_skipped = p.r_skipped + r.r_skipped;
+              r_time_ms = p.r_time_ms +. r.r_time_ms;
+            })
+    b;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.r_name b.r_name)
+
+let merge_scheds a b =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tbl s.s_label s) a;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.s_label with
+      | None -> Hashtbl.replace tbl s.s_label s
+      | Some p ->
+          Hashtbl.replace tbl s.s_label
+            {
+              p with
+              s_workers = max p.s_workers s.s_workers;
+              s_jobs_created = p.s_jobs_created + s.s_jobs_created;
+              s_jobs_run = p.s_jobs_run + s.s_jobs_run;
+              s_jobs_suspended = p.s_jobs_suspended + s.s_jobs_suspended;
+              s_goal_hits = p.s_goal_hits + s.s_goal_hits;
+              s_max_queue_depth = max p.s_max_queue_depth s.s_max_queue_depth;
+              s_per_worker_run =
+                (try List.map2 ( + ) p.s_per_worker_run s.s_per_worker_run
+                 with Invalid_argument _ -> p.s_per_worker_run);
+            })
+    b;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.s_label b.s_label)
+
+let merge_exec a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a;
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+    b;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge a b =
+  {
+    label = (if a.label = "" then b.label else a.label);
+    queries = a.queries + b.queries;
+    total_ms = a.total_ms +. b.total_ms;
+    stage_names =
+      a.stage_names
+      @ List.filter (fun s -> not (List.mem s a.stage_names)) b.stage_names;
+    rules = merge_rules a.rules b.rules;
+    memo = merge_memo a.memo b.memo;
+    scheds = merge_scheds a.scheds b.scheds;
+    cost = merge_cost a.cost b.cost;
+    exec = merge_exec a.exec b.exec;
+    spans = a.spans @ b.spans;
+  }
+
+let merge_all = List.fold_left merge empty
+
+(* --- rendering --- *)
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let to_string ?(top = 10) t =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "== observability report: %s (%d quer%s, %.1f ms optimization) ==\n"
+    (if t.label = "" then "?" else t.label)
+    t.queries
+    (if t.queries = 1 then "y" else "ies")
+    t.total_ms;
+  if t.stage_names <> [] then
+    pf "stages: %s\n" (String.concat ", " t.stage_names);
+  (* rules, top-N by cumulative time then firings *)
+  let fired = List.filter (fun r -> r.r_fired > 0 || r.r_skipped > 0) t.rules in
+  let ranked =
+    List.sort
+      (fun a b ->
+        match Float.compare b.r_time_ms a.r_time_ms with
+        | 0 -> compare b.r_fired a.r_fired
+        | c -> c)
+      fired
+  in
+  let shown = List.filteri (fun i _ -> i < top) ranked in
+  pf "\nper-rule profile (top %d of %d by cumulative time):\n" top
+    (List.length fired);
+  pf "  %-28s %-10s %8s %8s %8s %10s\n" "rule" "kind" "fired" "results"
+    "skipped" "time(ms)";
+  List.iter
+    (fun r ->
+      pf "  %-28s %-10s %8d %8d %8d %10.3f\n" r.r_name r.r_kind r.r_fired
+        r.r_results r.r_skipped r.r_time_ms)
+    shown;
+  let total_fired = List.fold_left (fun a r -> a + r.r_fired) 0 t.rules in
+  let total_results = List.fold_left (fun a r -> a + r.r_results) 0 t.rules in
+  let total_skipped = List.fold_left (fun a r -> a + r.r_skipped) 0 t.rules in
+  pf "  %-28s %-10s %8d %8d %8d\n" "(all rules)" "" total_fired total_results
+    total_skipped;
+  (* memo *)
+  let m = t.memo in
+  pf "\nmemo: %d groups, %d group expressions\n" m.m_groups m.m_gexprs;
+  pf "  inserts=%d dedup-hits=%d (%.1f%% duplicate rate) merges=%d\n"
+    m.m_inserts m.m_dedup_hits (pct m.m_dedup_hits m.m_inserts) m.m_merges;
+  pf "  contexts: created=%d cache-hits=%d  winners: updates=%d kept=%d (%.1f%% cache efficiency)\n"
+    m.m_ctx_created m.m_ctx_cache_hits m.m_winner_updates m.m_winner_kept
+    (pct m.m_winner_kept (m.m_winner_updates + m.m_winner_kept));
+  (* schedulers *)
+  List.iter
+    (fun s ->
+      pf "scheduler[%s]: workers=%d created=%d run=%d suspended=%d goal-hits=%d max-queue=%d per-worker=[%s]\n"
+        s.s_label s.s_workers s.s_jobs_created s.s_jobs_run s.s_jobs_suspended
+        s.s_goal_hits s.s_max_queue_depth
+        (String.concat ";" (List.map string_of_int s.s_per_worker_run)))
+    t.scheds;
+  (* cost model *)
+  pf "cost model: op-costings=%d enforcer-costings=%d alternatives=%d deadline-checks=%d\n"
+    t.cost.c_op_costings t.cost.c_enforcer_costings t.cost.c_alternatives
+    t.cost.c_deadline_checks;
+  (* exec *)
+  if t.exec <> [] then begin
+    pf "execution: ";
+    pf "%s\n"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%.4g" k v) t.exec))
+  end;
+  if t.spans <> [] then begin
+    pf "\nspan flame summary:\n";
+    Buffer.add_string buf (Trace_export.flame_summary t.spans)
+  end;
+  Buffer.contents buf

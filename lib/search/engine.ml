@@ -24,6 +24,19 @@ type acounters = {
   a_xform_results : int Atomic.t;
   a_alternatives_costed : int Atomic.t;
   a_contexts_created : int Atomic.t;
+  a_op_costings : int Atomic.t;       (* Cost_model.op_cost invocations *)
+  a_enf_costings : int Atomic.t;      (* Cost_model.enforcer_cost invocations *)
+  a_deadline_checks : int Atomic.t;
+}
+
+(* Per-rule profile, collected only when the engine runs with [obs] — rule
+   application is funnelled through the single-worker exploration scheduler,
+   so plain mutable fields suffice. *)
+type rule_stat = {
+  mutable rs_fired : int;
+  mutable rs_results : int;
+  mutable rs_skipped : int; (* applications dropped by a stage deadline *)
+  mutable rs_time_ms : float;
 }
 
 type t = {
@@ -39,9 +52,12 @@ type t = {
       (* optimization: costing is group-local, so Opt jobs parallelize *)
   mutable deadline : float option; (* absolute time; bounds exploration *)
   counters : acounters;
+  obs : bool; (* collect per-rule timings for the observability report *)
+  rule_stats : (int, rule_stat) Hashtbl.t; (* rule id -> profile *)
 }
 
-let create ?(workers = 1) ?fuzz_seed ~ruleset ~model ~factory ~base memo =
+let create ?(workers = 1) ?fuzz_seed ?(obs = false) ~ruleset ~model ~factory
+    ~base memo =
   {
     memo;
     ruleset;
@@ -63,8 +79,21 @@ let create ?(workers = 1) ?fuzz_seed ~ruleset ~model ~factory ~base memo =
         a_xform_results = Atomic.make 0;
         a_alternatives_costed = Atomic.make 0;
         a_contexts_created = Atomic.make 0;
+        a_op_costings = Atomic.make 0;
+        a_enf_costings = Atomic.make 0;
+        a_deadline_checks = Atomic.make 0;
       };
+    obs;
+    rule_stats = Hashtbl.create 64;
   }
+
+let rule_stat t (rule : Xform.Rule.t) =
+  match Hashtbl.find_opt t.rule_stats rule.Xform.Rule.id with
+  | Some rs -> rs
+  | None ->
+      let rs = { rs_fired = 0; rs_results = 0; rs_skipped = 0; rs_time_ms = 0.0 } in
+      Hashtbl.replace t.rule_stats rule.Xform.Rule.id rs;
+      rs
 
 let set_deadline t ms_from_now =
   t.deadline <-
@@ -75,7 +104,9 @@ let set_deadline t ms_from_now =
 let timed_out t =
   match t.deadline with
   | None -> false
-  | Some d -> Gpos.Clock.now () > d
+  | Some d ->
+      Atomic.incr t.counters.a_deadline_checks;
+      Gpos.Clock.now () > d
 
 let bump_by counter n = ignore (Atomic.fetch_and_add counter n)
 
@@ -89,9 +120,16 @@ let trace_access obj write =
 (* --- Xform(gexpr, rule) --- *)
 
 let xform_job t (ge : Memo.gexpr) (rule : Xform.Rule.t) () =
+  let t0 = if t.obs then Gpos.Clock.now () else 0.0 in
   let results = rule.Xform.Rule.apply t.rctx t.memo ge in
   bump_by t.counters.a_xform_applied 1;
   bump_by t.counters.a_xform_results (List.length results);
+  if t.obs then begin
+    let rs = rule_stat t rule in
+    rs.rs_fired <- rs.rs_fired + 1;
+    rs.rs_results <- rs.rs_results + List.length results;
+    rs.rs_time_ms <- rs.rs_time_ms +. Gpos.Clock.ms_since t0
+  end;
   let target = Memo.find t.memo ge.Memo.ge_group in
   List.iter
     (fun mexpr ->
@@ -131,6 +169,15 @@ let gexpr_job t (ge : Memo.gexpr) ~(rules : Xform.Rule.t list)
     | `Rules ->
         stage := `Done;
         if respect_deadline && timed_out t then begin
+          (* applications this deadline filtered out, for the rule profile *)
+          if t.obs then
+            List.iter
+              (fun (r : Xform.Rule.t) ->
+                if not (List.mem r.Xform.Rule.id ge.Memo.ge_applied) then begin
+                  let rs = rule_stat t r in
+                  rs.rs_skipped <- rs.rs_skipped + 1
+                end)
+              rules;
           mark ge;
           Gpos.Scheduler.Finished
         end
@@ -297,6 +344,7 @@ let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
           Stats.Relstats.rows (t.base td)
       | _ -> 0.0
     in
+    bump_by t.counters.a_op_costings 1;
     let local =
       Cost.Cost_model.op_cost t.model op ~rows_out ~width_out ~inputs
         ~scan_rows ~out_dist:delivered.Props.ddist
@@ -315,6 +363,7 @@ let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
           List.fold_left
             (fun (d, costs, _) enf ->
               let skew = redistribute_skew t gid enf in
+              bump_by t.counters.a_enf_costings 1;
               let c =
                 Cost.Cost_model.enforcer_cost t.model enf ~rows:rows_out
                   ~width:width_out ~dist:d.Props.ddist ~skew
@@ -479,13 +528,16 @@ let optimize t (req : Props.req) =
        ]);
   mark_contexts_complete t
 
-(* Full workflow. Returns the best plan for the root request. *)
+(* Full workflow. Returns the best plan for the root request. Each of the
+   paper's §4.1 steps is wrapped in an Obs span — free unless a span session
+   is active. *)
 let run t (req : Props.req) : Expr.plan =
-  explore t;
-  derive_statistics t;
-  implement t;
-  optimize t req;
-  Memolib.Extract.best_plan t.memo (Memo.root t.memo) req
+  Obs.Span.with_ ~name:"explore" (fun () -> explore t);
+  Obs.Span.with_ ~name:"stats-derive" (fun () -> derive_statistics t);
+  Obs.Span.with_ ~name:"implement" (fun () -> implement t);
+  Obs.Span.with_ ~name:"costing" (fun () -> optimize t req);
+  Obs.Span.with_ ~name:"extract" (fun () ->
+      Memolib.Extract.best_plan t.memo (Memo.root t.memo) req)
 
 let scheduler_stats t =
   let c1, r1, g1 = Gpos.Scheduler.stats t.sched in
@@ -498,4 +550,68 @@ let counters t =
     xform_results = Atomic.get t.counters.a_xform_results;
     alternatives_costed = Atomic.get t.counters.a_alternatives_costed;
     contexts_created = Atomic.get t.counters.a_contexts_created;
+  }
+
+(* --- observability snapshots (lib/obs) --- *)
+
+(* Per-rule profile over the engine's rule set; rules that never fired and
+   were never skipped are included with zeroes so totals line up. *)
+let rule_profile t : Obs.Report.rule_stat list =
+  List.map
+    (fun (r : Xform.Rule.t) ->
+      let rs =
+        Option.value
+          (Hashtbl.find_opt t.rule_stats r.Xform.Rule.id)
+          ~default:{ rs_fired = 0; rs_results = 0; rs_skipped = 0; rs_time_ms = 0.0 }
+      in
+      {
+        Obs.Report.r_name = r.Xform.Rule.name;
+        r_kind =
+          (if Xform.Rule.is_exploration r then "explore" else "implement");
+        r_fired = rs.rs_fired;
+        r_results = rs.rs_results;
+        r_skipped = rs.rs_skipped;
+        r_time_ms = rs.rs_time_ms;
+      })
+    (Xform.Ruleset.rules t.ruleset)
+
+let sched_stat_of label (p : Gpos.Scheduler.profile) : Obs.Report.sched_stat =
+  {
+    Obs.Report.s_label = label;
+    s_workers = p.Gpos.Scheduler.p_workers;
+    s_jobs_created = p.Gpos.Scheduler.p_jobs_created;
+    s_jobs_run = p.Gpos.Scheduler.p_jobs_run;
+    s_jobs_suspended = p.Gpos.Scheduler.p_jobs_suspended;
+    s_goal_hits = p.Gpos.Scheduler.p_goal_hits;
+    s_max_queue_depth = p.Gpos.Scheduler.p_max_queue_depth;
+    s_per_worker_run = p.Gpos.Scheduler.p_per_worker_run;
+  }
+
+let sched_profiles t : Obs.Report.sched_stat list =
+  [
+    sched_stat_of "explore/implement" (Gpos.Scheduler.profile t.sched);
+    sched_stat_of "costing" (Gpos.Scheduler.profile t.sched_opt);
+  ]
+
+let cost_profile t : Obs.Report.cost_stat =
+  {
+    Obs.Report.c_op_costings = Atomic.get t.counters.a_op_costings;
+    c_enforcer_costings = Atomic.get t.counters.a_enf_costings;
+    c_alternatives = Atomic.get t.counters.a_alternatives_costed;
+    c_deadline_checks = Atomic.get t.counters.a_deadline_checks;
+  }
+
+(* Growth counters of the engine's Memo, for Obs.Report. *)
+let memo_profile t : Obs.Report.memo_stat =
+  let p = Memo.profile t.memo in
+  {
+    Obs.Report.m_groups = Memo.ngroups t.memo;
+    m_gexprs = Memo.ngexprs t.memo;
+    m_inserts = p.Memo.p_inserts;
+    m_dedup_hits = p.Memo.p_dedup_hits;
+    m_merges = p.Memo.p_merges;
+    m_ctx_created = p.Memo.p_ctx_created;
+    m_ctx_cache_hits = p.Memo.p_ctx_hits;
+    m_winner_updates = p.Memo.p_winner_updates;
+    m_winner_kept = p.Memo.p_winner_kept;
   }

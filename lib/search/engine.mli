@@ -21,6 +21,7 @@ type t
 val create :
   ?workers:int ->
   ?fuzz_seed:int ->
+  ?obs:bool ->
   ruleset:Xform.Ruleset.t ->
   model:Cost.Cost_model.t ->
   factory:Colref.Factory.t ->
@@ -31,7 +32,9 @@ val create :
     jobs on that many domains. [base] supplies base-table statistics.
     [fuzz_seed] makes the optimization scheduler dequeue PRNG-chosen jobs
     (the sanitizer's schedule fuzzer): a different but deterministic
-    interleaving of the same costing work per seed. *)
+    interleaving of the same costing work per seed. [obs] (default false)
+    additionally collects per-rule firing counts and timings for the
+    observability report. *)
 
 val set_deadline : t -> float option -> unit
 (** Stage timeout in milliseconds from now; bounds exploration (a plan is
@@ -58,3 +61,20 @@ val scheduler_stats : t -> int * int * int
 
 val counters : t -> counters
 (** A consistent-enough snapshot of the atomic search counters. *)
+
+(** {2 Observability snapshots (lib/obs)} *)
+
+val rule_profile : t -> Obs.Report.rule_stat list
+(** Per-rule firing/result/skip counts and cumulative time over the engine's
+    rule set. Timings are populated only when the engine was created with
+    [~obs:true]; counters of rules that never fired are zero. *)
+
+val sched_profiles : t -> Obs.Report.sched_stat list
+(** Utilization of the two schedulers, labelled "explore/implement" and
+    "costing". *)
+
+val cost_profile : t -> Obs.Report.cost_stat
+(** Cost-model invocation counts and deadline checks. *)
+
+val memo_profile : t -> Obs.Report.memo_stat
+(** Growth counters of the engine's Memo. *)

@@ -833,5 +833,5 @@ let bind (t : t) (q : Ast.query) : Dxl.Dxl_query.t =
 
 (* SQL text -> DXL query (parser + binder, i.e. the full front-end). *)
 let bind_sql (accessor : Catalog.Accessor.t) (sql : string) : Dxl.Dxl_query.t =
-  let ast = Parser.parse sql in
-  bind (create accessor) ast
+  let ast = Obs.Span.with_ ~name:"parse" (fun () -> Parser.parse sql) in
+  Obs.Span.with_ ~name:"bind" (fun () -> bind (create accessor) ast)

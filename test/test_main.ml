@@ -25,4 +25,5 @@ let () =
       ("verify", Test_verify.suite);
       ("sanitize", Test_sanitize.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]

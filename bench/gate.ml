@@ -1,0 +1,237 @@
+(* Benchmark regression gate for the opt-speed baseline (CI `perf-gate` job).
+
+   Compares a freshly produced opt-speed JSON report against the committed
+   baseline (BENCH_opt.json) and exits nonzero when a metric regresses.
+
+   Two metric classes:
+   - search-shape counters (memo sizes, rule firings, cache hit counts):
+     deterministic per code version, gated in BOTH directions with a
+     per-metric tolerance — an unexplained swing means the search changed
+     and the baseline must be regenerated deliberately;
+   - speedup_geomean: timing-derived, gated from below only (running
+     faster than the baseline is never a regression). Raw wall-times
+     (on_ms_total/off_ms_total) are reported but never gated: they measure
+     the CI machine, not the code.
+
+   identity_violations must be 0 in the fresh report, full stop.
+
+   The parser below covers exactly the JSON subset bench/main.ml emits; no
+   external dependencies. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+          | Some (('"' | '\\' | '/') as c) -> Buffer.add_char buf c; advance (); loop ()
+          | Some 'u' ->
+              (* enough for our reports: keep the escape verbatim *)
+              Buffer.add_string buf "\\u"; advance (); loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number '%s'" lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let num_field obj name =
+  match member name obj with
+  | Some (Num f) -> f
+  | _ -> failwith (Printf.sprintf "missing numeric field %S in summary" name)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match member "summary" (parse_json s) with
+  | Some summary -> summary
+  | None -> failwith (Printf.sprintf "%s: no \"summary\" object" path)
+
+(* Counters gated both ways: a swing beyond tolerance in either direction
+   means the search shape changed and the committed baseline is stale. *)
+let shape_metrics =
+  [
+    "queries";
+    "groups";
+    "gexprs";
+    "rule_fired";
+    "rule_prefiltered";
+    "base_reuses";
+    "winner_skips";
+    "ops_interned";
+    "intern_hits";
+  ]
+
+let () =
+  let baseline_path = ref "BENCH_opt.json" in
+  let fresh_path = ref "" in
+  let tolerance = ref 0.25 in
+  let usage = "gate --baseline BENCH_opt.json --fresh fresh.json [--tolerance 0.25]" in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: v :: rest -> baseline_path := v; parse_args rest
+    | "--fresh" :: v :: rest -> fresh_path := v; parse_args rest
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> tolerance := f; parse_args rest
+        | _ -> prerr_endline ("gate: bad --tolerance " ^ v); exit 2)
+    | a :: _ ->
+        prerr_endline ("gate: unknown argument " ^ a);
+        prerr_endline usage;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !fresh_path = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let baseline = load !baseline_path and fresh = load !fresh_path in
+  let failures = ref 0 in
+  let check name ~base ~got ~ok reason =
+    let status = if ok then "ok  " else "FAIL" in
+    if not ok then incr failures;
+    Printf.printf "%s  %-18s baseline=%-12g fresh=%-12g %s\n" status name base
+      got reason
+  in
+  (* identity is not a tolerance question *)
+  let iv = num_field fresh "identity_violations" in
+  check "identity_violations"
+    ~base:(num_field baseline "identity_violations")
+    ~got:iv ~ok:(iv = 0.0) "(must be 0)";
+  List.iter
+    (fun name ->
+      let base = num_field baseline name and got = num_field fresh name in
+      let lo = base *. (1.0 -. !tolerance)
+      and hi = base *. (1.0 +. !tolerance) in
+      check name ~base ~got
+        ~ok:(got >= lo && got <= hi)
+        (Printf.sprintf "(allowed %.6g..%.6g)" lo hi))
+    shape_metrics;
+  let base_g = num_field baseline "speedup_geomean"
+  and got_g = num_field fresh "speedup_geomean" in
+  let floor_g = base_g *. (1.0 -. !tolerance) in
+  check "speedup_geomean" ~base:base_g ~got:got_g
+    ~ok:(got_g >= floor_g)
+    (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor_g);
+  Printf.printf "(wall times: on_ms_total %.1f -> %.1f, off_ms_total %.1f -> %.1f; informational only)\n"
+    (num_field baseline "on_ms_total") (num_field fresh "on_ms_total")
+    (num_field baseline "off_ms_total") (num_field fresh "off_ms_total");
+  if !failures > 0 then begin
+    Printf.printf "perf gate: %d metric(s) out of tolerance\n" !failures;
+    exit 1
+  end
+  else Printf.printf "perf gate: all metrics within tolerance\n"

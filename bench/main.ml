@@ -6,8 +6,10 @@
      dune exec bench/main.exe -- fig12 --sf 0.4 --segs 8 --workers 4
 
    Experiments: fig12 opt-stats fig13 fig14 fig15 taqo par-opt stages ablate
-   running-example micro. Figures are printed as rows (query id, times,
-   ratio); EXPERIMENTS.md records paper-vs-measured for each. *)
+   running-example profile opt-speed micro. Figures are printed as rows
+   (query id, times, ratio); EXPERIMENTS.md records paper-vs-measured for
+   each. An unknown experiment name or a non-positive --sf/--segs/--workers
+   is a usage error (exit 2). *)
 
 open Ir
 
@@ -613,6 +615,198 @@ let profile () =
       close_out oc;
       Printf.printf "profile JSON written to %s\n" path
 
+(* ==================== optimization speed (opt-speed) ================== *)
+
+let opt_json = ref None
+
+(* The hot-path speedup benchmark: every TPC-DS query optimized twice — once
+   with the caches on (the default config) and once with [without_speedups]
+   (structural dedup, no stats memo, no rule pre-filter, no winner reuse) —
+   timing both and proving the chosen plan and its cost identical. A third
+   pass with observability on collects the machine-independent counters
+   (Memo sizes, rule pre-filter skips, base-cost reuses) that the CI perf
+   gate compares across commits; wall times are recorded in the JSON but not
+   gated across machines (see bench/gate.ml). *)
+let opt_speed () =
+  let e = get_env () in
+  header
+    "opt-speed -- optimization wall time, caches on vs off (identity-checked)";
+  let cfg_on = orca_config () in
+  let cfg_off = Orca.Orca_config.without_speedups cfg_on in
+  let cfg_obs = Orca.Orca_config.with_obs cfg_on in
+  let rows = ref [] in
+  let mismatches = ref [] in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      let qid = q.Tpcds.Queries.qid in
+      let opt config =
+        let accessor, query = bind_query e q.Tpcds.Queries.sql in
+        Orca.Optimizer.optimize ~config accessor query
+      in
+      (* best-of-3 wall time per configuration: optimization runs in the
+         low-millisecond range where GC pauses and OS scheduling dominate a
+         single sample *)
+      let opt_min config =
+        let best = ref (opt config) in
+        for _ = 2 to 3 do
+          let r = opt config in
+          if
+            r.Orca.Optimizer.opt_time_ms
+            < !best.Orca.Optimizer.opt_time_ms
+          then best := r
+        done;
+        !best
+      in
+      try
+        let r_on = opt_min cfg_on in
+        let r_off = opt_min cfg_off in
+        (* identity: the speedups must not change the plan, its cost, or the
+           shape of the search (same Memo growth) *)
+        let dxl_on = Dxl.Dxl_plan.to_string r_on.Orca.Optimizer.plan in
+        let dxl_off = Dxl.Dxl_plan.to_string r_off.Orca.Optimizer.plan in
+        if dxl_on <> dxl_off then
+          mismatches :=
+            Printf.sprintf "q%d: plan DXL differs" qid :: !mismatches;
+        if
+          r_on.Orca.Optimizer.plan.Expr.pcost
+          <> r_off.Orca.Optimizer.plan.Expr.pcost
+        then
+          mismatches :=
+            Printf.sprintf "q%d: cost %f <> %f" qid
+              r_on.Orca.Optimizer.plan.Expr.pcost
+              r_off.Orca.Optimizer.plan.Expr.pcost
+            :: !mismatches;
+        if
+          r_on.Orca.Optimizer.groups <> r_off.Orca.Optimizer.groups
+          || r_on.Orca.Optimizer.gexprs <> r_off.Orca.Optimizer.gexprs
+        then
+          mismatches :=
+            Printf.sprintf "q%d: memo differs (%d/%d groups, %d/%d gexprs)"
+              qid r_on.Orca.Optimizer.groups r_off.Orca.Optimizer.groups
+              r_on.Orca.Optimizer.gexprs r_off.Orca.Optimizer.gexprs
+            :: !mismatches;
+        let r_obs = opt cfg_obs in
+        let obs = Option.get r_obs.Orca.Optimizer.obs in
+        let fired, prefiltered =
+          List.fold_left
+            (fun (f, p) (r : Obs.Report.rule_stat) ->
+              (f + r.Obs.Report.r_fired, p + r.Obs.Report.r_prefiltered))
+            (0, 0) obs.Obs.Report.rules
+        in
+        rows := (q, r_on, r_off, obs, fired, prefiltered) :: !rows
+      with ex ->
+        Printf.printf "q%-3d failed: %s\n" qid (Gpos.Gpos_error.to_string ex))
+    (Lazy.force Tpcds.Queries.all);
+  let rows = List.rev !rows in
+  Printf.printf "%-5s %9s %9s %8s %7s %7s %7s %7s %7s\n" "query" "on(ms)"
+    "off(ms)" "speedup" "groups" "gexprs" "prefilt" "reuse" "wskip";
+  List.iter
+    (fun ((q : Tpcds.Queries.def), r_on, r_off, obs, _fired, prefiltered) ->
+      let on = r_on.Orca.Optimizer.opt_time_ms in
+      let off = r_off.Orca.Optimizer.opt_time_ms in
+      Printf.printf "%-5d %9.2f %9.2f %7.2fx %7d %7d %7d %7d %7d\n"
+        q.Tpcds.Queries.qid on off
+        (off /. Float.max on 1e-9)
+        r_on.Orca.Optimizer.groups r_on.Orca.Optimizer.gexprs prefiltered
+        obs.Obs.Report.cost.Obs.Report.c_base_reuses
+        obs.Obs.Report.cost.Obs.Report.c_winner_skips)
+    rows;
+  let sum f = List.fold_left (fun a x -> a + f x) 0 rows in
+  let sumf f = List.fold_left (fun a x -> a +. f x) 0.0 rows in
+  let on_total =
+    sumf (fun (_, r, _, _, _, _) -> r.Orca.Optimizer.opt_time_ms)
+  in
+  let off_total =
+    sumf (fun (_, _, r, _, _, _) -> r.Orca.Optimizer.opt_time_ms)
+  in
+  let n = List.length rows in
+  let geomean =
+    exp
+      (sumf (fun (_, r_on, r_off, _, _, _) ->
+           log
+             (Float.max 1e-9
+                (r_off.Orca.Optimizer.opt_time_ms
+                /. Float.max 1e-9 r_on.Orca.Optimizer.opt_time_ms)))
+      /. float_of_int (max 1 n))
+  in
+  let groups = sum (fun (_, r, _, _, _, _) -> r.Orca.Optimizer.groups) in
+  let gexprs = sum (fun (_, r, _, _, _, _) -> r.Orca.Optimizer.gexprs) in
+  let fired = sum (fun (_, _, _, _, f, _) -> f) in
+  let prefiltered = sum (fun (_, _, _, _, _, p) -> p) in
+  let base_reuses =
+    sum (fun (_, _, _, o, _, _) -> o.Obs.Report.cost.Obs.Report.c_base_reuses)
+  in
+  let winner_skips =
+    sum (fun (_, _, _, o, _, _) ->
+        o.Obs.Report.cost.Obs.Report.c_winner_skips)
+  in
+  let interned =
+    sum (fun (_, _, _, o, _, _) ->
+        o.Obs.Report.memo.Obs.Report.m_ops_interned)
+  in
+  let intern_hits =
+    sum (fun (_, _, _, o, _, _) -> o.Obs.Report.memo.Obs.Report.m_intern_hits)
+  in
+  Printf.printf
+    "\ntotal: %d queries  on=%.1f ms  off=%.1f ms  (%.2fx total, %.2fx \
+     geomean)\n"
+    n on_total off_total
+    (off_total /. Float.max 1e-9 on_total)
+    geomean;
+  Printf.printf
+    "rule applications: %d fired, %d pre-filtered (%.1f%% skipped)\n" fired
+    prefiltered
+    (100.0
+    *. float_of_int prefiltered
+    /. float_of_int (max 1 (fired + prefiltered)));
+  Printf.printf
+    "base-cost reuses: %d  winner-spawn skips: %d  interning: %d ops, %d \
+     hits\n"
+    base_reuses winner_skips interned intern_hits;
+  (match !mismatches with
+  | [] -> Printf.printf "identity: all %d plans and costs byte-identical\n" n
+  | ms ->
+      Printf.printf "IDENTITY VIOLATIONS:\n";
+      List.iter (Printf.printf "  %s\n") (List.rev ms));
+  (match !opt_json with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 8192 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pf
+        "{\"experiment\":\"opt-speed\",\"sf\":%g,\"segments\":%d,\"workers\":%d,\n"
+        !sf !nsegs !workers;
+      pf "\"queries\":[\n";
+      List.iteri
+        (fun i ((q : Tpcds.Queries.def), r_on, r_off, obs, f, p) ->
+          pf
+            "%s{\"qid\":%d,\"on_ms\":%.3f,\"off_ms\":%.3f,\"groups\":%d,\
+             \"gexprs\":%d,\"rule_fired\":%d,\"rule_prefiltered\":%d,\
+             \"base_reuses\":%d,\"winner_skips\":%d}"
+            (if i = 0 then "" else ",\n")
+            q.Tpcds.Queries.qid r_on.Orca.Optimizer.opt_time_ms
+            r_off.Orca.Optimizer.opt_time_ms r_on.Orca.Optimizer.groups
+            r_on.Orca.Optimizer.gexprs f p
+            obs.Obs.Report.cost.Obs.Report.c_base_reuses
+            obs.Obs.Report.cost.Obs.Report.c_winner_skips)
+        rows;
+      pf "\n],\n";
+      pf
+        "\"summary\":{\"queries\":%d,\"identity_violations\":%d,\
+         \"on_ms_total\":%.3f,\"off_ms_total\":%.3f,\
+         \"speedup_geomean\":%.4f,\"groups\":%d,\"gexprs\":%d,\
+         \"rule_fired\":%d,\"rule_prefiltered\":%d,\"base_reuses\":%d,\
+         \"winner_skips\":%d,\"ops_interned\":%d,\"intern_hits\":%d}}\n"
+        n
+        (List.length !mismatches)
+        on_total off_total geomean groups gexprs fired prefiltered base_reuses
+        winner_skips interned intern_hits;
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "opt-speed JSON written to %s\n" path);
+  if !mismatches <> [] then exit 1
+
 (* ======================== running example (§4.1) ====================== *)
 
 let running_example () =
@@ -693,40 +887,80 @@ let all_experiments () =
   ablate ();
   micro ()
 
+let experiments =
+  [
+    ("fig12", fig12);
+    ("opt-stats", opt_stats);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("taqo", taqo);
+    ("par-opt", par_opt);
+    ("stages", stages);
+    ("ablate", ablate);
+    ("running-example", running_example);
+    ("profile", profile);
+    ("opt-speed", opt_speed);
+    ("micro", micro);
+  ]
+
+let usage () =
+  Printf.eprintf
+    "usage: bench [EXPERIMENT...] [--sf F] [--segs N] [--workers N]\n\
+    \       [--profile-json PATH] [--json PATH]\n\
+     experiments: %s\n"
+    (String.concat " " (List.map fst experiments))
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      usage ();
+      exit 2)
+    fmt
+
 let () =
+  let positive_float flag v =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> f
+    | _ -> usage_error "%s expects a positive number, got %S" flag v
+  in
+  let positive_int flag v =
+    match int_of_string_opt v with
+    | Some i when i > 0 -> i
+    | _ -> usage_error "%s expects a positive integer, got %S" flag v
+  in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | "--sf" :: v :: rest ->
-        sf := float_of_string v;
+        sf := positive_float "--sf" v;
         parse rest
     | "--segs" :: v :: rest ->
-        nsegs := int_of_string v;
+        nsegs := positive_int "--segs" v;
         parse rest
     | "--workers" :: v :: rest ->
-        workers := int_of_string v;
+        workers := positive_int "--workers" v;
         parse rest
     | "--profile-json" :: v :: rest ->
         profile_json := Some v;
         parse rest
+    | "--json" :: v :: rest ->
+        opt_json := Some v;
+        parse rest
+    | [ ("--sf" | "--segs" | "--workers" | "--profile-json" | "--json") as f ]
+      ->
+        usage_error "%s expects a value" f
     | x :: rest -> x :: parse rest
     | [] -> []
   in
   let cmds = parse (List.tl args) in
-  let dispatch = function
-    | "fig12" -> fig12 ()
-    | "opt-stats" -> opt_stats ()
-    | "fig13" -> fig13 ()
-    | "fig14" -> fig14 ()
-    | "fig15" -> fig15 ()
-    | "taqo" -> taqo ()
-    | "par-opt" -> par_opt ()
-    | "stages" -> stages ()
-    | "ablate" -> ablate ()
-    | "running-example" -> running_example ()
-    | "profile" -> profile ()
-    | "micro" -> micro ()
-    | other -> Printf.printf "unknown experiment %S\n" other
-  in
+  (* reject unknown names before running anything *)
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name experiments) then
+        usage_error "unknown experiment %S" name)
+    cmds;
+  let dispatch name = (List.assoc name experiments) () in
   match cmds with
   (* bare --profile-json means "emit the profile", not "run everything" *)
   | [] -> if !profile_json <> None then profile () else all_experiments ()

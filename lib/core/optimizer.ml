@@ -60,7 +60,9 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
     ~(base : Table_desc.t -> Stats.Relstats.t) (tree : Ltree.t)
     (req : Props.req) (stage : Xform.Ruleset.stage) =
   Obs.Span.with_ ~name:("stage:" ^ stage.Xform.Ruleset.stage_name) (fun () ->
-      let memo = Memolib.Memo.create () in
+      let memo =
+        Memolib.Memo.create ~interning:config.Orca_config.interning ()
+      in
       let root_ge =
         Obs.Span.with_ ~name:"copy-in" (fun () ->
             Memolib.Memo.insert memo (tree_to_mexpr tree))
@@ -70,6 +72,9 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
       let engine =
         Search.Engine.create ~workers:config.Orca_config.workers
           ?fuzz_seed:config.Orca_config.fuzz_seed ~obs:config.Orca_config.obs
+          ~prefilter:config.Orca_config.rule_prefilter
+          ~stats_memo:config.Orca_config.stats_memo
+          ~winner_reuse:config.Orca_config.winner_reuse
           ~ruleset:stage.Xform.Ruleset.stage_rules
           ~model:config.Orca_config.model ~factory ~base memo
       in

@@ -15,6 +15,13 @@ type t = {
   sanitize : bool;           (* record a trace, run the concurrency sanitizer *)
   fuzz_seed : int option;    (* permute the costing schedule (with sanitize) *)
   obs : bool;                (* collect the observability report (lib/obs) *)
+  (* hot-path speedups; identity-preserving (the chosen plan and its cost
+     are byte-identical with them on or off), so on by default. Individually
+     switchable for A/B identity tests and the opt-speed benchmark. *)
+  interning : bool;          (* hash-cons Memo operator payloads *)
+  stats_memo : bool;         (* memoize group rows/width and motion skew *)
+  rule_prefilter : bool;     (* skip rules by root-shape bitmap *)
+  winner_reuse : bool;       (* reuse winners/base costs across contexts *)
 }
 
 let default =
@@ -31,6 +38,10 @@ let default =
     sanitize = false;
     fuzz_seed = None;
     obs = false;
+    interning = true;
+    stats_memo = true;
+    rule_prefilter = true;
+    winner_reuse = true;
   }
 
 let with_segments t segments =
@@ -66,3 +77,19 @@ let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 let without_decorrelation t = { t with decorrelate = false }
 
 let without_column_pruning t = { t with prune_columns = false }
+
+let with_interning t on = { t with interning = on }
+let with_stats_memo t on = { t with stats_memo = on }
+let with_rule_prefilter t on = { t with rule_prefilter = on }
+let with_winner_reuse t on = { t with winner_reuse = on }
+
+(* The caches-off configuration the identity tests and the opt-speed bench
+   compare against. *)
+let without_speedups t =
+  {
+    t with
+    interning = false;
+    stats_memo = false;
+    rule_prefilter = false;
+    winner_reuse = false;
+  }

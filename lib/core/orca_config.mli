@@ -25,6 +25,18 @@ type t = {
       (** collect the {!Obs} observability report (per-rule profiles, Memo
           growth, scheduler utilization, cost-model invocations, spans);
           lands in {!Optimizer.report.obs} *)
+  interning : bool;
+      (** hash-cons Memo operator payloads so duplicate detection compares
+          dense ids instead of deep structures *)
+  stats_memo : bool;
+      (** memoize per-group row counts, row widths and redistribute skew on
+          the costing path *)
+  rule_prefilter : bool;
+      (** skip rule applications whose root-shape bitmap rules the group
+          expression out *)
+  winner_reuse : bool;
+      (** skip child Opt spawns on completed contexts and reuse operator
+          base costs across contexts differing only in required properties *)
 }
 
 val default : t
@@ -59,3 +71,18 @@ val without_decorrelation : t -> t
     feature. *)
 
 val without_column_pruning : t -> t
+
+(** {2 Hot-path speedups}
+
+    All four are identity-preserving — the chosen plan and its cost are
+    byte-identical with them on or off (test/test_perf_identity.ml) — and on
+    by default. The switches exist for A/B identity testing and the
+    opt-speed benchmark's caches-off baseline. *)
+
+val with_interning : t -> bool -> t
+val with_stats_memo : t -> bool -> t
+val with_rule_prefilter : t -> bool -> t
+val with_winner_reuse : t -> bool -> t
+
+val without_speedups : t -> t
+(** All four speedups off: the structural, uncached optimization path. *)

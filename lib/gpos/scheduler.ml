@@ -43,10 +43,15 @@ type goal_state =
       (* [holder] runs the goal; [waiters] are parents parked on it *)
   | Goal_finished
 
+type policy = Fifo | Lifo
+
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
-  queue : job Queue.t;
+  queue : job Queue.t; (* Fifo runnable jobs (also the fuzzer's pool) *)
+  mutable stack : job list; (* Lifo runnable jobs *)
+  mutable depth : int; (* length of [stack] *)
+  policy : policy;
   goals : (string, goal_state) Hashtbl.t;
   live : int Atomic.t; (* jobs created and not yet completed *)
   mutable failure : (exn * Printexc.raw_backtrace) option;
@@ -65,12 +70,17 @@ type t = {
    separate ones — never alias two jobs. *)
 let next_jid = Atomic.make 0
 
-let create ?(workers = 1) ?fuzz () =
+let create ?(workers = 1) ?fuzz ?(policy = Fifo) () =
   if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  (* the fuzzer picks uniformly over the whole pool, subsuming any policy *)
+  let policy = if fuzz <> None then Fifo else policy in
   {
     mutex = Mutex.create ();
     cond = Condition.create ();
     queue = Queue.create ();
+    stack = [];
+    depth = 0;
+    policy;
     goals = Hashtbl.create 64;
     live = Atomic.make 0;
     failure = None;
@@ -124,9 +134,19 @@ let new_job t ?parent ?goal body =
   j
 
 let enqueue t j =
-  Queue.add j t.queue;
+  let d =
+    match t.policy with
+    | Fifo ->
+        Queue.add j t.queue;
+        Queue.length t.queue
+    | Lifo ->
+        (* depth-first: a spawned subtree completes before its siblings run,
+           so goal results exist by the time later spawns ask for them *)
+        t.stack <- j :: t.stack;
+        t.depth <- t.depth + 1;
+        t.depth
+  in
   (* queue-depth high-water mark; runs with the mutex held *)
-  let d = Queue.length t.queue in
   if d > Atomic.get t.max_queue_depth then Atomic.set t.max_queue_depth d;
   Condition.signal t.cond
 
@@ -267,7 +287,16 @@ let worker_loop t ~widx =
   Mutex.lock t.mutex;
   let take () =
     match t.fuzz with
-    | None -> Queue.take_opt t.queue
+    | None -> (
+        match t.policy with
+        | Fifo -> Queue.take_opt t.queue
+        | Lifo -> (
+            match t.stack with
+            | [] -> None
+            | j :: rest ->
+                t.stack <- rest;
+                t.depth <- t.depth - 1;
+                Some j))
     | Some rng ->
         (* randomized dequeue: rotate a PRNG-chosen prefix to the back, then
            take the front — a uniform pick over the queued jobs. Runs with
@@ -325,6 +354,8 @@ let run t root =
          of them so the scheduler is reusable. *)
       Mutex.lock t.mutex;
       Queue.clear t.queue;
+      t.stack <- [];
+      t.depth <- 0;
       Hashtbl.reset t.goals;
       Atomic.set t.live 0;
       Mutex.unlock t.mutex;

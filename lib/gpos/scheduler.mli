@@ -15,12 +15,20 @@ and child = { run : unit -> outcome; goal : string option }
 
 type t
 
-val create : ?workers:int -> ?fuzz:Prng.t -> unit -> t
+type policy = Fifo | Lifo
+(** Dequeue order. [Fifo] (the default) runs jobs oldest-first —
+    breadth-first over the job graph. [Lifo] runs the most recently spawned
+    job first — depth-first — so a goal's subtree completes before sibling
+    jobs spawn, which lets result caches keyed on finished goals hit. Any
+    policy must produce the same results: the schedule fuzzer exists to
+    check exactly that. *)
+
+val create : ?workers:int -> ?fuzz:Prng.t -> ?policy:policy -> unit -> t
 (** [workers = 1] (default) gives deterministic sequential execution;
     [workers > 1] runs jobs on that many domains. When [fuzz] is given, the
-    scheduler dequeues a PRNG-chosen queued job instead of the oldest one:
-    with [workers = 1] this deterministically permutes the schedule per seed
-    (the sanitizer's schedule fuzzer). *)
+    scheduler dequeues a PRNG-chosen queued job instead of following
+    [policy]: with [workers = 1] this deterministically permutes the
+    schedule per seed (the sanitizer's schedule fuzzer). *)
 
 val run : t -> (unit -> outcome) -> unit
 (** Run the root job and everything it transitively spawns to completion.

@@ -1,0 +1,55 @@
+(* A generic hash-consing (interning) table: maps structurally-equal values
+   to one dense integer id, so downstream equality checks and hash keys are
+   O(1) int comparisons instead of deep structural walks.
+
+   Callers supply the hash and equality once, at table creation; the table
+   stores one canonical representative per equivalence class. Ids are dense
+   (0, 1, 2, ...) in first-interning order, so they double as array indexes
+   for id-keyed side tables (the Memo's dedup index, rule bitmap caches).
+
+   Not thread-safe on its own: the Memo interns under its global insertion
+   lock, which is the only writer. *)
+
+type 'a t = {
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+  buckets : (int, ('a * int) list) Hashtbl.t; (* hash -> (value, id) bucket *)
+  mutable next_id : int;
+  mutable hits : int; (* interned values resolved to an existing id *)
+}
+
+let create ?(size = 256) ~hash ~equal () =
+  { hash; equal; buckets = Hashtbl.create size; next_id = 0; hits = 0 }
+
+let size t = t.next_id
+let hits t = t.hits
+
+(* Intern [v]: the id of its equivalence class, allocating a fresh dense id
+   on first sight. *)
+let intern t v =
+  let h = t.hash v in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.buckets h) in
+  match List.find_opt (fun (v', _) -> t.equal v v') bucket with
+  | Some (_, id) ->
+      t.hits <- t.hits + 1;
+      id
+  | None ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.replace t.buckets h ((v, id) :: bucket);
+      id
+
+(* Like [intern] but also returns the canonical representative, letting the
+   caller drop its own copy so structurally-equal values share memory. *)
+let intern_rep t v =
+  let h = t.hash v in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.buckets h) in
+  match List.find_opt (fun (v', _) -> t.equal v v') bucket with
+  | Some (rep, id) ->
+      t.hits <- t.hits + 1;
+      (rep, id)
+  | None ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.replace t.buckets h ((v, id) :: bucket);
+      (v, id)

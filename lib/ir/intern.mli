@@ -1,0 +1,20 @@
+(** Generic hash-consing (interning): structurally-equal values map to one
+    dense integer id, making downstream equality and hashing O(1). Ids are
+    dense in first-interning order, so they double as array indexes. Not
+    thread-safe; the Memo interns under its insertion lock. *)
+
+type 'a t
+
+val create : ?size:int -> hash:('a -> int) -> equal:('a -> 'a -> bool) -> unit -> 'a t
+
+val intern : 'a t -> 'a -> int
+(** The id of the value's equivalence class (fresh dense id on first sight). *)
+
+val intern_rep : 'a t -> 'a -> 'a * int
+(** [intern] plus the canonical representative, so callers can share memory. *)
+
+val size : 'a t -> int
+(** Number of distinct equivalence classes interned so far. *)
+
+val hits : 'a t -> int
+(** Interned values that resolved to an already-known id. *)

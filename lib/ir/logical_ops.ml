@@ -63,6 +63,81 @@ let used_cols (op : logical) : Colref.Set.t =
   | L_apply (_, outer) -> Colref.Set.of_list outer
   | L_set _ -> Colref.Set.empty
 
+(* Root shapes: one tag per logical constructor, payload ignored. Rules
+   declare the shapes their root pattern can match; the engine pre-filters
+   rule applications with a bitmap test instead of running the rule body. *)
+type shape =
+  | S_get
+  | S_select
+  | S_project
+  | S_join
+  | S_gb_agg
+  | S_window
+  | S_limit
+  | S_apply
+  | S_cte_producer
+  | S_cte_anchor
+  | S_cte_consumer
+  | S_set
+  | S_const_table
+
+let nshapes = 13
+
+let shape_tag = function
+  | S_get -> 0
+  | S_select -> 1
+  | S_project -> 2
+  | S_join -> 3
+  | S_gb_agg -> 4
+  | S_window -> 5
+  | S_limit -> 6
+  | S_apply -> 7
+  | S_cte_producer -> 8
+  | S_cte_anchor -> 9
+  | S_cte_consumer -> 10
+  | S_set -> 11
+  | S_const_table -> 12
+
+let shape_of (op : logical) : shape =
+  match op with
+  | L_get _ -> S_get
+  | L_select _ -> S_select
+  | L_project _ -> S_project
+  | L_join _ -> S_join
+  | L_gb_agg _ -> S_gb_agg
+  | L_window _ -> S_window
+  | L_limit _ -> S_limit
+  | L_apply _ -> S_apply
+  | L_cte_producer _ -> S_cte_producer
+  | L_cte_anchor _ -> S_cte_anchor
+  | L_cte_consumer _ -> S_cte_consumer
+  | L_set _ -> S_set
+  | L_const_table _ -> S_const_table
+
+let tag (op : logical) : int = shape_tag (shape_of op)
+
+(* Bitmap over shape tags; [shape_mask []] is the empty mask, and a mask
+   covering every shape is [lnot 0] land [all_shapes_mask]. *)
+let shape_mask (shapes : shape list) : int =
+  List.fold_left (fun m s -> m lor (1 lsl shape_tag s)) 0 shapes
+
+let all_shapes_mask = (1 lsl nshapes) - 1
+
+let shape_to_string = function
+  | S_get -> "Get"
+  | S_select -> "Select"
+  | S_project -> "Project"
+  | S_join -> "Join"
+  | S_gb_agg -> "GbAgg"
+  | S_window -> "Window"
+  | S_limit -> "Limit"
+  | S_apply -> "Apply"
+  | S_cte_producer -> "CTEProducer"
+  | S_cte_anchor -> "CTEAnchor"
+  | S_cte_consumer -> "CTEConsumer"
+  | S_set -> "SetOp"
+  | S_const_table -> "ConstTable"
+
 let agg_to_string (a : agg) =
   match a.agg_kind with
   | Count_star ->

@@ -13,6 +13,45 @@ val output_cols : logical -> Colref.t list list -> Colref.t list
 val used_cols : logical -> Colref.Set.t
 (** Columns the operator's own payload references. *)
 
+(** {2 Root shapes (rule applicability pre-filters)}
+
+    One tag per logical constructor, payload ignored. Rules declare which
+    shapes their root pattern can match; the engine tests a bitmap instead of
+    running rule bodies that cannot possibly fire. *)
+
+type shape =
+  | S_get
+  | S_select
+  | S_project
+  | S_join
+  | S_gb_agg
+  | S_window
+  | S_limit
+  | S_apply
+  | S_cte_producer
+  | S_cte_anchor
+  | S_cte_consumer
+  | S_set
+  | S_const_table
+
+val nshapes : int
+
+val shape_of : logical -> shape
+
+val shape_tag : shape -> int
+(** Dense tag in [0, nshapes). *)
+
+val tag : logical -> int
+(** [shape_tag (shape_of op)]. *)
+
+val shape_mask : shape list -> int
+(** Bitmap with the bit of every listed shape set. *)
+
+val all_shapes_mask : int
+(** Mask with every shape bit set. *)
+
+val shape_to_string : shape -> string
+
 val agg_to_string : agg -> string
 val wfunc_to_string : wfunc -> string
 val window_to_string : Colref.t list -> Sortspec.t -> wfunc list -> string

@@ -103,6 +103,25 @@ let satisfies (d : derived) (r : req) =
   dist_satisfies ~delivered:d.ddist ~required:r.rdist
   && Sortspec.satisfies ~delivered:d.dorder ~required:r.rorder
 
+(* Substitution compatibility for plan sampling: an operator's recorded
+   derived properties were computed from the properties its child bests
+   delivered at costing time. A different child alternative may stand in only
+   if it provides every guarantee the assumed delivery provided — otherwise
+   claims recorded upstream (e.g. "co-located on the group-by keys, no motion
+   needed") silently break in the materialized plan. D_random promises
+   nothing, so anything covers it; the other shapes must match exactly. *)
+let dist_covers ~(assumed : dist) ~(actual : dist) =
+  match (assumed, actual) with
+  | D_random, _ -> true
+  | D_singleton, D_singleton -> true
+  | D_replicated, D_replicated -> true
+  | D_hashed a, D_hashed b -> cols_equal a b
+  | _ -> false
+
+let derived_covers ~(assumed : derived) ~(actual : derived) =
+  dist_covers ~assumed:assumed.ddist ~actual:actual.ddist
+  && Sortspec.satisfies ~delivered:actual.dorder ~required:assumed.dorder
+
 (* Enforcers that can be plugged on top of a plan (paper Fig. 7). *)
 type enforcer = E_sort of Sortspec.t | E_motion of motion
 

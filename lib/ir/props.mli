@@ -42,6 +42,15 @@ val req_equal : req -> req -> bool
 val dist_satisfies : delivered:dist -> required:dist_req -> bool
 val satisfies : derived -> req -> bool
 
+val derived_covers : assumed:derived -> actual:derived -> bool
+(** Can [actual] stand in for [assumed] without weakening any guarantee a
+    parent derivation relied on? Used when plan sampling substitutes non-best
+    child alternatives: the parent's recorded [a_derived] was computed from
+    its child bests' deliveries, and stays truthful only for substitutes that
+    cover them. [D_random] promises nothing (anything covers it); the other
+    distribution shapes must match exactly, and the actual order must satisfy
+    the assumed one. *)
+
 (** Enforcers pluggable on top of a plan (paper Fig. 7). *)
 type enforcer = E_sort of Sortspec.t | E_motion of motion
 

@@ -16,16 +16,23 @@ let context_exn memo gid req =
       Gpos.Gpos_error.internal "no optimization context for group %d req %s"
         (Memo.find memo gid) (Props.req_to_string req)
 
-(* Materialize one alternative into a plan subtree. *)
+(* Materialize one alternative into a plan subtree. [pick] chooses the child
+   alternative for (group, request); [assumed] is what the parent's costing
+   assumed that child delivered (None at the root, or when the linkage
+   predates the assumption recording) — substitutes must cover it, or claims
+   recorded upstream (e.g. "already co-located, no motion needed") break in
+   the materialized plan. *)
 let rec plan_of_alternative memo gid (alt : Memo.alternative)
-    ~(pick : int -> Props.req -> Memo.alternative) : Expr.plan =
+    ~(pick : int -> Props.req -> assumed:Props.derived option -> Memo.alternative)
+    : Expr.plan =
   let ge = alt.Memo.a_gexpr in
+  let assumed_of i = List.nth_opt alt.Memo.a_child_derived i in
   let children =
-    List.map2
-      (fun child_gid child_req ->
-        let child_alt = pick child_gid child_req in
+    List.mapi
+      (fun i (child_gid, child_req) ->
+        let child_alt = pick child_gid child_req ~assumed:(assumed_of i) in
         plan_of_alternative memo child_gid child_alt ~pick)
-      ge.Memo.ge_children alt.Memo.a_child_reqs
+      (List.combine ge.Memo.ge_children alt.Memo.a_child_reqs)
   in
   let op =
     match ge.Memo.ge_op with
@@ -64,7 +71,7 @@ let rec plan_of_alternative memo gid (alt : Memo.alternative)
 
 (* Extract the least-cost plan satisfying [req] at group [gid]. *)
 let best_plan memo gid req : Expr.plan =
-  let pick gid req =
+  let pick gid req ~assumed:_ =
     let ctx = context_exn memo gid req in
     match ctx.Memo.cx_best with
     | Some alt -> alt
@@ -73,7 +80,7 @@ let best_plan memo gid req : Expr.plan =
           "no plan found for group %d under request %s" (Memo.find memo gid)
           (Props.req_to_string req)
   in
-  let alt = pick gid req in
+  let alt = pick gid req ~assumed:None in
   plan_of_alternative memo gid alt ~pick
 
 (* --- plan counting and uniform sampling (TAQO substrate) --- *)
@@ -134,26 +141,38 @@ let sample_plan (rng : Gpos.Prng.t) memo gid req : Expr.plan =
       (fun p cg cr -> p *. count cg cr)
       1.0 alt.Memo.a_gexpr.Memo.ge_children alt.Memo.a_child_reqs
   in
-  let pick gid req =
+  let pick gid req ~assumed =
     let ctx = context_exn memo gid req in
-    let total = count gid req in
-    if total <= 0.0 then
+    (* only alternatives covering what the parent's costing assumed this
+       child delivered are sound substitutes *)
+    let candidates =
+      match assumed with
+      | None -> ctx.Memo.cx_alts
+      | Some d ->
+          List.filter
+            (fun (a : Memo.alternative) ->
+              Props.derived_covers ~assumed:d ~actual:a.Memo.a_derived)
+            ctx.Memo.cx_alts
+    in
+    let fallback () =
       match ctx.Memo.cx_best with
       | Some alt -> alt
       | None -> Gpos.Gpos_error.internal "sample_plan: empty context"
+    in
+    let total =
+      List.fold_left (fun acc a -> acc +. subtree_count a) 0.0 candidates
+    in
+    if total <= 0.0 then fallback ()
     else begin
       let target = Gpos.Prng.float rng *. total in
       let rec scan acc = function
-        | [] -> (
-            match ctx.Memo.cx_best with
-            | Some alt -> alt
-            | None -> Gpos.Gpos_error.internal "sample_plan: empty context")
+        | [] -> fallback ()
         | alt :: rest ->
             let acc = acc +. subtree_count alt in
             if acc >= target then alt else scan acc rest
       in
-      scan 0.0 ctx.Memo.cx_alts
+      scan 0.0 candidates
     end
   in
-  let alt = pick gid req in
+  let alt = pick gid req ~assumed:None in
   plan_of_alternative memo gid alt ~pick

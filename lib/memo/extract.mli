@@ -14,10 +14,13 @@ val plan_of_alternative :
   Memo.t ->
   int ->
   Memo.alternative ->
-  pick:(int -> Props.req -> Memo.alternative) ->
+  pick:(int -> Props.req -> assumed:Props.derived option -> Memo.alternative) ->
   Expr.plan
 (** Materialize one alternative, choosing child alternatives through [pick].
-    Node costs are rolled up from the children actually materialized. *)
+    [assumed] passes the properties the parent's costing assumed that child
+    delivered ([Memo.a_child_derived]); a sound [pick] only returns
+    alternatives covering them ([Props.derived_covers]). Node costs are
+    rolled up from the children actually materialized. *)
 
 val count_plans : Memo.t -> int -> Props.req -> float
 (** Number of distinct plans recorded for (group, request); float-valued to

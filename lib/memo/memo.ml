@@ -16,6 +16,7 @@ open Ir
 type gexpr = {
   ge_id : int;
   ge_op : Expr.op;
+  ge_op_id : int; (* interned operator id; -1 when interning is off *)
   ge_children : int list; (* group ids as of insertion; canonicalize on use *)
   mutable ge_group : int;
   ge_rule : string option;
@@ -29,6 +30,10 @@ type gexpr = {
 type alternative = {
   a_gexpr : gexpr;
   a_child_reqs : Props.req list;
+  a_child_derived : Props.derived list;
+      (* what each child best delivered when this alternative was costed;
+         [a_derived] was computed from exactly these, so a plan sampler may
+         only substitute child alternatives covering them *)
   a_enforcers : Props.enforcer list; (* applied bottom-up above the gexpr *)
   a_enf_costs : float list; (* incremental cost of each enforcer *)
   a_local_cost : float; (* the operator's own cost, children excluded *)
@@ -74,23 +79,42 @@ type obs_counters = {
   oc_winner_kept : int Atomic.t;    (* incumbent survived the challenge *)
 }
 
+(* Moved above [create] so the interner can be built with them. *)
+let op_fingerprint = function
+  | Expr.Logical l -> Hashtbl.hash (0, Logical_ops.fingerprint l)
+  | Expr.Physical p -> Hashtbl.hash (1, Physical_ops.fingerprint p)
+
+let op_equal a b =
+  match (a, b) with
+  | Expr.Logical x, Expr.Logical y -> Logical_ops.equal x y
+  | Expr.Physical x, Expr.Physical y -> Physical_ops.equal x y
+  | _ -> false
+
 type t = {
   mutable groups : group array;
   mutable ngroups : int;
   mutable ngexprs : int;
   dedup : (int, gexpr) Hashtbl.t;
+  op_intern : Expr.op Intern.t option;
+      (* hash-consing of operator payloads: identical operators share one
+         dense id (and one representative value), so duplicate detection
+         compares ints instead of deep structures. None = interning off. *)
   mutable root : int;
   lock : Mutex.t;
   mutable cte_producer_groups : (int * int) list; (* cte id -> producer group *)
   obs : obs_counters;
 }
 
-let create () =
+let create ?(interning = true) () =
   {
     groups = [||];
     ngroups = 0;
     ngexprs = 0;
     dedup = Hashtbl.create 256;
+    op_intern =
+      (if interning then
+         Some (Intern.create ~hash:op_fingerprint ~equal:op_equal ())
+       else None);
     root = -1;
     lock = Mutex.create ();
     cte_producer_groups = [];
@@ -115,6 +139,8 @@ type profile = {
   p_ctx_hits : int;
   p_winner_updates : int;
   p_winner_kept : int;
+  p_ops_interned : int; (* distinct operator payloads (0 when interning off) *)
+  p_intern_hits : int;  (* operators that resolved to an existing id *)
 }
 
 let profile t =
@@ -126,6 +152,10 @@ let profile t =
     p_ctx_hits = Atomic.get t.obs.oc_ctx_hits;
     p_winner_updates = Atomic.get t.obs.oc_winner_updates;
     p_winner_kept = Atomic.get t.obs.oc_winner_kept;
+    p_ops_interned =
+      (match t.op_intern with None -> 0 | Some tbl -> Intern.size tbl);
+    p_intern_hits =
+      (match t.op_intern with None -> 0 | Some tbl -> Intern.hits tbl);
   }
 
 (* Sanitizer hooks: when a Gpos.Trace sink is installed, every lock
@@ -177,21 +207,18 @@ let group_ids t = List.init t.ngroups (fun i -> i) |> List.filter (fun i -> (gro
 
 let output_cols t id = (group t id).g_output_cols
 
-let op_fingerprint = function
-  | Expr.Logical l -> Hashtbl.hash (0, Logical_ops.fingerprint l)
-  | Expr.Physical p -> Hashtbl.hash (1, Physical_ops.fingerprint p)
+(* Dedup key over (operator, canonical child groups). With interning on the
+   operator part is its dense id; otherwise a structural fingerprint. The
+   [children] list is already canonicalized by the caller. *)
+let gexpr_key op_id op children =
+  if op_id >= 0 then Hashtbl.hash (op_id, children)
+  else Hashtbl.hash (op_fingerprint op, children)
 
-let gexpr_key t op children =
-  Hashtbl.hash (op_fingerprint op, List.map (fun c -> find t c) children)
-
-let op_equal a b =
-  match (a, b) with
-  | Expr.Logical x, Expr.Logical y -> Logical_ops.equal x y
-  | Expr.Physical x, Expr.Physical y -> Physical_ops.equal x y
-  | _ -> false
-
-let gexpr_equal t (ge : gexpr) op children =
-  op_equal ge.ge_op op
+(* With interning, operator equality is one int comparison: both sides were
+   resolved through the same intern table. *)
+let gexpr_equal t (ge : gexpr) op_id op children =
+  (if op_id >= 0 && ge.ge_op_id >= 0 then ge.ge_op_id = op_id
+   else op_equal ge.ge_op op)
   && List.length ge.ge_children = List.length children
   && List.for_all2
        (fun a b -> find t a = find t b)
@@ -246,12 +273,21 @@ let insert_gexpr t ?rule ?target op children : gexpr =
       trace_access (fun () -> "memo.index") true;
       t.obs.oc_inserts <- t.obs.oc_inserts + 1;
       let children = List.map (fun c -> find t c) children in
-      let key = gexpr_key t op children in
+      (* hash-cons the operator: structurally-equal payloads share one dense
+         id and one representative value *)
+      let op, op_id =
+        match t.op_intern with
+        | Some tbl -> Intern.intern_rep tbl op
+        | None -> (op, -1)
+      in
+      let key = gexpr_key op_id op children in
       let existing =
         match Hashtbl.find_all t.dedup key with
         | [] -> None
         | candidates ->
-            List.find_opt (fun ge -> gexpr_equal t ge op children) candidates
+            List.find_opt
+              (fun ge -> gexpr_equal t ge op_id op children)
+              candidates
       in
       match existing with
       | Some ge ->
@@ -271,6 +307,7 @@ let insert_gexpr t ?rule ?target op children : gexpr =
             {
               ge_id = t.ngexprs;
               ge_op = op;
+              ge_op_id = op_id;
               ge_children = children;
               ge_group = gid;
               ge_rule = rule;

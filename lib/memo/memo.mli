@@ -17,6 +17,9 @@ open Ir
 type gexpr = {
   ge_id : int;
   ge_op : Expr.op;
+  ge_op_id : int;
+      (** hash-consed operator id: equal ids iff structurally equal payloads
+          (within one Memo); -1 when the Memo was created without interning *)
   ge_children : int list;  (** group ids as of insertion; canonicalize via [find] *)
   mutable ge_group : int;
   ge_rule : string option; (** the rule that produced this expression *)
@@ -31,6 +34,11 @@ type gexpr = {
 type alternative = {
   a_gexpr : gexpr;
   a_child_reqs : Props.req list;
+  a_child_derived : Props.derived list;
+      (** what each child best delivered when this alternative was costed:
+          [a_derived] was computed from exactly these properties, so plan
+          sampling may only substitute child alternatives that cover them
+          (see [Props.derived_covers]) *)
   a_enforcers : Props.enforcer list; (** applied bottom-up above the gexpr *)
   a_enf_costs : float list;          (** incremental cost of each enforcer *)
   a_local_cost : float;              (** the operator's own cost, children excluded *)
@@ -63,7 +71,10 @@ type group = {
 
 type t
 
-val create : unit -> t
+val create : ?interning:bool -> unit -> t
+(** [interning] (default true) hash-conses operator payloads so duplicate
+    detection compares dense ids instead of deep structures; off preserves
+    the structural path for A/B identity testing. *)
 
 type profile = {
   p_inserts : int;         (** [insert] calls (after tree flattening) *)
@@ -73,6 +84,8 @@ type profile = {
   p_ctx_hits : int;        (** [obtain_context] found an existing context *)
   p_winner_updates : int;  (** [record_alternative] improved [cx_best] *)
   p_winner_kept : int;     (** the incumbent winner survived a challenge *)
+  p_ops_interned : int;    (** distinct operator payloads (0 if interning off) *)
+  p_intern_hits : int;     (** operators resolved to an existing interned id *)
 }
 (** Growth/duplicate-detection/winner-cache counters for the observability
     report (lib/obs). Collected unconditionally — each is one counter bump

@@ -14,6 +14,9 @@ type rule_stat = {
   r_fired : int;    (* applications actually run *)
   r_results : int;  (* alternatives produced *)
   r_skipped : int;  (* applications filtered out (stage deadline fired) *)
+  r_prefiltered : int;
+      (* applications skipped by the applicability pre-filter (the rule's
+         root-shape bitmap ruled the group expression out) *)
   r_time_ms : float;
 }
 
@@ -27,6 +30,8 @@ type memo_stat = {
   m_ctx_cache_hits : int;  (* obtain_context found an existing context *)
   m_winner_updates : int;  (* record_alternative improved cx_best *)
   m_winner_kept : int;     (* record_alternative kept the incumbent *)
+  m_ops_interned : int;    (* distinct hash-consed operator payloads *)
+  m_intern_hits : int;     (* operators resolved to an existing interned id *)
 }
 
 type sched_stat = {
@@ -45,6 +50,8 @@ type cost_stat = {
   c_enforcer_costings : int; (* Cost_model.enforcer_cost invocations *)
   c_alternatives : int;      (* alternatives recorded into contexts *)
   c_deadline_checks : int;
+  c_base_reuses : int;       (* op+children base costs served from cache *)
+  c_winner_skips : int;      (* child Opt spawns skipped: context complete *)
 }
 
 type t = {
@@ -71,6 +78,8 @@ let empty_memo =
     m_ctx_cache_hits = 0;
     m_winner_updates = 0;
     m_winner_kept = 0;
+    m_ops_interned = 0;
+    m_intern_hits = 0;
   }
 
 let empty_cost =
@@ -79,6 +88,8 @@ let empty_cost =
     c_enforcer_costings = 0;
     c_alternatives = 0;
     c_deadline_checks = 0;
+    c_base_reuses = 0;
+    c_winner_skips = 0;
   }
 
 let empty =
@@ -111,6 +122,8 @@ let merge_memo a b =
     m_ctx_cache_hits = a.m_ctx_cache_hits + b.m_ctx_cache_hits;
     m_winner_updates = a.m_winner_updates + b.m_winner_updates;
     m_winner_kept = a.m_winner_kept + b.m_winner_kept;
+    m_ops_interned = a.m_ops_interned + b.m_ops_interned;
+    m_intern_hits = a.m_intern_hits + b.m_intern_hits;
   }
 
 let merge_cost a b =
@@ -119,6 +132,8 @@ let merge_cost a b =
     c_enforcer_costings = a.c_enforcer_costings + b.c_enforcer_costings;
     c_alternatives = a.c_alternatives + b.c_alternatives;
     c_deadline_checks = a.c_deadline_checks + b.c_deadline_checks;
+    c_base_reuses = a.c_base_reuses + b.c_base_reuses;
+    c_winner_skips = a.c_winner_skips + b.c_winner_skips;
   }
 
 let merge_rules a b =
@@ -135,6 +150,7 @@ let merge_rules a b =
               r_fired = p.r_fired + r.r_fired;
               r_results = p.r_results + r.r_results;
               r_skipped = p.r_skipped + r.r_skipped;
+              r_prefiltered = p.r_prefiltered + r.r_prefiltered;
               r_time_ms = p.r_time_ms +. r.r_time_ms;
             })
     b;
@@ -209,7 +225,11 @@ let to_string ?(top = 10) t =
   if t.stage_names <> [] then
     pf "stages: %s\n" (String.concat ", " t.stage_names);
   (* rules, top-N by cumulative time then firings *)
-  let fired = List.filter (fun r -> r.r_fired > 0 || r.r_skipped > 0) t.rules in
+  let fired =
+    List.filter
+      (fun r -> r.r_fired > 0 || r.r_skipped > 0 || r.r_prefiltered > 0)
+      t.rules
+  in
   let ranked =
     List.sort
       (fun a b ->
@@ -221,18 +241,21 @@ let to_string ?(top = 10) t =
   let shown = List.filteri (fun i _ -> i < top) ranked in
   pf "\nper-rule profile (top %d of %d by cumulative time):\n" top
     (List.length fired);
-  pf "  %-28s %-10s %8s %8s %8s %10s\n" "rule" "kind" "fired" "results"
-    "skipped" "time(ms)";
+  pf "  %-28s %-10s %8s %8s %8s %11s %10s\n" "rule" "kind" "fired" "results"
+    "skipped" "prefiltered" "time(ms)";
   List.iter
     (fun r ->
-      pf "  %-28s %-10s %8d %8d %8d %10.3f\n" r.r_name r.r_kind r.r_fired
-        r.r_results r.r_skipped r.r_time_ms)
+      pf "  %-28s %-10s %8d %8d %8d %11d %10.3f\n" r.r_name r.r_kind r.r_fired
+        r.r_results r.r_skipped r.r_prefiltered r.r_time_ms)
     shown;
   let total_fired = List.fold_left (fun a r -> a + r.r_fired) 0 t.rules in
   let total_results = List.fold_left (fun a r -> a + r.r_results) 0 t.rules in
   let total_skipped = List.fold_left (fun a r -> a + r.r_skipped) 0 t.rules in
-  pf "  %-28s %-10s %8d %8d %8d\n" "(all rules)" "" total_fired total_results
-    total_skipped;
+  let total_prefiltered =
+    List.fold_left (fun a r -> a + r.r_prefiltered) 0 t.rules
+  in
+  pf "  %-28s %-10s %8d %8d %8d %11d\n" "(all rules)" "" total_fired
+    total_results total_skipped total_prefiltered;
   (* memo *)
   let m = t.memo in
   pf "\nmemo: %d groups, %d group expressions\n" m.m_groups m.m_gexprs;
@@ -241,6 +264,10 @@ let to_string ?(top = 10) t =
   pf "  contexts: created=%d cache-hits=%d  winners: updates=%d kept=%d (%.1f%% cache efficiency)\n"
     m.m_ctx_created m.m_ctx_cache_hits m.m_winner_updates m.m_winner_kept
     (pct m.m_winner_kept (m.m_winner_updates + m.m_winner_kept));
+  if m.m_ops_interned > 0 || m.m_intern_hits > 0 then
+    pf "  interning: %d distinct operator payloads, %d hits (%.1f%% shared)\n"
+      m.m_ops_interned m.m_intern_hits
+      (pct m.m_intern_hits (m.m_ops_interned + m.m_intern_hits));
   (* schedulers *)
   List.iter
     (fun s ->
@@ -253,6 +280,9 @@ let to_string ?(top = 10) t =
   pf "cost model: op-costings=%d enforcer-costings=%d alternatives=%d deadline-checks=%d\n"
     t.cost.c_op_costings t.cost.c_enforcer_costings t.cost.c_alternatives
     t.cost.c_deadline_checks;
+  if t.cost.c_base_reuses > 0 || t.cost.c_winner_skips > 0 then
+    pf "cost reuse: base-costs=%d winner-skips=%d\n" t.cost.c_base_reuses
+      t.cost.c_winner_skips;
   (* exec *)
   if t.exec <> [] then begin
     pf "execution: ";

@@ -15,6 +15,9 @@ type counters = {
   xform_results : int;
   alternatives_costed : int;
   contexts_created : int;
+  prefilter_skips : int;
+  winner_skips : int;
+  base_reuses : int;
 }
 
 (* Internal counters are atomics so parallel Opt jobs can bump them without
@@ -27,6 +30,9 @@ type acounters = {
   a_op_costings : int Atomic.t;       (* Cost_model.op_cost invocations *)
   a_enf_costings : int Atomic.t;      (* Cost_model.enforcer_cost invocations *)
   a_deadline_checks : int Atomic.t;
+  a_prefilter_skips : int Atomic.t;   (* rule applications pruned by shape *)
+  a_winner_skips : int Atomic.t;      (* child Opt spawns pruned: ctx complete *)
+  a_base_reuses : int Atomic.t;       (* base costs served from the reuse cache *)
 }
 
 (* Per-rule profile, collected only when the engine runs with [obs] — rule
@@ -36,6 +42,7 @@ type rule_stat = {
   mutable rs_fired : int;
   mutable rs_results : int;
   mutable rs_skipped : int; (* applications dropped by a stage deadline *)
+  mutable rs_prefiltered : int; (* applications pruned by the shape bitmap *)
   mutable rs_time_ms : float;
 }
 
@@ -54,9 +61,40 @@ type t = {
   counters : acounters;
   obs : bool; (* collect per-rule timings for the observability report *)
   rule_stats : (int, rule_stat) Hashtbl.t; (* rule id -> profile *)
+  (* hot-path speedups; every one preserves the chosen plan and its cost
+     exactly (test/test_perf_identity.ml proves it per query) *)
+  prefilter : bool;    (* skip rules whose shape bitmap rules the root out *)
+  stats_memo : bool;   (* memoize per-group rows/width and redistribute skew *)
+  winner_reuse : bool; (* skip child Opt spawns on complete contexts; reuse
+                          base costs across contexts differing only in the
+                          required properties *)
+  opt_workers : int;
+  (* rows/width per canonical group id: frozen before costing starts (the
+     optimization phase inserts nothing), so parallel Opt jobs read them
+     without a lock *)
+  rows_cache : (int, float) Hashtbl.t;
+  width_cache : (int, float) Hashtbl.t;
+  (* redistribute-skew per (canonical group id, hash exprs): filled during
+     costing, hence mutex-guarded *)
+  skew_cache : (int * Expr.scalar list, float) Hashtbl.t;
+  skew_lock : Mutex.t;
+  (* (gexpr id, child request vector) -> (local cost, children cost,
+     delivered properties). Valid across optimization contexts: child bests
+     are final before any parent costs against them (the goal-queue barrier),
+     and the operator's cost inputs are fixed per (gexpr, child requests). *)
+  cost_cache :
+    ( int * Props.req list,
+      float * float * Props.derived * Props.derived list )
+    Hashtbl.t;
+  cost_lock : Mutex.t;
+  (* (group id, request fingerprint) -> goal string, so repeat spawns skip
+     the sprintf *)
+  goal_cache : (int * int, string) Hashtbl.t;
+  goal_lock : Mutex.t;
 }
 
-let create ?(workers = 1) ?fuzz_seed ?(obs = false) ~ruleset ~model ~factory
+let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(prefilter = true)
+    ?(stats_memo = true) ?(winner_reuse = true) ~ruleset ~model ~factory
     ~base memo =
   {
     memo;
@@ -69,9 +107,15 @@ let create ?(workers = 1) ?fuzz_seed ?(obs = false) ~ruleset ~model ~factory
       (* Schedule fuzzing permutes only the optimization scheduler: the
          exploration/implementation phases assign gexpr and group ids, so
          permuting them would change the Memo itself rather than exercise a
-         different interleaving of the same costing work. *)
+         different interleaving of the same costing work. Costing dequeues
+         depth-first so child Opt goals complete before sibling contexts
+         spawn — that is what makes the winner-reuse caches hit; the
+         caches-off baseline keeps the breadth-first order. *)
       Gpos.Scheduler.create ~workers
-        ?fuzz:(Option.map Gpos.Prng.create fuzz_seed) ();
+        ?fuzz:(Option.map Gpos.Prng.create fuzz_seed)
+        ~policy:
+          (if winner_reuse then Gpos.Scheduler.Lifo else Gpos.Scheduler.Fifo)
+        ();
     deadline = None;
     counters =
       {
@@ -82,16 +126,39 @@ let create ?(workers = 1) ?fuzz_seed ?(obs = false) ~ruleset ~model ~factory
         a_op_costings = Atomic.make 0;
         a_enf_costings = Atomic.make 0;
         a_deadline_checks = Atomic.make 0;
+        a_prefilter_skips = Atomic.make 0;
+        a_winner_skips = Atomic.make 0;
+        a_base_reuses = Atomic.make 0;
       };
     obs;
     rule_stats = Hashtbl.create 64;
+    prefilter;
+    stats_memo;
+    winner_reuse;
+    opt_workers = workers;
+    rows_cache = Hashtbl.create 256;
+    width_cache = Hashtbl.create 256;
+    skew_cache = Hashtbl.create 256;
+    skew_lock = Mutex.create ();
+    cost_cache = Hashtbl.create 1024;
+    cost_lock = Mutex.create ();
+    goal_cache = Hashtbl.create 256;
+    goal_lock = Mutex.create ();
   }
 
 let rule_stat t (rule : Xform.Rule.t) =
   match Hashtbl.find_opt t.rule_stats rule.Xform.Rule.id with
   | Some rs -> rs
   | None ->
-      let rs = { rs_fired = 0; rs_results = 0; rs_skipped = 0; rs_time_ms = 0.0 } in
+      let rs =
+        {
+          rs_fired = 0;
+          rs_results = 0;
+          rs_skipped = 0;
+          rs_prefiltered = 0;
+          rs_time_ms = 0.0;
+        }
+      in
       Hashtbl.replace t.rule_stats rule.Xform.Rule.id rs;
       rs
 
@@ -182,18 +249,45 @@ let gexpr_job t (ge : Memo.gexpr) ~(rules : Xform.Rule.t list)
           Gpos.Scheduler.Finished
         end
         else begin
-          let pending =
+          let fresh =
             List.filter
               (fun (r : Xform.Rule.t) ->
                 not (List.mem r.Xform.Rule.id ge.Memo.ge_applied))
               rules
-            |> List.sort (fun (a : Xform.Rule.t) b ->
-                   compare b.Xform.Rule.promise a.Xform.Rule.promise)
+          in
+          (* applicability pre-filter: a rule whose root-shape bit is clear
+             for this expression would provably return [], so skip the
+             application (and the job) while still marking it applied *)
+          let pending, prefiltered =
+            if not t.prefilter then (fresh, [])
+            else
+              match ge.Memo.ge_op with
+              | Expr.Physical _ -> (fresh, [])
+              | Expr.Logical l ->
+                  let tag = Ir.Logical_ops.tag l in
+                  List.partition
+                    (fun (r : Xform.Rule.t) -> Xform.Rule.applicable_tag r tag)
+                    fresh
+          in
+          if prefiltered <> [] then begin
+            bump_by t.counters.a_prefilter_skips (List.length prefiltered);
+            if t.obs then
+              List.iter
+                (fun (r : Xform.Rule.t) ->
+                  let rs = rule_stat t r in
+                  rs.rs_prefiltered <- rs.rs_prefiltered + 1)
+                prefiltered
+          end;
+          let pending =
+            List.sort
+              (fun (a : Xform.Rule.t) b ->
+                compare b.Xform.Rule.promise a.Xform.Rule.promise)
+              pending
           in
           List.iter
             (fun (r : Xform.Rule.t) ->
               ge.Memo.ge_applied <- r.Xform.Rule.id :: ge.Memo.ge_applied)
-            pending;
+            (pending @ prefiltered);
           mark ge;
           let jobs =
             List.map
@@ -280,78 +374,160 @@ let rec imp_group_job t gid () =
 
 (* --- costing helpers --- *)
 
-let group_rows t gid =
+let compute_group_rows t gid =
   match Memo.stats t.memo gid with
   | Some s -> Float.max 1.0 (Stats.Relstats.rows s)
   | None -> 1000.0
 
-let group_width t gid =
+let compute_group_width t gid =
   Stats.Relstats.row_width (Memo.output_cols t.memo gid)
 
+let group_rows t gid =
+  match Hashtbl.find_opt t.rows_cache gid with
+  | Some r -> r
+  | None -> compute_group_rows t gid
+
+let group_width t gid =
+  match Hashtbl.find_opt t.width_cache gid with
+  | Some w -> w
+  | None -> compute_group_width t gid
+
+(* Freeze rows/width per live group before costing: the optimization phase
+   inserts nothing into the Memo, so the cached values stay canonical and
+   parallel Opt jobs can read the tables lock-free. *)
+let freeze_group_caches t =
+  if t.stats_memo then
+    List.iter
+      (fun gid ->
+        Hashtbl.replace t.rows_cache gid (compute_group_rows t gid);
+        Hashtbl.replace t.width_cache gid (compute_group_width t gid))
+      (Memo.group_ids t.memo)
+
 (* Skew of the columns a redistribute enforcer hashes on. *)
+let compute_redistribute_skew t gid es =
+  match Memo.stats t.memo gid with
+  | None -> 1.0
+  | Some s ->
+      let col_skews =
+        List.filter_map
+          (function
+            | Expr.Col c -> Some (Stats.Relstats.col_skew s c) | _ -> None)
+          es
+      in
+      let skew = List.fold_left Float.max 1.0 col_skews in
+      Float.min skew 4.0
+
 let redistribute_skew t gid (enf : Props.enforcer) =
   match enf with
-  | Props.E_motion (Expr.Redistribute es) -> (
-      match Memo.stats t.memo gid with
-      | None -> 1.0
-      | Some s ->
-          let col_skews =
-            List.filter_map
-              (function
-                | Expr.Col c -> Some (Stats.Relstats.col_skew s c)
-                | _ -> None)
-              es
-          in
-          let skew = List.fold_left Float.max 1.0 col_skews in
-          Float.min skew 4.0)
+  | Props.E_motion (Expr.Redistribute es) ->
+      if not t.stats_memo then compute_redistribute_skew t gid es
+      else begin
+        (* col_skew folds over histogram buckets on every enforcer costing;
+           memoize per (group, hash exprs). A concurrent duplicate compute
+           stores the same deterministic value, so the lock only guards the
+           table. *)
+        let key = (gid, es) in
+        Mutex.lock t.skew_lock;
+        let hit = Hashtbl.find_opt t.skew_cache key in
+        Mutex.unlock t.skew_lock;
+        match hit with
+        | Some v -> v
+        | None ->
+            let v = compute_redistribute_skew t gid es in
+            Mutex.lock t.skew_lock;
+            Hashtbl.replace t.skew_cache key v;
+            Mutex.unlock t.skew_lock;
+            v
+      end
   | _ -> 1.0
 
 (* Cost one (gexpr, child-request vector) and record every enforcement
    alternative into the context. *)
 let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
     (op : Expr.physical) (child_reqs : Props.req list) : unit =
-  let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
-  let child_bests =
-    List.map2
-      (fun cg cr ->
-        match Memo.find_context t.memo cg cr with
-        | Some cctx ->
-            (* unlocked read: must be ordered after the child Opt goal's
-               release by the goal queue — the sanitizer checks exactly this *)
-            trace_access
-              (fun () -> Printf.sprintf "ctx:%d.best" cctx.Memo.cx_id)
-              false;
-            cctx.Memo.cx_best
-        | None -> None)
-      children child_reqs
+  (* (local cost, children cost, delivered properties) depends only on the
+     gexpr and the child request vector, never on this context's required
+     properties — so it can be reused across the enforcer recursion's
+     contexts. Sound because every child best is final before any parent
+     costs against it (the goal-queue barrier). *)
+  let cache_key = (ge.Memo.ge_id, child_reqs) in
+  let cached =
+    if not t.winner_reuse then None
+    else begin
+      Mutex.lock t.cost_lock;
+      let hit = Hashtbl.find_opt t.cost_cache cache_key in
+      Mutex.unlock t.cost_lock;
+      hit
+    end
   in
-  if List.for_all Option.is_some child_bests then begin
-    let child_bests = List.map Option.get child_bests in
-    let child_derived = List.map (fun b -> b.Memo.a_derived) child_bests in
-    let delivered = Physical_ops.derive op child_derived in
-    let inputs =
-      List.map2
-        (fun cg (b : Memo.alternative) ->
-          Cost.Cost_model.input ~rows:(group_rows t cg)
-            ~width:(group_width t cg) ~dist:b.Memo.a_derived.Props.ddist ())
-        children child_bests
-    in
+  let base =
+    match cached with
+    | Some hit ->
+        bump_by t.counters.a_base_reuses 1;
+        Some hit
+    | None ->
+        let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
+        let child_bests =
+          List.map2
+            (fun cg cr ->
+              match Memo.find_context t.memo cg cr with
+              | Some cctx ->
+                  (* unlocked read: must be ordered after the child Opt goal's
+                     release by the goal queue — the sanitizer checks exactly
+                     this *)
+                  trace_access
+                    (fun () -> Printf.sprintf "ctx:%d.best" cctx.Memo.cx_id)
+                    false;
+                  cctx.Memo.cx_best
+              | None -> None)
+            children child_reqs
+        in
+        if not (List.for_all Option.is_some child_bests) then None
+        else begin
+          let child_bests = List.map Option.get child_bests in
+          let child_derived =
+            List.map (fun b -> b.Memo.a_derived) child_bests
+          in
+          let delivered = Physical_ops.derive op child_derived in
+          let inputs =
+            List.map2
+              (fun cg (b : Memo.alternative) ->
+                Cost.Cost_model.input ~rows:(group_rows t cg)
+                  ~width:(group_width t cg) ~dist:b.Memo.a_derived.Props.ddist
+                  ())
+              children child_bests
+          in
+          let rows_out = group_rows t gid in
+          let width_out = group_width t gid in
+          let scan_rows =
+            match op with
+            | Expr.P_table_scan (td, _, _) | Expr.P_index_scan (td, _, _, _, _)
+              ->
+                Stats.Relstats.rows (t.base td)
+            | _ -> 0.0
+          in
+          bump_by t.counters.a_op_costings 1;
+          let local =
+            Cost.Cost_model.op_cost t.model op ~rows_out ~width_out ~inputs
+              ~scan_rows ~out_dist:delivered.Props.ddist
+          in
+          let children_cost =
+            List.fold_left (fun acc b -> acc +. b.Memo.a_cost) 0.0 child_bests
+          in
+          let entry = (local, children_cost, delivered, child_derived) in
+          if t.winner_reuse then begin
+            Mutex.lock t.cost_lock;
+            Hashtbl.replace t.cost_cache cache_key entry;
+            Mutex.unlock t.cost_lock
+          end;
+          Some entry
+        end
+  in
+  match base with
+  | None -> ()
+  | Some (local, children_cost, delivered, child_derived) ->
     let rows_out = group_rows t gid in
     let width_out = group_width t gid in
-    let scan_rows =
-      match op with
-      | Expr.P_table_scan (td, _, _) | Expr.P_index_scan (td, _, _, _, _) ->
-          Stats.Relstats.rows (t.base td)
-      | _ -> 0.0
-    in
-    bump_by t.counters.a_op_costings 1;
-    let local =
-      Cost.Cost_model.op_cost t.model op ~rows_out ~width_out ~inputs
-        ~scan_rows ~out_dist:delivered.Props.ddist
-    in
-    let children_cost =
-      List.fold_left (fun acc b -> acc +. b.Memo.a_cost) 0.0 child_bests
-    in
     let base_cost = local +. children_cost in
     let chains =
       Props.enforcement_alternatives ~delivered ~required:ctx.Memo.cx_req
@@ -380,6 +556,7 @@ let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
           {
             Memo.a_gexpr = ge;
             a_child_reqs = child_reqs;
+            a_child_derived = child_derived;
             a_enforcers = chain;
             a_enf_costs = enf_costs;
             a_local_cost = local;
@@ -387,11 +564,49 @@ let cost_alternative t (ctx : Memo.context) (gid : int) (ge : Memo.gexpr)
             a_derived = final_derived;
           })
       chains
-  end
 
 (* --- Opt(g, req) / Opt(gexpr, req) --- *)
 
 let opt_goal gid req = Printf.sprintf "opt:%d:%d" gid (Props.req_fingerprint req)
+
+(* The same goal string is formatted on every spawn of the same (group,
+   request) — hundreds of thousands of times per optimization. Memoize it;
+   the key uses the same fingerprint the string itself embeds, so two
+   requests share a memo slot exactly when they share a goal string. *)
+let opt_goal_memo t gid req =
+  if not t.winner_reuse then opt_goal gid req
+  else begin
+    let key = (gid, Props.req_fingerprint req) in
+    Mutex.lock t.goal_lock;
+    let hit = Hashtbl.find_opt t.goal_cache key in
+    (match hit with
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.goal_cache key (opt_goal gid req));
+    let v =
+      match hit with Some v -> v | None -> Hashtbl.find t.goal_cache key
+    in
+    Mutex.unlock t.goal_lock;
+    v
+  end
+
+(* Can every child spawn for this (gexpr, child-request vector) be elided?
+   True when the base-cost cache already holds the vector: the entry was
+   published under [cost_lock] after every child best became final, so the
+   mutex acquire on the lookup gives the happens-before ordering the goal
+   queue would otherwise provide — safe at any worker count. *)
+let children_already_costed t (ge : Memo.gexpr) child_reqs =
+  t.winner_reuse
+  (* the sanitizer's race detector models ordering through goal-queue edges
+     only; the mutex ordering this elision relies on is invisible to it, so
+     keep the full spawn set whenever a trace is being collected *)
+  && (not (Gpos.Trace.enabled ()))
+  && (ge.Memo.ge_children = []
+     ||
+     let key = (ge.Memo.ge_id, child_reqs) in
+     Mutex.lock t.cost_lock;
+     let hit = Hashtbl.mem t.cost_cache key in
+     Mutex.unlock t.cost_lock;
+     hit)
 
 let rec opt_group_job t gid req () =
   let gid = Memo.find t.memo gid in
@@ -441,16 +656,51 @@ and opt_gexpr_job t ctx gid ge op req =
         let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
         (* spawn Opt(child group, child request) for every request appearing
            in any alternative; goal queues deduplicate *)
-        let child_jobs =
+        let pairs =
           Lazy.force alternatives
           |> List.concat_map (fun child_reqs ->
-                 List.map2
-                   (fun cg cr ->
-                     {
-                       Gpos.Scheduler.run = opt_group_job t cg cr;
-                       goal = Some (opt_goal cg cr);
-                     })
-                   children child_reqs)
+                 (* an alternative whose base cost is already cached needs no
+                    child spawns at all: its child winners are final *)
+                 if children_already_costed t ge child_reqs then begin
+                   bump_by t.counters.a_winner_skips
+                     (List.length child_reqs);
+                   []
+                 end
+                 else List.combine children child_reqs)
+        in
+        let pairs =
+          if not t.winner_reuse then pairs
+          else begin
+            (* the goal queue would deduplicate these anyway, but each spawn
+               pays a job allocation, a goal-string format and a queue
+               transaction; drop local duplicates up front, and — on the
+               deterministic single-worker schedule, where no other domain
+               can be mid-write — drop goals whose context already completed *)
+            let seen = Hashtbl.create 8 in
+            List.filter
+              (fun ((cg, cr) as key) ->
+                if Hashtbl.mem seen key then false
+                else begin
+                  Hashtbl.replace seen key ();
+                  if t.opt_workers > 1 || Gpos.Trace.enabled () then true
+                  else
+                    match Memo.find_context t.memo cg cr with
+                    | Some cctx when cctx.Memo.cx_state = Memo.Ctx_complete ->
+                        bump_by t.counters.a_winner_skips 1;
+                        false
+                    | _ -> true
+                end)
+              pairs
+          end
+        in
+        let child_jobs =
+          List.map
+            (fun (cg, cr) ->
+              {
+                Gpos.Scheduler.run = opt_group_job t cg cr;
+                goal = Some (opt_goal_memo t cg cr);
+              })
+            pairs
         in
         if child_jobs = [] then (
           stage := `Cost;
@@ -465,6 +715,46 @@ and opt_gexpr_job t ctx gid ge op req =
           (Lazy.force alternatives);
         Gpos.Scheduler.Finished
     | `Done -> Gpos.Scheduler.Finished
+
+(* --- direct single-worker optimization ---
+
+   On the deterministic single-worker schedule with no trace collection, the
+   depth-first (Lifo) job order degenerates to plain recursion: every child
+   Opt goal completes before its parent costs against it. Driving the walk
+   directly skips the per-goal job allocations, goal-string bookkeeping and
+   queue transactions, which dominate small-query costing time. The parallel,
+   fuzzed and traced paths keep the scheduler. *)
+let rec opt_group_direct t gid req =
+  let gid = Memo.find t.memo gid in
+  let ctx, created = Memo.obtain_context t.memo gid req in
+  if created then bump_by t.counters.a_contexts_created 1;
+  match ctx.Memo.cx_state with
+  | Memo.Ctx_complete | Memo.Ctx_in_progress ->
+      (* in-progress = a cycle back into an ancestor's context: proceed
+         without it, exactly as the scheduler absorbs the deadlocked goal *)
+      ()
+  | Memo.Ctx_new ->
+      ctx.Memo.cx_state <- Memo.Ctx_in_progress;
+      let g = Memo.group t.memo gid in
+      List.iter
+        (fun (ge, op) -> opt_gexpr_direct t ctx gid ge op req)
+        (Memo.physical_exprs g);
+      ctx.Memo.cx_state <- Memo.Ctx_complete
+
+and opt_gexpr_direct t ctx gid ge op req =
+  let children = List.map (Memo.find t.memo) ge.Memo.ge_children in
+  List.iter
+    (fun child_reqs ->
+      if children_already_costed t ge child_reqs then
+        bump_by t.counters.a_winner_skips (List.length child_reqs)
+      else
+        List.iter2
+          (fun cg cr -> opt_group_direct t cg cr)
+          children child_reqs;
+      cost_alternative t ctx gid ge op child_reqs)
+    (Requests.alternatives op ~req
+       ~child_out_cols:
+         (List.map (Memo.output_cols t.memo) ge.Memo.ge_children))
 
 (* --- wait for a context to be complete, then finalize --- *)
 
@@ -517,15 +807,19 @@ let implement t =
           (Memo.group_ids t.memo)))
 
 let optimize t (req : Props.req) =
+  freeze_group_caches t;
   let root = Memo.root t.memo in
-  Gpos.Scheduler.run t.sched_opt
-    (once
-       [
-         {
-           Gpos.Scheduler.run = opt_group_job t root req;
-           goal = Some (opt_goal root req);
-         };
-       ]);
+  if t.opt_workers = 1 && t.winner_reuse && not (Gpos.Trace.enabled ()) then
+    opt_group_direct t root req
+  else
+    Gpos.Scheduler.run t.sched_opt
+      (once
+         [
+           {
+             Gpos.Scheduler.run = opt_group_job t root req;
+             goal = Some (opt_goal root req);
+           };
+         ]);
   mark_contexts_complete t
 
 (* Full workflow. Returns the best plan for the root request. Each of the
@@ -550,6 +844,9 @@ let counters t =
     xform_results = Atomic.get t.counters.a_xform_results;
     alternatives_costed = Atomic.get t.counters.a_alternatives_costed;
     contexts_created = Atomic.get t.counters.a_contexts_created;
+    prefilter_skips = Atomic.get t.counters.a_prefilter_skips;
+    winner_skips = Atomic.get t.counters.a_winner_skips;
+    base_reuses = Atomic.get t.counters.a_base_reuses;
   }
 
 (* --- observability snapshots (lib/obs) --- *)
@@ -562,7 +859,14 @@ let rule_profile t : Obs.Report.rule_stat list =
       let rs =
         Option.value
           (Hashtbl.find_opt t.rule_stats r.Xform.Rule.id)
-          ~default:{ rs_fired = 0; rs_results = 0; rs_skipped = 0; rs_time_ms = 0.0 }
+          ~default:
+            {
+              rs_fired = 0;
+              rs_results = 0;
+              rs_skipped = 0;
+              rs_prefiltered = 0;
+              rs_time_ms = 0.0;
+            }
       in
       {
         Obs.Report.r_name = r.Xform.Rule.name;
@@ -571,6 +875,7 @@ let rule_profile t : Obs.Report.rule_stat list =
         r_fired = rs.rs_fired;
         r_results = rs.rs_results;
         r_skipped = rs.rs_skipped;
+        r_prefiltered = rs.rs_prefiltered;
         r_time_ms = rs.rs_time_ms;
       })
     (Xform.Ruleset.rules t.ruleset)
@@ -599,6 +904,8 @@ let cost_profile t : Obs.Report.cost_stat =
     c_enforcer_costings = Atomic.get t.counters.a_enf_costings;
     c_alternatives = Atomic.get t.counters.a_alternatives_costed;
     c_deadline_checks = Atomic.get t.counters.a_deadline_checks;
+    c_base_reuses = Atomic.get t.counters.a_base_reuses;
+    c_winner_skips = Atomic.get t.counters.a_winner_skips;
   }
 
 (* Growth counters of the engine's Memo, for Obs.Report. *)
@@ -614,4 +921,6 @@ let memo_profile t : Obs.Report.memo_stat =
     m_ctx_cache_hits = p.Memo.p_ctx_hits;
     m_winner_updates = p.Memo.p_winner_updates;
     m_winner_kept = p.Memo.p_winner_kept;
+    m_ops_interned = p.Memo.p_ops_interned;
+    m_intern_hits = p.Memo.p_intern_hits;
   }

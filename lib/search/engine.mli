@@ -14,6 +14,9 @@ type counters = {
   xform_results : int;
   alternatives_costed : int;
   contexts_created : int;
+  prefilter_skips : int;  (** rule applications pruned by the shape bitmap *)
+  winner_skips : int;     (** child Opt spawns pruned: context complete *)
+  base_reuses : int;      (** base costs served from the reuse cache *)
 }
 
 type t
@@ -22,6 +25,9 @@ val create :
   ?workers:int ->
   ?fuzz_seed:int ->
   ?obs:bool ->
+  ?prefilter:bool ->
+  ?stats_memo:bool ->
+  ?winner_reuse:bool ->
   ruleset:Xform.Ruleset.t ->
   model:Cost.Cost_model.t ->
   factory:Colref.Factory.t ->
@@ -34,7 +40,16 @@ val create :
     (the sanitizer's schedule fuzzer): a different but deterministic
     interleaving of the same costing work per seed. [obs] (default false)
     additionally collects per-rule firing counts and timings for the
-    observability report. *)
+    observability report.
+
+    The speedup switches (all default true) never change the chosen plan or
+    its cost: [prefilter] skips rule applications whose root-shape bitmap
+    rules the expression out (the body would return []); [stats_memo]
+    memoizes per-group row counts, row widths and redistribute skew;
+    [winner_reuse] skips spawning child Opt jobs whose context already
+    completed (single-worker schedules only) and reuses the operator's base
+    cost across optimization contexts that differ only in required
+    properties. *)
 
 val set_deadline : t -> float option -> unit
 (** Stage timeout in milliseconds from now; bounds exploration (a plan is

@@ -20,13 +20,30 @@ type t = {
   (* Rule ordering hint: higher-promise rules apply first (paper §8.1:
      Cascades "permits ordering the application of rules"). *)
   promise : int;
+  (* Applicability pre-filter: bitmap over Logical_ops shape tags of root
+     operators this rule's pattern can match. The engine skips the rule on
+     any group expression whose root shape bit is clear — the rule body
+     would provably return []. [Logical_ops.all_shapes_mask] (the default)
+     disables pre-filtering for the rule. *)
+  mask : int;
 }
 
 let next_id = ref 0
 
-let make ?(promise = 0) ~name ~kind apply =
+let make ?(promise = 0) ?shapes ~name ~kind apply =
   incr next_id;
-  { id = !next_id; name; kind; apply; promise }
+  let mask =
+    match shapes with
+    | None -> Ir.Logical_ops.all_shapes_mask
+    | Some ss -> Ir.Logical_ops.shape_mask ss
+  in
+  { id = !next_id; name; kind; apply; promise; mask }
+
+(* Can [rule] possibly fire on a root with this shape tag? *)
+let applicable_tag t (tag : int) = t.mask land (1 lsl tag) <> 0
+
+let applicable t (op : Ir.Expr.logical) =
+  applicable_tag t (Ir.Logical_ops.tag op)
 
 let is_exploration r = r.kind = Exploration
 let is_implementation r = r.kind = Implementation

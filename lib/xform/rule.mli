@@ -19,14 +19,28 @@ type t = {
       (** produce alternatives to copy into the expression's group; must not
           mutate the Memo *)
   promise : int;      (** ordering hint: higher-promise rules apply first *)
+  mask : int;
+      (** applicability pre-filter: bitmap over [Logical_ops] shape tags the
+          rule's root pattern can match; [Logical_ops.all_shapes_mask] means
+          no pre-filtering *)
 }
 
 val make :
   ?promise:int ->
+  ?shapes:Logical_ops.shape list ->
   name:string ->
   kind:kind ->
   (ctx -> Memolib.Memo.t -> Memolib.Memo.gexpr -> Memolib.Mexpr.t list) ->
   t
+(** [shapes] declares the root shapes the rule can fire on; omitting it makes
+    the rule applicable everywhere (no pre-filtering). On any root shape not
+    listed, [apply] MUST return [] — the engine will skip the call. *)
+
+val applicable_tag : t -> int -> bool
+(** Pre-filter test against a [Logical_ops.tag]. *)
+
+val applicable : t -> Expr.logical -> bool
+(** [applicable_tag] on the operator's shape tag. *)
 
 val is_exploration : t -> bool
 val is_implementation : t -> bool

@@ -8,7 +8,8 @@ module Memo = Memolib.Memo
 module Mexpr = Memolib.Mexpr
 
 let get2scan =
-  Rule.make ~name:"Get2Scan" ~kind:Rule.Implementation (fun _ctx _memo ge ->
+  Rule.make ~name:"Get2Scan" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_get ] (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_get td) ->
           [ Mexpr.physical_of_groups (Expr.P_table_scan (td, None, None)) [] ]
@@ -16,6 +17,7 @@ let get2scan =
 
 let select2filter =
   Rule.make ~name:"Select2Filter" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_select ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -26,6 +28,7 @@ let select2filter =
    scan and, for partitioned tables, statically eliminated partitions. *)
 let select2scan =
   Rule.make ~name:"Select2Scan" ~kind:Rule.Implementation ~promise:5
+    ~shapes:[ Logical_ops.S_select ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -45,6 +48,7 @@ let select2scan =
    column with a constant; delivers the index order. *)
 let select2index_scan =
   Rule.make ~name:"Select2IndexScan" ~kind:Rule.Implementation ~promise:5
+    ~shapes:[ Logical_ops.S_select ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -80,6 +84,7 @@ let select2index_scan =
 
 let project_impl =
   Rule.make ~name:"Project2ComputeScalar" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_project ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_project projs), [ g ] ->
@@ -88,6 +93,7 @@ let project_impl =
 
 let join2hashjoin =
   Rule.make ~name:"Join2HashJoin" ~kind:Rule.Implementation ~promise:8
+    ~shapes:[ Logical_ops.S_join ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (kind, cond)), [ g1; g2 ] ->
@@ -110,7 +116,8 @@ let join2hashjoin =
       | _ -> [])
 
 let join2nljoin =
-  Rule.make ~name:"Join2NLJoin" ~kind:Rule.Implementation (fun _ctx _memo ge ->
+  Rule.make ~name:"Join2NLJoin" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_join ] (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (kind, cond)), [ g1; g2 ] when kind <> Expr.Full_outer
         ->
@@ -119,6 +126,7 @@ let join2nljoin =
 
 let join2mergejoin =
   Rule.make ~name:"Join2MergeJoin" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_join ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (Expr.Inner, cond)), [ g1; g2 ] ->
@@ -150,6 +158,7 @@ let join2mergejoin =
 
 let gbagg2hashagg =
   Rule.make ~name:"GbAgg2HashAgg" ~kind:Rule.Implementation ~promise:5
+    ~shapes:[ Logical_ops.S_gb_agg ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_gb_agg (phase, keys, aggs)), [ g ] ->
@@ -160,6 +169,7 @@ let gbagg2hashagg =
 
 let gbagg2streamagg =
   Rule.make ~name:"GbAgg2StreamAgg" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_gb_agg ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_gb_agg (phase, keys, aggs)), [ g ] when keys <> [] ->
@@ -172,6 +182,7 @@ let gbagg2streamagg =
 
 let window_impl =
   Rule.make ~name:"ImplementWindow" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_window ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_window (partition, order, wfuncs)), [ g ] ->
@@ -183,7 +194,8 @@ let window_impl =
       | _ -> [])
 
 let limit_impl =
-  Rule.make ~name:"Limit2Limit" ~kind:Rule.Implementation (fun _ctx _memo ge ->
+  Rule.make ~name:"Limit2Limit" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_limit ] (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_limit (sort, offset, count)), [ g ] ->
           [ Mexpr.physical_of_groups (Expr.P_limit (sort, offset, count)) [ g ] ]
@@ -191,6 +203,7 @@ let limit_impl =
 
 let cte_anchor2sequence =
   Rule.make ~name:"CTEAnchor2Sequence" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_cte_anchor ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_cte_anchor id), [ gp; gm ] ->
@@ -199,6 +212,7 @@ let cte_anchor2sequence =
 
 let cte_producer_impl =
   Rule.make ~name:"ImplementCTEProducer" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_cte_producer ]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_cte_producer id), [ g ] ->
@@ -207,6 +221,7 @@ let cte_producer_impl =
 
 let cte_consumer_impl =
   Rule.make ~name:"ImplementCTEConsumer" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_cte_consumer ]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_cte_consumer (id, cols)) ->
@@ -215,6 +230,7 @@ let cte_consumer_impl =
 
 let set_impl =
   Rule.make ~name:"ImplementSetOp" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_set ]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_set (kind, cols)) ->
@@ -227,6 +243,7 @@ let set_impl =
 
 let const_table_impl =
   Rule.make ~name:"ImplementConstTable" ~kind:Rule.Implementation
+    ~shapes:[ Logical_ops.S_const_table ]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_const_table (cols, rows)) ->

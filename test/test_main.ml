@@ -25,5 +25,6 @@ let () =
       ("verify", Test_verify.suite);
       ("sanitize", Test_sanitize.suite);
       ("properties", Test_properties.suite);
+      ("perf-identity", Test_perf_identity.suite);
       ("obs", Test_obs.suite);
     ]

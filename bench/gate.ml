@@ -1,7 +1,10 @@
-(* Benchmark regression gate for the opt-speed baseline (CI `perf-gate` job).
+(* Benchmark regression gate for the committed baselines (CI `perf-gate` and
+   `accuracy-gate` jobs).
 
-   Compares a freshly produced opt-speed JSON report against the committed
-   baseline (BENCH_opt.json) and exits nonzero when a metric regresses.
+   Default mode compares a freshly produced opt-speed JSON report against the
+   committed baseline (BENCH_opt.json) and exits nonzero when a metric
+   regresses. With --accuracy it instead compares per-operator-class Q-error
+   reports (BENCH_accuracy.json, from `orca_cli accuracy --suite --json`).
 
    Two metric classes:
    - search-shape counters (memo sizes, rule firings, cache hit counts):
@@ -176,15 +179,68 @@ let shape_metrics =
     "intern_hits";
   ]
 
+(* --- the accuracy gate (--accuracy) ---
+
+   Classes are matched by name between the baseline and the fresh report.
+   The geomean Q-error is gated from above only — estimating *better* than
+   the baseline is never a regression — while observed node counts are a
+   deterministic shape metric gated in both directions. A class present on
+   one side only means the plan shapes changed: the baseline is stale and
+   must be regenerated deliberately. *)
+
+let str_field obj name =
+  match member name obj with
+  | Some (Str s) -> s
+  | _ -> failwith (Printf.sprintf "missing string field %S in class entry" name)
+
+let acc_classes summary =
+  match member "classes" summary with
+  | Some (Arr cs) -> List.map (fun c -> (str_field c "class", c)) cs
+  | _ -> failwith "accuracy report: no \"classes\" array in summary"
+
+let accuracy_gate ~check ~tolerance baseline fresh =
+  let bclasses = acc_classes baseline and fclasses = acc_classes fresh in
+  let bq = num_field baseline "queries" and fq = num_field fresh "queries" in
+  check "queries" ~base:bq ~got:fq ~ok:(bq = fq) "(must match exactly)";
+  List.iter
+    (fun (name, bc) ->
+      match List.assoc_opt name fclasses with
+      | None ->
+          check (name ^ ".geomean") ~base:(num_field bc "geomean") ~got:nan
+            ~ok:false "(class missing from fresh report)"
+      | Some fc ->
+          let bg = num_field bc "geomean" and fg = num_field fc "geomean" in
+          let ceiling = bg *. (1.0 +. tolerance) in
+          check (name ^ ".geomean") ~base:bg ~got:fg ~ok:(fg <= ceiling)
+            (Printf.sprintf "(must stay <= %.4g; lower is fine)" ceiling);
+          let bn = num_field bc "nodes" and fn = num_field fc "nodes" in
+          let lo = bn *. (1.0 -. tolerance)
+          and hi = bn *. (1.0 +. tolerance) in
+          check (name ^ ".nodes") ~base:bn ~got:fn
+            ~ok:(fn >= lo && fn <= hi)
+            (Printf.sprintf "(allowed %.6g..%.6g)" lo hi))
+    bclasses;
+  List.iter
+    (fun (name, fc) ->
+      if not (List.mem_assoc name bclasses) then
+        check (name ^ ".geomean") ~base:nan ~got:(num_field fc "geomean")
+          ~ok:false "(class not in baseline; regenerate it)")
+    fclasses
+
 let () =
-  let baseline_path = ref "BENCH_opt.json" in
+  let baseline_path = ref "" in
   let fresh_path = ref "" in
   let tolerance = ref 0.25 in
-  let usage = "gate --baseline BENCH_opt.json --fresh fresh.json [--tolerance 0.25]" in
+  let accuracy = ref false in
+  let usage =
+    "gate [--accuracy] --baseline BENCH_opt.json --fresh fresh.json \
+     [--tolerance 0.25]"
+  in
   let rec parse_args = function
     | [] -> ()
     | "--baseline" :: v :: rest -> baseline_path := v; parse_args rest
     | "--fresh" :: v :: rest -> fresh_path := v; parse_args rest
+    | "--accuracy" :: rest -> accuracy := true; parse_args rest
     | "--tolerance" :: v :: rest -> (
         match float_of_string_opt v with
         | Some f when f > 0.0 -> tolerance := f; parse_args rest
@@ -195,6 +251,8 @@ let () =
         exit 2
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !baseline_path = "" then
+    baseline_path := if !accuracy then "BENCH_accuracy.json" else "BENCH_opt.json";
   if !fresh_path = "" then begin
     prerr_endline usage;
     exit 2
@@ -204,9 +262,18 @@ let () =
   let check name ~base ~got ~ok reason =
     let status = if ok then "ok  " else "FAIL" in
     if not ok then incr failures;
-    Printf.printf "%s  %-18s baseline=%-12g fresh=%-12g %s\n" status name base
+    Printf.printf "%s  %-28s baseline=%-12g fresh=%-12g %s\n" status name base
       got reason
   in
+  if !accuracy then begin
+    accuracy_gate ~check ~tolerance:!tolerance baseline fresh;
+    if !failures > 0 then begin
+      Printf.printf "accuracy gate: %d metric(s) out of tolerance\n" !failures;
+      exit 1
+    end
+    else Printf.printf "accuracy gate: all metrics within tolerance\n";
+    exit 0
+  end;
   (* identity is not a tolerance question *)
   let iv = num_field fresh "identity_violations" in
   check "identity_violations"

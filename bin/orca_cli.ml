@@ -37,12 +37,47 @@ let base_config env =
     (Orca.Orca_config.with_segments Orca.Orca_config.default env.nsegs)
     env.workers
 
-let optimize env sql =
+let optimize_with env config sql =
   let accessor =
     Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
   in
   let query = Sqlfront.Binder.bind_sql accessor sql in
-  (query, Orca.Optimizer.optimize ~config:(base_config env) accessor query)
+  (query, Orca.Optimizer.optimize ~config accessor query)
+
+let optimize env sql = optimize_with env (base_config env) sql
+
+(* Join per-node actual row counts (stable preorder ids, Metrics.node_rows)
+   against the plan's estimates. *)
+let accuracy_of ~(metrics : Exec.Metrics.t) (plan : Expr.plan) :
+    Prov.Accuracy.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (id, rows) -> Hashtbl.replace tbl id rows)
+    (Exec.Metrics.node_rows metrics);
+  Prov.Accuracy.of_plan ~actual:(Hashtbl.find_opt tbl) plan
+
+(* Deterministic rendering order: the "(all)" summary row first, then the
+   operator classes alphabetically. *)
+let sort_acc_stats (stats : Obs.Report.acc_stat list) =
+  List.sort
+    (fun (a : Obs.Report.acc_stat) (b : Obs.Report.acc_stat) ->
+      match (a.Obs.Report.a_class, b.Obs.Report.a_class) with
+      | "(all)", "(all)" -> 0
+      | "(all)", _ -> -1
+      | _, "(all)" -> 1
+      | x, y -> compare x y)
+    stats
+
+let print_acc_stats (stats : Obs.Report.acc_stat list) =
+  Printf.printf "\ncardinality accuracy (Q-error by operator class):\n";
+  Printf.printf "  %-24s %8s %10s %10s %12s\n" "class" "nodes" "geomean" "max"
+    "unobserved";
+  List.iter
+    (fun (a : Obs.Report.acc_stat) ->
+      Printf.printf "  %-24s %8d %10.3f %10.3f %12d\n" a.Obs.Report.a_class
+        a.Obs.Report.a_nodes (Obs.Report.acc_geomean a) a.Obs.Report.a_max
+        a.Obs.Report.a_unobserved)
+    stats
 
 let print_rows rows =
   List.iter
@@ -78,20 +113,22 @@ let explain_analyze env (report : Orca.Optimizer.report) =
       if String.length name > 44 then String.sub name 0 44 else name
     in
     let line =
-      (* DPE rewrites scan nodes before evaluating them, so a node can be
-         missing from the observations: report its actuals as unknown *)
+      (* the executor reports DPE-rewritten scan copies under the original
+         node, so every node that ran (Motion and enforcers included) has an
+         observation; a genuinely never-evaluated node shows as unknown *)
       match List.find_opt (fun (p', _, _) -> p' == p) !observed with
       | Some (_, rows, sim_s) ->
+          let q = Prov.Accuracy.qerror ~est:p.Expr.pest_rows ~act:rows in
           let err =
-            if rows > 0.0 && p.Expr.pest_rows > 0.0 then
-              let e = Float.max (p.Expr.pest_rows /. rows) (rows /. p.Expr.pest_rows) in
-              Printf.sprintf "%8.2fx" e
-            else "       -"
+            if q < 1.005 then "ok"
+            else
+              Printf.sprintf "%.2fx %s" q
+                (if p.Expr.pest_rows > rows then "over" else "under")
           in
-          Printf.sprintf "est=%10.0f  act=%10.0f  err=%s  time=%9.5fs"
+          Printf.sprintf "est=%10.0f  act=%10.0f  err=%-14s time=%9.5fs"
             p.Expr.pest_rows rows err sim_s
       | None ->
-          Printf.sprintf "est=%10.0f  act=%10s  err=%8s  time=%9s"
+          Printf.sprintf "est=%10.0f  act=%10s  err=%-14s time=%9s"
             p.Expr.pest_rows "-" "-" "-"
     in
     Buffer.add_string buf
@@ -102,12 +139,24 @@ let explain_analyze env (report : Orca.Optimizer.report) =
   in
   walk 0 plan;
   print_string (Buffer.contents buf);
+  print_acc_stats (sort_acc_stats (Prov.Accuracy.to_acc_stats (accuracy_of ~metrics plan)));
   Printf.printf "\n%s\n" (Exec.Metrics.to_string metrics)
 
-let explain_cmd analyze env sql =
-  let _, report = optimize env sql in
+let explain_cmd ~analyze ~why env sql =
+  let config =
+    if why then Orca.Orca_config.with_prov (base_config env)
+    else base_config env
+  in
+  let _, report = optimize_with env config sql in
   if analyze then explain_analyze env report
-  else print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
+  else if not why then
+    (* the --why rendering below includes the plan tree *)
+    print_string (Plan_ops.to_string report.Orca.Optimizer.plan);
+  (match report.Orca.Optimizer.prov with
+  | Some prov when why ->
+      if analyze then print_newline ();
+      print_string (Prov.Provenance.why_to_string prov)
+  | _ -> ());
   Printf.printf
     "\nstage=%s  groups=%d  gexprs=%d  contexts=%d  xforms=%d  jobs=%d  \
      opt=%.1fms\n"
@@ -159,6 +208,169 @@ let dxl_cmd env sql =
   print_string (Dxl.Dxl_query.to_string query);
   print_endline "\n<!-- DXL plan message -->";
   print_string (Dxl.Dxl_plan.to_string report.Orca.Optimizer.plan)
+
+(* --- cardinality accuracy (lib/prov) --- *)
+
+(* Optimize with provenance on, execute, and join estimates against actuals.
+   [annotate] already fails hard on any plan/Memo misalignment; the node
+   counts are re-checked here so the suite doubles as a coverage test. *)
+let accuracy_one env label sql : Prov.Accuracy.t =
+  let _, report =
+    optimize_with env (Orca.Orca_config.with_prov (base_config env)) sql
+  in
+  let plan = report.Orca.Optimizer.plan in
+  (match report.Orca.Optimizer.prov with
+  | Some p ->
+      let covered = List.length p.Prov.Provenance.p_nodes in
+      let nodes = Plan_ops.node_count plan in
+      if covered <> nodes then
+        Gpos.Gpos_error.internal "%s: provenance covers %d of %d plan nodes"
+          label covered nodes
+  | None ->
+      Gpos.Gpos_error.internal "%s: optimizer returned no provenance" label);
+  let _rows, metrics = Exec.Executor.run env.cluster plan in
+  accuracy_of ~metrics plan
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* The committed-baseline shape (BENCH_accuracy.json): bench/gate.ml reads
+   the "summary" object, same as the opt-speed baseline. *)
+let acc_stats_json ~sf ~segs ~queries ~unsupported
+    (stats : Obs.Report.acc_stat list) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"bench\": \"accuracy\",\n";
+  Printf.bprintf b "  \"sf\": %g,\n  \"segs\": %d,\n" sf segs;
+  Buffer.add_string b "  \"summary\": {\n";
+  Printf.bprintf b "    \"queries\": %d,\n    \"unsupported\": %d,\n" queries
+    unsupported;
+  Buffer.add_string b "    \"classes\": [\n";
+  let last = List.length stats - 1 in
+  List.iteri
+    (fun i (a : Obs.Report.acc_stat) ->
+      Printf.bprintf b
+        "      {\"class\": %S, \"nodes\": %d, \"geomean\": %.6f, \"max\": \
+         %.6f, \"unobserved\": %d}%s\n"
+        a.Obs.Report.a_class a.Obs.Report.a_nodes (Obs.Report.acc_geomean a)
+        a.Obs.Report.a_max a.Obs.Report.a_unobserved
+        (if i = last then "" else ","))
+    stats;
+  Buffer.add_string b "    ]\n  }\n}\n";
+  Buffer.contents b
+
+let acc_write_json ~sf ~segs ~queries ~unsupported stats = function
+  | None -> ()
+  | Some path ->
+      write_file path (acc_stats_json ~sf ~segs ~queries ~unsupported stats);
+      Printf.printf "\nwrote %s\n" path
+
+let accuracy_cmd suite json ~sf env sql =
+  match (suite, sql) with
+  | false, None ->
+      prerr_endline "accuracy: provide a SQL query, or pass --suite";
+      exit 2
+  | false, Some sql ->
+      let acc = accuracy_one env "query" sql in
+      print_string (Prov.Accuracy.to_string acc);
+      let stats = sort_acc_stats (Prov.Accuracy.to_acc_stats acc) in
+      print_acc_stats stats;
+      acc_write_json ~sf ~segs:env.nsegs ~queries:1 ~unsupported:0 stats json
+  | true, _ ->
+      let reports = ref [] and skipped = ref 0 and measured = ref 0 in
+      List.iter
+        (fun (q : Tpcds.Queries.def) ->
+          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+          match accuracy_one env label q.Tpcds.Queries.sql with
+          | acc ->
+              incr measured;
+              let stats = Prov.Accuracy.to_acc_stats acc in
+              (match
+                 List.find_opt
+                   (fun (a : Obs.Report.acc_stat) ->
+                     a.Obs.Report.a_class = "(all)")
+                   stats
+               with
+              | Some a ->
+                  Printf.printf
+                    "%-6s observed=%-3d geomean=%8.3f max=%10.3f\n" label
+                    a.Obs.Report.a_nodes (Obs.Report.acc_geomean a)
+                    a.Obs.Report.a_max
+              | None -> Printf.printf "%-6s (no observed nodes)\n" label);
+              reports := Obs.Report.with_acc Obs.Report.empty stats :: !reports
+          | exception Orca.Optimizer.Unsupported_query msg ->
+              incr skipped;
+              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
+        (Lazy.force Tpcds.Queries.all);
+      let merged = Obs.Report.merge_all (List.rev !reports) in
+      let stats = sort_acc_stats merged.Obs.Report.acc in
+      print_acc_stats stats;
+      Printf.printf "\naccuracy: %d queries measured, %d unsupported\n"
+        !measured !skipped;
+      acc_write_json ~sf ~segs:env.nsegs ~queries:!measured
+        ~unsupported:!skipped stats json
+
+(* --- structural plan diff (lib/prov) --- *)
+
+let speedup_off config = function
+  | "interning" -> Orca.Orca_config.with_interning config false
+  | "stats_memo" -> Orca.Orca_config.with_stats_memo config false
+  | "rule_prefilter" -> Orca.Orca_config.with_rule_prefilter config false
+  | "winner_reuse" -> Orca.Orca_config.with_winner_reuse config false
+  | "all" -> Orca.Orca_config.without_speedups config
+  | other ->
+      prerr_endline
+        ("diff: unknown speedup flag '" ^ other
+       ^ "' (expected interning, stats_memo, rule_prefilter, winner_reuse \
+          or all)");
+      exit 2
+
+let split_flags s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+
+(* Compare two runs of the same query under different optimizer
+   configurations, or two AMPERe dumps. Exits 1 on divergence, mirroring
+   lint's convention. *)
+let diff_cmd off_a off_b dump_a dump_b (env : env Lazy.t) sql =
+  let plan_a, plan_b, prov_a, prov_b, label_a, label_b =
+    match (dump_a, dump_b, sql) with
+    | Some da, Some db, _ ->
+        let plan_of path =
+          let d = Orca.Ampere.load path in
+          match d.Orca.Ampere.expected_plan with
+          | Some p -> p
+          | None -> (Orca.Ampere.replay d).Orca.Optimizer.plan
+        in
+        (plan_of da, plan_of db, None, None, da, db)
+    | None, None, Some sql ->
+        let env = Lazy.force env in
+        let run offs =
+          let config =
+            List.fold_left speedup_off
+              (Orca.Orca_config.with_prov (base_config env))
+              (split_flags offs)
+          in
+          let _, report = optimize_with env config sql in
+          (report.Orca.Optimizer.plan, report.Orca.Optimizer.prov)
+        in
+        let describe offs = if offs = "" then "all speedups on" else "off: " ^ offs in
+        let pa, va = run off_a and pb, vb = run off_b in
+        (pa, pb, va, vb, describe off_a, describe off_b)
+    | _ ->
+        prerr_endline
+          "diff: provide SQL (with --off-a/--off-b), or both --dump-a and \
+           --dump-b";
+        exit 2
+  in
+  Printf.printf "A: %s\nB: %s\n\n" label_a label_b;
+  let d = Prov.Plan_diff.diff plan_a plan_b in
+  print_string (Prov.Plan_diff.to_string ?prov_a ?prov_b d);
+  if not d.Prov.Plan_diff.d_identical then exit 1
 
 (* Optimize with the static analyzers enabled and report their findings. *)
 let lint_optimize env sql =
@@ -335,12 +547,18 @@ let profile_one env sql : Obs.Report.t =
     Obs.Span.with_ ~name:"execute" (fun () ->
         Exec.Executor.run env.cluster report.Orca.Optimizer.plan)
   in
-  Obs.Report.with_exec obs (Exec.Metrics.to_kv metrics)
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
+  let acc =
+    Prov.Accuracy.to_acc_stats
+      (accuracy_of ~metrics report.Orca.Optimizer.plan)
+  in
+  (* the per-node actuals feed the accuracy join above; keep them out of the
+     exec key/values, which merge by summing across a suite *)
+  let kv =
+    List.filter
+      (fun (k, _) -> not (String.starts_with ~prefix:"node_rows." k))
+      (Exec.Metrics.to_kv metrics)
+  in
+  Obs.Report.with_acc (Obs.Report.with_exec obs kv) acc
 
 (* Span self-consistency: children must not sum past their parent. *)
 let profile_check spans =
@@ -455,15 +673,26 @@ let () =
            & info [ "analyze" ]
                ~doc:
                  "Execute the plan and print actual vs estimated rows (the \
-                  cardinality error) and per-operator simulated time.")
+                  cardinality error, with its direction) per operator, \
+                  per-operator simulated time, and the Q-error summary by \
+                  operator class.")
+       in
+       let why_arg =
+         Arg.(
+           value & flag
+           & info [ "why" ]
+               ~doc:
+                 "Optimize with provenance and print, per plan node, the \
+                  rule lineage that produced it, the losing alternatives \
+                  with cost deltas, and the reason each enforcer was added.")
        in
        Cmd.v
          (Cmd.info "explain"
             ~doc:"Print the optimized plan and search statistics.")
          Term.(
-           const (fun analyze sf segs workers sql ->
-               explain_cmd analyze (make_env sf segs workers) sql)
-           $ analyze_arg $ sf_arg $ segs_arg $ workers_arg $ sql_arg));
+           const (fun analyze why sf segs workers sql ->
+               explain_cmd ~analyze ~why (make_env sf segs workers) sql)
+           $ analyze_arg $ why_arg $ sf_arg $ segs_arg $ workers_arg $ sql_arg));
       cmd "compare" "Orca vs the legacy Planner: plans and simulated times."
         compare_cmd;
       (let dot_arg =
@@ -475,6 +704,77 @@ let () =
            const (fun dot sf segs sql -> memo_cmd dot (make_env sf segs 1) sql)
            $ dot_arg $ sf_arg $ segs_arg $ sql_arg));
       cmd "dxl" "Print the DXL query and plan messages." dxl_cmd;
+      (let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Measure every bundled TPC-DS query instead of one SQL \
+                  string and merge the per-class Q-error tables.")
+       in
+       let json_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "json" ] ~docv:"PATH"
+               ~doc:
+                 "Write the per-class Q-error summary as JSON (the \
+                  accuracy-gate baseline shape, BENCH_accuracy.json).")
+       in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "accuracy"
+            ~doc:
+              "Execute optimized plans and measure cardinality estimation \
+               accuracy: per-node and per-operator-class Q-error \
+               (max(est/act, act/est)), joined on stable plan-node ids. \
+               Optimizes with provenance on and fails if the annotation \
+               does not cover every plan node.")
+         Term.(
+           const (fun suite json sf segs workers sql ->
+               accuracy_cmd suite json ~sf (make_env sf segs workers) sql)
+           $ suite_arg $ json_arg $ sf_arg $ segs_arg $ workers_arg
+           $ sql_opt_arg));
+      (let off_flags_arg names doc =
+         Arg.(value & opt string "" & info names ~docv:"FLAGS" ~doc)
+       in
+       let off_a_arg =
+         off_flags_arg [ "off-a" ]
+           "Comma-separated speedup flags to disable for run A (interning, \
+            stats_memo, rule_prefilter, winner_reuse, all)."
+       in
+       let off_b_arg =
+         off_flags_arg [ "off-b" ] "Speedup flags to disable for run B."
+       in
+       let dump_arg names doc =
+         Arg.(value & opt (some string) None & info names ~docv:"PATH" ~doc)
+       in
+       let dump_a_arg =
+         dump_arg [ "dump-a" ]
+           "AMPERe dump for side A (diff two dumps instead of \
+            re-optimizing; uses the embedded plan, or replays)."
+       in
+       let dump_b_arg = dump_arg [ "dump-b" ] "AMPERe dump for side B." in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "diff"
+            ~doc:
+              "Structural diff of two optimizations of the same query under \
+               different configurations, or of two AMPERe dumps: \
+               matched/changed/moved subtrees, cost and cardinality deltas, \
+               and the rule lineage behind each divergent subtree. Exits \
+               nonzero when the plans diverge.")
+         Term.(
+           const (fun off_a off_b dump_a dump_b sf segs workers sql ->
+               diff_cmd off_a off_b dump_a dump_b
+                 (lazy (make_env sf segs workers))
+                 sql)
+           $ off_a_arg $ off_b_arg $ dump_a_arg $ dump_b_arg $ sf_arg
+           $ segs_arg $ workers_arg $ sql_opt_arg));
       (let suite_arg =
          Arg.(
            value & flag

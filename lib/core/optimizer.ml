@@ -27,6 +27,8 @@ type report = {
       (* static-analyzer findings ([] unless config.verify) *)
   obs : Obs.Report.t option;
       (* unified observability report (None unless config.obs) *)
+  prov : Prov.Provenance.t option;
+      (* per-node provenance of the chosen plan (None unless config.prov) *)
 }
 
 let root_req (q : Dxl.Dxl_query.t) : Props.req =
@@ -75,6 +77,8 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
           ~prefilter:config.Orca_config.rule_prefilter
           ~stats_memo:config.Orca_config.stats_memo
           ~winner_reuse:config.Orca_config.winner_reuse
+          ~stage_name:stage.Xform.Ruleset.stage_name
+          ~prov:config.Orca_config.prov
           ~ruleset:stage.Xform.Ruleset.stage_rules
           ~model:config.Orca_config.model ~factory ~base memo
       in
@@ -176,9 +180,18 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     else (stages_loop None config.Orca_config.stages, [])
   in
   let plan = project_output plan query.Dxl.Dxl_query.output in
+  (* the annotation re-walks the winner linkage of the winning stage's Memo,
+     so it must be built from exactly that (memo, req, plan) triple *)
+  let prov =
+    if config.Orca_config.prov then
+      Some
+        (Obs.Span.with_ ~name:"prov-annotate" (fun () ->
+             Prov.Provenance.annotate memo ~req ~stage:stage_name plan))
+    else None
+  in
   let diagnostics =
     (if config.Orca_config.verify then
-       Verify.Analyzer.lint_all ~req ~memo plan
+       Verify.Analyzer.lint_all ~req ~memo ~prov:config.Orca_config.prov plan
      else [])
     @ sanitize_diags
   in
@@ -232,6 +245,7 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     decorrelated;
     diagnostics;
     obs;
+    prov;
   }
 
 (* With observability on, own a span session for the whole optimization when

@@ -32,6 +32,10 @@ type report = {
           unless {!Orca_config.t.obs} is set). Spans are attached only when
           this call owned the span session; a caller holding an outer
           session (the CLI suite loop, AMPERe capture) drains them itself. *)
+  prov : Prov.Provenance.t option;
+      (** per-node provenance of the chosen plan — rule lineage, losing
+          alternatives, enforcer reasons ([None] unless
+          {!Orca_config.t.prov} is set) *)
 }
 
 exception Unsupported_query of string

@@ -15,6 +15,7 @@ type t = {
   sanitize : bool;           (* record a trace, run the concurrency sanitizer *)
   fuzz_seed : int option;    (* permute the costing schedule (with sanitize) *)
   obs : bool;                (* collect the observability report (lib/obs) *)
+  prov : bool;               (* record plan provenance (lib/prov) *)
   (* hot-path speedups; identity-preserving (the chosen plan and its cost
      are byte-identical with them on or off), so on by default. Individually
      switchable for A/B identity tests and the opt-speed benchmark. *)
@@ -38,6 +39,7 @@ let default =
     sanitize = false;
     fuzz_seed = None;
     obs = false;
+    prov = false;
     interning = true;
     stats_memo = true;
     rule_prefilter = true;
@@ -71,6 +73,8 @@ let with_verify t = { t with verify = true }
 let with_sanitize t = { t with sanitize = true }
 
 let with_obs t = { t with obs = true }
+
+let with_prov t = { t with prov = true }
 
 let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 

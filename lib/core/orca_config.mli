@@ -25,6 +25,10 @@ type t = {
       (** collect the {!Obs} observability report (per-rule profiles, Memo
           growth, scheduler utilization, cost-model invocations, spans);
           lands in {!Optimizer.report.obs} *)
+  prov : bool;
+      (** record plan provenance: per-gexpr rule origins in the Memo and the
+          per-node lineage/losing-alternative annotation on the chosen plan
+          (lib/prov); lands in {!Optimizer.report.prov} *)
   interning : bool;
       (** hash-cons Memo operator payloads so duplicate detection compares
           dense ids instead of deep structures *)
@@ -62,6 +66,11 @@ val with_obs : t -> t
 (** Enable the observability subsystem: per-rule/per-stage profiling and span
     tracing. Off by default — with it off, the instrumentation on the hot
     paths is a branch, so production timings are unaffected. *)
+
+val with_prov : t -> t
+(** Enable provenance collection and plan annotation. Off by default: with it
+    off, no origin records are allocated and no annotation is built, so the
+    optimization hot path is unaffected (gated by the opt-speed benchmark). *)
 
 val with_fuzz_seed : t -> int -> t
 (** Drive the optimization scheduler's dequeue order from a seeded PRNG. *)

@@ -1,0 +1,103 @@
+(* DXL serialization of provenance and cardinality-accuracy sections for
+   AMPERe dumps (paper §5: the dump captures everything needed to replay and
+   debug an optimization, which now includes "why this plan" and "how wrong
+   were the estimates").
+
+   The types here are standalone, serialization-friendly mirrors of
+   lib/prov's records: lib/dxl sits below lib/prov in the dependency order,
+   so the conversion happens in lib/core (Ampere). *)
+
+type node_prov = {
+  np_id : int;          (* stable preorder plan-node id *)
+  np_path : string;
+  np_op : string;
+  np_kind : string;     (* "operator" | "enforcer" | "synthetic" *)
+  np_lineage : string;  (* rendered rule chain, or the enforcer/synthetic reason *)
+  np_cost : float;
+  np_est_rows : float;
+  np_losers : int;      (* losing alternatives in the node's context *)
+  np_best_delta : float; (* cost delta to the cheapest loser; 0 if none *)
+}
+
+type plan_prov = { pp_stage : string; pp_nodes : node_prov list }
+
+type class_acc = {
+  ca_class : string;
+  ca_nodes : int;
+  ca_geomean : float;
+  ca_max : float;
+  ca_unobserved : int;
+}
+
+type accuracy = { acc_classes : class_acc list }
+
+(* --- provenance --- *)
+
+let node_to_xml (np : node_prov) : Xml.element =
+  Xml.element "dxl:NodeProv"
+    ~attrs:
+      [
+        ("Id", string_of_int np.np_id);
+        ("Path", np.np_path);
+        ("Op", np.np_op);
+        ("Kind", np.np_kind);
+        ("Lineage", np.np_lineage);
+        ("Cost", Printf.sprintf "%.6f" np.np_cost);
+        ("EstRows", Printf.sprintf "%.6f" np.np_est_rows);
+        ("Losers", string_of_int np.np_losers);
+        ("BestDelta", Printf.sprintf "%.6f" np.np_best_delta);
+      ]
+
+let to_xml (pp : plan_prov) : Xml.element =
+  Xml.element "dxl:Provenance"
+    ~attrs:[ ("Stage", pp.pp_stage) ]
+    ~children:(List.map (fun np -> Xml.Element (node_to_xml np)) pp.pp_nodes)
+
+let node_of_xml (e : Xml.element) : node_prov =
+  {
+    np_id = int_of_string (Xml.attr_exn e "Id");
+    np_path = Xml.attr_exn e "Path";
+    np_op = Xml.attr_exn e "Op";
+    np_kind = Xml.attr_exn e "Kind";
+    np_lineage = Xml.attr_exn e "Lineage";
+    np_cost = float_of_string (Xml.attr_exn e "Cost");
+    np_est_rows = float_of_string (Xml.attr_exn e "EstRows");
+    np_losers = int_of_string (Xml.attr_exn e "Losers");
+    np_best_delta = float_of_string (Xml.attr_exn e "BestDelta");
+  }
+
+let of_xml (e : Xml.element) : plan_prov =
+  {
+    pp_stage = Xml.attr_exn e "Stage";
+    pp_nodes = List.map node_of_xml (Xml.children_named e "dxl:NodeProv");
+  }
+
+(* --- accuracy --- *)
+
+let class_to_xml (ca : class_acc) : Xml.element =
+  Xml.element "dxl:ClassAcc"
+    ~attrs:
+      [
+        ("Class", ca.ca_class);
+        ("Nodes", string_of_int ca.ca_nodes);
+        ("Geomean", Printf.sprintf "%.6f" ca.ca_geomean);
+        ("Max", Printf.sprintf "%.6f" ca.ca_max);
+        ("Unobserved", string_of_int ca.ca_unobserved);
+      ]
+
+let accuracy_to_xml (acc : accuracy) : Xml.element =
+  Xml.element "dxl:Accuracy"
+    ~children:
+      (List.map (fun ca -> Xml.Element (class_to_xml ca)) acc.acc_classes)
+
+let class_of_xml (e : Xml.element) : class_acc =
+  {
+    ca_class = Xml.attr_exn e "Class";
+    ca_nodes = int_of_string (Xml.attr_exn e "Nodes");
+    ca_geomean = float_of_string (Xml.attr_exn e "Geomean");
+    ca_max = float_of_string (Xml.attr_exn e "Max");
+    ca_unobserved = int_of_string (Xml.attr_exn e "Unobserved");
+  }
+
+let accuracy_of_xml (e : Xml.element) : accuracy =
+  { acc_classes = List.map class_of_xml (Xml.children_named e "dxl:ClassAcc") }

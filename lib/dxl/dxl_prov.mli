@@ -1,0 +1,35 @@
+(** DXL serialization of provenance and cardinality-accuracy sections for
+    AMPERe dumps. The types are standalone, serialization-friendly mirrors
+    of lib/prov's records (lib/dxl sits below lib/prov, so the conversion
+    happens in lib/core). *)
+
+type node_prov = {
+  np_id : int;           (** stable preorder plan-node id *)
+  np_path : string;
+  np_op : string;
+  np_kind : string;      (** "operator" | "enforcer" | "synthetic" *)
+  np_lineage : string;   (** rendered rule chain, or the enforcer/synthetic
+                             reason *)
+  np_cost : float;
+  np_est_rows : float;
+  np_losers : int;       (** losing alternatives in the node's context *)
+  np_best_delta : float; (** cost delta to the cheapest loser; 0 if none *)
+}
+
+type plan_prov = { pp_stage : string; pp_nodes : node_prov list }
+
+type class_acc = {
+  ca_class : string;
+  ca_nodes : int;
+  ca_geomean : float;
+  ca_max : float;
+  ca_unobserved : int;
+}
+
+type accuracy = { acc_classes : class_acc list }
+
+val to_xml : plan_prov -> Xml.element
+val of_xml : Xml.element -> plan_prov
+
+val accuracy_to_xml : accuracy -> Xml.element
+val accuracy_of_xml : Xml.element -> accuracy

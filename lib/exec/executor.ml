@@ -24,6 +24,13 @@ type ctx = {
   observe : (Expr.plan -> rows:float -> sim_s:float -> unit) option;
       (* per-operator hook: actual output rows and inclusive simulated time
          (EXPLAIN ANALYZE); None costs nothing on the eval path *)
+  mutable node_ids : (Expr.plan * int) list;
+      (* plan node (by physical identity) -> stable preorder id
+         (Plan_ops.number); set by [run], drives per-node actuals *)
+  mutable dpe_aliases : (Expr.plan * Expr.plan) list;
+      (* DPE builds restricted copies of scan subtrees; aliases map each
+         copy back to the original node so actuals and observe calls
+         attribute to the plan the optimizer produced *)
 }
 
 let create_ctx ?(mode = Spill_to_disk) ?(dpe = true) ?observe
@@ -36,6 +43,8 @@ let create_ctx ?(mode = Spill_to_disk) ?(dpe = true) ?observe
     cte = Hashtbl.create 8;
     subplan_cache = Hashtbl.create 64;
     observe;
+    node_ids = [];
+    dpe_aliases = [];
   }
 
 let mach ctx = ctx.cluster.Cluster.machine
@@ -148,19 +157,35 @@ let agg_finish (a : Expr.agg) (st : agg_state) : Datum.t =
 
 (* --- the interpreter --- *)
 
+(* DPE-rewritten records resolve back to the node they were copied from. *)
+let rec resolve_original (ctx : ctx) (p : Expr.plan) : Expr.plan =
+  match List.find_opt (fun (copy, _) -> copy == p) ctx.dpe_aliases with
+  | Some (_, orig) -> resolve_original ctx orig
+  | None -> p
+
+let node_id (ctx : ctx) (p : Expr.plan) : int option =
+  List.find_opt (fun (n, _) -> n == p) ctx.node_ids |> Option.map snd
+
 let rec eval (ctx : ctx) ~(params : Datum.t Colref.Map.t) (p : Expr.plan) :
     Datum.t array list array =
   ctx.metrics.Metrics.operators_run <- ctx.metrics.Metrics.operators_run + 1;
-  match ctx.observe with
-  | None -> eval_node ctx ~params p
-  | Some f ->
+  match (ctx.observe, ctx.node_ids) with
+  | None, [] -> eval_node ctx ~params p
+  | observe, _ ->
       let t0 = ctx.metrics.Metrics.sim_seconds in
       let segs = eval_node ctx ~params p in
       let rows =
         Array.fold_left (fun acc l -> acc + List.length l) 0 segs
       in
-      f p ~rows:(float_of_int rows)
-        ~sim_s:(ctx.metrics.Metrics.sim_seconds -. t0);
+      let orig = resolve_original ctx p in
+      (match node_id ctx orig with
+      | Some id -> Metrics.note_node_rows ctx.metrics id (float_of_int rows)
+      | None -> ());
+      (match observe with
+      | Some f ->
+          f orig ~rows:(float_of_int rows)
+            ~sim_s:(ctx.metrics.Metrics.sim_seconds -. t0)
+      | None -> ());
       segs
 
 and eval_node (ctx : ctx) ~(params : Datum.t Colref.Map.t) (p : Expr.plan) :
@@ -537,7 +562,10 @@ and dpe_restriction (ctx : ctx) (side : Expr.plan)
       match side.Expr.pchildren with
       | [ child ] -> (
           match dpe_restriction ctx child keys other_segs other_schema with
-          | Some child' -> Some { side with Expr.pchildren = [ child' ] }
+          | Some child' ->
+              let side' = { side with Expr.pchildren = [ child' ] } in
+              ctx.dpe_aliases <- (side', side) :: ctx.dpe_aliases;
+              Some side'
           | None -> None)
       | _ -> None)
   | Expr.P_table_scan (td, kept, filter) when td.Table_desc.parts <> [] -> (
@@ -582,11 +610,14 @@ and dpe_restriction (ctx : ctx) (side : Expr.plan)
                 ctx.metrics.Metrics.partitions_pruned_dynamically <-
                   ctx.metrics.Metrics.partitions_pruned_dynamically
                   + (List.length candidate - List.length selected);
-                Some
+                let side' =
                   {
                     side with
                     Expr.pop = Expr.P_table_scan (td, Some selected, filter);
                   }
+                in
+                ctx.dpe_aliases <- (side', side) :: ctx.dpe_aliases;
+                Some side'
               end
               else None
           | _ -> None))
@@ -1143,6 +1174,8 @@ and subplan_exec (ctx : ctx) (outer_params : Datum.t Colref.Map.t)
 let run ?(mode = Spill_to_disk) ?(dpe = true) ?observe (cluster : Cluster.t)
     (plan : Expr.plan) : Datum.t array list * Metrics.t =
   let ctx = create_ctx ~mode ~dpe ?observe cluster in
+  ctx.node_ids <-
+    List.map (fun (id, _, node) -> (node, id)) (Plan_ops.number plan);
   let segs = eval ctx ~params:Colref.Map.empty plan in
   let rows = List.concat (Array.to_list segs) in
   (rows, ctx.metrics)

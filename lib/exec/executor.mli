@@ -27,7 +27,17 @@ type ctx = {
   observe : (Expr.plan -> rows:float -> sim_s:float -> unit) option;
       (** per-operator hook, called after each operator evaluates with its
           actual output row count (summed over segments) and its inclusive
-          simulated time — the data behind [explain --analyze] *)
+          simulated time — the data behind [explain --analyze]. Called with
+          the ORIGINAL plan node even when dynamic partition elimination
+          evaluated a restricted copy of the subtree, so callers may join on
+          node identity. *)
+  mutable node_ids : (Expr.plan * int) list;
+      (** plan node (by physical identity) -> stable preorder id
+          ({!Ir.Plan_ops.number}); set by [run], drives the per-node actual
+          row counts in {!Metrics.node_rows} *)
+  mutable dpe_aliases : (Expr.plan * Expr.plan) list;
+      (** DPE-restricted copies of scan subtrees, mapped back to the node
+          each was copied from *)
 }
 
 val create_ctx :

@@ -16,6 +16,9 @@ type t = {
   mutable peak_state_bytes : float;
   mutable operators_run : int;
   mutable partitions_pruned_dynamically : int;
+  per_node_rows : (int, float) Hashtbl.t;
+      (* actual rows produced per plan node, keyed by the node's stable
+         preorder id (Ir.Plan_ops.number); accumulates across rescans *)
 }
 
 let create nsegs =
@@ -31,6 +34,7 @@ let create nsegs =
     peak_state_bytes = 0.0;
     operators_run = 0;
     partitions_pruned_dynamically = 0;
+    per_node_rows = Hashtbl.create 64;
   }
 
 (* Charge the elapsed time of one operator: the slowest segment's work. *)
@@ -42,6 +46,16 @@ let charge t seconds = t.sim_seconds <- t.sim_seconds +. seconds
 
 let note_state t bytes =
   if bytes > t.peak_state_bytes then t.peak_state_bytes <- bytes
+
+let note_node_rows t node_id rows =
+  let prev =
+    Option.value ~default:0.0 (Hashtbl.find_opt t.per_node_rows node_id)
+  in
+  Hashtbl.replace t.per_node_rows node_id (prev +. rows)
+
+let node_rows t =
+  Hashtbl.fold (fun id rows acc -> (id, rows) :: acc) t.per_node_rows []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let to_string t =
   Printf.sprintf
@@ -67,3 +81,9 @@ let to_kv t =
     ( "partitions_pruned_dynamically",
       float_of_int t.partitions_pruned_dynamically );
   ]
+  (* per-node actual row counts, keyed by stable plan-node ids, so the
+     accuracy join (lib/prov) reads them here instead of re-walking executor
+     internals *)
+  @ List.map
+      (fun (id, rows) -> (Printf.sprintf "node_rows.%d" id, rows))
+      (node_rows t)

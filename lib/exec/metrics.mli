@@ -16,6 +16,9 @@ type t = {
   mutable peak_state_bytes : float;      (** largest operator state seen *)
   mutable operators_run : int;
   mutable partitions_pruned_dynamically : int;
+  per_node_rows : (int, float) Hashtbl.t;
+      (** actual rows produced per plan node, keyed by the node's stable
+          preorder id ({!Ir.Plan_ops.number}); accumulates across rescans *)
 }
 
 val create : int -> t
@@ -26,10 +29,19 @@ val charge_max : t -> float array -> unit
 val charge : t -> float -> unit
 val note_state : t -> float -> unit
 
+val note_node_rows : t -> int -> float -> unit
+(** Add to a plan node's actual row count (accumulates across rescans). *)
+
+val node_rows : t -> (int * float) list
+(** Per-node actual rows, sorted by node id. *)
+
 val to_string : t -> string
 (** One-line rendering of every counter, including spill, peak operator
     state and dynamically pruned partitions. *)
 
 val to_kv : t -> (string * float) list
 (** Key/value view for the observability report ({!Obs.Report} [exec]
-    field); peak_state_bytes is a high-water mark, the rest are sums. *)
+    field); peak_state_bytes is a high-water mark, the rest are sums.
+    Includes one ["node_rows.<id>"] entry per executed plan node (stable
+    preorder ids), so the accuracy join (lib/prov) needs no access to
+    executor internals. *)

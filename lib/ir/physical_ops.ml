@@ -292,6 +292,35 @@ let to_string (op : physical) =
       Printf.sprintf "PartitionSelector([%s])"
         (String.concat "," (List.map string_of_int parts))
 
+(* Coarse operator class for per-class cardinality-accuracy aggregation
+   (lib/prov): every constructor maps to a stable kebab-case id, with motions
+   subdivided by kind (their row behaviour differs: a broadcast multiplies
+   rows by the segment count, a gather only relocates them). *)
+let class_name (op : physical) =
+  match op with
+  | P_table_scan _ -> "table-scan"
+  | P_index_scan _ -> "index-scan"
+  | P_filter _ -> "filter"
+  | P_project _ -> "project"
+  | P_hash_join _ -> "hash-join"
+  | P_merge_join _ -> "merge-join"
+  | P_nl_join _ -> "nl-join"
+  | P_window _ -> "window"
+  | P_hash_agg _ -> "hash-agg"
+  | P_stream_agg _ -> "stream-agg"
+  | P_sort _ -> "sort"
+  | P_limit _ -> "limit"
+  | P_motion Gather -> "motion-gather"
+  | P_motion (Gather_merge _) -> "motion-gather-merge"
+  | P_motion (Redistribute _) -> "motion-redistribute"
+  | P_motion Broadcast -> "motion-broadcast"
+  | P_cte_producer _ -> "cte-producer"
+  | P_cte_consumer _ -> "cte-consumer"
+  | P_sequence _ -> "sequence"
+  | P_set _ -> "set"
+  | P_const_table _ -> "const-table"
+  | P_partition_selector _ -> "partition-selector"
+
 let fingerprint (op : physical) : int = Hashtbl.hash op
 
 let equal (a : physical) (b : physical) = Stdlib.compare a b = 0

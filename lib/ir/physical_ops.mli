@@ -25,5 +25,10 @@ val derive : physical -> Props.derived list -> Props.derived
 
 val motion_to_string : motion -> string
 val to_string : physical -> string
+
+val class_name : physical -> string
+(** Stable kebab-case operator class ("hash-join", "motion-broadcast", …)
+    used to aggregate cardinality accuracy per operator class (lib/prov). *)
+
 val fingerprint : physical -> int
 val equal : physical -> physical -> bool

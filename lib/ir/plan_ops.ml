@@ -22,6 +22,25 @@ let rec fold f acc (p : plan) =
 
 let node_count p = fold (fun n _ -> n + 1) 0 p
 
+(* Stable plan-node ids: preorder position in the tree, root = 0. The
+   executor keys its per-node actual row counts on these ids and the
+   accuracy join (lib/prov) re-derives the same numbering from the plan, so
+   both sides agree without sharing state. The path is the child-index chain
+   ("root.0.1"), matching the node paths used by the plan diff. *)
+let number (p : plan) : (int * string * plan) list =
+  let acc = ref [] in
+  let next = ref 0 in
+  let rec go path node =
+    let id = !next in
+    incr next;
+    acc := (id, path, node) :: !acc;
+    List.iteri
+      (fun i child -> go (Printf.sprintf "%s.%d" path i) child)
+      node.pchildren
+  in
+  go "root" p;
+  List.rev !acc
+
 let contains pred p = fold (fun found n -> found || pred n) false p
 
 let count_motions p =

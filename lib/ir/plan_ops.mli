@@ -16,6 +16,14 @@ val node : physical -> plan list -> est_rows:float -> cost:float -> plan
 val iter : (plan -> unit) -> plan -> unit
 val fold : ('a -> plan -> 'a) -> 'a -> plan -> 'a
 val node_count : plan -> int
+
+val number : plan -> (int * string * plan) list
+(** Stable plan-node ids: [(id, path, node)] in preorder, root = 0, path =
+    child-index chain ("root", "root.0", "root.0.1"). The executor keys
+    per-node actual row counts on these ids and the accuracy join (lib/prov)
+    re-derives the same numbering, so both sides agree without sharing
+    state. *)
+
 val contains : (plan -> bool) -> plan -> bool
 val count_motions : plan -> int
 

@@ -13,13 +13,26 @@ open Ir
    expression, its child requests and enforcers — the linkage structure used
    for plan extraction (paper Fig. 6) and for TAQO's uniform plan sampling. *)
 
+(* Where a group expression came from (lib/prov): the xform that produced
+   it, the group expression it was derived from, and the stage/promise at
+   application time. [None] marks copy-in expressions (the original query
+   tree). Recording the source *expression id* rather than a pointer keeps
+   the memo acyclic and lets lineage survive group merges. *)
+type origin = {
+  o_rule : string; (* xform name, e.g. "join-commute" *)
+  o_rule_id : int;
+  o_source : int; (* ge_id of the expression the rule was applied to *)
+  o_stage : string; (* optimization stage the application ran in *)
+  o_promise : int; (* the rule's promise when scheduled *)
+}
+
 type gexpr = {
   ge_id : int;
   ge_op : Expr.op;
   ge_op_id : int; (* interned operator id; -1 when interning is off *)
   ge_children : int list; (* group ids as of insertion; canonicalize on use *)
   mutable ge_group : int;
-  ge_rule : string option;
+  ge_origin : origin option; (* None = copy-in of the original query tree *)
   mutable ge_explored : bool;
   mutable ge_implemented : bool;
   mutable ge_applied : int list; (* rule ids already applied *)
@@ -268,7 +281,7 @@ let merge_groups t winner loser =
 
 (* Insert an operator with child groups into [target] (fresh group when
    None). Returns the resulting gexpr (possibly pre-existing). *)
-let insert_gexpr t ?rule ?target op children : gexpr =
+let insert_gexpr t ?origin ?target op children : gexpr =
   with_lock t (fun () ->
       trace_access (fun () -> "memo.index") true;
       t.obs.oc_inserts <- t.obs.oc_inserts + 1;
@@ -310,7 +323,7 @@ let insert_gexpr t ?rule ?target op children : gexpr =
               ge_op_id = op_id;
               ge_children = children;
               ge_group = gid;
-              ge_rule = rule;
+              ge_origin = origin;
               ge_explored = false;
               ge_implemented = false;
               ge_applied = [];
@@ -349,17 +362,17 @@ let insert_gexpr t ?rule ?target op children : gexpr =
           ge)
 
 (* Copy a mixed expression tree in, bottom-up. *)
-let rec insert t ?rule ?target (node : Mexpr.t) : gexpr =
+let rec insert t ?origin ?target (node : Mexpr.t) : gexpr =
   let children =
     List.map
       (function
         | Mexpr.Group g -> find t g
         | Mexpr.Node n ->
-            let ge = insert t ?rule n in
+            let ge = insert t ?origin n in
             find t ge.ge_group)
       node.Mexpr.children
   in
-  insert_gexpr t ?rule ?target node.Mexpr.op children
+  insert_gexpr t ?origin ?target node.Mexpr.op children
 
 let cte_producer_group t cte_id =
   List.assoc_opt cte_id t.cte_producer_groups |> Option.map (find t)
@@ -375,6 +388,23 @@ let physical_exprs g =
     (fun ge ->
       match ge.ge_op with Expr.Physical p -> Some (ge, p) | _ -> None)
     g.g_exprs
+
+(* Lookup by expression id, for provenance lineage walks. Merged groups move
+   their expressions to the winner, so scanning live groups covers every
+   expression ever inserted. Only called on explicit --why requests, so a
+   scan beats maintaining an index on the insert hot path. *)
+let gexpr_by_id t id : gexpr option =
+  let found = ref None in
+  let n = t.ngroups in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    let g = t.groups.(!i) in
+    (match List.find_opt (fun ge -> ge.ge_id = id) g.g_exprs with
+    | Some ge -> found := Some ge
+    | None -> ());
+    incr i
+  done;
+  !found
 
 (* --- Optimization contexts (group hash tables, paper Fig. 6) --- *)
 

@@ -14,6 +14,18 @@
 
 open Ir
 
+(** Where a group expression came from (lib/prov): the xform that produced
+    it, the group expression it was derived from ([o_source] is a [ge_id] —
+    an id, not a pointer, so the memo stays acyclic and lineage survives
+    group merges), and the stage/promise at application time. *)
+type origin = {
+  o_rule : string;  (** xform name, e.g. "join-commute" *)
+  o_rule_id : int;
+  o_source : int;   (** [ge_id] of the expression the rule was applied to *)
+  o_stage : string; (** optimization stage the application ran in *)
+  o_promise : int;  (** the rule's promise when it was scheduled *)
+}
+
 type gexpr = {
   ge_id : int;
   ge_op : Expr.op;
@@ -22,7 +34,8 @@ type gexpr = {
           (within one Memo); -1 when the Memo was created without interning *)
   ge_children : int list;  (** group ids as of insertion; canonicalize via [find] *)
   mutable ge_group : int;
-  ge_rule : string option; (** the rule that produced this expression *)
+  ge_origin : origin option;
+      (** [None] = copy-in of the original query tree *)
   mutable ge_explored : bool;
   mutable ge_implemented : bool;
   mutable ge_applied : int list; (** rule ids already applied *)
@@ -107,14 +120,19 @@ val group_ids : t -> int list
 
 val output_cols : t -> int -> Colref.t list
 
-val insert_gexpr : t -> ?rule:string -> ?target:int -> Expr.op -> int list -> gexpr
+val insert_gexpr :
+  t -> ?origin:origin -> ?target:int -> Expr.op -> int list -> gexpr
 (** Insert one operator with child groups into [target] (a fresh group when
-    omitted). Duplicate detection may return a pre-existing expression; a
-    duplicate found in a different group merges the groups. Thread-safe. *)
+    omitted). Duplicate detection may return a pre-existing expression (the
+    first producer's origin is kept); a duplicate found in a different group
+    merges the groups. Thread-safe. *)
 
-val insert : t -> ?rule:string -> ?target:int -> Mexpr.t -> gexpr
+val insert : t -> ?origin:origin -> ?target:int -> Mexpr.t -> gexpr
 (** Copy a mixed expression tree in, bottom-up (paper: rule results are
     "copied-in to the Memo"). *)
+
+val gexpr_by_id : t -> int -> gexpr option
+(** Look up a group expression by [ge_id] (provenance lineage walks). *)
 
 val cte_producer_group : t -> int -> int option
 (** The group holding a CTE's producer (tracked at anchor insertion). *)

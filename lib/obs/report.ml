@@ -54,6 +54,18 @@ type cost_stat = {
   c_winner_skips : int;      (* child Opt spawns skipped: context complete *)
 }
 
+(* Cardinality accuracy per operator class (lib/prov): Q-error =
+   max(est/act, act/est) per observed plan node, aggregated as a geometric
+   mean. The geomean is stored as (Σ ln(qerr), node count) so merging across
+   stages and queries is exact. *)
+type acc_stat = {
+  a_class : string;     (* Physical_ops.class_name, or "(all)" *)
+  a_nodes : int;        (* observed nodes (est and actual both known) *)
+  a_log_sum : float;    (* Σ ln(qerror) over observed nodes *)
+  a_max : float;        (* worst node-level Q-error *)
+  a_unobserved : int;   (* nodes with no actual (never executed) *)
+}
+
 type t = {
   label : string;
   queries : int;  (* merged query count (1 per optimization session) *)
@@ -64,6 +76,7 @@ type t = {
   scheds : sched_stat list;
   cost : cost_stat;
   exec : (string * float) list;  (* Exec.Metrics key/values, when executed *)
+  acc : acc_stat list;  (* cardinality accuracy by operator class (lib/prov) *)
   spans : Span.event list;
 }
 
@@ -103,11 +116,15 @@ let empty =
     scheds = [];
     cost = empty_cost;
     exec = [];
+    acc = [];
     spans = [];
   }
 
 let with_exec t kv = { t with exec = kv }
 let with_spans t spans = { t with spans }
+let with_acc t acc = { t with acc }
+
+let acc_geomean a = if a.a_nodes = 0 then 1.0 else exp (a.a_log_sum /. float_of_int a.a_nodes)
 
 (* --- merging --- *)
 
@@ -192,6 +209,26 @@ let merge_exec a b =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let merge_acc a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace tbl s.a_class s) a;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.a_class with
+      | None -> Hashtbl.replace tbl s.a_class s
+      | Some p ->
+          Hashtbl.replace tbl s.a_class
+            {
+              p with
+              a_nodes = p.a_nodes + s.a_nodes;
+              a_log_sum = p.a_log_sum +. s.a_log_sum;
+              a_max = Float.max p.a_max s.a_max;
+              a_unobserved = p.a_unobserved + s.a_unobserved;
+            })
+    b;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.a_class b.a_class)
+
 let merge a b =
   {
     label = (if a.label = "" then b.label else a.label);
@@ -205,6 +242,7 @@ let merge a b =
     scheds = merge_scheds a.scheds b.scheds;
     cost = merge_cost a.cost b.cost;
     exec = merge_exec a.exec b.exec;
+    acc = merge_acc a.acc b.acc;
     spans = a.spans @ b.spans;
   }
 
@@ -289,6 +327,17 @@ let to_string ?(top = 10) t =
     pf "%s\n"
       (String.concat " "
          (List.map (fun (k, v) -> Printf.sprintf "%s=%.4g" k v) t.exec))
+  end;
+  (* cardinality accuracy (lib/prov); absent entirely unless collected *)
+  if t.acc <> [] then begin
+    pf "\ncardinality accuracy (Q-error by operator class):\n";
+    pf "  %-24s %8s %10s %10s %12s\n" "class" "nodes" "geomean" "max"
+      "unobserved";
+    List.iter
+      (fun a ->
+        pf "  %-24s %8d %10.3f %10.3f %12d\n" a.a_class a.a_nodes
+          (acc_geomean a) a.a_max a.a_unobserved)
+      t.acc
   end;
   if t.spans <> [] then begin
     pf "\nspan flame summary:\n";

@@ -1,0 +1,111 @@
+open Ir
+
+(* Cardinality accuracy (the "how wrong were the estimates" half of
+   lib/prov): join the optimizer's per-node row estimates against the
+   executor's per-node actuals — both keyed by the stable preorder ids of
+   [Plan_ops.number] — into per-node and per-operator-class Q-error.
+
+   Q-error is the standard multiplicative error max(est/act, act/est),
+   always >= 1; both sides are clamped to >= 1 row so empty results and
+   sub-row estimates do not blow the metric up to infinity. Per-class
+   aggregates keep (Σ ln q, count) so geometric means merge exactly across
+   queries (Obs.Report.acc_stat). *)
+
+type node_acc = {
+  na_id : int;
+  na_path : string;
+  na_op : string;
+  na_class : string;        (* Physical_ops.class_name *)
+  na_est : float;
+  na_act : float option;    (* None: node never produced output (not run) *)
+  na_qerr : float option;   (* None iff na_act is None *)
+}
+
+type t = { nodes : node_acc list }
+
+let qerror ~est ~act =
+  let e = Float.max est 1.0 and a = Float.max act 1.0 in
+  Float.max (e /. a) (a /. e)
+
+(* [actual] maps a stable node id to the measured output row count —
+   typically [Exec.Metrics.node_rows] turned into a lookup. *)
+let of_plan ~(actual : int -> float option) (plan : Expr.plan) : t =
+  let nodes =
+    List.map
+      (fun (id, path, (node : Expr.plan)) ->
+        let est = node.Expr.pest_rows in
+        let act = actual id in
+        {
+          na_id = id;
+          na_path = path;
+          na_op = Physical_ops.to_string node.Expr.pop;
+          na_class = Physical_ops.class_name node.Expr.pop;
+          na_est = est;
+          na_act = act;
+          na_qerr = Option.map (fun act -> qerror ~est ~act) act;
+        })
+      (Plan_ops.number plan)
+  in
+  { nodes }
+
+(* Per-operator-class aggregates, plus an "(all)" row over every observed
+   node, in Obs.Report form so they merge across stages and queries. *)
+let to_acc_stats (t : t) : Obs.Report.acc_stat list =
+  let tbl : (string, Obs.Report.acc_stat) Hashtbl.t = Hashtbl.create 16 in
+  let bump cls (na : node_acc) =
+    let prev =
+      match Hashtbl.find_opt tbl cls with
+      | Some s -> s
+      | None ->
+          {
+            Obs.Report.a_class = cls;
+            a_nodes = 0;
+            a_log_sum = 0.0;
+            a_max = 1.0;
+            a_unobserved = 0;
+          }
+    in
+    let next =
+      match na.na_qerr with
+      | Some q ->
+          {
+            prev with
+            Obs.Report.a_nodes = prev.Obs.Report.a_nodes + 1;
+            a_log_sum = prev.Obs.Report.a_log_sum +. log q;
+            a_max = Float.max prev.Obs.Report.a_max q;
+          }
+      | None ->
+          {
+            prev with
+            Obs.Report.a_unobserved = prev.Obs.Report.a_unobserved + 1;
+          }
+    in
+    Hashtbl.replace tbl cls next
+  in
+  List.iter
+    (fun na ->
+      bump na.na_class na;
+      bump "(all)" na)
+    t.nodes;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b ->
+         compare a.Obs.Report.a_class b.Obs.Report.a_class)
+
+let observed t = List.filter (fun na -> na.na_qerr <> None) t.nodes
+
+let to_string (t : t) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "per-node cardinality accuracy:\n";
+  pf "  %-4s %-38s %12s %12s %8s\n" "id" "operator" "est" "actual" "q-err";
+  List.iter
+    (fun na ->
+      match (na.na_act, na.na_qerr) with
+      | Some act, Some q ->
+          pf "  %-4d %-38s %12.0f %12.0f %8.2f\n" na.na_id na.na_op na.na_est
+            act q
+      | _ ->
+          pf "  %-4d %-38s %12.0f %12s %8s\n" na.na_id na.na_op na.na_est "-"
+            "-")
+    t.nodes;
+  Buffer.contents buf

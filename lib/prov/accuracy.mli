@@ -1,0 +1,35 @@
+(** Cardinality accuracy — join per-node row estimates against executed
+    actuals (both keyed by {!Ir.Plan_ops.number} ids) into per-node and
+    per-operator-class Q-error. *)
+
+open Ir
+
+type node_acc = {
+  na_id : int;
+  na_path : string;
+  na_op : string;
+  na_class : string;      (** {!Ir.Physical_ops.class_name} *)
+  na_est : float;
+  na_act : float option;  (** None: the node never produced output *)
+  na_qerr : float option; (** None iff [na_act] is None *)
+}
+
+type t = { nodes : node_acc list }
+
+val qerror : est:float -> act:float -> float
+(** max(est/act, act/est) with both sides clamped to >= 1 row; always
+    >= 1. *)
+
+val of_plan : actual:(int -> float option) -> Expr.plan -> t
+(** [actual] maps a stable node id to the measured output row count
+    (typically {!Exec.Metrics.node_rows} turned into a lookup). *)
+
+val to_acc_stats : t -> Obs.Report.acc_stat list
+(** Per-class aggregates plus an ["(all)"] row, in {!Obs.Report} form so they
+    merge exactly across stages and queries. *)
+
+val observed : t -> node_acc list
+(** Nodes with both an estimate and an actual. *)
+
+val to_string : t -> string
+(** Per-node est/actual/Q-error table. *)

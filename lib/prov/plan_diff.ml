@@ -1,0 +1,202 @@
+open Ir
+
+(* Structural plan diff (the "why did the plan change" half of lib/prov):
+   compare two extracted plans node by node, reporting matched, changed,
+   moved and one-sided subtrees with cost and cardinality deltas, and — when
+   provenance annotations are supplied — the rule lineage behind each
+   divergent subtree.
+
+   The walk is lockstep by position: while the operators agree the diff
+   descends; at the first disagreement the whole subtree pair is reported at
+   subtree granularity (descending into structurally different trees
+   produces noise, not signal). A divergent subtree that reappears verbatim
+   elsewhere in the other plan is additionally flagged as moved. *)
+
+type change =
+  | Op_changed of { path : string; a : string; b : string }
+      (* different operator at the same position *)
+  | Only_a of { path : string; op : string; moved_to : string option }
+      (* subtree present only in A (or moved elsewhere in B) *)
+  | Only_b of { path : string; op : string; moved_from : string option }
+  | Cost_changed of { path : string; op : string; a : float; b : float }
+  | Rows_changed of { path : string; op : string; a : float; b : float }
+
+type t = {
+  d_matched : int;        (* nodes with identical operator at same position *)
+  d_changes : change list;
+  d_cost_a : float;
+  d_cost_b : float;
+  d_identical : bool;     (* same structure, costs and cardinalities *)
+  d_structural : bool;    (* operators/shape identical (costs may differ) *)
+}
+
+(* Structural fingerprint of a subtree: the cost-free EXPLAIN rendering. *)
+let fingerprint (p : Expr.plan) = Plan_ops.to_string ~show_cost:false p
+
+let op_str (p : Expr.plan) = Physical_ops.to_string p.Expr.pop
+
+(* All (path, node) pairs of a tree. *)
+let indexed (p : Expr.plan) : (string * Expr.plan) list =
+  List.map (fun (_, path, n) -> (path, n)) (Plan_ops.number p)
+
+let diff (a : Expr.plan) (b : Expr.plan) : t =
+  let changes = ref [] in
+  let matched = ref 0 in
+  let add c = changes := c :: !changes in
+  let index_b = indexed b and index_a = indexed a in
+  (* does this exact subtree occur in the other plan (anywhere)? *)
+  let find_in index (sub : Expr.plan) =
+    let fp = fingerprint sub in
+    List.find_opt (fun (_, n) -> fingerprint n = fp) index
+    |> Option.map fst
+  in
+  let rec go path (na : Expr.plan) (nb : Expr.plan) =
+    if op_str na <> op_str nb then begin
+      (* divergent subtree: report at subtree granularity, flag moves *)
+      add (Op_changed { path; a = op_str na; b = op_str nb });
+      add (Only_a { path; op = op_str na; moved_to = find_in index_b na });
+      add (Only_b { path; op = op_str nb; moved_from = find_in index_a nb })
+    end
+    else begin
+      incr matched;
+      if na.Expr.pcost <> nb.Expr.pcost then
+        add
+          (Cost_changed
+             { path; op = op_str na; a = na.Expr.pcost; b = nb.Expr.pcost });
+      if na.Expr.pest_rows <> nb.Expr.pest_rows then
+        add
+          (Rows_changed
+             {
+               path;
+               op = op_str na;
+               a = na.Expr.pest_rows;
+               b = nb.Expr.pest_rows;
+             });
+      let ca = na.Expr.pchildren and cb = nb.Expr.pchildren in
+      let rec zip i xs ys =
+        match (xs, ys) with
+        | [], [] -> ()
+        | x :: xs, y :: ys ->
+            go (Printf.sprintf "%s.%d" path i) x y;
+            zip (i + 1) xs ys
+        | x :: xs, [] ->
+            add
+              (Only_a
+                 {
+                   path = Printf.sprintf "%s.%d" path i;
+                   op = op_str x;
+                   moved_to = find_in index_b x;
+                 });
+            zip (i + 1) xs []
+        | [], y :: ys ->
+            add
+              (Only_b
+                 {
+                   path = Printf.sprintf "%s.%d" path i;
+                   op = op_str y;
+                   moved_from = find_in index_a y;
+                 });
+            zip (i + 1) [] ys
+      in
+      zip 0 ca cb
+    end
+  in
+  go "root" a b;
+  let changes = List.rev !changes in
+  let structural =
+    not
+      (List.exists
+         (function
+           | Op_changed _ | Only_a _ | Only_b _ -> true
+           | Cost_changed _ | Rows_changed _ -> false)
+         changes)
+  in
+  {
+    d_matched = !matched;
+    d_changes = changes;
+    d_cost_a = a.Expr.pcost;
+    d_cost_b = b.Expr.pcost;
+    d_identical = changes = [];
+    d_structural = structural;
+  }
+
+let identical t = t.d_identical
+
+(* --- rendering --- *)
+
+let change_to_string = function
+  | Op_changed { path; a; b } ->
+      Printf.sprintf "changed  %-16s %s  ->  %s" path a b
+  | Only_a { path; op; moved_to = Some dst } ->
+      Printf.sprintf "moved    %-16s %s  (A; appears in B at %s)" path op dst
+  | Only_a { path; op; moved_to = None } ->
+      Printf.sprintf "only-A   %-16s %s" path op
+  | Only_b { path; op; moved_from = Some src } ->
+      Printf.sprintf "moved    %-16s %s  (B; appears in A at %s)" path op src
+  | Only_b { path; op; moved_from = None } ->
+      Printf.sprintf "only-B   %-16s %s" path op
+  | Cost_changed { path; op; a; b } ->
+      Printf.sprintf "cost     %-16s %s  %.2f -> %.2f (%+.1f%%)" path op a b
+        (if a = 0.0 then 0.0 else 100.0 *. (b -. a) /. a)
+  | Rows_changed { path; op; a; b } ->
+      Printf.sprintf "rows     %-16s %s  %.0f -> %.0f" path op a b
+
+(* The provenance of a divergent subtree answers "which rule chain produced
+   the side that changed". *)
+let divergence_provenance (t : t) (label : string) (prov : Provenance.t)
+    ~(side_a : bool) : string list =
+  List.filter_map
+    (fun change ->
+      let path =
+        match (change, side_a) with
+        | Op_changed { path; _ }, _ -> Some path
+        | Only_a { path; _ }, true -> Some path
+        | Only_b { path; _ }, false -> Some path
+        | _ -> None
+      in
+      match path with
+      | None -> None
+      | Some path -> (
+          match Provenance.find_node prov ~path with
+          | Some np -> (
+              match np.Provenance.np_kind with
+              | Provenance.K_operator oi ->
+                  Some
+                    (Printf.sprintf "  %s %s: %s" label path
+                       (Provenance.lineage_to_string
+                          oi.Provenance.oi_lineage))
+              | Provenance.K_enforcer why ->
+                  Some (Printf.sprintf "  %s %s: enforcer (%s)" label path why)
+              | Provenance.K_synthetic why ->
+                  Some (Printf.sprintf "  %s %s: synthetic (%s)" label path why))
+          | None -> None))
+    t.d_changes
+
+let to_string ?prov_a ?prov_b (t : t) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if t.d_identical then
+    pf "plans are identical (%d nodes, cost %.2f)\n" t.d_matched t.d_cost_a
+  else begin
+    pf "plans diverge: %d matched node%s, %d change%s (cost A=%.2f B=%.2f)\n"
+      t.d_matched
+      (if t.d_matched = 1 then "" else "s")
+      (List.length t.d_changes)
+      (if List.length t.d_changes = 1 then "" else "s")
+      t.d_cost_a t.d_cost_b;
+    List.iter (fun c -> pf "  %s\n" (change_to_string c)) t.d_changes;
+    let prov_lines =
+      (match prov_a with
+      | Some p -> divergence_provenance t "A" p ~side_a:true
+      | None -> [])
+      @
+      match prov_b with
+      | Some p -> divergence_provenance t "B" p ~side_a:false
+      | None -> []
+    in
+    if prov_lines <> [] then begin
+      pf "provenance of divergent subtrees:\n";
+      List.iter (fun l -> pf "%s\n" l) prov_lines
+    end
+  end;
+  Buffer.contents buf

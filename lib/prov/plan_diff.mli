@@ -1,0 +1,33 @@
+(** Structural plan diff — compare two extracted plans node by node:
+    matched/changed/moved/one-sided subtrees, cost and cardinality deltas,
+    and (when provenance annotations are supplied) the rule lineage behind
+    each divergent subtree. *)
+
+open Ir
+
+type change =
+  | Op_changed of { path : string; a : string; b : string }
+  | Only_a of { path : string; op : string; moved_to : string option }
+  | Only_b of { path : string; op : string; moved_from : string option }
+  | Cost_changed of { path : string; op : string; a : float; b : float }
+  | Rows_changed of { path : string; op : string; a : float; b : float }
+
+type t = {
+  d_matched : int;
+  d_changes : change list;
+  d_cost_a : float;
+  d_cost_b : float;
+  d_identical : bool;  (** same structure, costs and cardinalities *)
+  d_structural : bool; (** operators/shape identical (costs may differ) *)
+}
+
+val fingerprint : Expr.plan -> string
+(** Cost-free structural rendering used for move detection. *)
+
+val diff : Expr.plan -> Expr.plan -> t
+
+val identical : t -> bool
+
+val change_to_string : change -> string
+
+val to_string : ?prov_a:Provenance.t -> ?prov_b:Provenance.t -> t -> string

@@ -1,0 +1,67 @@
+(** Plan provenance — the "why this plan" half of lib/prov. [annotate]
+    re-walks the Memo's winner linkage in extraction order and aligns it with
+    the extracted plan's stable preorder numbering ({!Ir.Plan_ops.number}),
+    attaching to every node its rule lineage, the losing alternatives in its
+    optimization context with cost deltas, and — for enforcers — the required
+    property that forced them. *)
+
+open Ir
+
+type lineage_step = {
+  ls_rule : string;      (** xform that produced the expression *)
+  ls_stage : string;
+  ls_promise : int;
+  ls_result_op : string; (** operator the application produced *)
+}
+
+type loser = {
+  lo_op : string;
+  lo_rule : string option; (** rule that produced its gexpr; None = copy-in *)
+  lo_cost : float;
+  lo_delta : float;        (** [lo_cost] - winner cost, >= 0 *)
+  lo_enforcers : int;
+}
+
+type origin_info = {
+  oi_group : int;
+  oi_lineage : lineage_step list; (** newest first; [] = direct copy-in *)
+  oi_losers : loser list;         (** sorted by cost, cheapest first *)
+  oi_alts : int;                  (** alternatives costed in the context *)
+}
+
+type kind =
+  | K_operator of origin_info
+  | K_enforcer of string  (** why the enforcer was added *)
+  | K_synthetic of string (** added outside the Memo (output projection) *)
+
+type node_prov = {
+  np_id : int; (** stable preorder id ({!Ir.Plan_ops.number}) *)
+  np_path : string;
+  np_op : string;
+  np_est_rows : float;
+  np_cost : float;
+  np_kind : kind;
+}
+
+type t = {
+  p_stage : string;         (** stage whose Memo the plan came from *)
+  p_nodes : node_prov list; (** preorder, aligned with [Plan_ops.number] *)
+}
+
+val annotate :
+  Memolib.Memo.t -> req:Props.req -> stage:string -> Expr.plan -> t
+(** Build the annotation for a plan extracted from this Memo under [req].
+    Raises [Gpos_error] if the plan cannot be aligned with the Memo's winner
+    linkage (corrupted provenance). *)
+
+val lineage_of : Memolib.Memo.t -> Memolib.Memo.gexpr -> lineage_step list
+(** Follow origin records back to the copy-in expression, newest first. *)
+
+val find_node : t -> path:string -> node_prov option
+
+val lineage_to_string : lineage_step list -> string
+
+val why_to_string : ?max_losers:int -> t -> string
+(** The [explain --why] rendering: the plan tree with per-node lineage,
+    losing alternatives (capped at [max_losers], default 4) and enforcer
+    reasons. *)

@@ -49,6 +49,8 @@ type rule_stat = {
 type t = {
   memo : Memo.t;
   ruleset : Xform.Ruleset.t;
+  stage_name : string; (* stamped on provenance origins (lib/prov) *)
+  prov : bool; (* record per-gexpr origins on rule results *)
   rctx : Xform.Rule.ctx;
   model : Cost.Cost_model.t;
   base : Table_desc.t -> Stats.Relstats.t;
@@ -94,11 +96,13 @@ type t = {
 }
 
 let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(prefilter = true)
-    ?(stats_memo = true) ?(winner_reuse = true) ~ruleset ~model ~factory
-    ~base memo =
+    ?(stats_memo = true) ?(winner_reuse = true) ?(stage_name = "stage")
+    ?(prov = false) ~ruleset ~model ~factory ~base memo =
   {
     memo;
     ruleset;
+    stage_name;
+    prov;
     rctx = { Xform.Rule.factory };
     model;
     base;
@@ -198,9 +202,16 @@ let xform_job t (ge : Memo.gexpr) (rule : Xform.Rule.t) () =
     rs.rs_time_ms <- rs.rs_time_ms +. Gpos.Clock.ms_since t0
   end;
   let target = Memo.find t.memo ge.Memo.ge_group in
+  (* Origin records are built only under the provenance flag: the record
+     allocation is cheap, but "free when off" is a gated guarantee, not a
+     hope. *)
+  let origin =
+    if t.prov then
+      Some (Xform.Rule.origin_for rule ~stage:t.stage_name ~source:ge)
+    else None
+  in
   List.iter
-    (fun mexpr ->
-      ignore (Memo.insert t.memo ~rule:rule.Xform.Rule.name ~target mexpr))
+    (fun mexpr -> ignore (Memo.insert t.memo ?origin ~target mexpr))
     results;
   Gpos.Scheduler.Finished
 

@@ -28,6 +28,8 @@ val create :
   ?prefilter:bool ->
   ?stats_memo:bool ->
   ?winner_reuse:bool ->
+  ?stage_name:string ->
+  ?prov:bool ->
   ruleset:Xform.Ruleset.t ->
   model:Cost.Cost_model.t ->
   factory:Colref.Factory.t ->
@@ -40,7 +42,9 @@ val create :
     (the sanitizer's schedule fuzzer): a different but deterministic
     interleaving of the same costing work per seed. [obs] (default false)
     additionally collects per-rule firing counts and timings for the
-    observability report.
+    observability report. [prov] (default false) stamps every rule result
+    with its origin — rule, source expression, [stage_name], promise — for
+    the provenance layer (lib/prov).
 
     The speedup switches (all default true) never change the chosen plan or
     its cost: [prefilter] skips rule applications whose root-shape bitmap

@@ -8,12 +8,20 @@ open Ir
 let lint_plan = Plan_check.check
 let lint_memo = Memo_check.check
 let lint_roundtrip = Dxl_check.check
+let lint_prov = Prov_check.check
 
-let lint_all ?req ?memo (plan : Expr.plan) : Diagnostic.t list =
+let lint_all ?req ?memo ?(prov = false) (plan : Expr.plan) :
+    Diagnostic.t list =
   let plan_diags = Plan_check.check ?req plan in
   let memo_diags = match memo with None -> [] | Some m -> Memo_check.check m in
+  (* the provenance invariants only hold when collection was on *)
+  let prov_diags =
+    match memo with
+    | Some m when prov -> Prov_check.check m
+    | _ -> []
+  in
   let dxl_diags = Dxl_check.check plan in
-  Diagnostic.sort (plan_diags @ memo_diags @ dxl_diags)
+  Diagnostic.sort (plan_diags @ memo_diags @ prov_diags @ dxl_diags)
 
 let error_count ds = Diagnostic.count Diagnostic.Error ds
 

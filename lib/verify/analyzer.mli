@@ -7,10 +7,18 @@ open Ir
 val lint_plan : ?req:Props.req -> Expr.plan -> Diagnostic.t list
 val lint_memo : Memolib.Memo.t -> Diagnostic.t list
 val lint_roundtrip : Expr.plan -> Diagnostic.t list
+val lint_prov : Memolib.Memo.t -> Diagnostic.t list
 
 val lint_all :
-  ?req:Props.req -> ?memo:Memolib.Memo.t -> Expr.plan -> Diagnostic.t list
-(** All passes over one optimization result, severity-sorted. *)
+  ?req:Props.req ->
+  ?memo:Memolib.Memo.t ->
+  ?prov:bool ->
+  Expr.plan ->
+  Diagnostic.t list
+(** All passes over one optimization result, severity-sorted. [prov]
+    (default false) additionally runs {!Prov_check} over the Memo — only
+    sound when the optimization collected provenance
+    ([Orca_config.prov]). *)
 
 val error_count : Diagnostic.t list -> int
 

@@ -1,0 +1,76 @@
+(* Provenance lint: every physical group expression in the Memo must carry an
+   origin record, and the records must be well-formed.
+
+   The invariant is sound because copy-in only inserts the original query
+   tree, which is purely logical: every physical expression is necessarily a
+   rule result, so under provenance collection it must have been stamped
+   with an origin. Origins in turn must point at existing source expressions
+   (o_source is a ge_id) and lineage chains must terminate at a copy-in
+   expression rather than cycle.
+
+   Run only when provenance collection was on (Orca_config.prov) — with it
+   off no origins exist and the invariant is vacuously violated. *)
+
+open Memolib
+
+let rule_missing = "prov/missing-origin"
+let rule_dangling = "prov/dangling-source"
+let rule_cycle = "prov/cyclic-lineage"
+
+let check (memo : Memo.t) : Diagnostic.t list =
+  let sink = Diagnostic.sink () in
+  let emit ~rule ~path ~node fmt =
+    Printf.ksprintf
+      (fun message ->
+        Diagnostic.emit sink
+          (Diagnostic.make ~rule ~severity:Diagnostic.Error ~path ~node "%s"
+             message))
+      fmt
+  in
+  let gexprs =
+    List.concat_map
+      (fun gid -> (Memo.group memo gid).Memo.g_exprs)
+      (Memo.group_ids memo)
+  in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun ge -> Hashtbl.replace by_id ge.Memo.ge_id ge) gexprs;
+  List.iter
+    (fun ge ->
+      let path = Printf.sprintf "group %d" (Memo.find memo ge.Memo.ge_group) in
+      let node = Memo.gexpr_to_string memo ge in
+      (match (ge.Memo.ge_op, ge.Memo.ge_origin) with
+      | Ir.Expr.Physical _, None ->
+          emit ~rule:rule_missing ~path ~node
+            "physical expression %d has no origin: only logical expressions \
+             are copied in, so every physical expression must be a stamped \
+             rule result"
+            ge.Memo.ge_id
+      | _ -> ());
+      match ge.Memo.ge_origin with
+      | None -> ()
+      | Some o ->
+          if not (Hashtbl.mem by_id o.Memo.o_source) then
+            emit ~rule:rule_dangling ~path ~node
+              "origin of expression %d (rule %s) points at nonexistent \
+               source expression %d"
+              ge.Memo.ge_id o.Memo.o_rule o.Memo.o_source
+          else begin
+            (* follow the chain; a repeat visit is a cycle *)
+            let rec follow visited id =
+              if List.mem id visited then
+                emit ~rule:rule_cycle ~path ~node
+                  "lineage of expression %d revisits expression %d instead \
+                   of terminating at a copy-in"
+                  ge.Memo.ge_id id
+              else
+                match Hashtbl.find_opt by_id id with
+                | None -> () (* dangling source reported above *)
+                | Some src -> (
+                    match src.Memo.ge_origin with
+                    | None -> ()
+                    | Some o -> follow (id :: visited) o.Memo.o_source)
+            in
+            follow [ ge.Memo.ge_id ] o.Memo.o_source
+          end)
+    gexprs;
+  Diagnostic.drain sink

@@ -1,0 +1,14 @@
+(** Provenance lint: under provenance collection every physical group
+    expression must carry an origin (copy-in inserts only logical
+    expressions), origins must point at existing source expressions, and
+    lineage chains must terminate at a copy-in rather than cycle.
+
+    Rules: [prov/missing-origin], [prov/dangling-source],
+    [prov/cyclic-lineage] — all error severity. Only meaningful when the
+    Memo was built with [Orca_config.prov] on. *)
+
+val rule_missing : string
+val rule_dangling : string
+val rule_cycle : string
+
+val check : Memolib.Memo.t -> Diagnostic.t list

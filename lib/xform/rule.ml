@@ -48,6 +48,18 @@ let applicable t (op : Ir.Expr.logical) =
 let is_exploration r = r.kind = Exploration
 let is_implementation r = r.kind = Implementation
 
+(* Provenance record for results this rule produced from [source] during
+   [stage] (lib/prov). The source is recorded by ge_id — an id, not a
+   pointer — so lineage stays acyclic and survives group merges. *)
+let origin_for r ~stage ~(source : Memolib.Memo.gexpr) : Memolib.Memo.origin =
+  {
+    Memolib.Memo.o_rule = r.name;
+    o_rule_id = r.id;
+    o_source = source.Memolib.Memo.ge_id;
+    o_stage = stage;
+    o_promise = r.promise;
+  }
+
 (* Helpers shared by rule implementations. *)
 
 let logical_op (ge : Memolib.Memo.gexpr) =

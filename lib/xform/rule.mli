@@ -45,6 +45,11 @@ val applicable : t -> Expr.logical -> bool
 val is_exploration : t -> bool
 val is_implementation : t -> bool
 
+val origin_for :
+  t -> stage:string -> source:Memolib.Memo.gexpr -> Memolib.Memo.origin
+(** Provenance record for results this rule produced from [source] during
+    [stage] (lib/prov). *)
+
 (** Helpers shared by rule implementations. *)
 
 val logical_op : Memolib.Memo.gexpr -> Expr.logical option

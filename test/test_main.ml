@@ -27,4 +27,5 @@ let () =
       ("properties", Test_properties.suite);
       ("perf-identity", Test_perf_identity.suite);
       ("obs", Test_obs.suite);
+      ("prov", Test_prov.suite);
     ]

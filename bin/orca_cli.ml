@@ -635,6 +635,60 @@ let queries_cmd () =
            (List.map Tpcds.Features.to_string q.Tpcds.Queries.features)))
     (Lazy.force Tpcds.Queries.all)
 
+(* --- the rule-soundness analyzer (lib/rulecheck) --- *)
+
+(* Neither rule command touches the warehouse: they run against lib/rulecheck's
+   own small-model world, so no env is built. *)
+
+let rules_cmd () =
+  Printf.printf "%-4s %-26s %-15s %7s  %s\n" "id" "name" "kind" "promise"
+    "shapes";
+  List.iter
+    (fun (r : Xform.Rule.t) ->
+      let kind =
+        match r.Xform.Rule.kind with
+        | Xform.Rule.Exploration -> "exploration"
+        | Xform.Rule.Implementation -> "implementation"
+      in
+      let shapes =
+        if r.Xform.Rule.mask = Ir.Logical_ops.all_shapes_mask then "(all)"
+        else
+          String.concat ","
+            (List.filter_map
+               (fun s ->
+                 if Xform.Rule.applicable_tag r (Ir.Logical_ops.shape_tag s)
+                 then Some (Ir.Logical_ops.shape_to_string s)
+                 else None)
+               Ir.Logical_ops.all_shapes)
+      in
+      Printf.printf "%-4d %-26s %-15s %7d  %s\n" r.Xform.Rule.id
+        r.Xform.Rule.name kind r.Xform.Rule.promise shapes)
+    (Xform.Ruleset.rules Xform.Ruleset.default)
+
+let rulecheck_cmd rule seeds json suite =
+  let rule = if suite then None else rule in
+  (match rule with
+  | Some name when Xform.Ruleset.find_by_name Xform.Ruleset.default name = None
+    ->
+      Printf.eprintf "rulecheck: unknown rule %s (see `orca_cli rules`)\n" name;
+      exit 2
+  | _ -> ());
+  let report = Rulecheck.run ~seeds ?rule () in
+  let nerr = Rulecheck.error_count report in
+  if json then print_string (Rulecheck.to_json report)
+  else begin
+    Printf.printf
+      "rulecheck: %d rule(s), %d seed(s), %d case(s): %d applications, %d \
+       alternatives checked — %d error(s), %d warning(s)\n"
+      report.Rulecheck.rules_checked report.Rulecheck.seeds
+      report.Rulecheck.cases report.Rulecheck.applications
+      report.Rulecheck.alternatives nerr
+      (Rulecheck.warning_count report);
+    if report.Rulecheck.diags <> [] then
+      print_string (Verify.Diagnostic.report_to_string report.Rulecheck.diags)
+  end;
+  if nerr > 0 then exit 1
+
 (* --- cmdliner wiring --- *)
 
 let sf_arg =
@@ -878,6 +932,53 @@ let () =
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());
+      Cmd.v
+        (Cmd.info "rules"
+           ~doc:
+             "List every registered transformation rule: id, name, kind, \
+              promise and declared root shapes (the prefilter mask).")
+        Term.(const rules_cmd $ const ());
+      (let rule_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "rule" ] ~docv:"NAME"
+               ~doc:"Audit a single rule by name instead of the full set.")
+       in
+       let seeds_arg =
+         Arg.(
+           value & opt int Rulecheck.default_seeds
+           & info [ "seeds" ] ~docv:"K"
+               ~doc:
+                 "Generator worlds to sweep (data and selection constants \
+                  are deterministic in the seed).")
+       in
+       let json_arg =
+         Arg.(
+           value & flag
+           & info [ "json" ]
+               ~doc:"Emit the report as JSON (the nightly CI artifact shape).")
+       in
+       let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Audit every registered rule plus the default cost model \
+                  (the default; overrides --rule).")
+       in
+       Cmd.v
+         (Cmd.info "rulecheck"
+            ~doc:
+              "Audit the transformation rules without running the optimizer: \
+               semantic equivalence of every alternative against the naive \
+               oracle on seed-driven small models, shape-mask soundness \
+               (prefilter contract), Memo purity, output-column \
+               preservation, property reachability, and cost-model \
+               monotonicity lints. Exits nonzero on error-severity \
+               diagnostics.")
+         Term.(
+           const rulecheck_cmd $ rule_arg $ seeds_arg $ json_arg $ suite_arg));
     ]
   in
   try exit (Cmd.eval ~catch:false (Cmd.group info cmds)) with

@@ -74,6 +74,7 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
       let engine =
         Search.Engine.create ~workers:config.Orca_config.workers
           ?fuzz_seed:config.Orca_config.fuzz_seed ~obs:config.Orca_config.obs
+          ~rule_checks:config.Orca_config.rule_checks
           ~prefilter:config.Orca_config.rule_prefilter
           ~stats_memo:config.Orca_config.stats_memo
           ~winner_reuse:config.Orca_config.winner_reuse

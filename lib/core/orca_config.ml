@@ -16,6 +16,7 @@ type t = {
   fuzz_seed : int option;    (* permute the costing schedule (with sanitize) *)
   obs : bool;                (* collect the observability report (lib/obs) *)
   prov : bool;               (* record plan provenance (lib/prov) *)
+  rule_checks : bool;        (* checksum the Memo around every rule apply *)
   (* hot-path speedups; identity-preserving (the chosen plan and its cost
      are byte-identical with them on or off), so on by default. Individually
      switchable for A/B identity tests and the opt-speed benchmark. *)
@@ -40,6 +41,7 @@ let default =
     fuzz_seed = None;
     obs = false;
     prov = false;
+    rule_checks = false;
     interning = true;
     stats_memo = true;
     rule_prefilter = true;
@@ -75,6 +77,8 @@ let with_sanitize t = { t with sanitize = true }
 let with_obs t = { t with obs = true }
 
 let with_prov t = { t with prov = true }
+
+let with_rule_checks t = { t with rule_checks = true }
 
 let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 

@@ -29,6 +29,10 @@ type t = {
       (** record plan provenance: per-gexpr rule origins in the Memo and the
           per-node lineage/losing-alternative annotation on the chosen plan
           (lib/prov); lands in {!Optimizer.report.prov} *)
+  rule_checks : bool;
+      (** debug mode: checksum the Memo around every rule application and
+          raise {!Search.Engine.Rule_contract_violation} if a rule's [apply]
+          mutated it (the lib/xform/rule.mli contract) *)
   interning : bool;
       (** hash-cons Memo operator payloads so duplicate detection compares
           dense ids instead of deep structures *)
@@ -71,6 +75,11 @@ val with_prov : t -> t
 (** Enable provenance collection and plan annotation. Off by default: with it
     off, no origin records are allocated and no annotation is built, so the
     optimization hot path is unaffected (gated by the opt-speed benchmark). *)
+
+val with_rule_checks : t -> t
+(** Enable the engine's debug-mode enforcement of the "apply must not mutate
+    the Memo" rule contract. Off by default — with it off the check is one
+    branch per rule application. *)
 
 val with_fuzz_seed : t -> int -> t
 (** Drive the optimization scheduler's dequeue order from a seeded PRNG. *)

@@ -83,6 +83,23 @@ type shape =
 
 let nshapes = 13
 
+let all_shapes =
+  [
+    S_get;
+    S_select;
+    S_project;
+    S_join;
+    S_gb_agg;
+    S_window;
+    S_limit;
+    S_apply;
+    S_cte_producer;
+    S_cte_anchor;
+    S_cte_consumer;
+    S_set;
+    S_const_table;
+  ]
+
 let shape_tag = function
   | S_get -> 0
   | S_select -> 1

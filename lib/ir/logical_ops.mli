@@ -36,6 +36,10 @@ type shape =
 
 val nshapes : int
 
+val all_shapes : shape list
+(** Every shape, in tag order (drives rulecheck's exhaustive shape sweep and
+    the [orca_cli rules] mask decoding). *)
+
 val shape_of : logical -> shape
 
 val shape_tag : shape -> int

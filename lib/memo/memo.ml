@@ -490,6 +490,35 @@ let set_stats t gid s =
   trace_access (fun () -> Printf.sprintf "group:%d.stats" g.g_id) true;
   g.g_stats <- Some s
 
+(* Structural checksum over everything a rule's [apply] could corrupt:
+   group/expression counts, the root, per-group topology (expression ids,
+   operators, child links), output columns, merge links and completion
+   flags. Contexts and stats are deliberately excluded — the engine
+   mutates those concurrently around rule application, and the no-mutation
+   contract is about the logical plan space, not the costing caches. *)
+let checksum t =
+  with_lock t (fun () ->
+      let acc = ref (Hashtbl.hash (t.ngroups, t.ngexprs, t.root)) in
+      let mix v = acc := Hashtbl.hash (!acc, v) in
+      for gid = 0 to t.ngroups - 1 do
+        let g = group_unsafe t gid in
+        mix
+          ( g.g_id,
+            g.g_merged_into,
+            g.g_explored,
+            g.g_implemented,
+            List.map Colref.id g.g_output_cols );
+        List.iter
+          (fun ge ->
+            mix
+              ( ge.ge_id,
+                op_fingerprint ge.ge_op,
+                ge.ge_children,
+                ge.ge_group ))
+          g.g_exprs
+      done;
+      !acc)
+
 (* --- debugging / the Fig. 4 and Fig. 6 displays --- *)
 
 let gexpr_to_string t ge =

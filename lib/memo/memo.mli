@@ -156,6 +156,14 @@ val contexts_of_group : t -> int -> context list
 val stats : t -> int -> Stats.Relstats.t option
 val set_stats : t -> int -> Stats.Relstats.t -> unit
 
+val checksum : t -> int
+(** Structural checksum of the plan space: group/expression counts, root,
+    per-group expression topology, output columns, merge links and
+    completion flags. Used to enforce the rule contract that [Rule.apply]
+    must not mutate the Memo (lib/rulecheck, and the engine's debug-mode
+    check). Optimization contexts and statistics are excluded — they are
+    costing caches, mutated concurrently, and not part of the contract. *)
+
 val gexpr_to_string : t -> gexpr -> string
 
 val to_string : t -> string

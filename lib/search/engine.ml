@@ -65,6 +65,12 @@ type t = {
   rule_stats : (int, rule_stat) Hashtbl.t; (* rule id -> profile *)
   (* hot-path speedups; every one preserves the chosen plan and its cost
      exactly (test/test_perf_identity.ml proves it per query) *)
+  rule_checks : bool;
+      (* debug mode: checksum the Memo around every [Rule.apply] to enforce
+         the no-mutation contract of rule.mli at the engine's single
+         application site (rule application is funnelled through the
+         sequential exploration/implementation scheduler, so the window
+         contains nothing but the apply) *)
   prefilter : bool;    (* skip rules whose shape bitmap rules the root out *)
   stats_memo : bool;   (* memoize per-group rows/width and redistribute skew *)
   winner_reuse : bool; (* skip child Opt spawns on complete contexts; reuse
@@ -95,9 +101,10 @@ type t = {
   goal_lock : Mutex.t;
 }
 
-let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(prefilter = true)
-    ?(stats_memo = true) ?(winner_reuse = true) ?(stage_name = "stage")
-    ?(prov = false) ~ruleset ~model ~factory ~base memo =
+let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(rule_checks = false)
+    ?(prefilter = true) ?(stats_memo = true) ?(winner_reuse = true)
+    ?(stage_name = "stage") ?(prov = false) ~ruleset ~model ~factory ~base memo
+    =
   {
     memo;
     ruleset;
@@ -136,6 +143,7 @@ let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(prefilter = true)
       };
     obs;
     rule_stats = Hashtbl.create 64;
+    rule_checks;
     prefilter;
     stats_memo;
     winner_reuse;
@@ -190,9 +198,32 @@ let trace_access obj write =
 
 (* --- Xform(gexpr, rule) --- *)
 
+exception
+  Rule_contract_violation of { rule : string; rule_id : int; gexpr : int }
+
+let () =
+  Printexc.register_printer (function
+    | Rule_contract_violation { rule; rule_id; gexpr } ->
+        Some
+          (Printf.sprintf
+             "Rule_contract_violation: rule %s (id %d) mutated the Memo \
+              while applied to gexpr %d (apply must only return \
+              alternatives; see lib/xform/rule.mli)"
+             rule rule_id gexpr)
+    | _ -> None)
+
 let xform_job t (ge : Memo.gexpr) (rule : Xform.Rule.t) () =
   let t0 = if t.obs then Gpos.Clock.now () else 0.0 in
+  let before = if t.rule_checks then Memo.checksum t.memo else 0 in
   let results = rule.Xform.Rule.apply t.rctx t.memo ge in
+  if t.rule_checks && Memo.checksum t.memo <> before then
+    raise
+      (Rule_contract_violation
+         {
+           rule = rule.Xform.Rule.name;
+           rule_id = rule.Xform.Rule.id;
+           gexpr = ge.Memo.ge_id;
+         });
   bump_by t.counters.a_xform_applied 1;
   bump_by t.counters.a_xform_results (List.length results);
   if t.obs then begin

@@ -21,10 +21,16 @@ type counters = {
 
 type t
 
+exception
+  Rule_contract_violation of { rule : string; rule_id : int; gexpr : int }
+(** Raised (only with [rule_checks]) when a rule's [apply] mutated the Memo,
+    violating the contract documented in lib/xform/rule.mli. *)
+
 val create :
   ?workers:int ->
   ?fuzz_seed:int ->
   ?obs:bool ->
+  ?rule_checks:bool ->
   ?prefilter:bool ->
   ?stats_memo:bool ->
   ?winner_reuse:bool ->
@@ -44,7 +50,11 @@ val create :
     additionally collects per-rule firing counts and timings for the
     observability report. [prov] (default false) stamps every rule result
     with its origin — rule, source expression, [stage_name], promise — for
-    the provenance layer (lib/prov).
+    the provenance layer (lib/prov). [rule_checks] (default false) is a
+    debug mode that checksums the Memo around every rule application and
+    raises {!Rule_contract_violation} if [apply] mutated it — the central
+    enforcement of the rule.mli contract (lib/rulecheck audits the same
+    contract statically).
 
     The speedup switches (all default true) never change the chosen plan or
     its cost: [prefilter] skips rule applications whose root-shape bitmap

@@ -6,6 +6,8 @@ type t = { rules : Rule.t list }
 
 let default = { rules = Rules_explore.all @ Rules_implement.all }
 
+let of_rules rules = { rules }
+
 let rules t = t.rules
 
 let exploration t = List.filter Rule.is_exploration t.rules

@@ -10,6 +10,9 @@ type t
 val default : t
 (** All exploration and implementation rules. *)
 
+val of_rules : Rule.t list -> t
+(** An ad-hoc rule set (rulecheck fixtures, tests). *)
+
 val rules : t -> Rule.t list
 val exploration : t -> Rule.t list
 val implementation : t -> Rule.t list

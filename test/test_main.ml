@@ -28,4 +28,5 @@ let () =
       ("perf-identity", Test_perf_identity.suite);
       ("obs", Test_obs.suite);
       ("prov", Test_prov.suite);
+      ("rulecheck", Test_rulecheck.suite);
     ]

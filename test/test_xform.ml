@@ -325,6 +325,39 @@ let test_ruleset_config () =
     (List.length (Xform.Ruleset.exploration rs) > 0
     && List.length (Xform.Ruleset.implementation rs) > 0)
 
+let test_shape_masks () =
+  let noop _ _ _ = [] in
+  let mk ?shapes name =
+    Xform.Rule.make ?shapes ~name ~kind:Xform.Rule.Exploration noop
+  in
+  let ntags = List.length Logical_ops.all_shapes in
+  let tags = List.init ntags Fun.id in
+  (* an empty shapes list pre-filters everything away *)
+  let never = mk ~shapes:[] "never" in
+  Alcotest.(check int) "empty shapes -> zero mask" 0 never.Xform.Rule.mask;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "never applicable" false
+        (Xform.Rule.applicable_tag never t))
+    tags;
+  (* listing every shape is the same as omitting the declaration *)
+  let everywhere = mk ~shapes:Logical_ops.all_shapes "everywhere" in
+  let undeclared = mk "undeclared" in
+  Alcotest.(check int) "every shape -> full mask" Logical_ops.all_shapes_mask
+    everywhere.Xform.Rule.mask;
+  Alcotest.(check int) "omitted shapes -> full mask" Logical_ops.all_shapes_mask
+    undeclared.Xform.Rule.mask;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "always applicable" true
+        (Xform.Rule.applicable_tag everywhere t))
+    tags;
+  (* tags outside the shape enumeration never pass, even for full masks *)
+  Alcotest.(check bool) "unknown tag rejected" false
+    (Xform.Rule.applicable_tag everywhere ntags);
+  Alcotest.(check bool) "large tag rejected" false
+    (Xform.Rule.applicable_tag everywhere 62)
+
 let suite =
   [
     Alcotest.test_case "join commutativity" `Quick test_join_commutativity;
@@ -340,4 +373,5 @@ let suite =
     Alcotest.test_case "decorrelate count->coalesce" `Quick test_decorrelate_count_coalesce;
     Alcotest.test_case "decorrelate bails" `Quick test_decorrelate_bails_on_nonequi;
     Alcotest.test_case "ruleset config" `Quick test_ruleset_config;
+    Alcotest.test_case "shape mask edge cases" `Quick test_shape_masks;
   ]

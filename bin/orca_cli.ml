@@ -336,7 +336,8 @@ let split_flags s =
 (* Compare two runs of the same query under different optimizer
    configurations, or two AMPERe dumps. Exits 1 on divergence, mirroring
    lint's convention. *)
-let diff_cmd off_a off_b dump_a dump_b (env : env Lazy.t) sql =
+let diff_cmd off_a off_b strata_a strata_b dump_a dump_b (env : env Lazy.t)
+    sql =
   let plan_a, plan_b, prov_a, prov_b, label_a, label_b =
     match (dump_a, dump_b, sql) with
     | Some da, Some db, _ ->
@@ -349,18 +350,28 @@ let diff_cmd off_a off_b dump_a dump_b (env : env Lazy.t) sql =
         (plan_of da, plan_of db, None, None, da, db)
     | None, None, Some sql ->
         let env = Lazy.force env in
-        let run offs =
+        (* stratification computed once, only if a side asks for it *)
+        let strata = lazy (Interact.strata (Interact.run ())) in
+        let run offs use_strata =
           let config =
             List.fold_left speedup_off
               (Orca.Orca_config.with_prov (base_config env))
               (split_flags offs)
           in
+          let config =
+            if use_strata then
+              Orca.Orca_config.with_strata config (Lazy.force strata)
+            else config
+          in
           let _, report = optimize_with env config sql in
           (report.Orca.Optimizer.plan, report.Orca.Optimizer.prov)
         in
-        let describe offs = if offs = "" then "all speedups on" else "off: " ^ offs in
-        let pa, va = run off_a and pb, vb = run off_b in
-        (pa, pb, va, vb, describe off_a, describe off_b)
+        let describe offs use_strata =
+          (if offs = "" then "all speedups on" else "off: " ^ offs)
+          ^ if use_strata then ", strata order" else ""
+        in
+        let pa, va = run off_a strata_a and pb, vb = run off_b strata_b in
+        (pa, pb, va, vb, describe off_a strata_a, describe off_b strata_b)
     | _ ->
         prerr_endline
           "diff: provide SQL (with --off-a/--off-b), or both --dump-a and \
@@ -640,9 +651,11 @@ let queries_cmd () =
 (* Neither rule command touches the warehouse: they run against lib/rulecheck's
    own small-model world, so no env is built. *)
 
+(* Sorted by name, not registration order: the output is diffable across
+   refactorings that reorder rule registration. *)
 let rules_cmd () =
-  Printf.printf "%-4s %-26s %-15s %7s  %s\n" "id" "name" "kind" "promise"
-    "shapes";
+  Printf.printf "%-26s %-15s %7s  %-18s %s\n" "name" "kind" "promise" "shapes"
+    "produces";
   List.iter
     (fun (r : Xform.Rule.t) ->
       let kind =
@@ -652,18 +665,19 @@ let rules_cmd () =
       in
       let shapes =
         if r.Xform.Rule.mask = Ir.Logical_ops.all_shapes_mask then "(all)"
-        else
-          String.concat ","
-            (List.filter_map
-               (fun s ->
-                 if Xform.Rule.applicable_tag r (Ir.Logical_ops.shape_tag s)
-                 then Some (Ir.Logical_ops.shape_to_string s)
-                 else None)
-               Ir.Logical_ops.all_shapes)
+        else Ir.Logical_ops.mask_to_string r.Xform.Rule.mask
       in
-      Printf.printf "%-4d %-26s %-15s %7d  %s\n" r.Xform.Rule.id
-        r.Xform.Rule.name kind r.Xform.Rule.promise shapes)
-    (Xform.Ruleset.rules Xform.Ruleset.default)
+      let produces =
+        match r.Xform.Rule.produces with
+        | None -> "(undeclared)"
+        | Some m -> Ir.Logical_ops.mask_to_string m
+      in
+      Printf.printf "%-26s %-15s %7d  %-18s %s\n" r.Xform.Rule.name kind
+        r.Xform.Rule.promise shapes produces)
+    (List.sort
+       (fun (a : Xform.Rule.t) (b : Xform.Rule.t) ->
+         compare a.Xform.Rule.name b.Xform.Rule.name)
+       (Xform.Ruleset.rules Xform.Ruleset.default))
 
 let rulecheck_cmd rule seeds json suite =
   let rule = if suite then None else rule in
@@ -688,6 +702,63 @@ let rulecheck_cmd rule seeds json suite =
       print_string (Verify.Diagnostic.report_to_string report.Rulecheck.diags)
   end;
   if nerr > 0 then exit 1
+
+(* --- the rule-interaction analyzer (lib/interact) --- *)
+
+(* The static analysis itself needs no warehouse; only --suite builds the
+   env, to compare real Memos against the growth bound and to check that
+   strata scheduling reproduces every plan byte-for-byte. *)
+let interact_cmd dot json suite seeds (env : env Lazy.t) =
+  let report = Interact.run ~seeds () in
+  let nerr = Interact.error_count report in
+  if dot then print_string report.Interact.dot
+  else if json then print_string (Interact.to_json report)
+  else print_string (Interact.to_string report);
+  let suite_failures = ref 0 in
+  if suite then begin
+    let env = Lazy.force env in
+    let strata = Interact.strata report in
+    let checked = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun (q : Tpcds.Queries.def) ->
+        let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+        match
+          let config = base_config env in
+          let _, rdef = optimize_with env config q.Tpcds.Queries.sql in
+          let growth =
+            Interact.check_memo_growth report ~case:label
+              rdef.Orca.Optimizer.memo
+          in
+          let _, rstrat =
+            optimize_with env
+              (Orca.Orca_config.with_strata config strata)
+              q.Tpcds.Queries.sql
+          in
+          (rdef, growth, rstrat)
+        with
+        | rdef, growth, rstrat ->
+            incr checked;
+            let pd = Dxl.Dxl_plan.to_string rdef.Orca.Optimizer.plan in
+            let ps = Dxl.Dxl_plan.to_string rstrat.Orca.Optimizer.plan in
+            if pd <> ps then begin
+              incr suite_failures;
+              Printf.printf "%-6s strata plan DIVERGES from promise order\n"
+                label
+            end;
+            if growth <> [] then begin
+              suite_failures := !suite_failures + List.length growth;
+              Printf.printf "%-6s growth bound violated:\n" label;
+              print_string (Verify.Diagnostic.report_to_string growth)
+            end
+        | exception Orca.Optimizer.Unsupported_query msg ->
+            incr skipped;
+            Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
+      (Lazy.force Tpcds.Queries.all);
+    Printf.printf
+      "\ninteract suite: %d queries checked (%d unsupported), %d failure(s)\n"
+      !checked !skipped !suite_failures
+  end;
+  if nerr > 0 || !suite_failures > 0 then exit 1
 
 (* --- cmdliner wiring --- *)
 
@@ -811,6 +882,19 @@ let () =
             re-optimizing; uses the embedded plan, or replays)."
        in
        let dump_b_arg = dump_arg [ "dump-b" ] "AMPERe dump for side B." in
+       let strata_a_arg =
+         Arg.(
+           value & flag
+           & info [ "strata-a" ]
+               ~doc:
+                 "Schedule run A's rules by interaction-graph stratum \
+                  (lib/interact) instead of promise order.")
+       in
+       let strata_b_arg =
+         Arg.(
+           value & flag
+           & info [ "strata-b" ] ~doc:"Strata scheduling for run B.")
+       in
        let sql_opt_arg =
          Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
        in
@@ -823,12 +907,13 @@ let () =
                and the rule lineage behind each divergent subtree. Exits \
                nonzero when the plans diverge.")
          Term.(
-           const (fun off_a off_b dump_a dump_b sf segs workers sql ->
-               diff_cmd off_a off_b dump_a dump_b
+           const (fun off_a off_b strata_a strata_b dump_a dump_b sf segs
+                      workers sql ->
+               diff_cmd off_a off_b strata_a strata_b dump_a dump_b
                  (lazy (make_env sf segs workers))
                  sql)
-           $ off_a_arg $ off_b_arg $ dump_a_arg $ dump_b_arg $ sf_arg
-           $ segs_arg $ workers_arg $ sql_opt_arg));
+           $ off_a_arg $ off_b_arg $ strata_a_arg $ strata_b_arg $ dump_a_arg
+           $ dump_b_arg $ sf_arg $ segs_arg $ workers_arg $ sql_opt_arg));
       (let suite_arg =
          Arg.(
            value & flag
@@ -979,6 +1064,51 @@ let () =
                diagnostics.")
          Term.(
            const rulecheck_cmd $ rule_arg $ seeds_arg $ json_arg $ suite_arg));
+      (let dot_arg =
+         Arg.(
+           value & flag
+           & info [ "dot" ]
+               ~doc:
+                 "Emit the rule-interaction graph as Graphviz (one cluster \
+                  per stratum; unreachable rules dashed).")
+       in
+       let json_arg =
+         Arg.(
+           value & flag
+           & info [ "json" ]
+               ~doc:"Emit the report as JSON (the nightly CI artifact shape).")
+       in
+       let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Also optimize every bundled TPC-DS query twice — promise \
+                  order and strata order — requiring byte-identical plans, \
+                  and check every real Memo group against the static growth \
+                  bound.")
+       in
+       let seeds_arg =
+         Arg.(
+           value & opt int Interact.default_seeds
+           & info [ "seeds" ] ~docv:"K"
+               ~doc:"Generator worlds for producer inference.")
+       in
+       Cmd.v
+         (Cmd.info "interact"
+            ~doc:
+              "Analyze the rule set as a system: infer each rule's produced \
+               shapes, build the rule-interaction graph, find unbounded \
+               derivation cycles, shadowed rules and promise inversions, \
+               compute the stratification, and bound search-space growth. \
+               Exits nonzero on error-severity diagnostics or suite \
+               failures.")
+         Term.(
+           const (fun dot json suite seeds sf segs workers ->
+               interact_cmd dot json suite seeds
+                 (lazy (make_env sf segs workers)))
+           $ dot_arg $ json_arg $ suite_arg $ seeds_arg $ sf_arg $ segs_arg
+           $ workers_arg));
     ]
   in
   try exit (Cmd.eval ~catch:false (Cmd.group info cmds)) with

@@ -80,6 +80,7 @@ let run_stage (config : Orca_config.t) ~(factory : Colref.Factory.t)
           ~winner_reuse:config.Orca_config.winner_reuse
           ~stage_name:stage.Xform.Ruleset.stage_name
           ~prov:config.Orca_config.prov
+          ?strata:config.Orca_config.strata
           ~ruleset:stage.Xform.Ruleset.stage_rules
           ~model:config.Orca_config.model ~factory ~base memo
       in

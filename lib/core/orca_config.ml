@@ -17,6 +17,11 @@ type t = {
   obs : bool;                (* collect the observability report (lib/obs) *)
   prov : bool;               (* record plan provenance (lib/prov) *)
   rule_checks : bool;        (* checksum the Memo around every rule apply *)
+  strata : (string * int) list option;
+      (* stage-ordered rule scheduling: rule name -> stratum, the topological
+         order of the rule-interaction graph's SCCs (computed by
+         lib/interact, carried here as plain data so lib/core does not
+         depend on the analyzer). None = promise order only. *)
   (* hot-path speedups; identity-preserving (the chosen plan and its cost
      are byte-identical with them on or off), so on by default. Individually
      switchable for A/B identity tests and the opt-speed benchmark. *)
@@ -42,6 +47,7 @@ let default =
     obs = false;
     prov = false;
     rule_checks = false;
+    strata = None;
     interning = true;
     stats_memo = true;
     rule_prefilter = true;
@@ -79,6 +85,8 @@ let with_obs t = { t with obs = true }
 let with_prov t = { t with prov = true }
 
 let with_rule_checks t = { t with rule_checks = true }
+
+let with_strata t strata = { t with strata = Some strata }
 
 let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 

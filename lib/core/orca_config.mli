@@ -33,6 +33,11 @@ type t = {
       (** debug mode: checksum the Memo around every rule application and
           raise {!Search.Engine.Rule_contract_violation} if a rule's [apply]
           mutated it (the lib/xform/rule.mli contract) *)
+  strata : (string * int) list option;
+      (** stage-ordered rule scheduling: rule name -> stratum (the
+          topological order of the rule-interaction graph's SCCs, computed
+          by lib/interact and carried here as plain data). [None] schedules
+          by promise alone. Plan-identical either way. *)
   interning : bool;
       (** hash-cons Memo operator payloads so duplicate detection compares
           dense ids instead of deep structures *)
@@ -80,6 +85,12 @@ val with_rule_checks : t -> t
 (** Enable the engine's debug-mode enforcement of the "apply must not mutate
     the Memo" rule contract. Off by default — with it off the check is one
     branch per rule application. *)
+
+val with_strata : t -> (string * int) list -> t
+(** Schedule rules by interaction-graph stratum (ascending), promise
+    breaking ties — the stratification computed by lib/interact. Byte-
+    identical plans to the default promise order (the `interact --suite`
+    check); the substrate for budget-aware scheduling on big join queries. *)
 
 val with_fuzz_seed : t -> int -> t
 (** Drive the optimization scheduler's dequeue order from a seeded PRNG. *)

@@ -1,0 +1,167 @@
+open Ir
+module Rule = Xform.Rule
+
+(* The rule-interaction graph: r1 feeds r2 when r1 can produce an operator
+   shape r2's pattern matches — a result of r1 may create work for r2.
+   Strongly connected components are the rule sets that can keep feeding
+   each other (termination analysis); the condensation's topological order
+   is the stratification the engine can schedule by. *)
+
+type t = {
+  rules : Rule.t array;
+  produces : int array; (* effective produced-shape mask per node *)
+  adj : int list array; (* feeds edges i -> j, ascending j *)
+}
+
+let build (rules : Rule.t list) ~(produces : Rule.t -> int) : t =
+  let rules = Array.of_list rules in
+  let prod = Array.map produces rules in
+  let n = Array.length rules in
+  let adj =
+    Array.init n (fun i ->
+        List.filter
+          (fun j -> Logical_ops.mask_inter prod.(i) rules.(j).Rule.mask <> 0)
+          (List.init n Fun.id))
+  in
+  { rules; produces = prod; adj }
+
+let nedges t = Array.fold_left (fun acc js -> acc + List.length js) 0 t.adj
+let self_loop t i = List.mem i t.adj.(i)
+
+(* Tarjan. Components come out in topological order of the condensation:
+   a component is popped only after every component it can reach, and the
+   accumulator prepends, so feeders precede the rules they feed. *)
+let sccs (t : t) : int list list =
+  let n = Array.length t.rules in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      t.adj.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  !comps
+
+let is_cyclic t (comp : int list) =
+  match comp with [ v ] -> self_loop t v | _ -> List.length comp > 1
+
+(* Stratum per node: longest-path depth of its SCC in the condensation.
+   Feeders get strictly smaller strata than the rules they feed (across
+   SCCs); members of one SCC share a stratum. *)
+let stratify (t : t) (comps : int list list) : int array =
+  let n = Array.length t.rules in
+  let comp_of = Array.make n 0 in
+  List.iteri (fun ci ns -> List.iter (fun v -> comp_of.(v) <- ci) ns) comps;
+  let cstrat = Array.make (List.length comps) 0 in
+  (* comps are in topo order, so each relaxation reads a final value *)
+  List.iter
+    (fun ns ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if comp_of.(u) <> comp_of.(v) then
+                cstrat.(comp_of.(v)) <-
+                  max cstrat.(comp_of.(v)) (cstrat.(comp_of.(u)) + 1))
+            t.adj.(u))
+        ns)
+    comps;
+  Array.init n (fun v -> cstrat.(comp_of.(v)))
+
+(* A rule is reachable when its pattern matches a root query shape, or some
+   reachable rule produces a shape it matches. Everything else is shadowed:
+   no derivation starting from an actual (preprocessed) query can ever give
+   it work. *)
+let reachable (t : t) ~(root_mask : int) : bool array =
+  let n = Array.length t.rules in
+  let reach = Array.make n false in
+  Array.iteri
+    (fun i (r : Rule.t) ->
+      if Logical_ops.mask_inter r.Rule.mask root_mask <> 0 then
+        reach.(i) <- true)
+    t.rules;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if reach.(i) then
+        List.iter
+          (fun j ->
+            if not reach.(j) then begin
+              reach.(j) <- true;
+              changed := true
+            end)
+          t.adj.(i)
+    done
+  done;
+  reach
+
+(* Feeders of [j]: other rules with an edge into it. *)
+let feeders (t : t) (j : int) : int list =
+  let acc = ref [] in
+  Array.iteri
+    (fun i js -> if i <> j && List.mem j js then acc := i :: !acc)
+    t.adj;
+  List.rev !acc
+
+(* Graphviz rendering: one cluster per stratum, exploration rules as
+   ellipses, implementation rules as boxes, unreachable rules dashed. *)
+let to_dot (t : t) ~(strata : int array) ~(reach : bool array) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph interact {\n  rankdir=LR;\n";
+  Buffer.add_string buf "  node [fontsize=10];\n";
+  let max_stratum = Array.fold_left max 0 strata in
+  for s = 0 to max_stratum do
+    Buffer.add_string buf
+      (Printf.sprintf "  subgraph cluster_%d {\n    label=\"stratum %d\";\n" s
+         s);
+    Array.iteri
+      (fun i (r : Rule.t) ->
+        if strata.(i) = s then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    r%d [label=\"%s\\n%s -> %s\", shape=%s%s];\n" i
+               r.Rule.name
+               (Logical_ops.mask_to_string r.Rule.mask)
+               (Logical_ops.mask_to_string t.produces.(i))
+               (if Rule.is_exploration r then "ellipse" else "box")
+               (if reach.(i) then "" else ", style=dashed")))
+      t.rules;
+    Buffer.add_string buf "  }\n"
+  done;
+  Array.iteri
+    (fun i js ->
+      List.iter
+        (fun j -> Buffer.add_string buf (Printf.sprintf "  r%d -> r%d;\n" i j))
+        js)
+    t.adj;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,168 @@
+open Ir
+module Memo = Memolib.Memo
+module Mexpr = Memolib.Mexpr
+module Rule = Xform.Rule
+module Model = Rulecheck.Model
+
+(* Producer inference: what shapes does a rule's output contain?
+
+   A rule's *input* side is declared ([~shapes], the prefilter mask); its
+   *output* side is inferred here by applying the rule to lib/rulecheck's
+   seeded small-model corpus on a scratch Memo and abstracting every
+   alternative to the set of logical-operator shapes appearing anywhere in
+   the returned tree (Group leaves reference existing content and contribute
+   nothing new). The inferred mask is the rule's footprint in the abstract
+   shape domain; the interaction graph is built from it. *)
+
+(* Shapes of every logical operator in the returned tree's Node parts. *)
+let rec mexpr_shapes (m : Mexpr.t) : int =
+  let own =
+    match m.Mexpr.op with
+    | Expr.Logical l -> 1 lsl Logical_ops.tag l
+    | Expr.Physical _ -> 0
+  in
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Mexpr.Node n -> acc lor mexpr_shapes n
+      | Mexpr.Group _ -> acc)
+    own m.Mexpr.children
+
+(* Per-rule observation, accumulated across cases and seeds. *)
+type obs = {
+  mutable ob_produced : int; (* union of output shapes over all alternatives *)
+  mutable ob_fired : bool;
+  mutable ob_max_alts : int; (* most alternatives from one application *)
+}
+
+let obs () = { ob_produced = 0; ob_fired = false; ob_max_alts = 0 }
+
+let record (o : obs) (results : Mexpr.t list) =
+  if results <> [] then begin
+    o.ob_fired <- true;
+    o.ob_max_alts <- max o.ob_max_alts (List.length results);
+    List.iter
+      (fun m -> o.ob_produced <- o.ob_produced lor mexpr_shapes m)
+      results
+  end
+
+(* Scratch-Memo copy-in of a generator case (the rulecheck pattern). *)
+let insert_case memo (tree : Ltree.t) : unit =
+  let rec ins (t : Ltree.t) : int =
+    let cids = List.map ins t.Ltree.children in
+    let ge = Memo.insert_gexpr memo (Expr.Logical t.Ltree.op) cids in
+    Memo.find memo ge.Memo.ge_group
+  in
+  let root = ins tree in
+  Memo.set_root memo root
+
+(* One application of every rule to every logical expression of the case —
+   the engine's one-shot view, shape prefilter respected (rulecheck's
+   shape-escape pass owns the undeclared-shape contract). *)
+let observe_case (rules : Rule.t list) (obs_of : Rule.t -> obs)
+    ((_name, tree) : string * Ltree.t) : unit =
+  let memo = Memo.create () in
+  insert_case memo tree;
+  let rctx = { Rule.factory = Colref.Factory.create ~start:1000 () } in
+  List.iter
+    (fun gid ->
+      let g = Memo.group memo gid in
+      List.iter
+        (fun ((ge : Memo.gexpr), op) ->
+          List.iter
+            (fun (r : Rule.t) ->
+              if Rule.applicable r op then
+                record (obs_of r) (r.Rule.apply rctx memo ge))
+            rules)
+        (Memo.logical_exprs g))
+    (Memo.group_ids memo)
+
+(* Bounded concrete exploration fixpoint, mirroring the engine's semantics:
+   each rule applied at most once per group expression ([ge_applied]),
+   results copied into the source group, the Memo's duplicate detection
+   closing finite orbits (commutativity's two-cycle collapses into one pair
+   of expressions). A rule set whose derivations keep minting structurally
+   novel expressions never converges; the gexpr bound turns that into a
+   decidable check. *)
+type fix = {
+  fx_gexprs : int; (* final count (where the bound stopped it on overflow) *)
+  fx_overflowed : bool;
+  fx_memo : Memo.t;
+}
+
+exception Overflow
+
+let explore_fixpoint ?(bound = 2000) ?(on_result = fun _ _ -> ())
+    (rules : Rule.t list) ((_name, tree) : string * Ltree.t) : fix =
+  let memo = Memo.create () in
+  insert_case memo tree;
+  let rctx = { Rule.factory = Colref.Factory.create ~start:1000 () } in
+  let overflowed = ref false in
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       List.iter
+         (fun gid ->
+           let g = Memo.group memo (Memo.find memo gid) in
+           List.iter
+             (fun ((ge : Memo.gexpr), op) ->
+               List.iter
+                 (fun (r : Rule.t) ->
+                   if
+                     Rule.applicable r op
+                     && not (List.mem r.Rule.id ge.Memo.ge_applied)
+                   then begin
+                     ge.Memo.ge_applied <- r.Rule.id :: ge.Memo.ge_applied;
+                     let results = r.Rule.apply rctx memo ge in
+                     List.iter
+                       (fun mx ->
+                         on_result r mx;
+                         let before = Memo.ngexprs memo in
+                         ignore
+                           (Memo.insert memo
+                              ~target:(Memo.find memo ge.Memo.ge_group)
+                              mx);
+                         if Memo.ngexprs memo <> before then changed := true;
+                         if Memo.ngexprs memo > bound then raise Overflow)
+                       results
+                   end)
+                 rules)
+             (Memo.logical_exprs g))
+         (Memo.group_ids memo)
+     done
+   with Overflow -> overflowed := true);
+  { fx_gexprs = Memo.ngexprs memo; fx_overflowed = !overflowed; fx_memo = memo }
+
+(* Largest non-join logical orbit of any group: calibrates the non-join term
+   of the static growth bound. *)
+let max_nonjoin_orbit (memo : Memo.t) : int =
+  List.fold_left
+    (fun acc gid ->
+      let g = Memo.group memo gid in
+      let n =
+        List.length
+          (List.filter
+             (fun (_, op) ->
+               match op with Expr.L_join _ -> false | _ -> true)
+             (Memo.logical_exprs g))
+      in
+      max acc n)
+    0 (Memo.group_ids memo)
+
+(* Root query shapes: what actually reaches the Memo. The optimizer
+   decorrelates and normalizes before copy-in, so the reachability analysis
+   must look at the corpus *after* the same preprocessing — notably, Apply
+   is rewritten away, making a rule that only matches S_apply genuinely
+   shadowed. *)
+let tree_shapes (t : Ltree.t) : int =
+  Ltree.fold (fun acc n -> acc lor (1 lsl Logical_ops.tag n.Ltree.op)) 0 t
+
+let root_shapes (world : Model.t) : int =
+  List.fold_left
+    (fun acc (_name, tree) ->
+      let factory = Colref.Factory.create ~start:5000 () in
+      let tree = (Xform.Decorrelate.run factory tree).Xform.Decorrelate.tree in
+      let tree = Xform.Normalize.run tree in
+      acc lor tree_shapes tree)
+    0 world.Model.cases

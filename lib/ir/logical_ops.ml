@@ -140,6 +140,15 @@ let shape_mask (shapes : shape list) : int =
 
 let all_shapes_mask = (1 lsl nshapes) - 1
 
+(* Shape-domain set operations. Masks form a finite lattice (the powerset of
+   the 13 shapes); lib/interact's abstract fixpoints iterate on it, so the
+   operations live here next to the representation. *)
+let mask_union a b = a lor b
+let mask_inter a b = a land b
+let mask_diff a b = a land lnot b land all_shapes_mask
+let mask_mem s m = m land (1 lsl shape_tag s) <> 0
+let mask_subset a b = a land lnot b land all_shapes_mask = 0
+
 let shape_to_string = function
   | S_get -> "Get"
   | S_select -> "Select"
@@ -154,6 +163,14 @@ let shape_to_string = function
   | S_cte_consumer -> "CTEConsumer"
   | S_set -> "SetOp"
   | S_const_table -> "ConstTable"
+
+let shapes_of_mask (m : int) : shape list =
+  List.filter (fun s -> mask_mem s m) all_shapes
+
+let mask_to_string (m : int) : string =
+  if m = all_shapes_mask then "*"
+  else if m = 0 then "-"
+  else String.concat "," (List.map shape_to_string (shapes_of_mask m))
 
 let agg_to_string (a : agg) =
   match a.agg_kind with

@@ -54,6 +54,27 @@ val shape_mask : shape list -> int
 val all_shapes_mask : int
 (** Mask with every shape bit set. *)
 
+(** {2 Shape-domain set operations}
+
+    Masks form a finite lattice (the powerset of shapes); the rule-interaction
+    analyzer's abstract fixpoints iterate on it. *)
+
+val mask_union : int -> int -> int
+val mask_inter : int -> int -> int
+
+val mask_diff : int -> int -> int
+(** [mask_diff a b] is the shapes of [a] not in [b], clipped to valid bits. *)
+
+val mask_mem : shape -> int -> bool
+val mask_subset : int -> int -> bool
+
+val shapes_of_mask : int -> shape list
+(** Shapes whose bit is set, in tag order. *)
+
+val mask_to_string : int -> string
+(** ["*"] for the full mask, ["-"] for the empty mask, else a comma-joined
+    shape list in tag order. *)
+
 val shape_to_string : shape -> string
 
 val agg_to_string : agg -> string

@@ -71,6 +71,14 @@ type t = {
          application site (rule application is funnelled through the
          sequential exploration/implementation scheduler, so the window
          contains nothing but the apply) *)
+  strata : (string, int) Hashtbl.t option;
+      (* stage-ordered rule scheduling (lib/interact stratification): rule
+         name -> stratum. When set, pending rules sort by (stratum
+         ascending, promise descending) instead of promise alone. Plans are
+         byte-identical either way — exploration is a fixpoint and the
+         Memo's duplicate detection is order-independent — but stratified
+         order applies feeder rules before the rules they feed, the
+         substrate for budget-aware scheduling on big join queries. *)
   prefilter : bool;    (* skip rules whose shape bitmap rules the root out *)
   stats_memo : bool;   (* memoize per-group rows/width and redistribute skew *)
   winner_reuse : bool; (* skip child Opt spawns on complete contexts; reuse
@@ -103,10 +111,19 @@ type t = {
 
 let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(rule_checks = false)
     ?(prefilter = true) ?(stats_memo = true) ?(winner_reuse = true)
-    ?(stage_name = "stage") ?(prov = false) ~ruleset ~model ~factory ~base memo
-    =
+    ?(stage_name = "stage") ?(prov = false) ?strata ~ruleset ~model ~factory
+    ~base memo =
+  let strata =
+    Option.map
+      (fun assoc ->
+        let tbl = Hashtbl.create 32 in
+        List.iter (fun (name, s) -> Hashtbl.replace tbl name s) assoc;
+        tbl)
+      strata
+  in
   {
     memo;
+    strata;
     ruleset;
     stage_name;
     prov;
@@ -321,10 +338,26 @@ let gexpr_job t (ge : Memo.gexpr) ~(rules : Xform.Rule.t list)
                 prefiltered
           end;
           let pending =
-            List.sort
-              (fun (a : Xform.Rule.t) b ->
-                compare b.Xform.Rule.promise a.Xform.Rule.promise)
-              pending
+            match t.strata with
+            | None ->
+                List.sort
+                  (fun (a : Xform.Rule.t) b ->
+                    compare b.Xform.Rule.promise a.Xform.Rule.promise)
+                  pending
+            | Some tbl ->
+                (* stratified scheduling: interaction-graph stratum first
+                   (feeders before the rules they feed), promise breaking
+                   ties within a stratum; unknown rules sort last *)
+                let stratum (r : Xform.Rule.t) =
+                  Option.value ~default:max_int
+                    (Hashtbl.find_opt tbl r.Xform.Rule.name)
+                in
+                List.sort
+                  (fun (a : Xform.Rule.t) b ->
+                    compare
+                      (stratum a, -a.Xform.Rule.promise)
+                      (stratum b, -b.Xform.Rule.promise))
+                  pending
           in
           List.iter
             (fun (r : Xform.Rule.t) ->

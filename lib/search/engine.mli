@@ -36,6 +36,7 @@ val create :
   ?winner_reuse:bool ->
   ?stage_name:string ->
   ?prov:bool ->
+  ?strata:(string * int) list ->
   ruleset:Xform.Ruleset.t ->
   model:Cost.Cost_model.t ->
   factory:Colref.Factory.t ->
@@ -54,7 +55,12 @@ val create :
     debug mode that checksums the Memo around every rule application and
     raises {!Rule_contract_violation} if [apply] mutated it — the central
     enforcement of the rule.mli contract (lib/rulecheck audits the same
-    contract statically).
+    contract statically). [strata] (default none) is a rule-name -> stratum
+    map (lib/interact's stratification of the rule-interaction graph): when
+    set, pending rules on a group expression sort by stratum ascending,
+    promise descending within a stratum. Plan-identical to the default
+    promise order — exploration is a fixpoint with order-independent
+    duplicate detection.
 
     The speedup switches (all default true) never change the chosen plan or
     its cost: [prefilter] skips rule applications whose root-shape bitmap

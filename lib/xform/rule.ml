@@ -26,18 +26,39 @@ type t = {
      would provably return []. [Logical_ops.all_shapes_mask] (the default)
      disables pre-filtering for the rule. *)
   mask : int;
+  (* Declared output-shape set: bitmap over the shapes of logical operators
+     this rule's alternatives can contain (anywhere in the returned trees,
+     not just the root). [None] means undeclared; lib/interact infers the
+     set and reports disagreements. Implementation rules produce no logical
+     operators, so their declaration is the empty mask. *)
+  produces : int option;
+  (* True when [make] was called without [~shapes] and fell back to
+     [all_shapes_mask] — lib/interact warns on such rules
+     (interact/mask-defaulted) because the default silently disables the
+     engine's pre-filter. *)
+  mask_defaulted : bool;
 }
 
 let next_id = ref 0
 
-let make ?(promise = 0) ?shapes ~name ~kind apply =
+let make ?(promise = 0) ?shapes ?produces ~name ~kind apply =
   incr next_id;
   let mask =
     match shapes with
     | None -> Ir.Logical_ops.all_shapes_mask
     | Some ss -> Ir.Logical_ops.shape_mask ss
   in
-  { id = !next_id; name; kind; apply; promise; mask }
+  let produces = Option.map Ir.Logical_ops.shape_mask produces in
+  {
+    id = !next_id;
+    name;
+    kind;
+    apply;
+    promise;
+    mask;
+    produces;
+    mask_defaulted = shapes = None;
+  }
 
 (* Can [rule] possibly fire on a root with this shape tag? *)
 let applicable_tag t (tag : int) = t.mask land (1 lsl tag) <> 0

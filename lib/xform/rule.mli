@@ -23,18 +23,32 @@ type t = {
       (** applicability pre-filter: bitmap over [Logical_ops] shape tags the
           rule's root pattern can match; [Logical_ops.all_shapes_mask] means
           no pre-filtering *)
+  produces : int option;
+      (** declared output-shape set: bitmap over the shapes of logical
+          operators the rule's alternatives can contain (anywhere in the
+          returned trees); [None] = undeclared. Implementation rules produce
+          only physical operators, so they declare the empty mask. The
+          rule-interaction analyzer (lib/interact) checks declarations
+          against inference. *)
+  mask_defaulted : bool;
+      (** true when [make] was called without [~shapes] — the rule silently
+          pre-filters nothing; lib/interact warns on such rules *)
 }
 
 val make :
   ?promise:int ->
   ?shapes:Logical_ops.shape list ->
+  ?produces:Logical_ops.shape list ->
   name:string ->
   kind:kind ->
   (ctx -> Memolib.Memo.t -> Memolib.Memo.gexpr -> Memolib.Mexpr.t list) ->
   t
 (** [shapes] declares the root shapes the rule can fire on; omitting it makes
     the rule applicable everywhere (no pre-filtering). On any root shape not
-    listed, [apply] MUST return [] — the engine will skip the call. *)
+    listed, [apply] MUST return [] — the engine will skip the call.
+    [produces] declares the shapes of logical operators the rule's
+    alternatives may contain; [lib/interact] verifies it against producer
+    inference over the rulecheck model corpus. *)
 
 val applicable_tag : t -> int -> bool
 (** Pre-filter test against a [Logical_ops.tag]. *)

@@ -10,7 +10,7 @@ module Mexpr = Memolib.Mexpr
 
 let join_commutativity =
   Rule.make ~name:"JoinCommutativity" ~kind:Rule.Exploration ~promise:10
-    ~shapes:[ Logical_ops.S_join ]
+    ~shapes:[ Logical_ops.S_join ] ~produces:[ Logical_ops.S_join ]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_join (Expr.Inner, cond)) -> (
@@ -29,7 +29,7 @@ let join_commutativity =
    products are not generated unless the query itself is a cross product. *)
 let join_associativity =
   Rule.make ~name:"JoinAssociativity" ~kind:Rule.Exploration ~promise:9
-    ~shapes:[ Logical_ops.S_join ]
+    ~shapes:[ Logical_ops.S_join ] ~produces:[ Logical_ops.S_join ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (Expr.Inner, cond_top)), [ g_left; g_right ] ->
@@ -83,7 +83,7 @@ let join_associativity =
    equi-keys to work with. *)
 let select_merge_join =
   Rule.make ~name:"SelectMergeJoin" ~kind:Rule.Exploration ~promise:8
-    ~shapes:[ Logical_ops.S_select ]
+    ~shapes:[ Logical_ops.S_select ] ~produces:[ Logical_ops.S_join ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -108,6 +108,7 @@ let select_merge_join =
 let select_pushdown_outer_join =
   Rule.make ~name:"SelectPushdownOuterJoin" ~kind:Rule.Exploration ~promise:7
     ~shapes:[ Logical_ops.S_select ]
+    ~produces:[ Logical_ops.S_select; Logical_ops.S_join ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -158,6 +159,7 @@ let select_pushdown_outer_join =
 let select_pushdown_gb_agg =
   Rule.make ~name:"SelectPushdownGbAgg" ~kind:Rule.Exploration ~promise:7
     ~shapes:[ Logical_ops.S_select ]
+    ~produces:[ Logical_ops.S_select; Logical_ops.S_gb_agg ]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -209,7 +211,7 @@ let select_pushdown_gb_agg =
    SUM/COUNT at bind time, so every aggregate here splits cleanly. *)
 let split_gb_agg =
   Rule.make ~name:"SplitGbAgg" ~kind:Rule.Exploration ~promise:6
-    ~shapes:[ Logical_ops.S_gb_agg ]
+    ~shapes:[ Logical_ops.S_gb_agg ] ~produces:[ Logical_ops.S_gb_agg ]
     (fun ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_gb_agg (Expr.One_phase, keys, aggs)), [ gc ]

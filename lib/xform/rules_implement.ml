@@ -9,7 +9,7 @@ module Mexpr = Memolib.Mexpr
 
 let get2scan =
   Rule.make ~name:"Get2Scan" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_get ] (fun _ctx _memo ge ->
+    ~shapes:[ Logical_ops.S_get ] ~produces:[] (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_get td) ->
           [ Mexpr.physical_of_groups (Expr.P_table_scan (td, None, None)) [] ]
@@ -17,7 +17,7 @@ let get2scan =
 
 let select2filter =
   Rule.make ~name:"Select2Filter" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_select ]
+    ~shapes:[ Logical_ops.S_select ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -28,7 +28,7 @@ let select2filter =
    scan and, for partitioned tables, statically eliminated partitions. *)
 let select2scan =
   Rule.make ~name:"Select2Scan" ~kind:Rule.Implementation ~promise:5
-    ~shapes:[ Logical_ops.S_select ]
+    ~shapes:[ Logical_ops.S_select ] ~produces:[]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -48,7 +48,7 @@ let select2scan =
    column with a constant; delivers the index order. *)
 let select2index_scan =
   Rule.make ~name:"Select2IndexScan" ~kind:Rule.Implementation ~promise:5
-    ~shapes:[ Logical_ops.S_select ]
+    ~shapes:[ Logical_ops.S_select ] ~produces:[]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_select pred), [ g ] ->
@@ -84,7 +84,7 @@ let select2index_scan =
 
 let project_impl =
   Rule.make ~name:"Project2ComputeScalar" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_project ]
+    ~shapes:[ Logical_ops.S_project ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_project projs), [ g ] ->
@@ -93,7 +93,7 @@ let project_impl =
 
 let join2hashjoin =
   Rule.make ~name:"Join2HashJoin" ~kind:Rule.Implementation ~promise:8
-    ~shapes:[ Logical_ops.S_join ]
+    ~shapes:[ Logical_ops.S_join ] ~produces:[]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (kind, cond)), [ g1; g2 ] ->
@@ -117,7 +117,7 @@ let join2hashjoin =
 
 let join2nljoin =
   Rule.make ~name:"Join2NLJoin" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_join ] (fun _ctx _memo ge ->
+    ~shapes:[ Logical_ops.S_join ] ~produces:[] (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (kind, cond)), [ g1; g2 ] when kind <> Expr.Full_outer
         ->
@@ -126,7 +126,7 @@ let join2nljoin =
 
 let join2mergejoin =
   Rule.make ~name:"Join2MergeJoin" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_join ]
+    ~shapes:[ Logical_ops.S_join ] ~produces:[]
     (fun _ctx memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_join (Expr.Inner, cond)), [ g1; g2 ] ->
@@ -158,7 +158,7 @@ let join2mergejoin =
 
 let gbagg2hashagg =
   Rule.make ~name:"GbAgg2HashAgg" ~kind:Rule.Implementation ~promise:5
-    ~shapes:[ Logical_ops.S_gb_agg ]
+    ~shapes:[ Logical_ops.S_gb_agg ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_gb_agg (phase, keys, aggs)), [ g ] ->
@@ -169,7 +169,7 @@ let gbagg2hashagg =
 
 let gbagg2streamagg =
   Rule.make ~name:"GbAgg2StreamAgg" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_gb_agg ]
+    ~shapes:[ Logical_ops.S_gb_agg ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_gb_agg (phase, keys, aggs)), [ g ] when keys <> [] ->
@@ -182,7 +182,7 @@ let gbagg2streamagg =
 
 let window_impl =
   Rule.make ~name:"ImplementWindow" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_window ]
+    ~shapes:[ Logical_ops.S_window ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_window (partition, order, wfuncs)), [ g ] ->
@@ -195,7 +195,7 @@ let window_impl =
 
 let limit_impl =
   Rule.make ~name:"Limit2Limit" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_limit ] (fun _ctx _memo ge ->
+    ~shapes:[ Logical_ops.S_limit ] ~produces:[] (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_limit (sort, offset, count)), [ g ] ->
           [ Mexpr.physical_of_groups (Expr.P_limit (sort, offset, count)) [ g ] ]
@@ -203,7 +203,7 @@ let limit_impl =
 
 let cte_anchor2sequence =
   Rule.make ~name:"CTEAnchor2Sequence" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_cte_anchor ]
+    ~shapes:[ Logical_ops.S_cte_anchor ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_cte_anchor id), [ gp; gm ] ->
@@ -212,7 +212,7 @@ let cte_anchor2sequence =
 
 let cte_producer_impl =
   Rule.make ~name:"ImplementCTEProducer" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_cte_producer ]
+    ~shapes:[ Logical_ops.S_cte_producer ] ~produces:[]
     (fun _ctx _memo ge ->
       match (Rule.logical_op ge, ge.Memo.ge_children) with
       | Some (Expr.L_cte_producer id), [ g ] ->
@@ -221,7 +221,7 @@ let cte_producer_impl =
 
 let cte_consumer_impl =
   Rule.make ~name:"ImplementCTEConsumer" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_cte_consumer ]
+    ~shapes:[ Logical_ops.S_cte_consumer ] ~produces:[]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_cte_consumer (id, cols)) ->
@@ -230,7 +230,7 @@ let cte_consumer_impl =
 
 let set_impl =
   Rule.make ~name:"ImplementSetOp" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_set ]
+    ~shapes:[ Logical_ops.S_set ] ~produces:[]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_set (kind, cols)) ->
@@ -243,7 +243,7 @@ let set_impl =
 
 let const_table_impl =
   Rule.make ~name:"ImplementConstTable" ~kind:Rule.Implementation
-    ~shapes:[ Logical_ops.S_const_table ]
+    ~shapes:[ Logical_ops.S_const_table ] ~produces:[]
     (fun _ctx _memo ge ->
       match Rule.logical_op ge with
       | Some (Expr.L_const_table (cols, rows)) ->

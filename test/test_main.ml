@@ -29,4 +29,5 @@ let () =
       ("obs", Test_obs.suite);
       ("prov", Test_prov.suite);
       ("rulecheck", Test_rulecheck.suite);
+      ("interact", Test_interact.suite);
     ]

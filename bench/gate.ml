@@ -15,6 +15,11 @@
      faster than the baseline is never a regression). Raw wall-times
      (on_ms_total/off_ms_total) are reported but never gated: they measure
      the CI machine, not the code.
+   - p50_ms/p95_ms/p99_ms: on-config latency quantiles from the telemetry
+     histogram, gated from above only with their own --q-tolerance
+     (default 1.0, i.e. 2x; CI passes a larger value since quantiles mix
+     machine speed with search shape). Missing quantile fields in either
+     report are fatal: regenerate the baseline with the current bench.
 
    identity_violations must be 0 in the fresh report, full stop.
 
@@ -231,10 +236,11 @@ let () =
   let baseline_path = ref "" in
   let fresh_path = ref "" in
   let tolerance = ref 0.25 in
+  let q_tolerance = ref 1.0 in
   let accuracy = ref false in
   let usage =
     "gate [--accuracy] --baseline BENCH_opt.json --fresh fresh.json \
-     [--tolerance 0.25]"
+     [--tolerance 0.25] [--q-tolerance 1.0]"
   in
   let rec parse_args = function
     | [] -> ()
@@ -245,6 +251,10 @@ let () =
         match float_of_string_opt v with
         | Some f when f > 0.0 -> tolerance := f; parse_args rest
         | _ -> prerr_endline ("gate: bad --tolerance " ^ v); exit 2)
+    | "--q-tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> q_tolerance := f; parse_args rest
+        | _ -> prerr_endline ("gate: bad --q-tolerance " ^ v); exit 2)
     | a :: _ ->
         prerr_endline ("gate: unknown argument " ^ a);
         prerr_endline usage;
@@ -294,6 +304,16 @@ let () =
   check "speedup_geomean" ~base:base_g ~got:got_g
     ~ok:(got_g >= floor_g)
     (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor_g);
+  (* quantiles: ceiling only — faster is never a regression. num_field
+     raises if a report lacks them, which is the point: a baseline without
+     quantiles predates the telemetry histogram and must be regenerated. *)
+  List.iter
+    (fun name ->
+      let base = num_field baseline name and got = num_field fresh name in
+      let ceiling = base *. (1.0 +. !q_tolerance) in
+      check name ~base ~got ~ok:(got <= ceiling)
+        (Printf.sprintf "(must stay <= %.4g; lower is fine)" ceiling))
+    [ "p50_ms"; "p95_ms"; "p99_ms" ];
   Printf.printf "(wall times: on_ms_total %.1f -> %.1f, off_ms_total %.1f -> %.1f; informational only)\n"
     (num_field baseline "on_ms_total") (num_field fresh "on_ms_total")
     (num_field baseline "off_ms_total") (num_field fresh "off_ms_total");

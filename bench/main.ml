@@ -634,6 +634,14 @@ let opt_speed () =
   let cfg_on = orca_config () in
   let cfg_off = Orca.Orca_config.without_speedups cfg_on in
   let cfg_obs = Orca.Orca_config.with_obs cfg_on in
+  (* per-query on-config latencies go through the same log-bucketed
+     histogram production telemetry uses, so the p50/p95/p99 written to
+     the JSON carry the documented ~4.4% rank-error bound *)
+  let lat_reg = Telemetry.Metrics.create () in
+  let lat_hist =
+    Telemetry.Metrics.histogram lat_reg
+      ~help:"opt-speed on-config latency (ms)" "bench_opt_on_ms"
+  in
   let rows = ref [] in
   let mismatches = ref [] in
   List.iter
@@ -685,6 +693,7 @@ let opt_speed () =
               qid r_on.Orca.Optimizer.groups r_off.Orca.Optimizer.groups
               r_on.Orca.Optimizer.gexprs r_off.Orca.Optimizer.gexprs
             :: !mismatches;
+        Telemetry.Metrics.observe lat_hist r_on.Orca.Optimizer.opt_time_ms;
         let r_obs = opt cfg_obs in
         let obs = Option.get r_obs.Orca.Optimizer.obs in
         let fired, prefiltered =
@@ -747,12 +756,18 @@ let opt_speed () =
   let intern_hits =
     sum (fun (_, _, _, o, _, _) -> o.Obs.Report.memo.Obs.Report.m_intern_hits)
   in
+  let lat = Telemetry.Metrics.hsnap lat_hist in
+  let p50 = Telemetry.Metrics.quantile lat 0.50 in
+  let p95 = Telemetry.Metrics.quantile lat 0.95 in
+  let p99 = Telemetry.Metrics.quantile lat 0.99 in
   Printf.printf
     "\ntotal: %d queries  on=%.1f ms  off=%.1f ms  (%.2fx total, %.2fx \
      geomean)\n"
     n on_total off_total
     (off_total /. Float.max 1e-9 on_total)
     geomean;
+  Printf.printf "on-config latency quantiles: p50=%.2f p95=%.2f p99=%.2f ms\n"
+    p50 p95 p99;
   Printf.printf
     "rule applications: %d fired, %d pre-filtered (%.1f%% skipped)\n" fired
     prefiltered
@@ -794,13 +809,14 @@ let opt_speed () =
       pf
         "\"summary\":{\"queries\":%d,\"identity_violations\":%d,\
          \"on_ms_total\":%.3f,\"off_ms_total\":%.3f,\
-         \"speedup_geomean\":%.4f,\"groups\":%d,\"gexprs\":%d,\
+         \"speedup_geomean\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\
+         \"p99_ms\":%.4f,\"groups\":%d,\"gexprs\":%d,\
          \"rule_fired\":%d,\"rule_prefiltered\":%d,\"base_reuses\":%d,\
          \"winner_skips\":%d,\"ops_interned\":%d,\"intern_hits\":%d}}\n"
         n
         (List.length !mismatches)
-        on_total off_total geomean groups gexprs fired prefiltered base_reuses
-        winner_skips interned intern_hits;
+        on_total off_total geomean p50 p95 p99 groups gexprs fired prefiltered
+        base_reuses winner_skips interned intern_hits;
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
       close_out oc;

@@ -1,0 +1,108 @@
+(* Shared JSON emitter for orca_cli's machine-readable outputs (accuracy
+   baselines, metrics snapshots, flight summaries). One value type and one
+   renderer, so every subcommand agrees on escaping, float formatting and
+   field naming — the bench/CI parsers (bench/gate.ml, Telemetry.Expose)
+   read what this writes.
+
+   Field-naming conventions (keep new emitters consistent):
+     "sf"         scale factor         (float, %g)
+     "segments"   cluster size         (int — never "segs")
+     "workers"    worker domains       (int)
+     "summary"    the gated object     (bench/gate.ml reads this)
+     "queries" / "unsupported"         suite coverage counts *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float   (* fixed %.6f: measurements, gated values *)
+  | Gfloat of float  (* shortest %g: parameters like the scale factor *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let num fmt v = if Float.is_nan v || Float.abs v = Float.infinity then "0" else Printf.sprintf fmt v
+
+(* Pretty-printed with two-space indentation; scalars-only containers stay
+   on one line when short. *)
+let render (v : t) : string =
+  let buf = Buffer.create 1024 in
+  let pad n = String.make n ' ' in
+  let scalar = function
+    | Null | Bool _ | Int _ | Float _ | Gfloat _ | Str _ -> true
+    | List l -> l = []
+    | Obj o -> o = []
+  in
+  let rec go indent v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (num "%.6f" f)
+    | Gfloat f -> Buffer.add_string buf (num "%g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items when List.for_all scalar items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ", ";
+            go indent item)
+          items;
+        Buffer.add_char buf ']'
+    | List items ->
+        Buffer.add_string buf "[\n";
+        let last = List.length items - 1 in
+        List.iteri
+          (fun i item ->
+            Buffer.add_string buf (pad (indent + 2));
+            go (indent + 2) item;
+            Buffer.add_string buf (if i = last then "\n" else ",\n"))
+          items;
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        let last = List.length fields - 1 in
+        List.iteri
+          (fun i (k, fv) ->
+            Buffer.add_string buf (pad (indent + 2));
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            go (indent + 2) fv;
+            Buffer.add_string buf (if i = last then "\n" else ",\n"))
+          fields;
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write path v = write_file path (render v)

@@ -46,6 +46,39 @@ let optimize_with env config sql =
 
 let optimize env sql = optimize_with env (base_config env) sql
 
+(* Optimize through the flight recorder: parse/bind timed into the phase
+   histogram, the query summary recorded into the ring buffer, and slow or
+   failing queries recaptured as AMPERe dumps when
+   [Telemetry.Recorder.configure] armed the trigger. *)
+let flight_optimize env ?config ~label sql =
+  let config = match config with Some c -> c | None -> base_config env in
+  let make_accessor () =
+    Catalog.Accessor.create ~provider:env.provider ~cache:env.cache ()
+  in
+  let bind_accessor = make_accessor () in
+  let query =
+    Telemetry.Std.time_phase "parse-bind" (fun () ->
+        Sqlfront.Binder.bind_sql bind_accessor sql)
+  in
+  Catalog.Accessor.release bind_accessor;
+  (query, Orca.Flight.optimize ~config ~label ~make_accessor query)
+
+(* The suite-iteration pattern shared by every --suite subcommand: run [f]
+   once per bundled TPC-DS query, count clean [Unsupported_query] rejects,
+   and return how many were skipped. *)
+let for_each_query ?(log = print_string) f =
+  let skipped = ref 0 in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
+      match f label q.Tpcds.Queries.sql with
+      | () -> ()
+      | exception Orca.Optimizer.Unsupported_query msg ->
+          incr skipped;
+          log (Printf.sprintf "%-6s skipped (unsupported: %s)\n" label msg))
+    (Lazy.force Tpcds.Queries.all);
+  !skipped
+
 (* Join per-node actual row counts (stable preorder ids, Metrics.node_rows)
    against the plan's estimates. *)
 let accuracy_of ~(metrics : Exec.Metrics.t) (plan : Expr.plan) :
@@ -90,7 +123,7 @@ let print_rows rows =
 (* --- subcommands --- *)
 
 let run_cmd env sql =
-  let _, report = optimize env sql in
+  let _, report = flight_optimize env ~label:"query" sql in
   let rows, metrics = Exec.Executor.run env.cluster report.Orca.Optimizer.plan in
   print_rows rows;
   Printf.printf "\n%s\noptimization: %.1f ms, %d groups, %d group expressions\n"
@@ -231,34 +264,38 @@ let accuracy_one env label sql : Prov.Accuracy.t =
   let _rows, metrics = Exec.Executor.run env.cluster plan in
   accuracy_of ~metrics plan
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
+let write_file = Emit.write_file
 
 (* The committed-baseline shape (BENCH_accuracy.json): bench/gate.ml reads
    the "summary" object, same as the opt-speed baseline. *)
 let acc_stats_json ~sf ~segs ~queries ~unsupported
     (stats : Obs.Report.acc_stat list) =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"bench\": \"accuracy\",\n";
-  Printf.bprintf b "  \"sf\": %g,\n  \"segs\": %d,\n" sf segs;
-  Buffer.add_string b "  \"summary\": {\n";
-  Printf.bprintf b "    \"queries\": %d,\n    \"unsupported\": %d,\n" queries
-    unsupported;
-  Buffer.add_string b "    \"classes\": [\n";
-  let last = List.length stats - 1 in
-  List.iteri
-    (fun i (a : Obs.Report.acc_stat) ->
-      Printf.bprintf b
-        "      {\"class\": %S, \"nodes\": %d, \"geomean\": %.6f, \"max\": \
-         %.6f, \"unobserved\": %d}%s\n"
-        a.Obs.Report.a_class a.Obs.Report.a_nodes (Obs.Report.acc_geomean a)
-        a.Obs.Report.a_max a.Obs.Report.a_unobserved
-        (if i = last then "" else ","))
-    stats;
-  Buffer.add_string b "    ]\n  }\n}\n";
-  Buffer.contents b
+  Emit.render
+    (Emit.Obj
+       [
+         ("bench", Emit.Str "accuracy");
+         ("sf", Emit.Gfloat sf);
+         ("segments", Emit.Int segs);
+         ( "summary",
+           Emit.Obj
+             [
+               ("queries", Emit.Int queries);
+               ("unsupported", Emit.Int unsupported);
+               ( "classes",
+                 Emit.List
+                   (List.map
+                      (fun (a : Obs.Report.acc_stat) ->
+                        Emit.Obj
+                          [
+                            ("class", Emit.Str a.Obs.Report.a_class);
+                            ("nodes", Emit.Int a.Obs.Report.a_nodes);
+                            ("geomean", Emit.Float (Obs.Report.acc_geomean a));
+                            ("max", Emit.Float a.Obs.Report.a_max);
+                            ("unobserved", Emit.Int a.Obs.Report.a_unobserved);
+                          ])
+                      stats) );
+             ] );
+       ])
 
 let acc_write_json ~sf ~segs ~queries ~unsupported stats = function
   | None -> ()
@@ -278,38 +315,32 @@ let accuracy_cmd suite json ~sf env sql =
       print_acc_stats stats;
       acc_write_json ~sf ~segs:env.nsegs ~queries:1 ~unsupported:0 stats json
   | true, _ ->
-      let reports = ref [] and skipped = ref 0 and measured = ref 0 in
-      List.iter
-        (fun (q : Tpcds.Queries.def) ->
-          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
-          match accuracy_one env label q.Tpcds.Queries.sql with
-          | acc ->
-              incr measured;
-              let stats = Prov.Accuracy.to_acc_stats acc in
-              (match
-                 List.find_opt
-                   (fun (a : Obs.Report.acc_stat) ->
-                     a.Obs.Report.a_class = "(all)")
-                   stats
-               with
-              | Some a ->
-                  Printf.printf
-                    "%-6s observed=%-3d geomean=%8.3f max=%10.3f\n" label
-                    a.Obs.Report.a_nodes (Obs.Report.acc_geomean a)
-                    a.Obs.Report.a_max
-              | None -> Printf.printf "%-6s (no observed nodes)\n" label);
-              reports := Obs.Report.with_acc Obs.Report.empty stats :: !reports
-          | exception Orca.Optimizer.Unsupported_query msg ->
-              incr skipped;
-              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
-        (Lazy.force Tpcds.Queries.all);
+      let reports = ref [] and measured = ref 0 in
+      let skipped =
+        for_each_query (fun label sql ->
+            let acc = accuracy_one env label sql in
+            incr measured;
+            let stats = Prov.Accuracy.to_acc_stats acc in
+            (match
+               List.find_opt
+                 (fun (a : Obs.Report.acc_stat) ->
+                   a.Obs.Report.a_class = "(all)")
+                 stats
+             with
+            | Some a ->
+                Printf.printf "%-6s observed=%-3d geomean=%8.3f max=%10.3f\n"
+                  label a.Obs.Report.a_nodes (Obs.Report.acc_geomean a)
+                  a.Obs.Report.a_max
+            | None -> Printf.printf "%-6s (no observed nodes)\n" label);
+            reports := Obs.Report.with_acc Obs.Report.empty stats :: !reports)
+      in
       let merged = Obs.Report.merge_all (List.rev !reports) in
       let stats = sort_acc_stats merged.Obs.Report.acc in
       print_acc_stats stats;
       Printf.printf "\naccuracy: %d queries measured, %d unsupported\n"
-        !measured !skipped;
-      acc_write_json ~sf ~segs:env.nsegs ~queries:!measured
-        ~unsupported:!skipped stats json
+        !measured skipped;
+      acc_write_json ~sf ~segs:env.nsegs ~queries:!measured ~unsupported:skipped
+        stats json
 
 (* --- structural plan diff (lib/prov) --- *)
 
@@ -420,24 +451,19 @@ let lint_cmd suite verbose env sql =
           (Plan_ops.to_string ~show_props:true report.Orca.Optimizer.plan);
       if nerr > 0 then exit 1
   | true, _ ->
-      let errors = ref 0 and warnings = ref 0 and skipped = ref 0 in
-      List.iter
-        (fun (q : Tpcds.Queries.def) ->
-          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
-          match lint_optimize env q.Tpcds.Queries.sql with
-          | report ->
-              errors := !errors + lint_report label report;
-              warnings :=
-                !warnings
-                + Verify.Diagnostic.count Verify.Diagnostic.Warning
-                    report.Orca.Optimizer.diagnostics
-          | exception Orca.Optimizer.Unsupported_query msg ->
-              incr skipped;
-              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
-        (Lazy.force Tpcds.Queries.all);
+      let errors = ref 0 and warnings = ref 0 in
+      let skipped =
+        for_each_query (fun label sql ->
+            let report = lint_optimize env sql in
+            errors := !errors + lint_report label report;
+            warnings :=
+              !warnings
+              + Verify.Diagnostic.count Verify.Diagnostic.Warning
+                  report.Orca.Optimizer.diagnostics)
+      in
       Printf.printf
         "\nlint: %d error(s), %d warning(s), %d unsupported across %d queries\n"
-        !errors !warnings !skipped
+        !errors !warnings skipped
         (List.length (Lazy.force Tpcds.Queries.all));
       if !errors > 0 then exit 1
 
@@ -516,24 +542,17 @@ let sanitize_cmd suite seeds env sql =
       let nerr, _ = sanitize_query env ~workers ~seeds "query" sql in
       if nerr > 0 then exit 1
   | true, _ ->
-      let errors = ref 0 and warnings = ref 0 and skipped = ref 0 in
-      List.iter
-        (fun (q : Tpcds.Queries.def) ->
-          let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
-          match
-            sanitize_query env ~workers ~seeds label q.Tpcds.Queries.sql
-          with
-          | e, w ->
-              errors := !errors + e;
-              warnings := !warnings + w
-          | exception Orca.Optimizer.Unsupported_query msg ->
-              incr skipped;
-              Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
-        (Lazy.force Tpcds.Queries.all);
+      let errors = ref 0 and warnings = ref 0 in
+      let skipped =
+        for_each_query (fun label sql ->
+            let e, w = sanitize_query env ~workers ~seeds label sql in
+            errors := !errors + e;
+            warnings := !warnings + w)
+      in
       Printf.printf
         "\nsanitize: %d error(s), %d warning(s), %d unsupported across %d \
          queries (workers=%d, seeds=%d)\n"
-        !errors !warnings !skipped
+        !errors !warnings skipped
         (List.length (Lazy.force Tpcds.Queries.all))
         workers seeds;
       if !errors > 0 then exit 1
@@ -609,22 +628,14 @@ let profile_cmd suite trace top check env sql =
       profile_finish ~trace ~top ~check ~flame:true
         { (Obs.Report.with_spans obs spans) with Obs.Report.label = "query" }
   | true, _ ->
-      let reports = ref [] and skipped = ref 0 in
-      let (), spans =
+      let reports = ref [] in
+      let skipped, spans =
         Obs.Span.collect (fun () ->
-            List.iter
-              (fun (q : Tpcds.Queries.def) ->
-                let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
-                match
-                  Obs.Span.with_ ~name:label (fun () ->
-                      profile_one env q.Tpcds.Queries.sql)
-                with
-                | obs ->
-                    reports := { obs with Obs.Report.label } :: !reports
-                | exception Orca.Optimizer.Unsupported_query msg ->
-                    incr skipped;
-                    Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
-              (Lazy.force Tpcds.Queries.all))
+            for_each_query (fun label sql ->
+                let obs =
+                  Obs.Span.with_ ~name:label (fun () -> profile_one env sql)
+                in
+                reports := { obs with Obs.Report.label } :: !reports))
       in
       let merged =
         {
@@ -633,9 +644,92 @@ let profile_cmd suite trace top check env sql =
         }
       in
       Printf.printf "profiled %d queries (%d unsupported)\n\n"
-        merged.Obs.Report.queries !skipped;
+        merged.Obs.Report.queries skipped;
       profile_finish ~trace ~top ~check ~flame:false
         (Obs.Report.with_spans merged spans)
+
+(* --- always-on telemetry (lib/telemetry) --- *)
+
+(* Wall-time metrics measure the machine as much as the optimizer: when
+   diffing snapshots, give them a generous ceiling unless the caller's
+   tolerance is already larger. *)
+let time_overrides tolerance =
+  let t = Float.max tolerance 4.0 in
+  [
+    ("orca_opt_ms", t);
+    ("orca_phase_ms", t);
+    ("orca_exec_sim_ms", t);
+    ("orca_peak_heap_mb", t);
+    ("orca_queue_depth_max", t);
+  ]
+
+(* Expose the always-on registry: optionally drive one query or the whole
+   suite through the flight recorder first, then emit Prometheus text or a
+   JSON snapshot, lint the exposition, and/or diff against a baseline
+   snapshot. Progress/skip notices go to stderr so stdout stays a valid
+   exposition. *)
+let metrics_cmd suite as_json lint out baseline tolerance slow_ms flight_dir
+    (env : env Lazy.t) sql =
+  (match slow_ms with
+  | Some v -> Telemetry.Recorder.configure ~slow_ms:(Some v) ()
+  | None -> ());
+  (match flight_dir with
+  | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      Telemetry.Recorder.configure ~dump_dir:(Some d) ()
+  | None -> ());
+  (match (suite, sql) with
+  | true, _ ->
+      let env = Lazy.force env in
+      let skipped =
+        for_each_query ~log:prerr_string (fun label sql ->
+            ignore (flight_optimize env ~label sql))
+      in
+      Printf.eprintf "metrics: optimized the %d-query suite (%d unsupported)\n"
+        (List.length (Lazy.force Tpcds.Queries.all))
+        skipped
+  | false, Some sql ->
+      let env = Lazy.force env in
+      ignore (flight_optimize env ~label:"query" sql)
+  | false, None -> ());
+  let snap = Telemetry.Metrics.snapshot Telemetry.Metrics.default in
+  let flight = Telemetry.Recorder.entries () in
+  let prom = Telemetry.Expose.to_prometheus snap in
+  let json = Telemetry.Expose.to_json ~flight snap in
+  let body = if as_json then json else prom in
+  (match out with
+  | Some path ->
+      write_file path body;
+      Printf.eprintf "wrote %s\n" path
+  | None -> if baseline = None then print_string body);
+  if lint then begin
+    match Telemetry.Expose.lint_prometheus prom with
+    | [] -> prerr_endline "prometheus lint: clean"
+    | problems ->
+        List.iter (fun p -> prerr_endline ("prometheus lint: " ^ p)) problems;
+        exit 1
+  end;
+  match baseline with
+  | None -> ()
+  | Some path -> (
+      let base_text = In_channel.with_open_bin path In_channel.input_all in
+      match
+        ( Telemetry.Expose.parse_snapshot base_text,
+          Telemetry.Expose.parse_snapshot json )
+      with
+      | Ok b, Ok f ->
+          let checks =
+            Telemetry.Expose.diff ~tolerance
+              ~overrides:(time_overrides tolerance) ~baseline:b ~fresh:f ()
+          in
+          print_string (Telemetry.Expose.render_diff checks);
+          if not (Telemetry.Expose.diff_ok checks) then exit 1
+      | Error msg, _ ->
+          prerr_endline ("metrics: cannot parse baseline: " ^ msg);
+          exit 2
+      | _, Error msg ->
+          prerr_endline ("metrics: cannot parse fresh snapshot: " ^ msg);
+          exit 2)
 
 let queries_cmd () =
   List.iter
@@ -718,45 +812,35 @@ let interact_cmd dot json suite seeds (env : env Lazy.t) =
   if suite then begin
     let env = Lazy.force env in
     let strata = Interact.strata report in
-    let checked = ref 0 and skipped = ref 0 in
-    List.iter
-      (fun (q : Tpcds.Queries.def) ->
-        let label = Printf.sprintf "q%d" q.Tpcds.Queries.qid in
-        match
+    let checked = ref 0 in
+    let skipped =
+      for_each_query (fun label sql ->
           let config = base_config env in
-          let _, rdef = optimize_with env config q.Tpcds.Queries.sql in
+          let _, rdef = optimize_with env config sql in
           let growth =
             Interact.check_memo_growth report ~case:label
               rdef.Orca.Optimizer.memo
           in
           let _, rstrat =
-            optimize_with env
-              (Orca.Orca_config.with_strata config strata)
-              q.Tpcds.Queries.sql
+            optimize_with env (Orca.Orca_config.with_strata config strata) sql
           in
-          (rdef, growth, rstrat)
-        with
-        | rdef, growth, rstrat ->
-            incr checked;
-            let pd = Dxl.Dxl_plan.to_string rdef.Orca.Optimizer.plan in
-            let ps = Dxl.Dxl_plan.to_string rstrat.Orca.Optimizer.plan in
-            if pd <> ps then begin
-              incr suite_failures;
-              Printf.printf "%-6s strata plan DIVERGES from promise order\n"
-                label
-            end;
-            if growth <> [] then begin
-              suite_failures := !suite_failures + List.length growth;
-              Printf.printf "%-6s growth bound violated:\n" label;
-              print_string (Verify.Diagnostic.report_to_string growth)
-            end
-        | exception Orca.Optimizer.Unsupported_query msg ->
-            incr skipped;
-            Printf.printf "%-6s skipped (unsupported: %s)\n" label msg)
-      (Lazy.force Tpcds.Queries.all);
+          incr checked;
+          let pd = Dxl.Dxl_plan.to_string rdef.Orca.Optimizer.plan in
+          let ps = Dxl.Dxl_plan.to_string rstrat.Orca.Optimizer.plan in
+          if pd <> ps then begin
+            incr suite_failures;
+            Printf.printf "%-6s strata plan DIVERGES from promise order\n"
+              label
+          end;
+          if growth <> [] then begin
+            suite_failures := !suite_failures + List.length growth;
+            Printf.printf "%-6s growth bound violated:\n" label;
+            print_string (Verify.Diagnostic.report_to_string growth)
+          end)
+    in
     Printf.printf
       "\ninteract suite: %d queries checked (%d unsupported), %d failure(s)\n"
-      !checked !skipped !suite_failures
+      !checked skipped !suite_failures
   end;
   if nerr > 0 || !suite_failures > 0 then exit 1
 
@@ -1014,6 +1098,102 @@ let () =
                profile_cmd suite trace top check (make_env sf segs workers) sql)
            $ suite_arg $ trace_arg $ top_arg $ check_arg $ sf_arg $ segs_arg
            $ workers_arg $ sql_opt_arg));
+      (let suite_arg =
+         Arg.(
+           value & flag
+           & info [ "suite" ]
+               ~doc:
+                 "Optimize every bundled TPC-DS query through the flight \
+                  recorder before exposing the registry.")
+       in
+       let prom_arg =
+         Arg.(
+           value & flag
+           & info [ "prom" ]
+               ~doc:"Emit Prometheus text format (the default).")
+       in
+       let json_arg =
+         Arg.(
+           value & flag
+           & info [ "json" ]
+               ~doc:
+                 "Emit the JSON snapshot (metrics with quantiles, plus the \
+                  flight-recorder ring) instead of Prometheus text.")
+       in
+       let lint_arg =
+         Arg.(
+           value & flag
+           & info [ "lint" ]
+               ~doc:
+                 "Lint the Prometheus exposition (structure, TYPE lines, \
+                  bucket cumulativeness); exit nonzero on problems.")
+       in
+       let out_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "out" ] ~docv:"PATH"
+               ~doc:"Write the exposition to a file instead of stdout.")
+       in
+       let baseline_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "baseline" ] ~docv:"PATH"
+               ~doc:
+                 "Diff the fresh JSON snapshot against a baseline snapshot \
+                  (the regression sentinel); prints the failed checks and \
+                  exits nonzero on regression.")
+       in
+       let tolerance_arg =
+         Arg.(
+           value & opt float 0.25
+           & info [ "tolerance" ] ~docv:"T"
+               ~doc:
+                 "Relative tolerance for the baseline diff (wall-time \
+                  metrics always get at least 4.0).")
+       in
+       let slow_arg =
+         Arg.(
+           value
+           & opt (some float) None
+           & info [ "slow-ms" ] ~docv:"MS"
+               ~doc:
+                 "Arm the flight recorder: queries at or over this \
+                  optimization time are re-run with full observability and \
+                  dumped (needs --flight-dir to emit files).")
+       in
+       let flight_dir_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "flight-dir" ] ~docv:"DIR"
+               ~doc:
+                 "Directory for AMPERe dumps of slow/failed queries \
+                  (created if missing).")
+       in
+       let sql_opt_arg =
+         Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+       in
+       Cmd.v
+         (Cmd.info "metrics"
+            ~doc:
+              "Expose the always-on telemetry registry: optimize a query or \
+               the whole suite through the flight recorder, then emit \
+               Prometheus text or a JSON snapshot (p50/p95/p99 per \
+               histogram), lint the exposition, or diff two snapshots as a \
+               regression sentinel.")
+         Term.(
+           const (fun suite prom json lint out baseline tolerance slow
+                      flight_dir sf segs workers sql ->
+               ignore (prom : bool);
+               metrics_cmd suite json lint out baseline tolerance slow
+                 flight_dir
+                 (lazy (make_env sf segs workers))
+                 sql)
+           $ suite_arg $ prom_arg $ json_arg $ lint_arg $ out_arg
+           $ baseline_arg $ tolerance_arg $ slow_arg $ flight_dir_arg $ sf_arg
+           $ segs_arg $ workers_arg $ sql_opt_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());

@@ -1,0 +1,111 @@
+(* The flight recorder's trigger: a monitored [Optimizer.optimize] that
+   records a per-query summary into the global ring buffer
+   (Telemetry.Recorder) and, when a query exceeds the configured slow
+   threshold or fails, re-runs it once with full observability and
+   provenance enabled and emits an AMPERe dump — the paper's §6.1
+   "automatic capture" extended from failures to latency outliers, the
+   black box for the optimizer-as-a-service north star.
+
+   The re-run needs a fresh metadata accessor (the first one's pins were
+   released by the optimization), so callers pass a [make_accessor]
+   factory rather than an accessor. Dump emission is off unless
+   [Telemetry.Recorder.configure ~dump_dir] pointed it at a directory. *)
+
+let dump_path ~dir ~fingerprint ~seq =
+  Filename.concat dir (Printf.sprintf "ampere-flight-%s-%d.xml" fingerprint seq)
+
+(* Re-run once with obs+prov and capture a dump. For a slow query the
+   re-run normally succeeds and the dump carries the expected plan plus
+   the full trace; for a failing query the deterministic re-run fails
+   again and [optimize_with_capture] hands back the failure dump with the
+   partial trace. Never lets the capture itself take the caller down. *)
+let recapture ~(config : Orca_config.t) ~make_accessor ~reason query =
+  match Telemetry.Recorder.dump_dir () with
+  | None -> None
+  | Some dir -> (
+      try
+        let cfg = Orca_config.with_prov (Orca_config.with_obs config) in
+        let accessor : Catalog.Accessor.t = make_accessor () in
+        let flags =
+          [
+            ("flight-reason", reason);
+            ( "flight-slow-ms",
+              match Telemetry.Recorder.slow_ms () with
+              | Some s -> Printf.sprintf "%g" s
+              | None -> "off" );
+          ]
+        in
+        let dump =
+          match Ampere.optimize_with_capture ~config:cfg accessor query with
+          | Ok report ->
+              let d =
+                Ampere.capture ~traceflags:flags
+                  ~expected_plan:report.Optimizer.plan accessor query
+              in
+              Ampere.embed_report d report
+          | Error d -> { d with Ampere.traceflags = flags @ d.Ampere.traceflags }
+        in
+        let path =
+          dump_path ~dir
+            ~fingerprint:(Telemetry.Metrics.fingerprint (Dxl.Dxl_query.to_string query))
+            ~seq:(Telemetry.Recorder.total () + 1)
+        in
+        Ampere.save dump path;
+        Telemetry.Metrics.inc Telemetry.Std.flight_dumps;
+        Some path
+      with _ -> None)
+
+let record_entry ~label ~fingerprint ~ms ~groups ~gexprs ~cost ~phases ~status
+    ~dump =
+  ignore
+    (Telemetry.Recorder.record ~label ~fingerprint ~ms ~groups ~gexprs ~cost
+       ~phases:(Telemetry.Recorder.top_phases phases)
+       ~status ?dump ())
+
+(* Monitored optimize: behaves exactly like [Optimizer.optimize] (same
+   result, same exceptions) with the flight recorder around it. *)
+let optimize ?(config = Orca_config.default) ?(label = "query") ?fingerprint
+    ~(make_accessor : unit -> Catalog.Accessor.t) (query : Dxl.Dxl_query.t) :
+    Optimizer.report =
+  let fingerprint =
+    match fingerprint with
+    | Some f -> f
+    | None -> Telemetry.Metrics.fingerprint (Dxl.Dxl_query.to_string query)
+  in
+  match Optimizer.optimize ~config (make_accessor ()) query with
+  | report ->
+      let ms = report.Optimizer.opt_time_ms in
+      let slow =
+        match Telemetry.Recorder.slow_ms () with
+        | Some threshold -> ms >= threshold
+        | None -> false
+      in
+      let dump =
+        if slow then begin
+          Telemetry.Metrics.inc Telemetry.Std.flight_slow;
+          recapture ~config ~make_accessor ~reason:"slow" query
+        end
+        else None
+      in
+      record_entry ~label ~fingerprint ~ms
+        ~groups:report.Optimizer.groups ~gexprs:report.Optimizer.gexprs
+        ~cost:report.Optimizer.plan.Ir.Expr.pcost
+        ~phases:report.Optimizer.phase_ms
+        ~status:(if slow then Telemetry.Recorder.Slow else Telemetry.Recorder.Ok)
+        ~dump;
+      report
+  | exception Optimizer.Unsupported_query msg ->
+      (* a clean reject, not an anomaly: count it, no dump *)
+      Telemetry.Metrics.inc Telemetry.Std.unsupported;
+      raise (Optimizer.Unsupported_query msg)
+  | exception e ->
+      Telemetry.Metrics.inc Telemetry.Std.failures;
+      Telemetry.Metrics.inc Telemetry.Std.flight_failed;
+      let dump =
+        recapture ~config ~make_accessor ~reason:"failed" query
+      in
+      record_entry ~label ~fingerprint ~ms:0.0 ~groups:0 ~gexprs:0 ~cost:0.0
+        ~phases:[]
+        ~status:(Telemetry.Recorder.Failed (Printexc.to_string e))
+        ~dump;
+      raise e

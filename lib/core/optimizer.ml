@@ -29,6 +29,11 @@ type report = {
       (* unified observability report (None unless config.obs) *)
   prov : Prov.Provenance.t option;
       (* per-node provenance of the chosen plan (None unless config.prov) *)
+  phase_ms : (string * float) list;
+      (* coarse per-phase wall times (preprocess, stage:<name>,
+         prov-annotate), in execution order. Always collected — each
+         phase costs two Gpos.Clock reads — so the flight recorder and
+         lib/telemetry see phase breakdowns without lib/obs. *)
 }
 
 let root_req (q : Dxl.Dxl_query.t) : Props.req =
@@ -94,12 +99,21 @@ exception Unsupported_query of string
 let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     (query : Dxl.Dxl_query.t) : report =
   let t0 = Gpos.Clock.now () in
+  (* coarse always-on phase timers (report.phase_ms), reverse order *)
+  let phases = ref [] in
+  let timed name f =
+    let p0 = Gpos.Clock.now () in
+    let r = f () in
+    phases := (name, Gpos.Clock.ms_since p0) :: !phases;
+    r
+  in
   let factory = Catalog.Accessor.factory accessor in
   Colref.Factory.bump factory (Dxl.Dxl_query.max_col_id query);
   let base td = Catalog.Accessor.base_stats accessor td in
   (* preprocessing: decorrelate subqueries, normalize *)
   let tree = query.Dxl.Dxl_query.tree in
   let tree, decorrelated =
+    timed "preprocess" @@ fun () ->
     Obs.Span.with_ ~name:"preprocess" (fun () ->
         let tree, decorrelated =
           if config.Orca_config.decorrelate then
@@ -155,7 +169,8 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
         | None -> Gpos.Gpos_error.internal "no optimization stages configured")
     | stage :: rest -> (
         let memo, engine, plan =
-          run_stage config ~factory ~base tree req stage
+          timed ("stage:" ^ stage.Xform.Ruleset.stage_name) (fun () ->
+              run_stage config ~factory ~base tree req stage)
         in
         if config.Orca_config.obs then
           stage_runs := (stage.Xform.Ruleset.stage_name, engine) :: !stage_runs;
@@ -187,8 +202,9 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
   let prov =
     if config.Orca_config.prov then
       Some
-        (Obs.Span.with_ ~name:"prov-annotate" (fun () ->
-             Prov.Provenance.annotate memo ~req ~stage:stage_name plan))
+        (timed "prov-annotate" (fun () ->
+             Obs.Span.with_ ~name:"prov-annotate" (fun () ->
+                 Prov.Provenance.annotate memo ~req ~stage:stage_name plan)))
     else None
   in
   let diagnostics =
@@ -204,6 +220,42 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
   in
   Catalog.Accessor.release accessor;
   let opt_ms = Gpos.Clock.ms_since t0 in
+  let phase_ms = List.rev !phases in
+  (* One cold-path update of the always-on registry (lib/telemetry),
+     tapping counters the winning stage's engine/Memo/scheduler maintain
+     unconditionally. *)
+  if config.Orca_config.telemetry then begin
+    let mp = Memolib.Memo.profile memo in
+    let cost = Search.Engine.cost_profile engine in
+    let max_q =
+      List.fold_left
+        (fun acc (s : Obs.Report.sched_stat) ->
+          max acc s.Obs.Report.s_max_queue_depth)
+        0
+        (Search.Engine.sched_profiles engine)
+    in
+    Telemetry.Std.record_query ~opt_time_ms:opt_ms
+      ~groups:(Memolib.Memo.ngroups memo)
+      ~gexprs:(Memolib.Memo.ngexprs memo)
+      ~inserts:mp.Memolib.Memo.p_inserts
+      ~dedup_hits:mp.Memolib.Memo.p_dedup_hits
+      ~merges:mp.Memolib.Memo.p_merges
+      ~ops_interned:mp.Memolib.Memo.p_ops_interned
+      ~intern_hits:mp.Memolib.Memo.p_intern_hits
+      ~fired:counters.Search.Engine.xform_applied
+      ~results:counters.Search.Engine.xform_results
+      ~prefiltered:counters.Search.Engine.prefilter_skips
+      ~ncontexts:counters.Search.Engine.contexts_created
+      ~nop_costings:cost.Obs.Report.c_op_costings
+      ~nenforcer_costings:cost.Obs.Report.c_enforcer_costings
+      ~nalternatives:counters.Search.Engine.alternatives_costed
+      ~ndeadline_checks:cost.Obs.Report.c_deadline_checks
+      ~nstats_hits:counters.Search.Engine.stats_hits
+      ~nbase_reuses:counters.Search.Engine.base_reuses
+      ~nwinner_skips:counters.Search.Engine.winner_skips
+      ~ngoal_hits:goal_hits ~njobs_created:jobs_created ~njobs_run:jobs_run
+      ~max_queue_depth:max_q ~heap_mb ~phases:phase_ms
+  end;
   let obs =
     if not config.Orca_config.obs then None
     else
@@ -248,6 +300,7 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     diagnostics;
     obs;
     prov;
+    phase_ms;
   }
 
 (* With observability on, own a span session for the whole optimization when

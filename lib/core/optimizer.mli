@@ -36,6 +36,10 @@ type report = {
       (** per-node provenance of the chosen plan — rule lineage, losing
           alternatives, enforcer reasons ([None] unless
           {!Orca_config.t.prov} is set) *)
+  phase_ms : (string * float) list;
+      (** coarse per-phase wall times (preprocess, stage:<name>,
+          prov-annotate) in execution order; always collected, feeding the
+          flight recorder and lib/telemetry without lib/obs *)
 }
 
 exception Unsupported_query of string

@@ -29,6 +29,10 @@ type t = {
   stats_memo : bool;         (* memoize group rows/width and motion skew *)
   rule_prefilter : bool;     (* skip rules by root-shape bitmap *)
   winner_reuse : bool;       (* reuse winners/base costs across contexts *)
+  telemetry : bool;
+      (* record the always-on metrics (lib/telemetry) after each query:
+         one cold-path registry update tapping counters the engine keeps
+         anyway, so the default is on. Off only for A/B identity tests. *)
 }
 
 let default =
@@ -52,6 +56,7 @@ let default =
     stats_memo = true;
     rule_prefilter = true;
     winner_reuse = true;
+    telemetry = true;
   }
 
 let with_segments t segments =
@@ -93,6 +98,8 @@ let with_fuzz_seed t seed = { t with fuzz_seed = Some seed }
 let without_decorrelation t = { t with decorrelate = false }
 
 let without_column_pruning t = { t with prune_columns = false }
+
+let with_telemetry t on = { t with telemetry = on }
 
 let with_interning t on = { t with interning = on }
 let with_stats_memo t on = { t with stats_memo = on }

@@ -50,6 +50,11 @@ type t = {
   winner_reuse : bool;
       (** skip child Opt spawns on completed contexts and reuse operator
           base costs across contexts differing only in required properties *)
+  telemetry : bool;
+      (** record the always-on metrics (lib/telemetry) after each query —
+          one cold-path registry update per optimization, tapping counters
+          the engine maintains unconditionally. On by default; the switch
+          exists for A/B identity tests, not for production. *)
 }
 
 val default : t
@@ -107,6 +112,10 @@ val without_column_pruning : t -> t
     byte-identical with them on or off (test/test_perf_identity.ml) — and on
     by default. The switches exist for A/B identity testing and the
     opt-speed benchmark's caches-off baseline. *)
+
+val with_telemetry : t -> bool -> t
+(** Toggle the per-query lib/telemetry recording (plan-identical either
+    way; the identity test A/Bs it). *)
 
 val with_interning : t -> bool -> t
 val with_stats_memo : t -> bool -> t

@@ -1178,4 +1178,20 @@ let run ?(mode = Spill_to_disk) ?(dpe = true) ?observe (cluster : Cluster.t)
     List.map (fun (id, _, node) -> (node, id)) (Plan_ops.number plan);
   let segs = eval ctx ~params:Colref.Map.empty plan in
   let rows = List.concat (Array.to_list segs) in
+  (* always-on telemetry: fold this run into the global registry *)
+  let m = ctx.metrics in
+  Telemetry.Metrics.inc Telemetry.Std.exec_queries;
+  Telemetry.Metrics.add Telemetry.Std.exec_rows_scanned
+    (int_of_float m.Metrics.rows_scanned);
+  Telemetry.Metrics.add Telemetry.Std.exec_rows_moved
+    (int_of_float m.Metrics.rows_moved);
+  Telemetry.Metrics.add Telemetry.Std.exec_net_bytes
+    (int_of_float m.Metrics.net_bytes);
+  Telemetry.Metrics.add Telemetry.Std.exec_spill_bytes
+    (int_of_float m.Metrics.spill_bytes);
+  Telemetry.Metrics.add Telemetry.Std.exec_operators m.Metrics.operators_run;
+  Telemetry.Metrics.add Telemetry.Std.exec_subplan_hits
+    m.Metrics.subplan_cache_hits;
+  Telemetry.Metrics.observe Telemetry.Std.exec_sim_ms
+    (m.Metrics.sim_seconds *. 1000.0);
   (rows, ctx.metrics)

@@ -18,6 +18,7 @@ type counters = {
   prefilter_skips : int;
   winner_skips : int;
   base_reuses : int;
+  stats_hits : int;
 }
 
 (* Internal counters are atomics so parallel Opt jobs can bump them without
@@ -33,6 +34,7 @@ type acounters = {
   a_prefilter_skips : int Atomic.t;   (* rule applications pruned by shape *)
   a_winner_skips : int Atomic.t;      (* child Opt spawns pruned: ctx complete *)
   a_base_reuses : int Atomic.t;       (* base costs served from the reuse cache *)
+  a_stats_hits : int Atomic.t;        (* rows/width/skew served from the stats memo *)
 }
 
 (* Per-rule profile, collected only when the engine runs with [obs] — rule
@@ -157,6 +159,7 @@ let create ?(workers = 1) ?fuzz_seed ?(obs = false) ?(rule_checks = false)
         a_prefilter_skips = Atomic.make 0;
         a_winner_skips = Atomic.make 0;
         a_base_reuses = Atomic.make 0;
+        a_stats_hits = Atomic.make 0;
       };
     obs;
     rule_stats = Hashtbl.create 64;
@@ -459,12 +462,16 @@ let compute_group_width t gid =
 
 let group_rows t gid =
   match Hashtbl.find_opt t.rows_cache gid with
-  | Some r -> r
+  | Some r ->
+      Atomic.incr t.counters.a_stats_hits;
+      r
   | None -> compute_group_rows t gid
 
 let group_width t gid =
   match Hashtbl.find_opt t.width_cache gid with
-  | Some w -> w
+  | Some w ->
+      Atomic.incr t.counters.a_stats_hits;
+      w
   | None -> compute_group_width t gid
 
 (* Freeze rows/width per live group before costing: the optimization phase
@@ -506,7 +513,9 @@ let redistribute_skew t gid (enf : Props.enforcer) =
         let hit = Hashtbl.find_opt t.skew_cache key in
         Mutex.unlock t.skew_lock;
         match hit with
-        | Some v -> v
+        | Some v ->
+            Atomic.incr t.counters.a_stats_hits;
+            v
         | None ->
             let v = compute_redistribute_skew t gid es in
             Mutex.lock t.skew_lock;
@@ -922,6 +931,7 @@ let counters t =
     prefilter_skips = Atomic.get t.counters.a_prefilter_skips;
     winner_skips = Atomic.get t.counters.a_winner_skips;
     base_reuses = Atomic.get t.counters.a_base_reuses;
+    stats_hits = Atomic.get t.counters.a_stats_hits;
   }
 
 (* --- observability snapshots (lib/obs) --- *)

@@ -17,6 +17,7 @@ type counters = {
   prefilter_skips : int;  (** rule applications pruned by the shape bitmap *)
   winner_skips : int;     (** child Opt spawns pruned: context complete *)
   base_reuses : int;      (** base costs served from the reuse cache *)
+  stats_hits : int;       (** rows/width/skew served from the stats memo *)
 }
 
 type t

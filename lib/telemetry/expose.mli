@@ -1,0 +1,55 @@
+(* Exposition: Prometheus text and JSON snapshots, a Prometheus linter,
+   a JSON snapshot parser, and the snapshot diff regression sentinel. *)
+
+val to_prometheus : Metrics.snapshot -> string
+(** Prometheus text format: # HELP/# TYPE per family, cumulative sparse
+    buckets plus le="+Inf", _sum and _count for histograms. *)
+
+val to_json : ?flight:Recorder.entry list -> Metrics.snapshot -> string
+(** JSON snapshot: ts, one object per series (histograms carry count,
+    sum, p50/p95/p99 and non-cumulative sparse buckets), plus the flight
+    recorder entries. Deterministic under [Gpos.Clock.with_fake]. *)
+
+val lint_prometheus : string -> string list
+(** Structural validation of a Prometheus text exposition. Checks metric
+    name syntax, TYPE declarations preceding samples, non-negative
+    counter/histogram values, duplicate series, bucket cumulativeness,
+    the +Inf bucket and its agreement with _count. [] means clean. *)
+
+(* -- parsed snapshots and the diff sentinel ------------------------- *)
+
+type flat = {
+  f_key : string;  (** name{k="v",...}, labels sorted *)
+  f_kind : string;
+  f_fields : (string * float) list;
+}
+
+type parsed = { p_ts : float; p_metrics : flat list }
+
+val parse_snapshot : string -> (parsed, string) result
+(** Parse the output of [to_json] (flight entries are ignored). *)
+
+type check = {
+  d_key : string;
+  d_field : string;
+  d_base : float;
+  d_fresh : float;
+  d_ok : bool;
+  d_note : string;
+}
+
+val diff :
+  ?tolerance:float ->
+  ?overrides:(string * float) list ->
+  baseline:parsed ->
+  fresh:parsed ->
+  unit ->
+  check list
+(** Compare two snapshots. Counter/gauge values and histogram counts are
+    gated both ways within a relative tolerance (default 0.25, absolute
+    floor 10); histogram sums and quantiles gate from above only.
+    [overrides] maps a metric-key prefix to a different tolerance; a
+    metric present in baseline but missing from fresh fails. *)
+
+val diff_ok : check list -> bool
+val render_diff : check list -> string

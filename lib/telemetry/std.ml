@@ -1,0 +1,142 @@
+(* The standard Orca metric set, registered once against
+   [Metrics.default]. Everything recorded here comes from counters the
+   engine/Memo/scheduler already maintain unconditionally (PR 3/4), so
+   keeping telemetry always-on costs one [record_query] call per
+   optimization — a few dozen atomic adds on the cold path.
+
+   Add-a-metric checklist (see DESIGN.md):
+     1. register the handle here with a help string,
+     2. bump it from the owning layer (or add a field to [record_query]),
+     3. if it should be regression-gated, add it to the suite snapshot
+        tolerance table in bin/orca_cli (metrics --diff). *)
+
+let r = Metrics.default
+
+let c name help = Metrics.counter r ~help name
+let g name help = Metrics.gauge r ~help name
+let h name help = Metrics.histogram r ~help name
+
+(* -- per-query outcomes -------------------------------------------- *)
+
+let queries = c "orca_queries_total" "Queries optimized successfully."
+let failures = c "orca_failures_total" "Optimizations that raised an error."
+
+let unsupported =
+  c "orca_unsupported_total" "Queries rejected as unsupported (clean reject)."
+
+let opt_ms = h "orca_opt_ms" "Optimization wall time per query (ms)."
+
+(* Per-phase wall time, labeled by phase (parse-bind, preprocess,
+   stage:<name>, prov-annotate, ...). Handles memoized per label so the
+   recording path does not re-enter the registry lock. *)
+let phase_tbl : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
+let phase_lock = Mutex.create ()
+
+let phase name =
+  Mutex.lock phase_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock phase_lock)
+    (fun () ->
+      match Hashtbl.find_opt phase_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            Metrics.histogram r
+              ~labels:[ ("phase", name) ]
+              ~help:"Wall time per optimization phase (ms)." "orca_phase_ms"
+          in
+          Hashtbl.replace phase_tbl name h;
+          h)
+
+let observe_phase name ms = Metrics.observe (phase name) ms
+
+let time_phase name f =
+  let t0 = Gpos.Clock.now () in
+  Fun.protect
+    ~finally:(fun () -> observe_phase name (Gpos.Clock.ms_since t0))
+    f
+
+(* -- Memo growth (winning stage, per query) ------------------------ *)
+
+let memo_groups = c "orca_memo_groups_total" "Memo groups created (winning stage)."
+let memo_gexprs = c "orca_memo_gexprs_total" "Group expressions created (winning stage)."
+let memo_inserts = c "orca_memo_inserts_total" "Memo insert attempts."
+let memo_dedup_hits = c "orca_memo_dedup_hits_total" "Inserts deduplicated against an existing gexpr."
+let memo_merges = c "orca_memo_merges_total" "Group merges (duplicate detection)."
+let memo_ops_interned = c "orca_memo_ops_interned_total" "Operator payloads hash-consed."
+let memo_intern_hits = c "orca_memo_intern_hits_total" "Hash-cons hits (payload already interned)."
+
+(* -- search / rules ------------------------------------------------ *)
+
+let rule_fired = c "orca_rule_fired_total" "Transformation rules applied."
+let rule_results = c "orca_rule_results_total" "Alternatives produced by rule applications."
+let rule_prefiltered = c "orca_rule_prefiltered_total" "Rule applications skipped by the shape prefilter."
+let contexts = c "orca_contexts_total" "Optimization contexts created."
+let op_costings = c "orca_op_costings_total" "Operator cost computations."
+let enforcer_costings = c "orca_enforcer_costings_total" "Enforcer cost computations."
+let alternatives = c "orca_alternatives_total" "Plan alternatives costed."
+let deadline_checks = c "orca_deadline_checks_total" "Stage-deadline checks."
+
+(* -- caches (PR 4 speedups) ---------------------------------------- *)
+
+let stats_memo_hits = c "orca_stats_memo_hits_total" "Group stats served from the stats memo."
+let base_reuses = c "orca_base_reuses_total" "Base costs reused across contexts."
+let winner_skips = c "orca_winner_skips_total" "Costings skipped via winner reuse."
+let goal_hits = c "orca_goal_hits_total" "Optimization goals satisfied from the winner cache."
+
+(* -- scheduler ----------------------------------------------------- *)
+
+let jobs_created = c "orca_jobs_created_total" "Scheduler jobs created."
+let jobs_run = c "orca_jobs_run_total" "Scheduler jobs run."
+let queue_depth_max = g "orca_queue_depth_max" "Deepest scheduler queue observed (max over queries)."
+let peak_heap_mb = g "orca_peak_heap_mb" "Largest major-heap footprint observed (MB)."
+
+(* -- flight recorder ----------------------------------------------- *)
+
+let flight_slow = c "orca_flight_slow_total" "Queries over the slow threshold."
+let flight_failed = c "orca_flight_failed_total" "Failed optimizations seen by the flight recorder."
+let flight_dumps = c "orca_flight_dumps_total" "AMPERe dumps emitted by the flight recorder."
+
+(* -- executor ------------------------------------------------------ *)
+
+let exec_queries = c "orca_exec_queries_total" "Plans executed (simulated cluster)."
+let exec_rows_scanned = c "orca_exec_rows_scanned_total" "Rows scanned by executed plans."
+let exec_rows_moved = c "orca_exec_rows_moved_total" "Rows moved through motions."
+let exec_net_bytes = c "orca_exec_net_bytes_total" "Bytes shipped over the interconnect."
+let exec_spill_bytes = c "orca_exec_spill_bytes_total" "Bytes spilled to disk."
+let exec_operators = c "orca_exec_operators_total" "Operator instances run."
+let exec_subplan_hits = c "orca_exec_subplan_hits_total" "Subplan executions served from cache."
+let exec_sim_ms = h "orca_exec_sim_ms" "Simulated execution time per query (ms)."
+
+(* One call per optimized query, tapping the always-on engine counters. *)
+let record_query ~opt_time_ms ~groups ~gexprs ~inserts ~dedup_hits ~merges
+    ~ops_interned ~intern_hits ~fired ~results ~prefiltered ~ncontexts
+    ~nop_costings ~nenforcer_costings ~nalternatives ~ndeadline_checks
+    ~nstats_hits ~nbase_reuses ~nwinner_skips ~ngoal_hits ~njobs_created
+    ~njobs_run ~max_queue_depth ~heap_mb ~phases =
+  Metrics.inc queries;
+  Metrics.observe opt_ms opt_time_ms;
+  Metrics.add memo_groups groups;
+  Metrics.add memo_gexprs gexprs;
+  Metrics.add memo_inserts inserts;
+  Metrics.add memo_dedup_hits dedup_hits;
+  Metrics.add memo_merges merges;
+  Metrics.add memo_ops_interned ops_interned;
+  Metrics.add memo_intern_hits intern_hits;
+  Metrics.add rule_fired fired;
+  Metrics.add rule_results results;
+  Metrics.add rule_prefiltered prefiltered;
+  Metrics.add contexts ncontexts;
+  Metrics.add op_costings nop_costings;
+  Metrics.add enforcer_costings nenforcer_costings;
+  Metrics.add alternatives nalternatives;
+  Metrics.add deadline_checks ndeadline_checks;
+  Metrics.add stats_memo_hits nstats_hits;
+  Metrics.add base_reuses nbase_reuses;
+  Metrics.add winner_skips nwinner_skips;
+  Metrics.add goal_hits ngoal_hits;
+  Metrics.add jobs_created njobs_created;
+  Metrics.add jobs_run njobs_run;
+  Metrics.gauge_max queue_depth_max (float_of_int max_queue_depth);
+  Metrics.gauge_max peak_heap_mb heap_mb;
+  List.iter (fun (name, ms) -> observe_phase name ms) phases

@@ -30,4 +30,5 @@ let () =
       ("prov", Test_prov.suite);
       ("rulecheck", Test_rulecheck.suite);
       ("interact", Test_interact.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -4,7 +4,10 @@
    Default mode compares a freshly produced opt-speed JSON report against the
    committed baseline (BENCH_opt.json) and exits nonzero when a metric
    regresses. With --accuracy it instead compares per-operator-class Q-error
-   reports (BENCH_accuracy.json, from `orca_cli accuracy --suite --json`).
+   reports (BENCH_accuracy.json, from `orca_cli accuracy --suite --json`);
+   with --serve it compares the optimizer-service reports of `bench serve`
+   (BENCH_serve.json): deterministic request/cache counters both ways,
+   hit_rate and qps from below, latency quantiles from above.
 
    Two metric classes:
    - search-shape counters (memo sizes, rule firings, cache hit counts):
@@ -22,6 +25,12 @@
      report are fatal: regenerate the baseline with the current bench.
 
    identity_violations must be 0 in the fresh report, full stop.
+
+   A metric's tolerance can be overridden per key with repeatable
+   --override NAME=TOL arguments (e.g. --override misses=0.5), taking
+   precedence over --tolerance for that metric in every mode. Missing
+   fields are always fatal: a baseline lacking a gated field predates the
+   current bench and must be regenerated deliberately.
 
    The parser below covers exactly the JSON subset bench/main.ml emits; no
    external dependencies. *)
@@ -184,6 +193,63 @@ let shape_metrics =
     "intern_hits";
   ]
 
+(* --- the serve gate (--serve) ---
+
+   `bench serve` runs a fixed-seed request mix, so every request/cache
+   counter is deterministic per code version: gated in both directions like
+   the opt-speed shape metrics. hit_rate and qps must not drop (from below;
+   qps with the generous --q-tolerance since it measures the machine);
+   p50/p95/p99 must not blow up (from above, --q-tolerance). A nonzero
+   identity_violations — a cache hit that was not byte-identical to a cold
+   optimization of the same request — is an unconditional failure. *)
+
+let serve_shape_metrics =
+  [
+    "requests";
+    "shapes";
+    "errors";
+    "hits";
+    "rebinds";
+    "misses";
+    "evictions";
+    "collisions";
+    "identity_checks";
+  ]
+
+let serve_gate ~check ~tol ~q_tolerance baseline fresh =
+  let iv = num_field fresh "identity_violations" in
+  check "identity_violations"
+    ~base:(num_field baseline "identity_violations")
+    ~got:iv ~ok:(iv = 0.0) "(must be 0)";
+  List.iter
+    (fun name ->
+      let base = num_field baseline name and got = num_field fresh name in
+      let t = tol name in
+      let lo = base *. (1.0 -. t) and hi = base *. (1.0 +. t) in
+      check name ~base ~got
+        ~ok:(got >= lo && got <= hi)
+        (Printf.sprintf "(allowed %.6g..%.6g)" lo hi))
+    serve_shape_metrics;
+  let base_hr = num_field baseline "hit_rate"
+  and got_hr = num_field fresh "hit_rate" in
+  let floor_hr = base_hr *. (1.0 -. tol "hit_rate") in
+  check "hit_rate" ~base:base_hr ~got:got_hr ~ok:(got_hr >= floor_hr)
+    (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor_hr);
+  let base_qps = num_field baseline "qps" and got_qps = num_field fresh "qps" in
+  let floor_qps = base_qps /. (1.0 +. q_tolerance) in
+  check "qps" ~base:base_qps ~got:got_qps ~ok:(got_qps >= floor_qps)
+    (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor_qps);
+  List.iter
+    (fun name ->
+      let base = num_field baseline name and got = num_field fresh name in
+      let ceiling = base *. (1.0 +. q_tolerance) in
+      check name ~base ~got ~ok:(got <= ceiling)
+        (Printf.sprintf "(must stay <= %.4g; lower is fine)" ceiling))
+    [ "p50_ms"; "p95_ms"; "p99_ms" ];
+  Printf.printf
+    "(wall times: wall_ms %.1f -> %.1f; informational only)\n"
+    (num_field baseline "wall_ms") (num_field fresh "wall_ms")
+
 (* --- the accuracy gate (--accuracy) ---
 
    Classes are matched by name between the baseline and the fresh report.
@@ -238,15 +304,29 @@ let () =
   let tolerance = ref 0.25 in
   let q_tolerance = ref 1.0 in
   let accuracy = ref false in
+  let serve = ref false in
+  let overrides = ref [] in
   let usage =
-    "gate [--accuracy] --baseline BENCH_opt.json --fresh fresh.json \
-     [--tolerance 0.25] [--q-tolerance 1.0]"
+    "gate [--accuracy | --serve] --baseline BENCH_opt.json --fresh fresh.json \
+     [--tolerance 0.25] [--q-tolerance 1.0] [--override NAME=TOL]..."
   in
   let rec parse_args = function
     | [] -> ()
     | "--baseline" :: v :: rest -> baseline_path := v; parse_args rest
     | "--fresh" :: v :: rest -> fresh_path := v; parse_args rest
     | "--accuracy" :: rest -> accuracy := true; parse_args rest
+    | "--serve" :: rest -> serve := true; parse_args rest
+    | "--override" :: v :: rest -> (
+        match String.index_opt v '=' with
+        | Some i -> (
+            let name = String.sub v 0 i in
+            let tol = String.sub v (i + 1) (String.length v - i - 1) in
+            match float_of_string_opt tol with
+            | Some f when f >= 0.0 && name <> "" ->
+                overrides := (name, f) :: !overrides;
+                parse_args rest
+            | _ -> prerr_endline ("gate: bad --override " ^ v); exit 2)
+        | None -> prerr_endline ("gate: bad --override " ^ v); exit 2)
     | "--tolerance" :: v :: rest -> (
         match float_of_string_opt v with
         | Some f when f > 0.0 -> tolerance := f; parse_args rest
@@ -261,8 +341,15 @@ let () =
         exit 2
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !accuracy && !serve then begin
+    prerr_endline "gate: --accuracy and --serve are mutually exclusive";
+    exit 2
+  end;
   if !baseline_path = "" then
-    baseline_path := if !accuracy then "BENCH_accuracy.json" else "BENCH_opt.json";
+    baseline_path :=
+      if !accuracy then "BENCH_accuracy.json"
+      else if !serve then "BENCH_serve.json"
+      else "BENCH_opt.json";
   if !fresh_path = "" then begin
     prerr_endline usage;
     exit 2
@@ -275,6 +362,21 @@ let () =
     Printf.printf "%s  %-28s baseline=%-12g fresh=%-12g %s\n" status name base
       got reason
   in
+  (* per-metric tolerance: --override NAME=TOL wins over --tolerance *)
+  let tol name =
+    match List.assoc_opt name !overrides with
+    | Some t -> t
+    | None -> !tolerance
+  in
+  if !serve then begin
+    serve_gate ~check ~tol ~q_tolerance:!q_tolerance baseline fresh;
+    if !failures > 0 then begin
+      Printf.printf "serve gate: %d metric(s) out of tolerance\n" !failures;
+      exit 1
+    end
+    else Printf.printf "serve gate: all metrics within tolerance\n";
+    exit 0
+  end;
   if !accuracy then begin
     accuracy_gate ~check ~tolerance:!tolerance baseline fresh;
     if !failures > 0 then begin
@@ -292,15 +394,15 @@ let () =
   List.iter
     (fun name ->
       let base = num_field baseline name and got = num_field fresh name in
-      let lo = base *. (1.0 -. !tolerance)
-      and hi = base *. (1.0 +. !tolerance) in
+      let t = tol name in
+      let lo = base *. (1.0 -. t) and hi = base *. (1.0 +. t) in
       check name ~base ~got
         ~ok:(got >= lo && got <= hi)
         (Printf.sprintf "(allowed %.6g..%.6g)" lo hi))
     shape_metrics;
   let base_g = num_field baseline "speedup_geomean"
   and got_g = num_field fresh "speedup_geomean" in
-  let floor_g = base_g *. (1.0 -. !tolerance) in
+  let floor_g = base_g *. (1.0 -. tol "speedup_geomean") in
   check "speedup_geomean" ~base:base_g ~got:got_g
     ~ok:(got_g >= floor_g)
     (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor_g);

@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- fig12 --sf 0.4 --segs 8 --workers 4
 
    Experiments: fig12 opt-stats fig13 fig14 fig15 taqo par-opt stages ablate
-   running-example profile opt-speed micro. Figures are printed as rows
+   running-example profile opt-speed serve micro. Figures are printed as rows
    (query id, times, ratio); EXPERIMENTS.md records paper-vs-measured for
    each. An unknown experiment name or a non-positive --sf/--segs/--workers
    is a usage error (exit 2). *)
@@ -823,6 +823,193 @@ let opt_speed () =
       Printf.printf "opt-speed JSON written to %s\n" path);
   if !mismatches <> [] then exit 1
 
+(* ====================== serve (optimizer-as-a-service) ================ *)
+
+let serve_requests = ref 2000
+
+(* Whitespace-only mangling: the token stream — and therefore the normalized
+   text, fingerprint and parameter vector — is unchanged, so the request must
+   be an exact cache hit. *)
+let respace st sql =
+  let buf = Buffer.create (String.length sql + 16) in
+  String.iter
+    (fun c ->
+      if c = ' ' && Random.State.bool st then Buffer.add_string buf "  "
+      else Buffer.add_char buf c)
+    sql;
+  Buffer.add_string buf "   ";
+  Buffer.contents buf
+
+(* Replace the last bare integer literal (outside string literals, not part
+   of an identifier or float) with value+1: a same-shape request whose
+   parameter vector differs in one position — the cache's rebind path.
+   Returns [None] when the query has no such literal. *)
+let perturb_int sql =
+  let n = String.length sql in
+  let ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+  in
+  let best = ref None in
+  let i = ref 0 and in_str = ref false in
+  while !i < n do
+    let c = sql.[!i] in
+    if !in_str then begin
+      if c = '\'' then in_str := false;
+      incr i
+    end
+    else if c = '\'' then begin
+      in_str := true;
+      incr i
+    end
+    else if c >= '0' && c <= '9' then begin
+      let s = !i in
+      while !i < n && sql.[!i] >= '0' && sql.[!i] <= '9' do
+        incr i
+      done;
+      let pre_ok = s = 0 || not (ident_char sql.[s - 1]) in
+      let post_ok = !i >= n || not (ident_char sql.[!i]) in
+      if pre_ok && post_ok then best := Some (s, !i - s)
+    end
+    else incr i
+  done;
+  match !best with
+  | None -> None
+  | Some (s, len) -> (
+      match int_of_string_opt (String.sub sql s len) with
+      | None -> None
+      | Some v ->
+          Some
+            (String.sub sql 0 s
+            ^ string_of_int (v + 1)
+            ^ String.sub sql (s + len) (n - s - len)))
+
+(* Optimizer-as-a-service throughput: a resident {!Server.t} fields a seeded
+   deterministic mix of requests over the supported TPC-DS queries — mostly
+   verbatim repeats and whitespace variants (exact cache hits), plus a slice
+   of constant-perturbed texts exercising the rebind path. A sample of hit
+   replies is audited byte-for-byte against an independent cold optimization
+   of the same request text: a cached plan that differs from fresh
+   optimization is an identity violation and fails the run. The counters are
+   machine-independent (fixed PRNG seed); qps and the latency quantiles
+   measure the machine and are gated generously (see bench/gate.ml --serve). *)
+let serve_bench () =
+  let e = get_env () in
+  header
+    "serve -- resident optimizer service: plan-cache hit rate and throughput";
+  let server =
+    Server.of_provider ~config:(orca_config ()) e.env.Engines.Engine.provider
+  in
+  (* cold pass over the suite: every supported query becomes a shape; its
+     first optimization is the cache's resident plan *)
+  let pool = ref [] in
+  let unsupported = ref 0 in
+  List.iter
+    (fun (q : Tpcds.Queries.def) ->
+      match Server.optimize_sql server q.Tpcds.Queries.sql with
+      | Ok _ -> pool := (q.Tpcds.Queries.qid, q.Tpcds.Queries.sql) :: !pool
+      | Error _ -> incr unsupported)
+    (Lazy.force Tpcds.Queries.all);
+  let shapes = Array.of_list (List.rev !pool) in
+  let nshapes = Array.length shapes in
+  Printf.printf "warm-up: %d shapes cached (%d unsupported)\n%!" nshapes
+    !unsupported;
+  (* measured phase: fixed seed, so the hit/rebind/miss counts are
+     deterministic across machines and gated as shape metrics *)
+  let st = Random.State.make [| 0x09ca; nshapes |] in
+  let lat_reg = Telemetry.Metrics.create () in
+  let lat_hist =
+    Telemetry.Metrics.histogram lat_reg
+      ~help:"serve request latency (ms)" "bench_serve_ms"
+  in
+  let hits = ref 0 and rebinds = ref 0 and misses = ref 0 in
+  let errors = ref 0 in
+  let audits = ref 0 and violations = ref [] in
+  let max_audits = 25 in
+  let n_req = !serve_requests in
+  let t0 = Gpos.Clock.now () in
+  for i = 1 to n_req do
+    let qid, sql = shapes.(Random.State.int st nshapes) in
+    let roll = Random.State.int st 100 in
+    let text =
+      if roll < 80 then sql
+      else if roll < 92 then respace st sql
+      else match perturb_int sql with Some s -> s | None -> sql
+    in
+    match Server.optimize_sql server text with
+    | Error _ -> incr errors
+    | Ok r -> (
+        Telemetry.Metrics.observe lat_hist r.Server.r_ms;
+        match r.Server.r_result with
+        | Server.Hit ->
+            incr hits;
+            (* byte-identity: a cache hit must serialize exactly like a
+               fresh, cache-free optimization of the same request text *)
+            if !audits < max_audits && i mod 37 = 0 then begin
+              incr audits;
+              let cold =
+                Dxl.Dxl_plan.to_string (optimize_orca e text).Orca.Optimizer.plan
+              in
+              if Lazy.force r.Server.r_dxl <> cold then
+                violations :=
+                  Printf.sprintf "q%d: hit plan differs from cold optimization"
+                    qid
+                  :: !violations
+            end
+        | Server.Rebound -> incr rebinds
+        | Server.Missed -> incr misses)
+  done;
+  let wall_ms = Gpos.Clock.ms_since t0 in
+  let s = Server.stats server in
+  let c = s.Server.s_cache in
+  let answered = !hits + !rebinds in
+  let hit_rate = float_of_int answered /. float_of_int (max 1 n_req) in
+  let qps = float_of_int n_req /. Float.max 1e-9 (wall_ms /. 1000.0) in
+  let lat = Telemetry.Metrics.hsnap lat_hist in
+  let p50 = Telemetry.Metrics.quantile lat 0.50 in
+  let p95 = Telemetry.Metrics.quantile lat 0.95 in
+  let p99 = Telemetry.Metrics.quantile lat 0.99 in
+  Printf.printf
+    "requests : %d over %d shapes in %.1f ms (%.0f requests/s)\n" n_req nshapes
+    wall_ms qps;
+  Printf.printf
+    "cache    : %d hits, %d rebinds, %d misses (hit rate %.1f%%), %d \
+     evictions, %d collisions\n"
+    !hits !rebinds !misses (100.0 *. hit_rate) c.Server.Plan_cache.evictions
+    c.Server.Plan_cache.collisions;
+  Printf.printf "latency  : p50=%.2f p95=%.2f p99=%.2f ms\n" p50 p95 p99;
+  (match !violations with
+  | [] ->
+      Printf.printf
+        "identity : %d sampled hits byte-identical to cold optimization\n"
+        !audits
+  | ms ->
+      Printf.printf "IDENTITY VIOLATIONS:\n";
+      List.iter (Printf.printf "  %s\n") (List.rev ms));
+  (match !opt_json with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pf
+        "{\"experiment\":\"serve\",\"sf\":%g,\"segments\":%d,\"workers\":%d,\n"
+        !sf !nsegs !workers;
+      pf
+        "\"summary\":{\"requests\":%d,\"shapes\":%d,\"errors\":%d,\
+         \"hits\":%d,\"rebinds\":%d,\"misses\":%d,\"evictions\":%d,\
+         \"collisions\":%d,\"identity_checks\":%d,\
+         \"identity_violations\":%d,\"hit_rate\":%.4f,\"qps\":%.2f,\
+         \"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,\
+         \"wall_ms\":%.3f}}\n"
+        n_req nshapes !errors !hits !rebinds !misses
+        c.Server.Plan_cache.evictions c.Server.Plan_cache.collisions !audits
+        (List.length !violations)
+        hit_rate qps p50 p95 p99 wall_ms;
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "serve JSON written to %s\n" path);
+  if !violations <> [] then exit 1
+
 (* ======================== running example (§4.1) ====================== *)
 
 let running_example () =
@@ -917,13 +1104,14 @@ let experiments =
     ("running-example", running_example);
     ("profile", profile);
     ("opt-speed", opt_speed);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...] [--sf F] [--segs N] [--workers N]\n\
-    \       [--profile-json PATH] [--json PATH]\n\
+    \       [--requests N] [--profile-json PATH] [--json PATH]\n\
      experiments: %s\n"
     (String.concat " " (List.map fst experiments))
 
@@ -957,13 +1145,17 @@ let () =
     | "--workers" :: v :: rest ->
         workers := positive_int "--workers" v;
         parse rest
+    | "--requests" :: v :: rest ->
+        serve_requests := positive_int "--requests" v;
+        parse rest
     | "--profile-json" :: v :: rest ->
         profile_json := Some v;
         parse rest
     | "--json" :: v :: rest ->
         opt_json := Some v;
         parse rest
-    | [ ("--sf" | "--segs" | "--workers" | "--profile-json" | "--json") as f ]
+    | [ ("--sf" | "--segs" | "--workers" | "--requests" | "--profile-json"
+        | "--json") as f ]
       ->
         usage_error "%s expects a value" f
     | x :: rest -> x :: parse rest

@@ -682,12 +682,12 @@ let metrics_cmd suite as_json lint out baseline tolerance slow_ms flight_dir
   | true, _ ->
       let env = Lazy.force env in
       let skipped =
-        for_each_query ~log:prerr_string (fun label sql ->
+        for_each_query ~log:Progress.log (fun label sql ->
             ignore (flight_optimize env ~label sql))
       in
-      Printf.eprintf "metrics: optimized the %d-query suite (%d unsupported)\n"
-        (List.length (Lazy.force Tpcds.Queries.all))
-        skipped
+      Progress.suite_done ~what:"metrics"
+        ~total:(List.length (Lazy.force Tpcds.Queries.all))
+        ~skipped
   | false, Some sql ->
       let env = Lazy.force env in
       ignore (flight_optimize env ~label:"query" sql)
@@ -700,7 +700,7 @@ let metrics_cmd suite as_json lint out baseline tolerance slow_ms flight_dir
   (match out with
   | Some path ->
       write_file path body;
-      Printf.eprintf "wrote %s\n" path
+      Progress.wrote path
   | None -> if baseline = None then print_string body);
   if lint then begin
     match Telemetry.Expose.lint_prometheus prom with
@@ -730,6 +730,21 @@ let metrics_cmd suite as_json lint out baseline tolerance slow_ms flight_dir
       | _, Error msg ->
           prerr_endline ("metrics: cannot parse fresh snapshot: " ^ msg);
           exit 2)
+
+(* Run the resident optimizer service (lib/server): newline-delimited
+   requests on stdin/stdout by default, or a Unix-socket listener with
+   --socket. All progress goes through the shared stderr helper so stdout
+   stays a clean protocol stream. *)
+let serve_cmd socket capacity max_variants sessions plan env =
+  let config = base_config env in
+  let source = Catalog.Source.create env.provider in
+  let server = Server.create ~config ?capacity ?max_variants source in
+  let log = Progress.say "serve: %s" in
+  match socket with
+  | Some path ->
+      Server.serve_unix ~log ~include_plan:plan ?max_sessions:sessions server
+        ~path ()
+  | None -> Server.serve_channels ~log ~include_plan:plan server stdin stdout
 
 let queries_cmd () =
   List.iter
@@ -1194,6 +1209,61 @@ let () =
            $ suite_arg $ prom_arg $ json_arg $ lint_arg $ out_arg
            $ baseline_arg $ tolerance_arg $ slow_arg $ flight_dir_arg $ sf_arg
            $ segs_arg $ workers_arg $ sql_opt_arg));
+      (let socket_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "socket" ] ~docv:"PATH"
+               ~doc:
+                 "Listen on a Unix-domain socket (one thread per \
+                  connection) instead of serving stdin/stdout.")
+       in
+       let capacity_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "capacity" ] ~docv:"N"
+               ~doc:"Plan-cache capacity in entries (LRU beyond it).")
+       in
+       let variants_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "max-variants" ] ~docv:"N"
+               ~doc:"Binding variants kept per cache entry.")
+       in
+       let sessions_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "sessions" ] ~docv:"N"
+               ~doc:
+                 "With --socket: exit after serving N connections (for \
+                  scripted runs; default: listen forever).")
+       in
+       let plan_arg =
+         Arg.(
+           value & flag
+           & info [ "plan" ]
+               ~doc:
+                 "Include the DXL plan in every response (sessions can \
+                  toggle this with the !plan control line).")
+       in
+       Cmd.v
+         (Cmd.info "serve"
+            ~doc:
+              "Run the resident optimizer service: newline-delimited SQL \
+               requests in, single-line JSON responses out, with the \
+               parameterized plan cache in front of optimization. A plain \
+               line is SQL; !ping, !plan on|off, !invalidate catalog|stats, \
+               !stats and !quit are control lines. Progress goes to stderr; \
+               stdout is protocol-only.")
+         Term.(
+           const (fun socket capacity variants sessions plan sf segs workers ->
+               serve_cmd socket capacity variants sessions plan
+                 (make_env sf segs workers))
+           $ socket_arg $ capacity_arg $ variants_arg $ sessions_arg $ plan_arg
+           $ sf_arg $ segs_arg $ workers_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")
         Term.(const queries_cmd $ const ());

@@ -1,0 +1,25 @@
+(* Shared progress reporting for subcommands whose stdout must stay a valid
+   machine stream (the Prometheus exposition of `metrics`, the line protocol
+   of `serve`): every notice goes to stderr, flushed immediately so it
+   interleaves usefully with the protocol stream. The per-subcommand copies
+   this replaces had drifted (bare prerr_string here, Printf.eprintf there,
+   not always flushed). *)
+
+let log s =
+  output_string stderr s;
+  flush stderr
+
+(* [say] appends the newline; use it for whole messages. *)
+let say fmt =
+  Printf.ksprintf
+    (fun s ->
+      output_string stderr s;
+      output_char stderr '\n';
+      flush stderr)
+    fmt
+
+(* The end-of-suite summary every --suite loop prints. *)
+let suite_done ~what ~total ~skipped =
+  say "%s: optimized the %d-query suite (%d unsupported)" what total skipped
+
+let wrote path = say "wrote %s" path

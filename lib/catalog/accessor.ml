@@ -9,14 +9,26 @@ type t = {
   provider : Provider.t;
   cache : Md_cache.t;
   factory : Colref.Factory.t;
+  md_versions : int * int; (* (catalog, stats) snapshot versions *)
   mutable pinned : (Metadata.kind * Md_id.t) list;
   mutable accessed : Metadata.obj list; (* for AMPERe harvesting *)
 }
 
-let create ?(factory = Colref.Factory.create ()) ~provider ~cache () =
-  { provider; cache; factory; pinned = []; accessed = [] }
+let create ?(factory = Colref.Factory.create ()) ?snapshot ~provider ~cache ()
+    =
+  let md_versions =
+    match snapshot with None -> (0, 0) | Some s -> Snapshot.versions s
+  in
+  { provider; cache; factory; md_versions; pinned = []; accessed = [] }
+
+(* Bind against a snapshot: the provider and versions both come from the
+   immutable view, so the session cannot observe a half-applied change. *)
+let of_snapshot ?factory ~snapshot ~cache () =
+  create ?factory ~snapshot ~provider:(Snapshot.provider snapshot) ~cache ()
 
 let factory t = t.factory
+let md_versions t = t.md_versions
+let stats_version t = snd t.md_versions
 
 let remember t kind mdid obj =
   t.pinned <- (kind, mdid) :: t.pinned;
@@ -114,10 +126,13 @@ let bind_table t name : Table_desc.t option =
    Loaded on demand, exactly like the histogram requests of paper Fig. 5. *)
 let base_stats t (td : Table_desc.t) : Stats.Relstats.t =
   let mdid = Md_id.of_string td.Table_desc.mdid in
+  (* Stamp every base relation with the session's stats-snapshot version;
+     derivation propagates it so the final plan records its provenance. *)
+  let stamp s = Stats.Relstats.set_version s (stats_version t) in
   match lookup_stats t mdid with
   | None ->
       (* no statistics: default guess *)
-      Stats.Relstats.set_rows Stats.Relstats.empty 1000.0
+      stamp (Stats.Relstats.set_rows Stats.Relstats.empty 1000.0)
   | Some st ->
       let cols = Array.of_list td.Table_desc.cols in
       let with_hists =
@@ -128,7 +143,7 @@ let base_stats t (td : Table_desc.t) : Stats.Relstats.t =
             else acc)
           Stats.Relstats.empty st.Metadata.st_col_hists
       in
-      Stats.Relstats.set_rows with_hists st.Metadata.st_rows
+      stamp (Stats.Relstats.set_rows with_hists st.Metadata.st_rows)
 
 let accessed_objects t = List.rev t.accessed
 

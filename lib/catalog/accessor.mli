@@ -10,13 +10,29 @@ type t
 
 val create :
   ?factory:Colref.Factory.t ->
+  ?snapshot:Snapshot.t ->
   provider:Provider.t ->
   cache:Md_cache.t ->
   unit ->
   t
+(** [?snapshot] records the (catalog, stats) versions this session binds
+    against; without it the session is unversioned ([(0, 0)]). *)
+
+val of_snapshot :
+  ?factory:Colref.Factory.t ->
+  snapshot:Snapshot.t ->
+  cache:Md_cache.t ->
+  unit ->
+  t
+(** Bind against an immutable {!Snapshot.t}: provider and versions both come
+    from the snapshot, so the session cannot observe a half-applied change. *)
 
 val factory : t -> Colref.Factory.t
 (** The column-reference factory shared by everything in this session. *)
+
+val md_versions : t -> int * int
+(** The [(catalog_version, stats_version)] snapshot this session binds
+    against. *)
 
 val lookup_rel : t -> Md_id.t -> Metadata.rel_md option
 val lookup_rel_by_name : t -> string -> Metadata.rel_md option

@@ -1,0 +1,26 @@
+(* Versioned, immutable view of the catalog and its statistics.
+
+   A snapshot pairs a metadata provider with the (catalog, stats) version
+   counters that were current when it was taken. Optimization sessions bind
+   against a snapshot; the versions travel with the session's accessor, the
+   derived statistics and the final report, so a cached plan can be keyed on
+   — and later validated against — the exact snapshot it was built from. *)
+
+type t = {
+  provider : Provider.t;
+  catalog_version : int;
+  stats_version : int;
+}
+
+let make ?(catalog_version = 0) ?(stats_version = 0) provider =
+  { provider; catalog_version; stats_version }
+
+let provider t = t.provider
+let catalog_version t = t.catalog_version
+let stats_version t = t.stats_version
+let versions t = (t.catalog_version, t.stats_version)
+
+let to_string t =
+  Printf.sprintf "%s@cat%d/stats%d"
+    (Provider.name t.provider)
+    t.catalog_version t.stats_version

@@ -1,0 +1,22 @@
+(** Versioned, immutable view of the catalog and its statistics.
+
+    A snapshot pairs a metadata provider with the (catalog, stats) version
+    counters current when it was taken. Optimization sessions bind against a
+    snapshot; its versions travel through the accessor, derived statistics
+    and the optimizer report, so a cached plan can be keyed on — and
+    validated against — the exact snapshot it was built from. Obtain
+    snapshots from {!Source.snapshot}; [make] is for tests and replay. *)
+
+type t
+
+val make : ?catalog_version:int -> ?stats_version:int -> Provider.t -> t
+(** Both versions default to 0 (the unversioned, pre-snapshot world). *)
+
+val provider : t -> Provider.t
+val catalog_version : t -> int
+val stats_version : t -> int
+
+val versions : t -> int * int
+(** [(catalog_version, stats_version)]. *)
+
+val to_string : t -> string

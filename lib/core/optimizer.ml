@@ -34,6 +34,9 @@ type report = {
          prov-annotate), in execution order. Always collected — each
          phase costs two Gpos.Clock reads — so the flight recorder and
          lib/telemetry see phase breakdowns without lib/obs. *)
+  md_versions : int * int;
+      (* the (catalog, stats) snapshot versions the session's accessor
+         bound against — the plan-cache key components of lib/server *)
 }
 
 let root_req (q : Dxl.Dxl_query.t) : Props.req =
@@ -301,6 +304,7 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
     obs;
     prov;
     phase_ms;
+    md_versions = Catalog.Accessor.md_versions accessor;
   }
 
 (* With observability on, own a span session for the whole optimization when

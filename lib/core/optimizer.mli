@@ -40,6 +40,10 @@ type report = {
       (** coarse per-phase wall times (preprocess, stage:<name>,
           prov-annotate) in execution order; always collected, feeding the
           flight recorder and lib/telemetry without lib/obs *)
+  md_versions : int * int;
+      (** the (catalog_version, stats_version) snapshot the session's
+          accessor bound against (see {!Catalog.Snapshot}) — the plan-cache
+          key components of [Orca_server] *)
 }
 
 exception Unsupported_query of string

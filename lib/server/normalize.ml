@@ -1,0 +1,66 @@
+(* Query normalization for the parameterized plan cache: lift every literal
+   out of the token stream, render the remaining shape as canonical text and
+   fingerprint it with the telemetry FNV-1a digest. Two queries that differ
+   only in constants (or case, or whitespace, or comments) share a
+   fingerprint; their constants become the parameter vector that selects a
+   binding variant inside the cache entry. *)
+
+open Ir
+
+type t = {
+  raw : string;  (* the request text, verbatim *)
+  text : string; (* canonical shape: literals replaced by $1, $2, ... *)
+  params : Datum.t list; (* lifted constants, in occurrence order *)
+  fingerprint : string;  (* FNV-1a digest of [text] *)
+}
+
+let datum_of_token (tok : Sqlfront.Token.t) : Datum.t option =
+  match tok with
+  | Sqlfront.Token.INT n -> Some (Datum.Int n)
+  | Sqlfront.Token.FLOAT f -> Some (Datum.Float f)
+  | Sqlfront.Token.STRING s -> Some (Datum.String s)
+  | _ -> None
+
+let normalize raw =
+  let toks = Sqlfront.Lexer.tokenize raw in
+  let buf = Buffer.create (String.length raw) in
+  let params = ref [] in
+  let nparams = ref 0 in
+  List.iter
+    (fun tok ->
+      let piece =
+        match datum_of_token tok with
+        | Some d ->
+            incr nparams;
+            params := d :: !params;
+            Printf.sprintf "$%d" !nparams
+        | None -> (
+            match tok with
+            | Sqlfront.Token.IDENT s -> s (* already lowercased by the lexer *)
+            | Sqlfront.Token.KEYWORD k -> k
+            | Sqlfront.Token.SYMBOL s -> s
+            | Sqlfront.Token.EOF -> ""
+            | Sqlfront.Token.INT _ | Sqlfront.Token.FLOAT _
+            | Sqlfront.Token.STRING _ ->
+                assert false)
+      in
+      if piece <> "" then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf piece
+      end)
+    toks;
+  let text = Buffer.contents buf in
+  {
+    raw;
+    text;
+    params = List.rev !params;
+    fingerprint = Telemetry.Metrics.fingerprint text;
+  }
+
+(* Canonical rendering of a parameter vector: the binding-variant key inside
+   a cache entry. [Datum.serialize] is tagged and exactly round-trippable,
+   so distinct vectors cannot collide. *)
+let params_key params =
+  String.concat "\x00" (List.map Datum.serialize params)
+
+let param_to_string = Datum.to_string

@@ -1,0 +1,82 @@
+(** The parameterized plan cache: final physical plans keyed on
+    (fingerprint, catalog version, stats version), LRU-bounded, explicitly
+    invalidated on catalog/stats change.
+
+    Each entry stores the normalized query text (fingerprint-collision
+    detection) and a small MRU list of binding variants — one optimized plan
+    per parameter vector. Exact-variant hits return the cached plan
+    unchanged (byte-identical to fresh optimization for a fixed snapshot);
+    other parameter vectors are served by {!rebind} when unambiguous and
+    count as misses otherwise. Rebound plans are never stored. All
+    operations are thread-safe; counters feed both local {!stats} and the
+    [orca_plan_cache_*] telemetry series. *)
+
+open Ir
+
+type t
+
+val create : ?capacity:int -> ?max_variants:int -> unit -> t
+(** [capacity] bounds cached entries (default 256, LRU eviction);
+    [max_variants] bounds binding variants per entry (default 8, MRU kept). *)
+
+type outcome =
+  | Hit of Expr.plan      (** exact binding variant, returned unchanged *)
+  | Rebound of Expr.plan  (** generic plan with parameters substituted *)
+  | Miss
+
+val find :
+  t ->
+  fp:string ->
+  norm_text:string ->
+  params:Datum.t list ->
+  catalog_version:int ->
+  stats_version:int ->
+  outcome
+
+val add :
+  t ->
+  fp:string ->
+  norm_text:string ->
+  params:Datum.t list ->
+  catalog_version:int ->
+  stats_version:int ->
+  Expr.plan ->
+  unit
+(** Insert a freshly optimized plan as the MRU binding variant of its entry,
+    evicting (entry-level LRU, then variant-level MRU bound) as needed. An
+    insert whose [norm_text] disagrees with the resident entry is a
+    fingerprint collision: counted and dropped, the resident shape wins. *)
+
+val invalidate : t -> keep:(int * int) -> int
+(** Drop every entry not built against [keep = (catalog_version,
+    stats_version)]; returns the number dropped. The explicit-invalidation
+    path after a {!Catalog.Source} version bump. *)
+
+val clear : t -> int
+(** Drop everything (counted as invalidations); returns the number dropped. *)
+
+type stats = {
+  hits : int;           (** exact-variant hits *)
+  misses : int;         (** fresh optimizations required *)
+  rebinds : int;        (** generic-plan hits via parameter substitution *)
+  evictions : int;      (** entries evicted by the LRU bound *)
+  invalidations : int;  (** entries dropped by explicit invalidation *)
+  collisions : int;     (** fingerprint collisions detected *)
+  entries : int;        (** resident entries *)
+  variants : int;       (** resident binding variants *)
+}
+
+val stats : t -> stats
+
+val rebind :
+  old_params:Datum.t list ->
+  new_params:Datum.t list ->
+  Expr.plan ->
+  Expr.plan option
+(** Substitute a new parameter vector into a cached plan (constants in
+    scalars, IN-lists, LIKE patterns, LIMIT/OFFSET, and date-literal
+    translations). Returns [None] when the substitution would be ambiguous
+    or incomplete: arity/type mismatch, a changed value colliding with an
+    unchanged one, a changed value not found in the plan, or baked partition
+    decisions. Cost/cardinality annotations stay those of the cached shape
+    (generic-plan semantics). Exposed for tests. *)

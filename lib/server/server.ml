@@ -1,0 +1,290 @@
+(* Orca as a resident service (paper §3: the optimizer runs outside the
+   database system, fielding requests over a stream). A server owns a
+   mutable catalog {!Catalog.Source}, an MD cache shared across sessions and
+   a {!Plan_cache}. Each request takes an immutable snapshot of the source,
+   consults the cache under the snapshot's (catalog, stats) versions and
+   only optimizes on a miss — so concurrent sessions, catalog bumps and
+   cache invalidation interleave without locks around optimization itself.
+
+   Front end: a newline-delimited request/response protocol, served either
+   over stdin/stdout ([serve_channels]) or a Unix-domain socket with one
+   thread per connection ([serve_unix]). A plain line is SQL to optimize;
+   [!]-prefixed lines are control commands (see [handle_line]). Every
+   response is a single JSON line on the protocol stream; progress and
+   diagnostics go through the [log] callback (stderr in the CLI), keeping
+   stdout protocol-clean. *)
+
+(* server.ml doubles as the library's entry module: re-export the pieces. *)
+module Normalize = Normalize
+module Plan_cache = Plan_cache
+
+type t = {
+  source : Catalog.Source.t;
+  md_cache : Catalog.Md_cache.t;
+  cache : Plan_cache.t;
+  config : Orca.Orca_config.t;
+  lock : Mutex.t; (* requests/errors counters *)
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let create ?(config = Orca.Orca_config.default) ?capacity ?max_variants source
+    =
+  {
+    source;
+    md_cache = Catalog.Md_cache.create ();
+    cache = Plan_cache.create ?capacity ?max_variants ();
+    config;
+    lock = Mutex.create ();
+    requests = 0;
+    errors = 0;
+  }
+
+let of_provider ?config ?capacity ?max_variants provider =
+  create ?config ?capacity ?max_variants (Catalog.Source.create provider)
+
+let source t = t.source
+let plan_cache t = t.cache
+
+type cache_result = Hit | Rebound | Missed
+
+let cache_result_to_string = function
+  | Hit -> "hit"
+  | Rebound -> "rebind"
+  | Missed -> "miss"
+
+type reply = {
+  r_plan : Ir.Expr.plan;
+  r_dxl : string Lazy.t;
+  r_fingerprint : string;
+  r_result : cache_result;
+  r_ms : float;
+  r_catalog_version : int;
+  r_stats_version : int;
+}
+
+let count_request t =
+  Mutex.lock t.lock;
+  t.requests <- t.requests + 1;
+  Mutex.unlock t.lock
+
+let count_error t =
+  Mutex.lock t.lock;
+  t.errors <- t.errors + 1;
+  Mutex.unlock t.lock
+
+(* Optimize one SQL request through the plan cache. On a miss the query is
+   bound and optimized against the snapshot taken before the cache probe, so
+   the inserted plan is keyed exactly on the versions it was built from. *)
+let optimize_sql t sql : (reply, string) result =
+  let t0 = Gpos.Clock.now () in
+  count_request t;
+  Telemetry.Metrics.inc Telemetry.Std.serve_requests;
+  match
+    let n = Normalize.normalize sql in
+    let snapshot = Catalog.Source.snapshot t.source in
+    let catalog_version = Catalog.Snapshot.catalog_version snapshot in
+    let stats_version = Catalog.Snapshot.stats_version snapshot in
+    let plan, result =
+      match
+        Plan_cache.find t.cache ~fp:n.Normalize.fingerprint
+          ~norm_text:n.Normalize.text ~params:n.Normalize.params
+          ~catalog_version ~stats_version
+      with
+      | Plan_cache.Hit plan -> (plan, Hit)
+      | Plan_cache.Rebound plan -> (plan, Rebound)
+      | Plan_cache.Miss ->
+          let accessor =
+            Catalog.Accessor.of_snapshot ~snapshot ~cache:t.md_cache ()
+          in
+          let query = Sqlfront.Binder.bind_sql accessor sql in
+          let report = Orca.Optimizer.optimize ~config:t.config accessor query in
+          Plan_cache.add t.cache ~fp:n.Normalize.fingerprint
+            ~norm_text:n.Normalize.text ~params:n.Normalize.params
+            ~catalog_version ~stats_version report.Orca.Optimizer.plan;
+          (report.Orca.Optimizer.plan, Missed)
+    in
+    let ms = Gpos.Clock.ms_since t0 in
+    Telemetry.Metrics.observe Telemetry.Std.serve_ms ms;
+    {
+      r_plan = plan;
+      r_dxl = lazy (Dxl.Dxl_plan.to_string plan);
+      r_fingerprint = n.Normalize.fingerprint;
+      r_result = result;
+      r_ms = ms;
+      r_catalog_version = catalog_version;
+      r_stats_version = stats_version;
+    }
+  with
+  | reply -> Ok reply
+  | exception Orca.Optimizer.Unsupported_query msg ->
+      count_error t;
+      Telemetry.Metrics.inc Telemetry.Std.serve_errors;
+      Error ("unsupported query: " ^ msg)
+  | exception (Gpos.Gpos_error.Error _ as e) ->
+      count_error t;
+      Telemetry.Metrics.inc Telemetry.Std.serve_errors;
+      Error (Gpos.Gpos_error.to_string e)
+
+(* Bump the source version and drop every cache entry keyed on an older
+   snapshot; returns the number dropped and the new versions. *)
+let invalidate t what =
+  (match what with
+  | `Catalog -> Catalog.Source.bump_catalog t.source
+  | `Stats -> Catalog.Source.bump_stats t.source);
+  let versions = Catalog.Source.versions t.source in
+  let dropped = Plan_cache.invalidate t.cache ~keep:versions in
+  (dropped, versions)
+
+type stats = { s_requests : int; s_errors : int; s_cache : Plan_cache.stats }
+
+let stats t =
+  Mutex.lock t.lock;
+  let requests = t.requests and errors = t.errors in
+  Mutex.unlock t.lock;
+  { s_requests = requests; s_errors = errors; s_cache = Plan_cache.stats t.cache }
+
+(* ---------------- the line protocol -------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_error msg = Printf.sprintf {|{"ok":false,"error":"%s"}|} (json_escape msg)
+
+let json_of_reply ~include_plan (r : reply) =
+  let plan_field =
+    if include_plan then
+      Printf.sprintf {|,"plan":"%s"|} (json_escape (Lazy.force r.r_dxl))
+    else ""
+  in
+  Printf.sprintf
+    {|{"ok":true,"cache":"%s","fingerprint":"%s","ms":%.3f,"cost":%.6g,"rows":%.6g,"catalog_version":%d,"stats_version":%d%s}|}
+    (cache_result_to_string r.r_result)
+    r.r_fingerprint r.r_ms r.r_plan.Ir.Expr.pcost r.r_plan.Ir.Expr.pest_rows
+    r.r_catalog_version r.r_stats_version plan_field
+
+let json_of_stats t =
+  let s = stats t in
+  let c = s.s_cache in
+  let answered = c.Plan_cache.hits + c.Plan_cache.rebinds in
+  let probes = answered + c.Plan_cache.misses in
+  let hit_rate =
+    if probes = 0 then 0.0 else float_of_int answered /. float_of_int probes
+  in
+  Printf.sprintf
+    {|{"ok":true,"requests":%d,"errors":%d,"hits":%d,"rebinds":%d,"misses":%d,"evictions":%d,"invalidations":%d,"collisions":%d,"entries":%d,"variants":%d,"hit_rate":%.4f}|}
+    s.s_requests s.s_errors c.Plan_cache.hits c.Plan_cache.rebinds
+    c.Plan_cache.misses c.Plan_cache.evictions c.Plan_cache.invalidations
+    c.Plan_cache.collisions c.Plan_cache.entries c.Plan_cache.variants hit_rate
+
+(* One request line: a plain line is SQL; [!]-prefixed lines are control
+   commands:
+     !ping                      liveness probe
+     !plan on|off               include the DXL plan in responses
+     !invalidate catalog|stats  bump the source version, drop stale entries
+     !stats                     cache/serve counters
+     !quit                      end the session *)
+let handle_line t ~session_plan line =
+  let line = String.trim line in
+  if line = "" then `Silent
+  else if String.length line > 0 && line.[0] = '!' then
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "!ping" ] -> `Reply {|{"ok":true,"pong":true}|}
+    | [ "!quit" ] -> `Quit {|{"ok":true,"bye":true}|}
+    | [ "!plan"; "on" ] ->
+        session_plan := true;
+        `Reply {|{"ok":true,"plan":true}|}
+    | [ "!plan"; "off" ] ->
+        session_plan := false;
+        `Reply {|{"ok":true,"plan":false}|}
+    | [ "!stats" ] -> `Reply (json_of_stats t)
+    | [ "!invalidate"; what ] when what = "catalog" || what = "stats" ->
+        let target = if what = "catalog" then `Catalog else `Stats in
+        let dropped, (cat, st) = invalidate t target in
+        `Reply
+          (Printf.sprintf
+             {|{"ok":true,"invalidated":"%s","dropped":%d,"catalog_version":%d,"stats_version":%d}|}
+             what dropped cat st)
+    | _ -> `Reply (json_error ("unknown control command: " ^ line))
+  else
+    match optimize_sql t line with
+    | Ok reply -> `Reply (json_of_reply ~include_plan:!session_plan reply)
+    | Error msg -> `Reply (json_error msg)
+
+(* One session over arbitrary channels. Responses are flushed per line so a
+   pipelined client never deadlocks; [log] receives session progress. *)
+let serve_channels ?(log = ignore) ?(include_plan = false) t ic oc =
+  let session_plan = ref include_plan in
+  log "session open";
+  let quit = ref false in
+  (try
+     while not !quit do
+       match input_line ic with
+       | exception End_of_file -> quit := true
+       | line -> (
+           match handle_line t ~session_plan line with
+           | `Silent -> ()
+           | `Reply json ->
+               output_string oc json;
+               output_char oc '\n';
+               flush oc
+           | `Quit json ->
+               output_string oc json;
+               output_char oc '\n';
+               flush oc;
+               quit := true)
+     done
+   with Sys_error _ -> ());
+  log "session closed"
+
+(* Unix-domain socket listener: one thread per accepted connection, each
+   running the same session loop. [max_sessions] bounds accepted connections
+   (tests); without it the listener runs until the process dies. *)
+let serve_unix ?(log = ignore) ?(include_plan = false) ?(backlog = 16)
+    ?max_sessions t ~path () =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock backlog;
+      log (Printf.sprintf "listening on %s" path);
+      let threads = ref [] in
+      let accepted = ref 0 in
+      let continue () =
+        match max_sessions with None -> true | Some n -> !accepted < n
+      in
+      while continue () do
+        let fd, _ = Unix.accept sock in
+        incr accepted;
+        let n = !accepted in
+        let th =
+          Thread.create
+            (fun fd ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              let log msg = log (Printf.sprintf "[conn %d] %s" n msg) in
+              serve_channels ~log ~include_plan t ic oc;
+              (try close_out oc with Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            fd
+        in
+        threads := th :: !threads
+      done;
+      List.iter Thread.join !threads)

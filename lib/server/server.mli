@@ -1,0 +1,89 @@
+(** Orca as a resident service: a long-lived optimizer process fielding
+    newline-delimited requests over stdin/stdout or a Unix-domain socket,
+    with a parameterized {!Plan_cache} in front of optimization.
+
+    Each request takes an immutable {!Catalog.Snapshot} of the server's
+    {!Catalog.Source}; the cache is consulted under the snapshot's
+    (catalog, stats) versions, so version bumps and concurrent sessions
+    interleave safely without locks around optimization. All responses are
+    single JSON lines on the protocol stream; progress goes to [log]. *)
+
+module Normalize = Normalize
+module Plan_cache = Plan_cache
+
+type t
+
+val create :
+  ?config:Orca.Orca_config.t ->
+  ?capacity:int ->
+  ?max_variants:int ->
+  Catalog.Source.t ->
+  t
+(** [config] defaults to {!Orca.Orca_config.default}; [capacity] and
+    [max_variants] bound the plan cache (see {!Plan_cache.create}). *)
+
+val of_provider :
+  ?config:Orca.Orca_config.t ->
+  ?capacity:int ->
+  ?max_variants:int ->
+  Catalog.Provider.t ->
+  t
+(** [create] over a fresh source wrapping the provider. *)
+
+val source : t -> Catalog.Source.t
+val plan_cache : t -> Plan_cache.t
+
+type cache_result = Hit | Rebound | Missed
+
+val cache_result_to_string : cache_result -> string
+(** ["hit"], ["rebind"], ["miss"] — the protocol's [cache] field. *)
+
+type reply = {
+  r_plan : Ir.Expr.plan;
+  r_dxl : string Lazy.t;     (** DXL serialization, forced on demand *)
+  r_fingerprint : string;
+  r_result : cache_result;
+  r_ms : float;              (** end-to-end serve latency *)
+  r_catalog_version : int;
+  r_stats_version : int;
+}
+
+val optimize_sql : t -> string -> (reply, string) result
+(** Field one SQL request through the plan cache; misses bind and optimize
+    against the snapshot taken before the cache probe and insert the result.
+    Errors (parse/bind/unsupported) are returned, counted and never cached. *)
+
+val invalidate : t -> [ `Catalog | `Stats ] -> int * (int * int)
+(** Bump the source version and drop every stale cache entry. Returns
+    [(dropped, (catalog_version, stats_version))]. *)
+
+type stats = { s_requests : int; s_errors : int; s_cache : Plan_cache.stats }
+
+val stats : t -> stats
+
+val serve_channels :
+  ?log:(string -> unit) ->
+  ?include_plan:bool ->
+  t ->
+  in_channel ->
+  out_channel ->
+  unit
+(** One protocol session: a plain line is SQL to optimize; control lines are
+    [!ping], [!plan on|off], [!invalidate catalog|stats], [!stats] and
+    [!quit]. One JSON response line per request, flushed immediately; the
+    session ends on [!quit] or EOF. [include_plan] sets the session's
+    initial [!plan] state. *)
+
+val serve_unix :
+  ?log:(string -> unit) ->
+  ?include_plan:bool ->
+  ?backlog:int ->
+  ?max_sessions:int ->
+  t ->
+  path:string ->
+  unit ->
+  unit
+(** Listen on a Unix-domain socket, one thread per connection, each running
+    {!serve_channels}. [max_sessions] bounds accepted connections (after
+    which the listener drains its sessions and returns — used by tests);
+    without it the listener runs forever. Removes [path] on exit. *)

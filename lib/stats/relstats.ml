@@ -5,19 +5,23 @@ open Ir
 
 type col_stats = { hist : Histogram.t }
 
-type t = { rows : float; cols : col_stats Colref.Map.t }
+type t = { rows : float; cols : col_stats Colref.Map.t; version : int }
 
-let empty = { rows = 0.0; cols = Colref.Map.empty }
+let empty = { rows = 0.0; cols = Colref.Map.empty; version = 0 }
 
 let rows t = t.rows
 
-let make ~rows cols_list =
+let version t = t.version
+
+let set_version t version = { t with version }
+
+let make ?(version = 0) ~rows cols_list =
   let cols =
     List.fold_left
       (fun m (c, h) -> Colref.Map.add c { hist = h } m)
       Colref.Map.empty cols_list
   in
-  { rows; cols }
+  { rows; cols; version }
 
 let find_col t c = Colref.Map.find_opt c t.cols
 
@@ -47,15 +51,18 @@ let set_rows t rows = { t with rows = Float.max 0.0 rows }
 let scale t factor =
   let factor = Float.max 0.0 factor in
   {
+    t with
     rows = t.rows *. factor;
     cols = Colref.Map.map (fun cs -> { hist = Histogram.scale cs.hist factor }) t.cols;
   }
 
-(* Combine column maps of two join inputs (disjoint column sets). *)
+(* Combine column maps of two join inputs (disjoint column sets). Derived
+   stats carry the newest snapshot version of any input. *)
 let merge_cols a b =
   {
     rows = a.rows;
     cols = Colref.Map.union (fun _ x _ -> Some x) a.cols b.cols;
+    version = max a.version b.version;
   }
 
 let width_of_cols cols =

@@ -6,11 +6,21 @@ open Ir
 
 type col_stats = { hist : Histogram.t }
 
-type t = { rows : float; cols : col_stats Colref.Map.t }
+type t = { rows : float; cols : col_stats Colref.Map.t; version : int }
+(** [version] is the stats-snapshot version these statistics were derived
+    from (0 when unversioned); derived stats carry the newest version of any
+    input so a cached plan can be validated against the snapshot it was built
+    from. *)
 
 val empty : t
 val rows : t -> float
-val make : rows:float -> (Colref.t * Histogram.t) list -> t
+
+val version : t -> int
+(** Stats-snapshot version these statistics were derived from. *)
+
+val set_version : t -> int -> t
+
+val make : ?version:int -> rows:float -> (Colref.t * Histogram.t) list -> t
 val find_col : t -> Colref.t -> col_stats option
 val col_hist : t -> Colref.t -> Histogram.t option
 

@@ -97,6 +97,29 @@ let flight_slow = c "orca_flight_slow_total" "Queries over the slow threshold."
 let flight_failed = c "orca_flight_failed_total" "Failed optimizations seen by the flight recorder."
 let flight_dumps = c "orca_flight_dumps_total" "AMPERe dumps emitted by the flight recorder."
 
+(* -- plan cache / serve loop (lib/server) -------------------------- *)
+
+let plan_cache_hits =
+  c "orca_plan_cache_hits_total" "Serve requests answered from the plan cache."
+
+let plan_cache_misses =
+  c "orca_plan_cache_misses_total" "Serve requests that required a fresh optimization."
+
+let plan_cache_evictions =
+  c "orca_plan_cache_evictions_total" "Plan-cache entries evicted by the LRU bound."
+
+let plan_cache_invalidations =
+  c "orca_plan_cache_invalidations_total"
+    "Plan-cache entries dropped by explicit catalog/stats invalidation."
+
+let plan_cache_collisions =
+  c "orca_plan_cache_collisions_total"
+    "Fingerprint collisions detected (same hash, different normalized query)."
+
+let serve_requests = c "orca_serve_requests_total" "Requests fielded by the serve loop."
+let serve_errors = c "orca_serve_errors_total" "Serve requests that failed or were rejected."
+let serve_ms = h "orca_serve_ms" "End-to-end serve latency per request (ms)."
+
 (* -- executor ------------------------------------------------------ *)
 
 let exec_queries = c "orca_exec_queries_total" "Plans executed (simulated cluster)."

@@ -47,6 +47,17 @@ val flight_slow : Metrics.counter
 val flight_failed : Metrics.counter
 val flight_dumps : Metrics.counter
 
+(** Plan cache and serve loop (lib/server). *)
+
+val plan_cache_hits : Metrics.counter
+val plan_cache_misses : Metrics.counter
+val plan_cache_evictions : Metrics.counter
+val plan_cache_invalidations : Metrics.counter
+val plan_cache_collisions : Metrics.counter
+val serve_requests : Metrics.counter
+val serve_errors : Metrics.counter
+val serve_ms : Metrics.histogram
+
 val exec_queries : Metrics.counter
 val exec_rows_scanned : Metrics.counter
 val exec_rows_moved : Metrics.counter

@@ -31,4 +31,5 @@ let () =
       ("rulecheck", Test_rulecheck.suite);
       ("interact", Test_interact.suite);
       ("telemetry", Test_telemetry.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,409 @@
+(* Tests for lib/server: query normalization and fingerprinting, the
+   parameterized plan cache (exact hits byte-identical to fresh
+   optimization, parameter rebinds, LRU eviction, forged-fingerprint
+   collisions), snapshot versioning and invalidation, version threading
+   through accessor/stats/optimizer report, the line protocol, and
+   concurrent sessions over both the API and the Unix-socket listener. *)
+
+module Sv = Server
+module Nz = Server.Normalize
+module Pc = Server.Plan_cache
+
+let sql_base = "SELECT a, b FROM t1 WHERE b = 10"
+
+(* same token stream: case/whitespace differences only *)
+let sql_variant = "select  A,  b   from T1 where B = 10"
+
+(* same shape, one constant changed *)
+let sql_changed = "SELECT a, b FROM t1 WHERE b = 11"
+
+(* different shape entirely *)
+let sql_other = "SELECT a FROM t2 WHERE a = 10"
+
+let new_server () =
+  Sv.of_provider
+    ~config:(Lazy.force Fixtures.orca_config)
+    (Lazy.force Fixtures.small).Fixtures.provider
+
+let ok_reply server sql =
+  match Sv.optimize_sql server sql with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "optimize_sql %S failed: %s" sql e
+
+let result_t =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Sv.cache_result_to_string r))
+    ( = )
+
+(* fresh, cache-free optimization of [sql] for byte-identity comparisons *)
+let cold_plan sql =
+  let accessor = Fixtures.small_accessor () in
+  let query = Sqlfront.Binder.bind_sql accessor sql in
+  let report =
+    Orca.Optimizer.optimize ~config:(Lazy.force Fixtures.orca_config) accessor
+      query
+  in
+  report.Orca.Optimizer.plan
+
+(* --- normalization --- *)
+
+let test_normalize_shape () =
+  let n1 = Nz.normalize sql_base and n2 = Nz.normalize sql_variant in
+  Alcotest.(check string) "same canonical text" n1.Nz.text n2.Nz.text;
+  Alcotest.(check string) "same fingerprint" n1.Nz.fingerprint n2.Nz.fingerprint;
+  Alcotest.(check string)
+    "same parameter vector"
+    (Nz.params_key n1.Nz.params)
+    (Nz.params_key n2.Nz.params);
+  let has sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "placeholder in the text" true (has "$1" n1.Nz.text);
+  Alcotest.(check bool) "literal lifted out of the text" false
+    (has "10" n1.Nz.text);
+  Alcotest.(check int) "one parameter" 1 (List.length n1.Nz.params)
+
+let test_normalize_params_differ () =
+  let n1 = Nz.normalize sql_base and n3 = Nz.normalize sql_changed in
+  Alcotest.(check string)
+    "changed constant keeps the fingerprint" n1.Nz.fingerprint
+    n3.Nz.fingerprint;
+  Alcotest.(check bool)
+    "changed constant changes the parameter key" true
+    (Nz.params_key n1.Nz.params <> Nz.params_key n3.Nz.params)
+
+let test_normalize_distinct_shapes () =
+  let n1 = Nz.normalize sql_base and n4 = Nz.normalize sql_other in
+  Alcotest.(check bool)
+    "different shapes, different fingerprints" true
+    (n1.Nz.fingerprint <> n4.Nz.fingerprint)
+
+(* --- the cache through the server API --- *)
+
+let test_hit_identical_plan () =
+  let server = new_server () in
+  let r1 = ok_reply server sql_base in
+  let r2 = ok_reply server sql_variant in
+  Alcotest.check result_t "first request misses" Sv.Missed r1.Sv.r_result;
+  Alcotest.check result_t "variant is an exact hit" Sv.Hit r2.Sv.r_result;
+  (* the cached plan serializes byte-for-byte like a fresh optimization *)
+  let cold = Dxl.Dxl_plan.to_string (cold_plan sql_base) in
+  Alcotest.(check string) "hit DXL = cold DXL" cold (Lazy.force r2.Sv.r_dxl);
+  let d = Prov.Plan_diff.diff r2.Sv.r_plan (cold_plan sql_base) in
+  Alcotest.(check bool) "structural diff is empty" true d.Prov.Plan_diff.d_identical
+
+let test_rebind () =
+  let server = new_server () in
+  ignore (ok_reply server sql_base);
+  let r = ok_reply server sql_changed in
+  Alcotest.check result_t "changed constant rebinds" Sv.Rebound r.Sv.r_result;
+  (* the rebound plan carries the new constant and the cached shape *)
+  let d = Prov.Plan_diff.diff r.Sv.r_plan (cold_plan sql_changed) in
+  Alcotest.(check bool)
+    "rebound plan has the fresh plan's shape" true
+    d.Prov.Plan_diff.d_structural;
+  Alcotest.(check bool)
+    "new constant substituted into the plan" true
+    (let dxl = Lazy.force r.Sv.r_dxl in
+     let has sub =
+       let n = String.length sub and m = String.length dxl in
+       let rec go i = i + n <= m && (String.sub dxl i n = sub || go (i + 1)) in
+       go 0
+     in
+     has "int:11" && not (has "int:10"));
+  (* rebound plans are never cached: the same request rebinds again *)
+  let r' = ok_reply server sql_changed in
+  Alcotest.check result_t "rebind is not cached" Sv.Rebound r'.Sv.r_result
+
+let test_rebind_ambiguity_misses () =
+  let server = new_server () in
+  let sql_two = "SELECT a, b FROM t1 WHERE b = 10 AND a = 10" in
+  (* changing only one of two equal constants is ambiguous: the cache must
+     optimize fresh rather than guess which literal to substitute *)
+  let sql_two' = "SELECT a, b FROM t1 WHERE b = 11 AND a = 10" in
+  ignore (ok_reply server sql_two);
+  let r = ok_reply server sql_two' in
+  Alcotest.check result_t "ambiguous rebind is a miss" Sv.Missed r.Sv.r_result;
+  (* ...and the miss added its own variant: the same text now hits *)
+  let r' = ok_reply server sql_two' in
+  Alcotest.check result_t "second time is an exact hit" Sv.Hit r'.Sv.r_result
+
+(* --- the cache directly: collisions and LRU --- *)
+
+let test_fingerprint_collision () =
+  let cache = Pc.create () in
+  let plan = cold_plan sql_base in
+  let add text = Pc.add cache ~fp:"forged" ~norm_text:text ~params:[] ~catalog_version:0 ~stats_version:0 plan in
+  let find text =
+    Pc.find cache ~fp:"forged" ~norm_text:text ~params:[] ~catalog_version:0
+      ~stats_version:0
+  in
+  add "shape-a";
+  (* a different shape behind the same fingerprint must never be served *)
+  (match find "shape-b" with
+  | Pc.Miss -> ()
+  | _ -> Alcotest.fail "collision served a foreign plan");
+  (* insert under the collision keeps the resident shape *)
+  add "shape-b";
+  (match find "shape-a" with
+  | Pc.Hit _ -> ()
+  | _ -> Alcotest.fail "resident shape evicted by colliding insert");
+  let s = Pc.stats cache in
+  Alcotest.(check int) "two collisions counted" 2 s.Pc.collisions
+
+let test_lru_eviction () =
+  let cache = Pc.create ~capacity:2 () in
+  let plan = cold_plan sql_base in
+  let add fp = Pc.add cache ~fp ~norm_text:fp ~params:[] ~catalog_version:0 ~stats_version:0 plan in
+  let find fp =
+    Pc.find cache ~fp ~norm_text:fp ~params:[] ~catalog_version:0
+      ~stats_version:0
+  in
+  add "q1";
+  add "q2";
+  (* touch q1 so q2 becomes least-recently-used *)
+  (match find "q1" with
+  | Pc.Hit _ -> ()
+  | _ -> Alcotest.fail "q1 should hit");
+  add "q3";
+  (match find "q2" with
+  | Pc.Miss -> ()
+  | _ -> Alcotest.fail "q2 should have been evicted (LRU)");
+  (match (find "q1", find "q3") with
+  | Pc.Hit _, Pc.Hit _ -> ()
+  | _ -> Alcotest.fail "q1 and q3 should both be resident");
+  let s = Pc.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Pc.evictions;
+  Alcotest.(check int) "capacity respected" 2 s.Pc.entries
+
+(* --- snapshot versioning and invalidation --- *)
+
+let test_invalidation () =
+  let server = new_server () in
+  ignore (ok_reply server sql_base);
+  let r = ok_reply server sql_base in
+  Alcotest.check result_t "warm" Sv.Hit r.Sv.r_result;
+  (* a stats refresh stales the plan: the next request re-optimizes *)
+  let dropped, (cat, st) = Sv.invalidate server `Stats in
+  Alcotest.(check int) "one entry dropped" 1 dropped;
+  Alcotest.(check (pair int int)) "stats bump" (0, 1) (cat, st);
+  let r = ok_reply server sql_base in
+  Alcotest.check result_t "stale plan not served" Sv.Missed r.Sv.r_result;
+  Alcotest.(check (pair int int))
+    "reply carries the new versions" (0, 1)
+    (r.Sv.r_catalog_version, r.Sv.r_stats_version);
+  let r = ok_reply server sql_base in
+  Alcotest.check result_t "warm again under the new versions" Sv.Hit
+    r.Sv.r_result;
+  (* a catalog change advances both counters *)
+  let dropped, (cat, st) = Sv.invalidate server `Catalog in
+  Alcotest.(check int) "entry dropped again" 1 dropped;
+  Alcotest.(check (pair int int)) "catalog bump stales stats too" (1, 2)
+    (cat, st)
+
+let test_version_threading () =
+  let s = Lazy.force Fixtures.small in
+  let source = Catalog.Source.create s.Fixtures.provider in
+  Catalog.Source.bump_stats source;
+  let snapshot = Catalog.Source.snapshot source in
+  let accessor =
+    Catalog.Accessor.of_snapshot ~snapshot ~cache:(Catalog.Md_cache.create ())
+      ()
+  in
+  Alcotest.(check (pair int int))
+    "accessor binds the snapshot versions" (0, 1)
+    (Catalog.Accessor.md_versions accessor);
+  let td = Option.get (Catalog.Accessor.bind_table accessor "t1") in
+  let st = Catalog.Accessor.base_stats accessor td in
+  Alcotest.(check int) "base stats stamped with the stats version" 1
+    (Stats.Relstats.version st);
+  let query = Sqlfront.Binder.bind_sql accessor sql_base in
+  let report =
+    Orca.Optimizer.optimize ~config:(Lazy.force Fixtures.orca_config) accessor
+      query
+  in
+  Alcotest.(check (pair int int))
+    "optimizer report records the versions" (0, 1)
+    report.Orca.Optimizer.md_versions
+
+let test_relstats_version_ops () =
+  let st = Stats.Relstats.make ~version:3 ~rows:100.0 [] in
+  Alcotest.(check int) "make carries the version" 3 (Stats.Relstats.version st);
+  let st' = Stats.Relstats.scale st 0.5 in
+  Alcotest.(check int) "scale preserves the version" 3
+    (Stats.Relstats.version st');
+  Alcotest.(check int) "set_version" 7
+    (Stats.Relstats.version (Stats.Relstats.set_version st 7))
+
+(* --- the line protocol --- *)
+
+let read_all_lines fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let test_protocol_session () =
+  let server = new_server () in
+  let req_r, req_w = Unix.pipe () and resp_r, resp_w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr req_w in
+  output_string oc "!ping\n";
+  output_string oc (sql_base ^ "\n");
+  output_string oc (sql_base ^ "\n");
+  output_string oc "!plan on\n";
+  output_string oc (sql_base ^ "\n");
+  output_string oc "!invalidate stats\n";
+  output_string oc "!stats\n";
+  output_string oc "!bogus\n";
+  output_string oc "!quit\n";
+  close_out oc;
+  let ic = Unix.in_channel_of_descr req_r in
+  let soc = Unix.out_channel_of_descr resp_w in
+  Sv.serve_channels server ic soc;
+  close_out soc;
+  (match read_all_lines resp_r with
+  | [ pong; first; second; plan_on; with_plan; inval; stats; bogus; bye ] ->
+      let has sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check string) "ping" {|{"ok":true,"pong":true}|} pong;
+      Alcotest.(check bool) "first misses" true (has {|"cache":"miss"|} first);
+      Alcotest.(check bool) "second hits" true (has {|"cache":"hit"|} second);
+      Alcotest.(check string) "plan on" {|{"ok":true,"plan":true}|} plan_on;
+      Alcotest.(check bool) "plan included on demand" true
+        (has {|"plan":"|} with_plan);
+      Alcotest.(check bool) "plan off by default" false (has {|"plan":"|} second);
+      Alcotest.(check bool) "invalidate reports the drop" true
+        (has {|"invalidated":"stats","dropped":1|} inval);
+      Alcotest.(check bool) "stats exposes the counters" true
+        (has {|"hits":|} stats && has {|"hit_rate":|} stats);
+      Alcotest.(check bool) "unknown control command errors" true
+        (has {|"ok":false|} bogus);
+      Alcotest.(check bool) "quit acknowledged" true (has {|"bye":true|} bye)
+  | lines -> Alcotest.failf "expected 9 response lines, got %d" (List.length lines));
+  Unix.close req_r;
+  Unix.close resp_r
+
+(* --- concurrency --- *)
+
+let test_concurrent_sessions () =
+  let server = new_server () in
+  let nthreads = 8 and per_thread = 25 in
+  let sqls = [| sql_base; sql_variant; sql_changed; sql_other |] in
+  let failures = ref 0 in
+  let lock = Mutex.create () in
+  let worker i =
+    for j = 0 to per_thread - 1 do
+      let sql = sqls.((i + j) mod Array.length sqls) in
+      match Sv.optimize_sql server sql with
+      | Ok _ -> ()
+      | Error _ ->
+          Mutex.lock lock;
+          incr failures;
+          Mutex.unlock lock
+    done
+  in
+  let threads = List.init nthreads (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no request failed" 0 !failures;
+  let s = Sv.stats server in
+  Alcotest.(check int)
+    "every request counted" (nthreads * per_thread)
+    s.Sv.s_requests;
+  let c = s.Sv.s_cache in
+  Alcotest.(check int)
+    "every probe accounted for" (nthreads * per_thread)
+    (c.Pc.hits + c.Pc.rebinds + c.Pc.misses)
+
+let test_unix_socket_sessions () =
+  let server = new_server () in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "orca-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  let nclients = 3 in
+  let listener =
+    Thread.create
+      (fun () -> Sv.serve_unix ~max_sessions:nclients server ~path ())
+      ()
+  in
+  (* wait for the socket to appear *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "listener never bound its socket"
+    else if not (Sys.file_exists path) then (Thread.delay 0.02; wait (n - 1))
+  in
+  wait 250;
+  let client i =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (sql_base ^ "\n");
+    output_string oc ((if i mod 2 = 0 then sql_variant else sql_changed) ^ "\n");
+    output_string oc "!quit\n";
+    flush oc;
+    let l1 = input_line ic in
+    let l2 = input_line ic in
+    let l3 = input_line ic in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    List.for_all
+      (fun l -> String.length l > 0 && String.sub l 0 10 = {|{"ok":true|})
+      [ l1; l2; l3 ]
+  in
+  let oks = ref 0 in
+  let lock = Mutex.create () in
+  let clients =
+    List.init nclients (fun i ->
+        Thread.create
+          (fun () ->
+            if client i then begin
+              Mutex.lock lock;
+              incr oks;
+              Mutex.unlock lock
+            end)
+          ())
+  in
+  List.iter Thread.join clients;
+  Thread.join listener;
+  Alcotest.(check int) "every session served" nclients !oks;
+  Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists path);
+  let s = Sv.stats server in
+  Alcotest.(check int) "all socket requests counted" (2 * nclients)
+    s.Sv.s_requests
+
+let suite =
+  [
+    Alcotest.test_case "normalize: case/whitespace share a shape" `Quick
+      test_normalize_shape;
+    Alcotest.test_case "normalize: constants become parameters" `Quick
+      test_normalize_params_differ;
+    Alcotest.test_case "normalize: distinct shapes, distinct fingerprints"
+      `Quick test_normalize_distinct_shapes;
+    Alcotest.test_case "cache hit is byte-identical to fresh optimization"
+      `Quick test_hit_identical_plan;
+    Alcotest.test_case "changed constant takes the rebind path" `Quick
+      test_rebind;
+    Alcotest.test_case "ambiguous rebind optimizes fresh" `Quick
+      test_rebind_ambiguity_misses;
+    Alcotest.test_case "fingerprint collision never served" `Quick
+      test_fingerprint_collision;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "invalidation on version bumps" `Quick test_invalidation;
+    Alcotest.test_case "versions threaded through accessor/stats/report"
+      `Quick test_version_threading;
+    Alcotest.test_case "relstats version algebra" `Quick
+      test_relstats_version_ops;
+    Alcotest.test_case "line-protocol session" `Quick test_protocol_session;
+    Alcotest.test_case "concurrent sessions share the cache" `Quick
+      test_concurrent_sessions;
+    Alcotest.test_case "unix-socket listener serves concurrent clients" `Quick
+      test_unix_socket_sessions;
+  ]

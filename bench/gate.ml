@@ -246,6 +246,32 @@ let serve_gate ~check ~tol ~q_tolerance baseline fresh =
       check name ~base ~got ~ok:(got <= ceiling)
         (Printf.sprintf "(must stay <= %.4g; lower is fine)" ceiling))
     [ "p50_ms"; "p95_ms"; "p99_ms" ];
+  (* the SLO block (bench serve's rolling-window report): attainment and
+     availability from below; burn rates from above, except that a run
+     still inside its error budget (burn <= 1.0) never fails — a 0-burn
+     baseline would otherwise make any nonzero burn fatal on a slow
+     runner. A summary without the block is a stale baseline. *)
+  (match (member "slo" baseline, member "slo" fresh) with
+  | Some b, Some f ->
+      List.iter
+        (fun name ->
+          let base = num_field b name and got = num_field f name in
+          let floor = base *. (1.0 -. q_tolerance) in
+          check ("slo." ^ name) ~base ~got ~ok:(got >= floor)
+            (Printf.sprintf "(must stay >= %.4g; higher is fine)" floor))
+        [ "availability"; "attainment" ];
+      List.iter
+        (fun name ->
+          let base = num_field b name and got = num_field f name in
+          let ceiling = Float.max (base *. (1.0 +. q_tolerance)) 1.0 in
+          check ("slo." ^ name) ~base ~got ~ok:(got <= ceiling)
+            (Printf.sprintf "(must stay <= %.4g; within budget is fine)"
+               ceiling))
+        [ "latency_burn"; "availability_burn" ]
+  | None, _ ->
+      failwith
+        "baseline summary has no \"slo\" block: regenerate BENCH_serve.json"
+  | _, None -> failwith "fresh summary has no \"slo\" block");
   Printf.printf
     "(wall times: wall_ms %.1f -> %.1f; informational only)\n"
     (num_field baseline "wall_ms") (num_field fresh "wall_ms")

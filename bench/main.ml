@@ -826,6 +826,7 @@ let opt_speed () =
 (* ====================== serve (optimizer-as-a-service) ================ *)
 
 let serve_requests = ref 2000
+let serve_events = ref None (* --events PATH: dump the event-log ring *)
 
 (* Whitespace-only mangling: the token stream — and therefore the normalized
    text, fingerprint and parameter vector — is unchanged, so the request must
@@ -913,6 +914,9 @@ let serve_bench () =
   let nshapes = Array.length shapes in
   Printf.printf "warm-up: %d shapes cached (%d unsupported)\n%!" nshapes
     !unsupported;
+  (* the cold pass (with its unsupported-query rejects) is warm-up, not
+     service: restart the SLO window so the report covers the measured mix *)
+  Sre.Slo.reset (Server.slo server);
   (* measured phase: fixed seed, so the hit/rebind/miss counts are
      deterministic across machines and gated as shape metrics *)
   let st = Random.State.make [| 0x09ca; nshapes |] in
@@ -985,6 +989,22 @@ let serve_bench () =
   | ms ->
       Printf.printf "IDENTITY VIOLATIONS:\n";
       List.iter (Printf.printf "  %s\n") (List.rev ms));
+  let slo_report = Sre.Slo.report (Server.slo server) in
+  Printf.printf
+    "slo      : availability=%.4f attainment=%.4f latency_burn=%.3f \
+     availability_burn=%.3f (%s)\n"
+    slo_report.Sre.Slo.r_availability slo_report.Sre.Slo.r_attainment
+    slo_report.Sre.Slo.r_latency_burn slo_report.Sre.Slo.r_availability_burn
+    (if Sre.Slo.healthy slo_report then "healthy" else "violated");
+  (match !serve_events with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Sre.Events.to_json_lines (Server.events server));
+      close_out oc;
+      Printf.printf "serve event log written to %s (%d retained of %d)\n" path
+        (List.length (Sre.Events.entries (Server.events server)))
+        (Sre.Events.total (Server.events server)));
   (match !opt_json with
   | None -> ()
   | Some path ->
@@ -999,11 +1019,12 @@ let serve_bench () =
          \"collisions\":%d,\"identity_checks\":%d,\
          \"identity_violations\":%d,\"hit_rate\":%.4f,\"qps\":%.2f,\
          \"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,\
-         \"wall_ms\":%.3f}}\n"
+         \"wall_ms\":%.3f,\n"
         n_req nshapes !errors !hits !rebinds !misses
         c.Server.Plan_cache.evictions c.Server.Plan_cache.collisions !audits
         (List.length !violations)
         hit_rate qps p50 p95 p99 wall_ms;
+      pf "\"slo\":%s}}\n" (Sre.Slo.to_json slo_report);
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
       close_out oc;
@@ -1148,14 +1169,17 @@ let () =
     | "--requests" :: v :: rest ->
         serve_requests := positive_int "--requests" v;
         parse rest
+    | "--events" :: v :: rest ->
+        serve_events := Some v;
+        parse rest
     | "--profile-json" :: v :: rest ->
         profile_json := Some v;
         parse rest
     | "--json" :: v :: rest ->
         opt_json := Some v;
         parse rest
-    | [ ("--sf" | "--segs" | "--workers" | "--requests" | "--profile-json"
-        | "--json") as f ]
+    | [ ("--sf" | "--segs" | "--workers" | "--requests" | "--events"
+        | "--profile-json" | "--json") as f ]
       ->
         usage_error "%s expects a value" f
     | x :: rest -> x :: parse rest

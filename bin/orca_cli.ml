@@ -349,12 +349,16 @@ let speedup_off config = function
   | "stats_memo" -> Orca.Orca_config.with_stats_memo config false
   | "rule_prefilter" -> Orca.Orca_config.with_rule_prefilter config false
   | "winner_reuse" -> Orca.Orca_config.with_winner_reuse config false
+  (* not a speedup: strips the trace id the diff run carries by default,
+     A/B-ing the sre observability plumbing against a dark run (plans must
+     come out identical) *)
+  | "sre" -> Orca.Orca_config.without_trace_id config
   | "all" -> Orca.Orca_config.without_speedups config
   | other ->
       prerr_endline
         ("diff: unknown speedup flag '" ^ other
-       ^ "' (expected interning, stats_memo, rule_prefilter, winner_reuse \
-          or all)");
+       ^ "' (expected interning, stats_memo, rule_prefilter, winner_reuse, \
+          sre or all)");
       exit 2
 
 let split_flags s =
@@ -384,9 +388,13 @@ let diff_cmd off_a off_b strata_a strata_b dump_a dump_b (env : env Lazy.t)
         (* stratification computed once, only if a side asks for it *)
         let strata = lazy (Interact.strata (Interact.run ())) in
         let run offs use_strata =
+          (* the diff run carries a trace id so `--off-b sre` can A/B the
+             observability plumbing; it must never affect the plan *)
           let config =
             List.fold_left speedup_off
-              (Orca.Orca_config.with_prov (base_config env))
+              (Orca.Orca_config.with_trace_id
+                 (Orca.Orca_config.with_prov (base_config env))
+                 "diff")
               (split_flags offs)
           in
           let config =
@@ -731,20 +739,89 @@ let metrics_cmd suite as_json lint out baseline tolerance slow_ms flight_dir
           prerr_endline ("metrics: cannot parse fresh snapshot: " ^ msg);
           exit 2)
 
+(* One client session against a running --socket listener: forward stdin
+   lines, print each reply line to stdout. Lets scripts (CI's serve-gate)
+   drive a live socket without needing netcat in the image. *)
+let serve_client ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  (try
+     let quit = ref false in
+     while not !quit do
+       match input_line stdin with
+       | exception End_of_file -> quit := true
+       | line when String.trim line = "" -> () (* server replies nothing *)
+       | line -> (
+           output_string oc line;
+           output_char oc '\n';
+           flush oc;
+           (match input_line ic with
+           | reply -> print_endline reply
+           | exception End_of_file -> quit := true);
+           if String.trim line = "!quit" then quit := true)
+     done
+   with Sys_error _ -> ());
+  (try close_out oc with Sys_error _ -> ());
+  try Unix.close sock with Unix.Unix_error _ -> ()
+
 (* Run the resident optimizer service (lib/server): newline-delimited
    requests on stdin/stdout by default, or a Unix-socket listener with
    --socket. All progress goes through the shared stderr helper so stdout
-   stays a clean protocol stream. *)
-let serve_cmd socket capacity max_variants sessions plan env =
-  let config = base_config env in
-  let source = Catalog.Source.create env.provider in
-  let server = Server.create ~config ?capacity ?max_variants source in
-  let log = Progress.say "serve: %s" in
-  match socket with
-  | Some path ->
-      Server.serve_unix ~log ~include_plan:plan ?max_sessions:sessions server
-        ~path ()
-  | None -> Server.serve_channels ~log ~include_plan:plan server stdin stdout
+   stays a clean protocol stream; likewise the event log sinks to a file
+   or stderr, never the protocol stream. *)
+let serve_cmd socket capacity max_variants sessions plan client slow_ms
+    flight_dir events_path slo env =
+  if client then (
+    match socket with
+    | Some path -> serve_client ~path
+    | None ->
+        prerr_endline "serve: --client requires --socket PATH";
+        exit 2)
+  else begin
+    (match slow_ms with
+    | Some v -> Telemetry.Recorder.configure ~slow_ms:(Some v) ()
+    | None -> ());
+    (match flight_dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+        Telemetry.Recorder.configure ~dump_dir:(Some d) ()
+    | None -> ());
+    let env = Lazy.force env in
+    let config = base_config env in
+    let source = Catalog.Source.create env.provider in
+    let server = Server.create ~config ?capacity ?max_variants source in
+    let events_chan =
+      match events_path with
+      | None -> None
+      | Some "stderr" ->
+          Sre.Events.set_sink (Server.events server) (Some stderr);
+          None (* not ours to close *)
+      | Some path ->
+          let ch = open_out path in
+          Sre.Events.set_sink (Server.events server) (Some ch);
+          Some ch
+    in
+    let log = Progress.say "serve: %s" in
+    Fun.protect
+      ~finally:(fun () ->
+        if slo then
+          prerr_endline
+            (Sre.Slo.to_json (Sre.Slo.report (Server.slo server)));
+        match events_chan with
+        | Some ch ->
+            Sre.Events.set_sink (Server.events server) None;
+            close_out ch
+        | None -> ())
+      (fun () ->
+        match socket with
+        | Some path ->
+            Server.serve_unix ~log ~include_plan:plan
+              ?max_sessions:sessions server ~path ()
+        | None ->
+            Server.serve_channels ~log ~include_plan:plan server stdin stdout)
+  end
 
 let queries_cmd () =
   List.iter
@@ -1249,6 +1326,50 @@ let () =
                  "Include the DXL plan in every response (sessions can \
                   toggle this with the !plan control line).")
        in
+       let client_arg =
+         Arg.(
+           value & flag
+           & info [ "client" ]
+               ~doc:
+                 "Connect to --socket as a client instead of serving: \
+                  forward stdin lines, print each reply line (for scripted \
+                  probes of a live listener).")
+       in
+       let slow_ms_arg =
+         Arg.(
+           value
+           & opt (some float) None
+           & info [ "slow-ms" ] ~docv:"MS"
+               ~doc:
+                 "Arm the flight recorder: requests optimizing slower than \
+                  MS are recaptured as AMPERe dumps (with --flight-dir).")
+       in
+       let flight_dir_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "flight-dir" ] ~docv:"DIR"
+               ~doc:
+                 "Directory for flight-recorder AMPERe dumps (created if \
+                  missing).")
+       in
+       let events_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "events" ] ~docv:"PATH"
+               ~doc:
+                 "Sink the structured event log to PATH as JSON lines \
+                  ('stderr' to interleave with progress; never stdout).")
+       in
+       let slo_arg =
+         Arg.(
+           value & flag
+           & info [ "slo" ]
+               ~doc:
+                 "Print the final rolling-window SLO report to stderr when \
+                  the listener exits.")
+       in
        Cmd.v
          (Cmd.info "serve"
             ~doc:
@@ -1256,13 +1377,17 @@ let () =
                requests in, single-line JSON responses out, with the \
                parameterized plan cache in front of optimization. A plain \
                line is SQL; !ping, !plan on|off, !invalidate catalog|stats, \
-               !stats and !quit are control lines. Progress goes to stderr; \
-               stdout is protocol-only.")
+               !stats, !metrics, !health, !slo and !quit are control lines. \
+               Progress goes to stderr; stdout is protocol-only.")
          Term.(
-           const (fun socket capacity variants sessions plan sf segs workers ->
-               serve_cmd socket capacity variants sessions plan
-                 (make_env sf segs workers))
+           const
+             (fun socket capacity variants sessions plan client slow_ms
+                  flight_dir events slo sf segs workers ->
+               serve_cmd socket capacity variants sessions plan client slow_ms
+                 flight_dir events slo
+                 (lazy (make_env sf segs workers)))
            $ socket_arg $ capacity_arg $ variants_arg $ sessions_arg $ plan_arg
+           $ client_arg $ slow_ms_arg $ flight_dir_arg $ events_arg $ slo_arg
            $ sf_arg $ segs_arg $ workers_arg));
       Cmd.v
         (Cmd.info "queries" ~doc:"List the 111-query workload with features.")

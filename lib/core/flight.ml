@@ -34,6 +34,11 @@ let recapture ~(config : Orca_config.t) ~make_accessor ~reason query =
               | Some s -> Printf.sprintf "%g" s
               | None -> "off" );
           ]
+          @
+          (* attribute the dump to the originating service request *)
+          match config.Orca_config.trace_id with
+          | Some id -> [ ("flight-trace-id", id) ]
+          | None -> []
         in
         let dump =
           match Ampere.optimize_with_capture ~config:cfg accessor query with

@@ -314,9 +314,16 @@ let optimize_inner ~(config : Orca_config.t) (accessor : Catalog.Accessor.t)
 let optimize ?(config = Orca_config.default) accessor query : report =
   if not config.Orca_config.obs then optimize_inner ~config accessor query
   else
+    (* the root span carries the originating service request, when any, so
+       exported traces are attributable to it (lib/sre request tracing) *)
+    let attrs =
+      match config.Orca_config.trace_id with
+      | Some id -> [ ("trace_id", id) ]
+      | None -> []
+    in
     let report, spans =
       Obs.Span.collect (fun () ->
-          Obs.Span.with_ ~name:"optimize" (fun () ->
+          Obs.Span.with_ ~attrs ~name:"optimize" (fun () ->
               optimize_inner ~config accessor query))
     in
     if spans = [] then report

@@ -33,6 +33,13 @@ type t = {
       (* record the always-on metrics (lib/telemetry) after each query:
          one cold-path registry update tapping counters the engine keeps
          anyway, so the default is on. Off only for A/B identity tests. *)
+  trace_id : string option;
+      (* the originating service request ("s<sid>-r<rid>", lib/sre), when
+         this optimization runs inside Orca_server: stamped as an
+         attribute on the root lib/obs span and on flight-recorder dump
+         traceflags so spans and AMPERe dumps are attributable to the
+         request. Never read by the search — plans are byte-identical
+         with or without it. *)
 }
 
 let default =
@@ -57,6 +64,7 @@ let default =
     rule_prefilter = true;
     winner_reuse = true;
     telemetry = true;
+    trace_id = None;
   }
 
 let with_segments t segments =
@@ -100,6 +108,9 @@ let without_decorrelation t = { t with decorrelate = false }
 let without_column_pruning t = { t with prune_columns = false }
 
 let with_telemetry t on = { t with telemetry = on }
+
+let with_trace_id t id = { t with trace_id = Some id }
+let without_trace_id t = { t with trace_id = None }
 
 let with_interning t on = { t with interning = on }
 let with_stats_memo t on = { t with stats_memo = on }

@@ -55,6 +55,13 @@ type t = {
           one cold-path registry update per optimization, tapping counters
           the engine maintains unconditionally. On by default; the switch
           exists for A/B identity tests, not for production. *)
+  trace_id : string option;
+      (** the originating service request's trace id (lib/sre,
+          ["s<sid>-r<rid>"]) when the optimization runs inside
+          [Orca_server]: stamped on the root lib/obs span and on
+          flight-recorder dump traceflags, so observability artifacts are
+          attributable to the request that caused them. Inert for the
+          search itself — plans are byte-identical with or without it. *)
 }
 
 val default : t
@@ -116,6 +123,12 @@ val without_column_pruning : t -> t
 val with_telemetry : t -> bool -> t
 (** Toggle the per-query lib/telemetry recording (plan-identical either
     way; the identity test A/Bs it). *)
+
+val with_trace_id : t -> string -> t
+(** Attribute this optimization to a service request (plan-identical
+    either way; `orca_cli diff --off-b sre` A/Bs it). *)
+
+val without_trace_id : t -> t
 
 val with_interning : t -> bool -> t
 val with_stats_memo : t -> bool -> t

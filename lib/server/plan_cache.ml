@@ -244,6 +244,10 @@ type t = {
   mutable evictions : int;
   mutable invalidations : int;
   mutable collisions : int;
+  mutable on_evict : (string -> unit) option;
+      (* notified with the victim's fingerprint after each LRU eviction,
+         while the cache lock is held — the service event log's hook.
+         Must not reenter the cache. *)
 }
 
 let create ?(capacity = 256) ?(max_variants = 8) () =
@@ -259,7 +263,11 @@ let create ?(capacity = 256) ?(max_variants = 8) () =
     evictions = 0;
     invalidations = 0;
     collisions = 0;
+    on_evict = None;
   }
+
+let set_on_evict t f = t.on_evict <- f
+let capacity t = t.capacity
 
 let locked t f =
   Mutex.lock t.lock;
@@ -334,7 +342,8 @@ let evict_lru t =
   | Some (key, _) ->
       Hashtbl.remove t.table key;
       t.evictions <- t.evictions + 1;
-      Telemetry.Metrics.inc Telemetry.Std.plan_cache_evictions
+      Telemetry.Metrics.inc Telemetry.Std.plan_cache_evictions;
+      (match t.on_evict with None -> () | Some f -> f key.k_fp)
 
 let add t ~fp ~norm_text ~params ~catalog_version ~stats_version plan =
   let key = { k_fp = fp; k_catalog = catalog_version; k_stats = stats_version } in

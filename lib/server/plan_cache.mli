@@ -19,6 +19,14 @@ val create : ?capacity:int -> ?max_variants:int -> unit -> t
 (** [capacity] bounds cached entries (default 256, LRU eviction);
     [max_variants] bounds binding variants per entry (default 8, MRU kept). *)
 
+val capacity : t -> int
+(** The entry bound — the [!health] endpoint's occupancy denominator. *)
+
+val set_on_evict : t -> (string -> unit) option -> unit
+(** Observe LRU evictions: called with the victim entry's fingerprint,
+    while the cache lock is held (keep it cheap; must not reenter the
+    cache). The service event log's [evict] hook. *)
+
 type outcome =
   | Hit of Expr.plan      (** exact binding variant, returned unchanged *)
   | Rebound of Expr.plan  (** generic plan with parameters substituted *)

@@ -6,45 +6,150 @@
    only optimizes on a miss — so concurrent sessions, catalog bumps and
    cache invalidation interleave without locks around optimization itself.
 
+   Observability (lib/sre): every session gets an id, every request a
+   trace id ("s<sid>-r<rid>") echoed in its reply, stamped on the
+   structured event log, threaded into [Orca_config.trace_id] on misses
+   (lib/obs span attribution, flight-recorder dump traceflags) and used as
+   the flight-recorder entry label. Misses run through {!Orca.Flight}, so
+   arming [Telemetry.Recorder.configure ~slow_ms ~dump_dir] turns slow or
+   failing server requests into replayable AMPERe dumps. A rolling-window
+   {!Sre.Slo} monitor accumulates latency/availability objectives behind
+   the [!slo] endpoint.
+
    Front end: a newline-delimited request/response protocol, served either
    over stdin/stdout ([serve_channels]) or a Unix-domain socket with one
    thread per connection ([serve_unix]). A plain line is SQL to optimize;
    [!]-prefixed lines are control commands (see [handle_line]). Every
    response is a single JSON line on the protocol stream; progress and
-   diagnostics go through the [log] callback (stderr in the CLI), keeping
-   stdout protocol-clean. *)
+   diagnostics go through the [log] callback (stderr in the CLI) and the
+   event log sinks to a file or stderr only, keeping stdout
+   protocol-clean. *)
 
 (* server.ml doubles as the library's entry module: re-export the pieces. *)
 module Normalize = Normalize
 module Plan_cache = Plan_cache
+
+(* One protocol session (or the shared sid-0 pseudo-session of direct API
+   callers). The counters are guarded by the server lock; the request-id
+   allocator is its own atomic (the API session is hit concurrently). *)
+type session = {
+  s_sid : int;
+  s_trace : Sre.Trace.session;
+  mutable s_count : int;  (* requests fielded, server lock *)
+  mutable s_errs : int;
+  mutable s_live : bool;  (* open protocol connection *)
+}
 
 type t = {
   source : Catalog.Source.t;
   md_cache : Catalog.Md_cache.t;
   cache : Plan_cache.t;
   config : Orca.Orca_config.t;
-  lock : Mutex.t; (* requests/errors counters *)
+  lock : Mutex.t; (* requests/errors counters, session registry *)
   mutable requests : int;
   mutable errors : int;
+  started : float;
+  mutable last_md_change : float; (* !health snapshot age; server lock *)
+  tgen : Sre.Trace.gen;
+  api : session;
+  mutable sessions : session list; (* registration order, newest first *)
+  events : Sre.Events.t;
+  slo : Sre.Slo.t;
+  lat_ms : Telemetry.Metrics.histogram;
+      (* this server's lifetime request latency (private registry: the
+         process-global orca_serve_ms would mix servers in tests) *)
 }
 
-let create ?(config = Orca.Orca_config.default) ?capacity ?max_variants source
-    =
-  {
-    source;
-    md_cache = Catalog.Md_cache.create ();
-    cache = Plan_cache.create ?capacity ?max_variants ();
-    config;
-    lock = Mutex.create ();
-    requests = 0;
-    errors = 0;
-  }
+let create ?(config = Orca.Orca_config.default) ?capacity ?max_variants
+    ?(events = Sre.Events.create ()) ?slo_objectives source =
+  let tgen = Sre.Trace.make_gen () in
+  let api =
+    {
+      s_sid = 0;
+      s_trace = Sre.Trace.api_session tgen;
+      s_count = 0;
+      s_errs = 0;
+      s_live = false;
+    }
+  in
+  let cache = Plan_cache.create ?capacity ?max_variants () in
+  let now = Gpos.Clock.now () in
+  let t =
+    {
+      source;
+      md_cache = Catalog.Md_cache.create ();
+      cache;
+      config;
+      lock = Mutex.create ();
+      requests = 0;
+      errors = 0;
+      started = now;
+      last_md_change = now;
+      tgen;
+      api;
+      sessions = [ api ];
+      events;
+      slo = Sre.Slo.create ?objectives:slo_objectives ();
+      lat_ms =
+        Telemetry.Metrics.histogram
+          (Telemetry.Metrics.create ())
+          ~help:"per-server request latency (ms)" "orca_server_request_ms";
+    }
+  in
+  Plan_cache.set_on_evict cache
+    (Some
+       (fun fp ->
+         if Sre.Events.on events Sre.Events.Info then
+           Sre.Events.emit events ~kind:"evict"
+             [ ("fingerprint", Sre.Events.S fp) ]));
+  t
 
-let of_provider ?config ?capacity ?max_variants provider =
-  create ?config ?capacity ?max_variants (Catalog.Source.create provider)
+let of_provider ?config ?capacity ?max_variants ?events ?slo_objectives
+    provider =
+  create ?config ?capacity ?max_variants ?events ?slo_objectives
+    (Catalog.Source.create provider)
 
 let source t = t.source
 let plan_cache t = t.cache
+let events t = t.events
+let slo t = t.slo
+let uptime_s t = Gpos.Clock.now () -. t.started
+
+(* ---------------- sessions and tracing ----------------------------- *)
+
+let session_id s = s.s_sid
+
+let open_session t =
+  let trace = Sre.Trace.open_session t.tgen in
+  let s =
+    {
+      s_sid = trace.Sre.Trace.sid;
+      s_trace = trace;
+      s_count = 0;
+      s_errs = 0;
+      s_live = true;
+    }
+  in
+  Mutex.lock t.lock;
+  t.sessions <- s :: t.sessions;
+  Mutex.unlock t.lock;
+  Telemetry.Metrics.inc Telemetry.Std.serve_sessions;
+  if Sre.Events.on t.events Sre.Events.Info then
+    Sre.Events.emit t.events ~kind:"session_open"
+      [ ("session", Sre.Events.I s.s_sid) ];
+  s
+
+let close_session t s =
+  if s.s_live then begin
+    s.s_live <- false;
+    if Sre.Events.on t.events Sre.Events.Info then
+      Sre.Events.emit t.events ~kind:"session_close"
+        [
+          ("session", Sre.Events.I s.s_sid);
+          ("requests", Sre.Events.I s.s_count);
+          ("errors", Sre.Events.I s.s_errs);
+        ]
+  end
 
 type cache_result = Hit | Rebound | Missed
 
@@ -56,6 +161,7 @@ let cache_result_to_string = function
 type reply = {
   r_plan : Ir.Expr.plan;
   r_dxl : string Lazy.t;
+  r_trace : string;
   r_fingerprint : string;
   r_result : cache_result;
   r_ms : float;
@@ -63,25 +169,61 @@ type reply = {
   r_stats_version : int;
 }
 
-let count_request t =
+let count_request t s =
   Mutex.lock t.lock;
   t.requests <- t.requests + 1;
+  s.s_count <- s.s_count + 1;
   Mutex.unlock t.lock
 
-let count_error t =
+let count_error t s =
   Mutex.lock t.lock;
   t.errors <- t.errors + 1;
+  s.s_errs <- s.s_errs + 1;
   Mutex.unlock t.lock
+
+(* The terminal accounting every request reaches exactly once: latency into
+   the SLO window and the lifetime histogram, plus the request_finish /
+   request_error event. The event-log invariant the concurrency test leans
+   on — terminal events sum to s_requests — hangs on this being the single
+   exit path. *)
+let finish_request t ~trace ~ms outcome =
+  Telemetry.Metrics.observe Telemetry.Std.serve_ms ms;
+  Telemetry.Metrics.observe t.lat_ms ms;
+  Sre.Slo.observe t.slo ~ms
+    ~ok:(match outcome with `Ok _ -> true | `Error _ -> false);
+  if Sre.Events.on t.events Sre.Events.Info then
+    match outcome with
+    | `Ok (result, cost) ->
+        Sre.Events.emit t.events ~trace ~kind:"request_finish"
+          [
+            ("cache", Sre.Events.S (cache_result_to_string result));
+            ("ms", Sre.Events.F ms);
+            ("cost", Sre.Events.F cost);
+          ]
+    | `Error msg ->
+        Sre.Events.emit t.events ~level:Sre.Events.Error ~trace
+          ~kind:"request_error"
+          [ ("ms", Sre.Events.F ms); ("error", Sre.Events.S msg) ]
 
 (* Optimize one SQL request through the plan cache. On a miss the query is
    bound and optimized against the snapshot taken before the cache probe, so
-   the inserted plan is keyed exactly on the versions it was built from. *)
-let optimize_sql t sql : (reply, string) result =
+   the inserted plan is keyed exactly on the versions it was built from.
+   Misses run through the flight recorder under this request's trace id. *)
+let optimize_sql ?session t sql : (reply, string) result =
+  let s = match session with Some s -> s | None -> t.api in
   let t0 = Gpos.Clock.now () in
-  count_request t;
+  count_request t s;
   Telemetry.Metrics.inc Telemetry.Std.serve_requests;
+  let trace = Sre.Trace.next s.s_trace in
   match
     let n = Normalize.normalize sql in
+    if Sre.Events.on t.events Sre.Events.Debug then
+      Sre.Events.emit t.events ~level:Sre.Events.Debug ~trace
+        ~kind:"request_start"
+        [
+          ("session", Sre.Events.I s.s_sid);
+          ("fingerprint", Sre.Events.S n.Normalize.fingerprint);
+        ];
     let snapshot = Catalog.Source.snapshot t.source in
     let catalog_version = Catalog.Snapshot.catalog_version snapshot in
     let stats_version = Catalog.Snapshot.stats_version snapshot in
@@ -94,21 +236,28 @@ let optimize_sql t sql : (reply, string) result =
       | Plan_cache.Hit plan -> (plan, Hit)
       | Plan_cache.Rebound plan -> (plan, Rebound)
       | Plan_cache.Miss ->
-          let accessor =
+          let make_accessor () =
             Catalog.Accessor.of_snapshot ~snapshot ~cache:t.md_cache ()
           in
-          let query = Sqlfront.Binder.bind_sql accessor sql in
-          let report = Orca.Optimizer.optimize ~config:t.config accessor query in
+          let bind_accessor = make_accessor () in
+          let query = Sqlfront.Binder.bind_sql bind_accessor sql in
+          Catalog.Accessor.release bind_accessor;
+          let config = Orca.Orca_config.with_trace_id t.config trace in
+          let report =
+            Orca.Flight.optimize ~config ~label:trace
+              ~fingerprint:n.Normalize.fingerprint ~make_accessor query
+          in
           Plan_cache.add t.cache ~fp:n.Normalize.fingerprint
             ~norm_text:n.Normalize.text ~params:n.Normalize.params
             ~catalog_version ~stats_version report.Orca.Optimizer.plan;
           (report.Orca.Optimizer.plan, Missed)
     in
     let ms = Gpos.Clock.ms_since t0 in
-    Telemetry.Metrics.observe Telemetry.Std.serve_ms ms;
+    finish_request t ~trace ~ms (`Ok (result, plan.Ir.Expr.pcost));
     {
       r_plan = plan;
       r_dxl = lazy (Dxl.Dxl_plan.to_string plan);
+      r_trace = trace;
       r_fingerprint = n.Normalize.fingerprint;
       r_result = result;
       r_ms = ms;
@@ -118,13 +267,17 @@ let optimize_sql t sql : (reply, string) result =
   with
   | reply -> Ok reply
   | exception Orca.Optimizer.Unsupported_query msg ->
-      count_error t;
+      let msg = "unsupported query: " ^ msg in
+      count_error t s;
       Telemetry.Metrics.inc Telemetry.Std.serve_errors;
-      Error ("unsupported query: " ^ msg)
+      finish_request t ~trace ~ms:(Gpos.Clock.ms_since t0) (`Error msg);
+      Error msg
   | exception (Gpos.Gpos_error.Error _ as e) ->
-      count_error t;
+      let msg = Gpos.Gpos_error.to_string e in
+      count_error t s;
       Telemetry.Metrics.inc Telemetry.Std.serve_errors;
-      Error (Gpos.Gpos_error.to_string e)
+      finish_request t ~trace ~ms:(Gpos.Clock.ms_since t0) (`Error msg);
+      Error msg
 
 (* Bump the source version and drop every cache entry keyed on an older
    snapshot; returns the number dropped and the new versions. *)
@@ -134,15 +287,84 @@ let invalidate t what =
   | `Stats -> Catalog.Source.bump_stats t.source);
   let versions = Catalog.Source.versions t.source in
   let dropped = Plan_cache.invalidate t.cache ~keep:versions in
+  Mutex.lock t.lock;
+  t.last_md_change <- Gpos.Clock.now ();
+  Mutex.unlock t.lock;
+  (if Sre.Events.on t.events Sre.Events.Warn then
+     let cat, st = versions in
+     Sre.Events.emit t.events ~level:Sre.Events.Warn ~kind:"invalidate"
+       [
+         ( "what",
+           Sre.Events.S (match what with `Catalog -> "catalog" | `Stats -> "stats")
+         );
+         ("dropped", Sre.Events.I dropped);
+         ("catalog_version", Sre.Events.I cat);
+         ("stats_version", Sre.Events.I st);
+       ]);
   (dropped, versions)
 
-type stats = { s_requests : int; s_errors : int; s_cache : Plan_cache.stats }
+type stats = {
+  s_requests : int;
+  s_errors : int;
+  s_cache : Plan_cache.stats;
+  s_uptime_s : float;
+  s_sessions_open : int;
+  s_sessions_total : int; (* incl. the sid-0 API pseudo-session *)
+  s_per_session : (int * int * int) list; (* (sid, requests, errors), by sid *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+}
 
 let stats t =
   Mutex.lock t.lock;
   let requests = t.requests and errors = t.errors in
+  let per_session =
+    List.rev_map (fun s -> (s.s_sid, s.s_count, s.s_errs)) t.sessions
+  in
+  let live = List.length (List.filter (fun s -> s.s_live) t.sessions) in
+  let total = List.length t.sessions in
   Mutex.unlock t.lock;
-  { s_requests = requests; s_errors = errors; s_cache = Plan_cache.stats t.cache }
+  let lat = Telemetry.Metrics.hsnap t.lat_ms in
+  {
+    s_requests = requests;
+    s_errors = errors;
+    s_cache = Plan_cache.stats t.cache;
+    s_uptime_s = uptime_s t;
+    s_sessions_open = live;
+    s_sessions_total = total;
+    s_per_session =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) per_session;
+    s_p50_ms = Telemetry.Metrics.quantile lat 0.50;
+    s_p95_ms = Telemetry.Metrics.quantile lat 0.95;
+    s_p99_ms = Telemetry.Metrics.quantile lat 0.99;
+  }
+
+let health t =
+  let s = stats t in
+  let snapshot_age =
+    Mutex.lock t.lock;
+    let a = Gpos.Clock.now () -. t.last_md_change in
+    Mutex.unlock t.lock;
+    a
+  in
+  let cat, st = Catalog.Source.versions t.source in
+  let input =
+    {
+      Sre.Health.h_uptime_s = s.s_uptime_s;
+      h_sessions_open = s.s_sessions_open;
+      h_sessions_total = s.s_sessions_total;
+      h_requests = s.s_requests;
+      h_errors = s.s_errors;
+      h_snapshot_age_s = snapshot_age;
+      h_catalog_version = cat;
+      h_stats_version = st;
+      h_cache_entries = s.s_cache.Plan_cache.entries;
+      h_cache_capacity = Plan_cache.capacity t.cache;
+      h_slo = Some (Sre.Slo.report t.slo);
+    }
+  in
+  (input, Sre.Health.evaluate input)
 
 (* ---------------- the line protocol -------------------------------- *)
 
@@ -171,7 +393,8 @@ let json_of_reply ~include_plan (r : reply) =
     else ""
   in
   Printf.sprintf
-    {|{"ok":true,"cache":"%s","fingerprint":"%s","ms":%.3f,"cost":%.6g,"rows":%.6g,"catalog_version":%d,"stats_version":%d%s}|}
+    {|{"ok":true,"trace":"%s","cache":"%s","fingerprint":"%s","ms":%.3f,"cost":%.6g,"rows":%.6g,"catalog_version":%d,"stats_version":%d%s}|}
+    (json_escape r.r_trace)
     (cache_result_to_string r.r_result)
     r.r_fingerprint r.r_ms r.r_plan.Ir.Expr.pcost r.r_plan.Ir.Expr.pest_rows
     r.r_catalog_version r.r_stats_version plan_field
@@ -184,20 +407,54 @@ let json_of_stats t =
   let hit_rate =
     if probes = 0 then 0.0 else float_of_int answered /. float_of_int probes
   in
+  let per_session =
+    String.concat ","
+      (List.map
+         (fun (sid, reqs, errs) ->
+           Printf.sprintf {|{"session":%d,"requests":%d,"errors":%d}|} sid reqs
+             errs)
+         s.s_per_session)
+  in
   Printf.sprintf
-    {|{"ok":true,"requests":%d,"errors":%d,"hits":%d,"rebinds":%d,"misses":%d,"evictions":%d,"invalidations":%d,"collisions":%d,"entries":%d,"variants":%d,"hit_rate":%.4f}|}
-    s.s_requests s.s_errors c.Plan_cache.hits c.Plan_cache.rebinds
+    {|{"ok":true,"requests":%d,"errors":%d,"uptime_s":%.3f,"hits":%d,"rebinds":%d,"misses":%d,"evictions":%d,"invalidations":%d,"collisions":%d,"entries":%d,"variants":%d,"hit_rate":%.4f,"p50_ms":%.4f,"p95_ms":%.4f,"p99_ms":%.4f,"sessions_open":%d,"sessions_total":%d,"per_session":[%s]}|}
+    s.s_requests s.s_errors s.s_uptime_s c.Plan_cache.hits c.Plan_cache.rebinds
     c.Plan_cache.misses c.Plan_cache.evictions c.Plan_cache.invalidations
     c.Plan_cache.collisions c.Plan_cache.entries c.Plan_cache.variants hit_rate
+    s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_sessions_open s.s_sessions_total
+    per_session
+
+(* The !metrics endpoint: the Prometheus exposition of the process-wide
+   registry, self-linted and shipped as one escaped JSON string so the
+   protocol stream stays line-parseable (the raw multi-line text never
+   touches stdout). *)
+let json_of_metrics () =
+  let snap = Telemetry.Metrics.snapshot Telemetry.Metrics.default in
+  let prom = Telemetry.Expose.to_prometheus snap in
+  let problems = Telemetry.Expose.lint_prometheus prom in
+  Printf.sprintf {|{"ok":true,"lint_errors":%d,"metrics":"%s"}|}
+    (List.length problems) (json_escape prom)
+
+let json_of_health t =
+  let input, verdict = health t in
+  let body = Sre.Health.to_json input verdict in
+  (* splice "ok":true into the health object so every reply shares the
+     envelope *)
+  Printf.sprintf {|{"ok":true,%s|} (String.sub body 1 (String.length body - 1))
+
+let json_of_slo t =
+  Printf.sprintf {|{"ok":true,"slo":%s}|} (Sre.Slo.to_json (Sre.Slo.report t.slo))
 
 (* One request line: a plain line is SQL; [!]-prefixed lines are control
    commands:
      !ping                      liveness probe
      !plan on|off               include the DXL plan in responses
      !invalidate catalog|stats  bump the source version, drop stale entries
-     !stats                     cache/serve counters
+     !stats                     cache/serve/session counters + latency
+     !metrics                   linted Prometheus exposition (escaped)
+     !health                    readiness checks
+     !slo                       rolling-window SLO report
      !quit                      end the session *)
-let handle_line t ~session_plan line =
+let handle_line t ~session ~session_plan line =
   let line = String.trim line in
   if line = "" then `Silent
   else if String.length line > 0 && line.[0] = '!' then
@@ -211,6 +468,9 @@ let handle_line t ~session_plan line =
         session_plan := false;
         `Reply {|{"ok":true,"plan":false}|}
     | [ "!stats" ] -> `Reply (json_of_stats t)
+    | [ "!metrics" ] -> `Reply (json_of_metrics ())
+    | [ "!health" ] -> `Reply (json_of_health t)
+    | [ "!slo" ] -> `Reply (json_of_slo t)
     | [ "!invalidate"; what ] when what = "catalog" || what = "stats" ->
         let target = if what = "catalog" then `Catalog else `Stats in
         let dropped, (cat, st) = invalidate t target in
@@ -220,35 +480,39 @@ let handle_line t ~session_plan line =
              what dropped cat st)
     | _ -> `Reply (json_error ("unknown control command: " ^ line))
   else
-    match optimize_sql t line with
+    match optimize_sql ~session t line with
     | Ok reply -> `Reply (json_of_reply ~include_plan:!session_plan reply)
     | Error msg -> `Reply (json_error msg)
 
 (* One session over arbitrary channels. Responses are flushed per line so a
    pipelined client never deadlocks; [log] receives session progress. *)
 let serve_channels ?(log = ignore) ?(include_plan = false) t ic oc =
+  let session = open_session t in
   let session_plan = ref include_plan in
-  log "session open";
+  log (Printf.sprintf "session %d open" session.s_sid);
   let quit = ref false in
   (try
-     while not !quit do
-       match input_line ic with
-       | exception End_of_file -> quit := true
-       | line -> (
-           match handle_line t ~session_plan line with
-           | `Silent -> ()
-           | `Reply json ->
-               output_string oc json;
-               output_char oc '\n';
-               flush oc
-           | `Quit json ->
-               output_string oc json;
-               output_char oc '\n';
-               flush oc;
-               quit := true)
-     done
+     Fun.protect
+       ~finally:(fun () -> close_session t session)
+       (fun () ->
+         while not !quit do
+           match input_line ic with
+           | exception End_of_file -> quit := true
+           | line -> (
+               match handle_line t ~session ~session_plan line with
+               | `Silent -> ()
+               | `Reply json ->
+                   output_string oc json;
+                   output_char oc '\n';
+                   flush oc
+               | `Quit json ->
+                   output_string oc json;
+                   output_char oc '\n';
+                   flush oc;
+                   quit := true)
+         done)
    with Sys_error _ -> ());
-  log "session closed"
+  log (Printf.sprintf "session %d closed" session.s_sid)
 
 (* Unix-domain socket listener: one thread per accepted connection, each
    running the same session loop. [max_sessions] bounds accepted connections

@@ -1,0 +1,142 @@
+(* Bounded ring of structured service events, JSON-lines rendered.
+
+   The ring is lock-free: writers claim a slot with one fetch-and-add and
+   store an immutable entry record into it. A reader walking the ring
+   concurrently with a wrap-around may miss a slot being replaced, but
+   each slot holds either a whole entry or the one it replaced — never a
+   torn mix. The optional sink is the only locked path (channel writes
+   interleave otherwise) and is meant for files/stderr, not hot loops. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type field = S of string | I of int | F of float | B of bool
+
+type entry = {
+  ev_seq : int;
+  ev_ts : float;
+  ev_level : level;
+  ev_kind : string;
+  ev_trace : string option;
+  ev_fields : (string * field) list;
+}
+
+type t = {
+  enabled : bool;
+  min_level : int;
+  ring : entry option array;
+  seq : int Atomic.t; (* next sequence number, 1-based *)
+  sink : out_channel option ref;
+  sink_lock : Mutex.t;
+}
+
+let create ?(capacity = 1024) ?(level = Debug) ?(enabled = true) () =
+  {
+    enabled;
+    min_level = level_rank level;
+    ring = Array.make (max 1 capacity) None;
+    seq = Atomic.make 1;
+    sink = ref None;
+    sink_lock = Mutex.create ();
+  }
+
+let on t level = t.enabled && level_rank level >= t.min_level
+
+let capacity t = Array.length t.ring
+
+let total t = Atomic.get t.seq - 1
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let field_to_json = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.6g" f
+  | B b -> if b then "true" else "false"
+
+let entry_to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"ts\":%.6f,\"level\":\"%s\",\"event\":\"%s\""
+       e.ev_seq e.ev_ts (level_string e.ev_level) (json_escape e.ev_kind));
+  (match e.ev_trace with
+  | Some tr ->
+      Buffer.add_string buf (Printf.sprintf ",\"trace\":\"%s\"" (json_escape tr))
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (json_escape k) (field_to_json v)))
+    e.ev_fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let emit t ?(level = Info) ?trace ~kind fields =
+  if t.enabled && level_rank level >= t.min_level then begin
+    let seq = Atomic.fetch_and_add t.seq 1 in
+    let e =
+      {
+        ev_seq = seq;
+        ev_ts = Gpos.Clock.now ();
+        ev_level = level;
+        ev_kind = kind;
+        ev_trace = trace;
+        ev_fields = fields;
+      }
+    in
+    t.ring.((seq - 1) mod Array.length t.ring) <- Some e;
+    Telemetry.Metrics.inc Telemetry.Std.sre_events;
+    match !(t.sink) with
+    | None -> ()
+    | Some oc ->
+        Mutex.lock t.sink_lock;
+        (try
+           output_string oc (entry_to_json e);
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        Mutex.unlock t.sink_lock
+  end
+
+let entries t =
+  let collected =
+    Array.fold_left
+      (fun acc slot -> match slot with None -> acc | Some e -> e :: acc)
+      [] t.ring
+  in
+  List.sort (fun a b -> compare a.ev_seq b.ev_seq) collected
+
+let set_sink t oc =
+  Mutex.lock t.sink_lock;
+  t.sink := oc;
+  Mutex.unlock t.sink_lock
+
+let to_json_lines t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_json e);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf

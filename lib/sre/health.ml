@@ -1,0 +1,93 @@
+(* Readiness policy for the service endpoints. Pure: numbers in, verdict
+   out, so thresholds are unit-testable without sockets or servers. *)
+
+type input = {
+  h_uptime_s : float;
+  h_sessions_open : int;
+  h_sessions_total : int;
+  h_requests : int;
+  h_errors : int;
+  h_snapshot_age_s : float;
+  h_catalog_version : int;
+  h_stats_version : int;
+  h_cache_entries : int;
+  h_cache_capacity : int;
+  h_slo : Slo.report option;
+}
+
+type check = { c_name : string; c_ok : bool; c_detail : string }
+
+type verdict = { ready : bool; checks : check list }
+
+let evaluate ?(max_error_rate = 0.10) ?(max_occupancy = 0.95) (i : input) :
+    verdict =
+  let error_rate =
+    if i.h_requests = 0 then 0.0
+    else float_of_int i.h_errors /. float_of_int i.h_requests
+  in
+  let occupancy =
+    if i.h_cache_capacity <= 0 then 0.0
+    else float_of_int i.h_cache_entries /. float_of_int i.h_cache_capacity
+  in
+  let checks =
+    [
+      {
+        c_name = "error-rate";
+        c_ok = error_rate <= max_error_rate;
+        c_detail =
+          Printf.sprintf "%.4f (max %.4f over %d requests)" error_rate
+            max_error_rate i.h_requests;
+      };
+      {
+        c_name = "cache-occupancy";
+        c_ok = occupancy < max_occupancy;
+        c_detail =
+          Printf.sprintf "%d/%d entries (%.2f, max %.2f)" i.h_cache_entries
+            i.h_cache_capacity occupancy max_occupancy;
+      };
+    ]
+    @
+    match i.h_slo with
+    | None -> []
+    | Some r ->
+        [
+          {
+            c_name = "slo-latency";
+            c_ok = r.Slo.r_latency_ok;
+            c_detail =
+              Printf.sprintf "attainment %.4f (target %.4f)" r.Slo.r_attainment
+                r.Slo.r_objectives.Slo.slo_latency_target;
+          };
+          {
+            c_name = "slo-availability";
+            c_ok = r.Slo.r_availability_ok;
+            c_detail =
+              Printf.sprintf "availability %.4f (target %.4f)"
+                r.Slo.r_availability
+                r.Slo.r_objectives.Slo.slo_availability_target;
+          };
+        ]
+  in
+  { ready = List.for_all (fun c -> c.c_ok) checks; checks }
+
+let to_json (i : input) (v : verdict) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"status\":\"%s\",\"uptime_s\":%.3f,\"sessions_open\":%d,\
+        \"sessions_total\":%d,\"requests\":%d,\"errors\":%d,\
+        \"snapshot_age_s\":%.3f,\"catalog_version\":%d,\"stats_version\":%d,\
+        \"cache_entries\":%d,\"cache_capacity\":%d,\"checks\":["
+       (if v.ready then "ready" else "degraded")
+       i.h_uptime_s i.h_sessions_open i.h_sessions_total i.h_requests
+       i.h_errors i.h_snapshot_age_s i.h_catalog_version i.h_stats_version
+       i.h_cache_entries i.h_cache_capacity);
+  List.iteri
+    (fun n c ->
+      if n > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"ok\":%b,\"detail\":\"%s\"}" c.c_name
+           c.c_ok c.c_detail))
+    v.checks;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

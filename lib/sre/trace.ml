@@ -1,0 +1,19 @@
+(* Session/request id allocation for the service observability layer.
+   Plain atomic counters: deterministic per generator, cheap enough to sit
+   on the request hot path. *)
+
+type session = { sid : int; next_rid : int Atomic.t }
+
+type gen = { next_sid : int Atomic.t; api : session }
+
+let make_gen () =
+  { next_sid = Atomic.make 1; api = { sid = 0; next_rid = Atomic.make 1 } }
+
+let api_session g = g.api
+
+let open_session g =
+  { sid = Atomic.fetch_and_add g.next_sid 1; next_rid = Atomic.make 1 }
+
+let render ~sid ~rid = Printf.sprintf "s%d-r%d" sid rid
+
+let next s = render ~sid:s.sid ~rid:(Atomic.fetch_and_add s.next_rid 1)

@@ -1,0 +1,32 @@
+(** Request tracing for the resident service (lib/server): every session
+    gets a small integer id, every request inside it a monotonic request
+    id, and the pair renders as the trace id ["s<sid>-r<rid>"] that is
+    echoed in protocol replies, stamped on event-log entries, threaded
+    into [Orca_config.trace_id] (lib/obs span attribute, flight-recorder
+    dump attribution) and used as the flight-recorder entry label.
+
+    Ids are plain counters — deterministic per generator, no randomness,
+    no clock — so tests and replays are stable. *)
+
+type gen
+(** A per-server id generator. Session 0 is reserved for direct API
+    callers that hold no protocol session. *)
+
+type session = {
+  sid : int;             (** 0 = the API pseudo-session *)
+  next_rid : int Atomic.t;
+}
+
+val make_gen : unit -> gen
+
+val api_session : gen -> session
+(** The generator's session 0; allocated once per generator. *)
+
+val open_session : gen -> session
+(** Fresh session with the next id (1, 2, ...). Thread-safe. *)
+
+val next : session -> string
+(** Allocate the next request id in the session and render the trace id
+    (["s3-r17"]). Thread-safe (the API pseudo-session is shared). *)
+
+val render : sid:int -> rid:int -> string

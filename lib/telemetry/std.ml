@@ -120,6 +120,12 @@ let serve_requests = c "orca_serve_requests_total" "Requests fielded by the serv
 let serve_errors = c "orca_serve_errors_total" "Serve requests that failed or were rejected."
 let serve_ms = h "orca_serve_ms" "End-to-end serve latency per request (ms)."
 
+let serve_sessions =
+  c "orca_serve_sessions_total" "Protocol sessions opened against the server."
+
+let sre_events =
+  c "orca_sre_events_total" "Structured service events recorded (lib/sre)."
+
 (* -- executor ------------------------------------------------------ *)
 
 let exec_queries = c "orca_exec_queries_total" "Plans executed (simulated cluster)."

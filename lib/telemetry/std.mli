@@ -57,6 +57,8 @@ val plan_cache_collisions : Metrics.counter
 val serve_requests : Metrics.counter
 val serve_errors : Metrics.counter
 val serve_ms : Metrics.histogram
+val serve_sessions : Metrics.counter
+val sre_events : Metrics.counter
 
 val exec_queries : Metrics.counter
 val exec_rows_scanned : Metrics.counter

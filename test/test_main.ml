@@ -31,5 +31,6 @@ let () =
       ("rulecheck", Test_rulecheck.suite);
       ("interact", Test_interact.suite);
       ("telemetry", Test_telemetry.suite);
+      ("sre", Test_sre.suite);
       ("server", Test_server.suite);
     ]

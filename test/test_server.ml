@@ -379,6 +379,381 @@ let test_unix_socket_sessions () =
   Alcotest.(check int) "all socket requests counted" (2 * nclients)
     s.Sv.s_requests
 
+(* --- observability (lib/sre wiring) --- *)
+
+let has sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_trace_in_replies () =
+  let server = new_server () in
+  let r1 = ok_reply server sql_base in
+  let r2 = ok_reply server sql_variant in
+  Alcotest.(check string) "API requests trace in session 0" "s0-r1"
+    r1.Sv.r_trace;
+  Alcotest.(check string) "request ids advance" "s0-r2" r2.Sv.r_trace;
+  (* a protocol session owns its own sid and rid stream *)
+  let s = Sv.open_session server in
+  Alcotest.(check int) "first explicit session is sid 1" 1 (Sv.session_id s);
+  let r3 =
+    match Sv.optimize_sql ~session:s server sql_base with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "session request failed: %s" e
+  in
+  Alcotest.(check string) "session request traces under its sid" "s1-r1"
+    r3.Sv.r_trace;
+  Sv.close_session server s;
+  (* the trace id is echoed in the protocol reply JSON *)
+  Alcotest.(check bool) "trace echoed in the reply line" true
+    (has {|"trace":"s0-r1"|} (Sv.json_of_reply ~include_plan:false r1));
+  (* ... and the session's miss was recorded in the flight ring under its
+     trace id (r1's miss was the server's only one: r2/r3 hit the cache) *)
+  (match List.rev (Telemetry.Recorder.entries ()) with
+  | last :: _ ->
+      Alcotest.(check string) "flight entry labeled with the trace id"
+        "s0-r1" last.Telemetry.Recorder.e_label
+  | [] -> Alcotest.fail "miss did not reach the flight recorder")
+
+let test_request_events () =
+  let server = new_server () in
+  let r1 = ok_reply server sql_base in
+  let r2 = ok_reply server sql_variant in
+  ignore (Sv.invalidate server `Stats);
+  let es = Sre.Events.entries (Sv.events server) in
+  let finishes =
+    List.filter (fun e -> e.Sre.Events.ev_kind = "request_finish") es
+  in
+  Alcotest.(check int) "one terminal event per request" 2
+    (List.length finishes);
+  Alcotest.(check (list (option string)))
+    "terminal events carry their traces"
+    [ Some r1.Sv.r_trace; Some r2.Sv.r_trace ]
+    (List.map (fun e -> e.Sre.Events.ev_trace) finishes);
+  let starts =
+    List.filter (fun e -> e.Sre.Events.ev_kind = "request_start") es
+  in
+  Alcotest.(check bool) "request_start records the fingerprint" true
+    (List.for_all
+       (fun e ->
+         List.exists
+           (fun (k, v) ->
+             k = "fingerprint" && v = Sre.Events.S r1.Sv.r_fingerprint)
+           e.Sre.Events.ev_fields)
+       starts);
+  let outcome e =
+    List.exists (fun (k, v) -> k = "cache" && v = Sre.Events.S e)
+  in
+  (match List.map (fun e -> e.Sre.Events.ev_fields) finishes with
+  | [ f1; f2 ] ->
+      Alcotest.(check bool) "miss then hit recorded" true
+        (outcome "miss" f1 && outcome "hit" f2)
+  | _ -> Alcotest.fail "unreachable");
+  Alcotest.(check bool) "invalidation logged at warn" true
+    (List.exists
+       (fun e ->
+         e.Sre.Events.ev_kind = "invalidate"
+         && e.Sre.Events.ev_level = Sre.Events.Warn)
+       es)
+
+let test_error_events_and_slo () =
+  let server = new_server () in
+  ignore (ok_reply server sql_base);
+  (match Sv.optimize_sql server "SELECT nope FROM missing_table" with
+  | Ok _ -> Alcotest.fail "bogus query optimized"
+  | Error _ -> ());
+  let es = Sre.Events.entries (Sv.events server) in
+  Alcotest.(check bool) "failed request leaves a request_error event" true
+    (List.exists
+       (fun e ->
+         e.Sre.Events.ev_kind = "request_error"
+         && e.Sre.Events.ev_level = Sre.Events.Error)
+       es);
+  let r = Sre.Slo.report (Sv.slo server) in
+  Alcotest.(check int) "both requests in the SLO window" 2 r.Sre.Slo.r_requests;
+  Alcotest.(check int) "the failure counted against availability" 1
+    r.Sre.Slo.r_errors;
+  let st = Sv.stats server in
+  Alcotest.(check int) "stats counts the error" 1 st.Sv.s_errors;
+  Alcotest.(check bool) "lifetime latency quantiles populated" true
+    (st.Sv.s_p50_ms > 0.0 && st.Sv.s_p99_ms >= st.Sv.s_p50_ms)
+
+(* unescape a JSON string literal's body (the reply fields are produced by
+   the server's own escaper: quote, backslash, \n\r\t and \uXXXX) *)
+let json_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] <> '\\' then Buffer.add_char buf s.[!i]
+     else begin
+       incr i;
+       match s.[!i] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' ->
+           let code = int_of_string ("0x" ^ String.sub s (!i + 1) 4) in
+           i := !i + 4;
+           Buffer.add_char buf (Char.chr (code land 0xff))
+       | c -> Buffer.add_char buf c
+     end);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* run one scripted protocol session; returns the response lines *)
+let run_session server lines =
+  let req_r, req_w = Unix.pipe () and resp_r, resp_w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr req_w in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr req_r in
+  let soc = Unix.out_channel_of_descr resp_w in
+  Sv.serve_channels server ic soc;
+  close_out soc;
+  let out = read_all_lines resp_r in
+  Unix.close req_r;
+  Unix.close resp_r;
+  out
+
+let test_metrics_endpoint () =
+  let server = new_server () in
+  match run_session server [ sql_base; "!metrics"; "!quit" ] with
+  | [ _; metrics; _ ] ->
+      Alcotest.(check bool) "server-side lint is clean" true
+        (has {|"lint_errors":0|} metrics);
+      (* extract the escaped exposition and lint it client-side too *)
+      let key = {|"metrics":"|} in
+      let start =
+        let rec find i =
+          if i + String.length key > String.length metrics then
+            Alcotest.fail "no metrics field in the reply"
+          else if String.sub metrics i (String.length key) = key then
+            i + String.length key
+          else find (i + 1)
+        in
+        find 0
+      in
+      let stop = String.rindex metrics '"' in
+      let prom = json_unescape (String.sub metrics start (stop - start)) in
+      Alcotest.(check (list string))
+        "exposition passes the Prometheus linter" []
+        (Telemetry.Expose.lint_prometheus prom);
+      Alcotest.(check bool) "serve counters exposed" true
+        (has "orca_serve_requests_total" prom)
+  | lines -> Alcotest.failf "expected 3 reply lines, got %d" (List.length lines)
+
+let test_health_slo_endpoints () =
+  let server = new_server () in
+  match
+    run_session server [ sql_base; "!health"; "!slo"; "!stats"; "!quit" ]
+  with
+  | [ _; health; slo; stats; _ ] ->
+      List.iter
+        (fun (name, line) ->
+          Alcotest.(check bool) (name ^ " is one JSON line") true
+            (String.length line > 0
+            && line.[0] = '{'
+            && line.[String.length line - 1] = '}'
+            && has {|"ok":true|} line))
+        [ ("health", health); ("slo", slo); ("stats", stats) ];
+      Alcotest.(check bool) "health reports ready" true
+        (has {|"status":"ready"|} health);
+      Alcotest.(check bool) "health carries its checks" true
+        (has {|"checks":[{"name":"error-rate"|} health);
+      Alcotest.(check bool) "slo carries the objectives and burn" true
+        (has {|"latency_burn":|} slo && has {|"window_s":300|} slo);
+      (* the enriched !stats satellite: uptime, quantiles, sessions *)
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) ("stats has " ^ f) true (has ("\"" ^ f ^ "\":") stats))
+        [
+          "uptime_s"; "p50_ms"; "p95_ms"; "p99_ms"; "sessions_open";
+          "sessions_total"; "per_session";
+        ];
+      Alcotest.(check bool) "per-session accounting rendered" true
+        (has {|"per_session":[{"session":0,"requests":0,"errors":0},{"session":1,"requests":1|} stats)
+  | lines -> Alcotest.failf "expected 5 reply lines, got %d" (List.length lines)
+
+let test_protocol_stays_line_parseable () =
+  (* the stdout-cleanliness satellite: with the event log sinking to a
+     file, a full session transcript must remain one well-formed JSON
+     object per line — events never interleave with protocol replies *)
+  let server = new_server () in
+  let sink_path = Filename.temp_file "orca-serve-events" ".jsonl" in
+  let sink = open_out sink_path in
+  Sre.Events.set_sink (Sv.events server) (Some sink);
+  let replies =
+    run_session server
+      [
+        "!ping"; sql_base; sql_variant; sql_changed; "!invalidate stats";
+        sql_base; "!metrics"; "!health"; "!slo"; "!stats"; "!quit";
+      ]
+  in
+  Sre.Events.set_sink (Sv.events server) None;
+  close_out sink;
+  Alcotest.(check int) "one reply line per request line" 11
+    (List.length replies);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        ("well-formed single-line reply: " ^ line)
+        true
+        (String.length line > 0
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}'
+        && has {|"ok":|} line
+        && not (has {|"event":|} line)))
+    replies;
+  let ic = open_in sink_path in
+  let sink_lines = ref [] in
+  (try
+     while true do
+       sink_lines := input_line ic :: !sink_lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove sink_path;
+  Alcotest.(check bool) "events landed in the sink instead" true
+    (List.length !sink_lines > 0
+    && List.for_all
+         (fun l -> String.length l > 0 && has {|"event":|} l && l.[0] = '{')
+         !sink_lines)
+
+let test_concurrent_session_accounting () =
+  let server = new_server () in
+  let nthreads = 8 and per_thread = 25 in
+  let sqls = [| sql_base; sql_variant; sql_changed; sql_other |] in
+  let traces = Array.make (nthreads * per_thread) "" in
+  let failures = ref 0 in
+  let lock = Mutex.create () in
+  let worker i =
+    let session = Sv.open_session server in
+    for j = 0 to per_thread - 1 do
+      let sql = sqls.((i + j) mod Array.length sqls) in
+      match Sv.optimize_sql ~session server sql with
+      | Ok r -> traces.((i * per_thread) + j) <- r.Sv.r_trace
+      | Error _ ->
+          Mutex.lock lock;
+          incr failures;
+          Mutex.unlock lock
+    done;
+    Sv.close_session server session
+  in
+  let threads = List.init nthreads (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no request failed" 0 !failures;
+  let s = Sv.stats server in
+  Alcotest.(check int) "every request counted globally"
+    (nthreads * per_thread) s.Sv.s_requests;
+  (* per-session counters sum exactly to the global count; the API
+     pseudo-session fielded nothing *)
+  Alcotest.(check int) "sessions registered" (nthreads + 1)
+    s.Sv.s_sessions_total;
+  Alcotest.(check int) "per-session counts sum to the total"
+    (nthreads * per_thread)
+    (List.fold_left (fun acc (_, r, _) -> acc + r) 0 s.Sv.s_per_session);
+  List.iter
+    (fun (sid, reqs, errs) ->
+      if sid = 0 then
+        Alcotest.(check (pair int int)) "API session idle" (0, 0) (reqs, errs)
+      else begin
+        Alcotest.(check int)
+          (Printf.sprintf "session %d fielded its own requests" sid)
+          per_thread reqs;
+        Alcotest.(check int) "no errors" 0 errs
+      end)
+    s.Sv.s_per_session;
+  (* trace ids are globally unique across the concurrent sessions *)
+  let tbl = Hashtbl.create 256 in
+  Array.iter (fun tr -> Hashtbl.replace tbl tr ()) traces;
+  Alcotest.(check int) "trace ids unique" (nthreads * per_thread)
+    (Hashtbl.length tbl);
+  (* and the event log agrees: exactly one terminal event per request *)
+  let es = Sre.Events.entries (Sv.events server) in
+  let terminal =
+    List.filter
+      (fun e ->
+        e.Sre.Events.ev_kind = "request_finish"
+        || e.Sre.Events.ev_kind = "request_error")
+      es
+  in
+  Alcotest.(check int) "terminal events sum to s_requests"
+    s.Sv.s_requests (List.length terminal);
+  Alcotest.(check int) "every session opened and closed" nthreads
+    (List.length
+       (List.filter (fun e -> e.Sre.Events.ev_kind = "session_close") es))
+
+let test_eviction_event () =
+  let server =
+    Sv.of_provider
+      ~config:(Lazy.force Fixtures.orca_config)
+      ~capacity:2
+      (Lazy.force Fixtures.small).Fixtures.provider
+  in
+  ignore (ok_reply server sql_base);
+  ignore (ok_reply server sql_other);
+  ignore (ok_reply server "SELECT b FROM t2 WHERE b = 4");
+  let s = Sv.stats server in
+  Alcotest.(check int) "an entry was evicted" 1 s.Sv.s_cache.Pc.evictions;
+  Alcotest.(check bool) "the eviction left an event with the fingerprint"
+    true
+    (List.exists
+       (fun e ->
+         e.Sre.Events.ev_kind = "evict"
+         && List.exists (fun (k, _) -> k = "fingerprint") e.Sre.Events.ev_fields)
+       (Sre.Events.entries (Sv.events server)))
+
+let test_flight_recorder_wiring () =
+  let dir = Filename.temp_file "orca-serve-flight" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Telemetry.Recorder.configure ~slow_ms:(Some 0.0) ~dump_dir:(Some dir) ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Recorder.configure ~slow_ms:None ~dump_dir:None ();
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let server = new_server () in
+      let r = ok_reply server sql_base in
+      (* every request beats a 0 ms threshold: the miss must have been
+         recaptured as an AMPERe dump attributed to this trace *)
+      let dumps = Sys.readdir dir in
+      Alcotest.(check int) "one flight dump emitted" 1 (Array.length dumps);
+      Alcotest.(check bool) "dump named for the flight recorder" true
+        (has "ampere-flight-" dumps.(0));
+      let ic = open_in (Filename.concat dir dumps.(0)) in
+      let len = in_channel_length ic in
+      let dump = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "dump traceflags carry the trace id" true
+        (has r.Sv.r_trace dump))
+
+let test_sre_plan_identity () =
+  (* the acceptance criterion: observability fully on (trace ids, events,
+     SLO) versus dark must not change a single plan byte *)
+  let dark =
+    Sv.of_provider
+      ~config:(Lazy.force Fixtures.orca_config)
+      ~events:(Sre.Events.create ~enabled:false ())
+      (Lazy.force Fixtures.small).Fixtures.provider
+  in
+  let lit = new_server () in
+  List.iter
+    (fun sql ->
+      let a = ok_reply dark sql and b = ok_reply lit sql in
+      Alcotest.(check string)
+        ("identical DXL for " ^ sql)
+        (Lazy.force a.Sv.r_dxl) (Lazy.force b.Sv.r_dxl))
+    [ sql_base; sql_other; "SELECT a, b FROM t1 WHERE b = 10 AND a = 10" ];
+  Alcotest.(check int) "the dark server logged nothing" 0
+    (Sre.Events.total (Sv.events dark));
+  Alcotest.(check bool) "the lit server logged the work" true
+    (Sre.Events.total (Sv.events lit) > 0)
+
 let suite =
   [
     Alcotest.test_case "normalize: case/whitespace share a shape" `Quick
@@ -406,4 +781,23 @@ let suite =
       test_concurrent_sessions;
     Alcotest.test_case "unix-socket listener serves concurrent clients" `Quick
       test_unix_socket_sessions;
+    Alcotest.test_case "trace ids echoed in replies and flight entries" `Quick
+      test_trace_in_replies;
+    Alcotest.test_case "request lifecycle lands in the event log" `Quick
+      test_request_events;
+    Alcotest.test_case "errors reach the event log, SLO and stats" `Quick
+      test_error_events_and_slo;
+    Alcotest.test_case "!metrics passes the Prometheus linter" `Quick
+      test_metrics_endpoint;
+    Alcotest.test_case "!health, !slo and enriched !stats" `Quick
+      test_health_slo_endpoints;
+    Alcotest.test_case "protocol stream stays line-parseable under sre" `Quick
+      test_protocol_stays_line_parseable;
+    Alcotest.test_case "concurrent sessions account exactly" `Quick
+      test_concurrent_session_accounting;
+    Alcotest.test_case "LRU eviction emits an event" `Quick test_eviction_event;
+    Alcotest.test_case "server misses feed the flight recorder" `Quick
+      test_flight_recorder_wiring;
+    Alcotest.test_case "plans byte-identical with sre on vs off" `Quick
+      test_sre_plan_identity;
   ]
